@@ -1,0 +1,69 @@
+// E10 (§5 "oscillations"): can dampening/backoff tame control instability?
+//
+// Paper claim: EONA's tighter coupling "might introduce new types of
+// control stability issues... we speculate that some sort of dampening or
+// backoff algorithms can help here". Two ablations:
+//   (a) dwell-time dampening applied to the *baseline* loops: does slowing
+//       the knobs stop the Fig 5 cycle (at what QoE price)?
+//   (b) a deliberately stressed EONA world (stale reports + synchronised
+//       fast loops -- the coupling §5 worries about) with and without
+//       dampening.
+#include <cstdio>
+
+#include "scenarios/oscillation.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+namespace {
+
+void print_row(const char* label, const scenarios::OscillationResult& r) {
+  std::printf("%-26s %7zu %7zu %8zu %6s %5s %6s %10.4f %8.2fM\n", label,
+              r.appp_switches, r.infp_switches,
+              r.appp_reversals + r.infp_reversals, r.cycling ? "yes" : "no",
+              r.converged ? "yes" : "no", r.green_path ? "yes" : "no",
+              r.qoe.mean_buffering, r.qoe.mean_bitrate / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10 / Sec 5: dampening and backoff vs oscillation ===\n\n");
+  std::printf("%-26s %7s %7s %8s %6s %5s %6s %10s %9s\n", "configuration",
+              "app-sw", "isp-sw", "reversal", "cycle", "conv", "green",
+              "buffering", "bitrate");
+
+  std::printf("--- (a) dwell dampening on the baseline loops ---\n");
+  for (Duration dwell : {0.0, 120.0, 300.0, 600.0}) {
+    scenarios::OscillationConfig config;
+    config.mode = ControlMode::kBaseline;
+    config.appp_dwell = dwell;
+    config.infp_dwell = dwell;
+    char label[64];
+    std::snprintf(label, sizeof(label), "baseline dwell=%.0fs", dwell);
+    print_row(label, scenarios::run_oscillation(config));
+  }
+
+  std::printf("\n--- (b) stressed EONA: stale reports + synchronised fast "
+              "loops ---\n");
+  for (Duration dwell : {0.0, 120.0, 300.0}) {
+    scenarios::OscillationConfig config;
+    config.mode = ControlMode::kEona;
+    config.appp_period = 30.0;  // synchronised, far faster than the paper's
+    config.infp_period = 30.0;  // "tens of minutes" TE cadence
+    config.a2i_delay = 60.0;    // both sides act on minute-old data
+    config.i2a_delay = 60.0;
+    config.appp_dwell = dwell;
+    config.infp_dwell = dwell;
+    char label[64];
+    std::snprintf(label, sizeof(label), "eona sync+stale dwell=%.0fs", dwell);
+    print_row(label, scenarios::run_oscillation(config));
+  }
+
+  std::printf("\n--- reference: healthy EONA (default cadences, fresh data) "
+              "---\n");
+  scenarios::OscillationConfig config;
+  config.mode = ControlMode::kEona;
+  print_row("eona default", scenarios::run_oscillation(config));
+  return 0;
+}

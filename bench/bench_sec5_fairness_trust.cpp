@@ -1,0 +1,86 @@
+// E11 (§5 "fairness and trust"): one InfP serving two AppPs, plus the
+// trust auditor against a lying InfP.
+//
+// Paper claim: "there are other natural concerns, such as fairness when an
+// InfP serves multiple AppPs and mutual trust between InfP and AppPs...
+// we can envision third-party/neutral validation services." Two
+// experiments:
+//   (a) fairness/partial deployment -- a large and a small AppP share the
+//       Fig 5 world; sweep which of them participates in EONA.
+//   (b) trust -- audit honest vs dishonest I2A claim streams and show the
+//       trust score separating them.
+#include <cstdio>
+
+#include "eona/audit.hpp"
+#include "scenarios/fairness.hpp"
+#include "sim/rng.hpp"
+
+using namespace eona;
+
+int main() {
+  std::printf("=== E11 / Sec 5: fairness across tenants, and trust ===\n\n");
+  std::printf("--- (a) two AppPs (large 0.18/s, small 0.07/s) share one ISP "
+              "---\n");
+  std::printf("%-22s | %8s %8s %6s | %8s %8s %6s | %6s %7s %6s\n",
+              "participation", "eng-1", "buf-1", "sw-1", "eng-2", "buf-2",
+              "sw-2", "gap", "isp-sw", "green");
+  struct Case {
+    const char* label;
+    bool one, two;
+  } cases[] = {
+      {"neither (baseline)", false, false},
+      {"only large AppP", true, false},
+      {"only small AppP", false, true},
+      {"both (full EONA)", true, true},
+  };
+  for (const Case& c : cases) {
+    scenarios::FairnessConfig config;
+    config.appp1_eona = c.one;
+    config.appp2_eona = c.two;
+    scenarios::FairnessResult r = scenarios::run_fairness(config);
+    std::printf("%-22s | %8.3f %8.4f %6llu | %8.3f %8.4f %6llu | %6.3f "
+                "%7zu %6s\n",
+                c.label, r.appp1.mean_engagement, r.appp1.mean_buffering,
+                static_cast<unsigned long long>(r.appp1.cdn_switches),
+                r.appp2.mean_engagement, r.appp2.mean_buffering,
+                static_cast<unsigned long long>(r.appp2.cdn_switches),
+                r.engagement_gap, r.isp_switches,
+                r.green_path ? "yes" : "no");
+  }
+
+  std::printf("\n--- (b) trust: auditing honest vs lying I2A streams ---\n");
+  std::printf("%-10s %9s %9s %14s %8s\n", "peer", "reports", "checked",
+              "contradicted", "trust");
+  for (double lie_probability : {0.0, 0.2, 0.5, 1.0}) {
+    core::InterfaceAuditor auditor;
+    sim::Rng rng(7);
+    int reports = 60;
+    for (int i = 0; i < reports; ++i) {
+      bool actually_congested = rng.bernoulli(0.5);
+      bool lie = rng.bernoulli(lie_probability);
+      core::I2AReport report;
+      report.from = ProviderId(1);
+      core::PeeringStatus p;
+      p.peering = PeeringId(0);
+      p.cdn = CdnId(0);
+      p.selected = true;
+      p.congested = lie ? !actually_congested : actually_congested;
+      report.peerings.push_back(p);
+
+      core::CdnEvidence evidence;
+      evidence.cdn = CdnId(0);
+      evidence.intended_bitrate = 3e6;
+      evidence.sessions = 50;
+      evidence.mean_bitrate = actually_congested ? 0.9e6 : 2.95e6;
+      evidence.mean_buffering = actually_congested ? 0.12 : 0.001;
+      auditor.audit(report, {evidence});
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "lies %2.0f%%", 100 * lie_probability);
+    std::printf("%-10s %9d %9llu %14llu %8.3f%s\n", label, reports,
+                static_cast<unsigned long long>(auditor.claims_checked()),
+                static_cast<unsigned long long>(auditor.contradictions()),
+                auditor.trust(), auditor.trusted() ? "" : "  << distrusted");
+  }
+  return 0;
+}

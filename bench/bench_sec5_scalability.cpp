@@ -1,0 +1,167 @@
+// E9 (§5 "scalability"): "a typical AppP can collect user experience for
+// tens of millions of sessions each day, and such large volumes of data can
+// cause serious scalability challenges for the control logic of InfPs".
+//
+// Microbenches of every stage of the pipeline that volume flows through:
+// beacon ingest + group-by, windowed aggregation, quantile sketch updates,
+// the k-anonymity gate, the max-min rate solver, and the fluid transfer
+// plane. items/s here extrapolates directly to sessions/day.
+#include <benchmark/benchmark.h>
+
+#include "net/transfer.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/anonymity.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/p2_quantile.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace eona;
+
+telemetry::SessionRecord random_record(sim::Rng& rng, int isps, int cdns,
+                                       TimePoint t) {
+  telemetry::SessionRecord r;
+  r.session = SessionId(rng.next_u64());
+  r.dims.isp = IspId(static_cast<std::uint32_t>(rng.uniform_int(0, isps - 1)));
+  r.dims.cdn = CdnId(static_cast<std::uint32_t>(rng.uniform_int(0, cdns - 1)));
+  r.dims.server =
+      ServerId(static_cast<std::uint32_t>(rng.uniform_int(0, 31)));
+  r.metrics.buffering_ratio = rng.uniform(0, 0.3);
+  r.metrics.avg_bitrate = rng.uniform(2e5, 6e6);
+  r.metrics.join_time = rng.uniform(0, 10);
+  r.metrics.engagement = rng.uniform(0, 1);
+  r.metrics.bytes_delivered = rng.uniform(1e5, 1e8);
+  r.timestamp = t;
+  return r;
+}
+
+void BM_GroupByIngest(benchmark::State& state) {
+  sim::Rng rng(1);
+  telemetry::GroupByAggregator agg(telemetry::Dim::kIsp |
+                                   telemetry::Dim::kCdn);
+  auto isps = static_cast<int>(state.range(0));
+  std::vector<telemetry::SessionRecord> batch;
+  for (int i = 0; i < 4096; ++i)
+    batch.push_back(random_record(rng, isps, 4, 0.0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    agg.ingest(batch[i++ & 4095]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["groups"] = static_cast<double>(agg.group_count());
+}
+BENCHMARK(BM_GroupByIngest)->Arg(16)->Arg(256);
+
+void BM_WindowedIngest(benchmark::State& state) {
+  sim::Rng rng(2);
+  telemetry::WindowedAggregator agg(
+      telemetry::Dim::kIsp | telemetry::Dim::kCdn, 60.0, 6);
+  std::vector<telemetry::SessionRecord> batch;
+  for (int i = 0; i < 4096; ++i)
+    batch.push_back(random_record(rng, 64, 4, rng.uniform(0, 600)));
+  std::size_t i = 0;
+  for (auto _ : state) agg.ingest(batch[i++ & 4095]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WindowedIngest);
+
+void BM_WindowedSnapshot(benchmark::State& state) {
+  sim::Rng rng(3);
+  telemetry::WindowedAggregator agg(
+      telemetry::Dim::kIsp | telemetry::Dim::kCdn, 60.0, 6);
+  auto isps = static_cast<int>(state.range(0));
+  for (int i = 0; i < 100000; ++i)
+    agg.ingest(random_record(rng, isps, 4, rng.uniform(540, 600)));
+  for (auto _ : state) benchmark::DoNotOptimize(agg.snapshot(600.0));
+}
+BENCHMARK(BM_WindowedSnapshot)->Arg(16)->Arg(256);
+
+void BM_P2QuantileUpdate(benchmark::State& state) {
+  sim::Rng rng(4);
+  telemetry::P2Quantile q(0.9);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.uniform(0, 1);
+  std::size_t i = 0;
+  for (auto _ : state) q.add(values[i++ & 4095]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_P2QuantileUpdate);
+
+void BM_KAnonymityGate(benchmark::State& state) {
+  sim::Rng rng(5);
+  telemetry::GroupByAggregator agg(telemetry::Dim::kIsp |
+                                   telemetry::Dim::kCdn |
+                                   telemetry::Dim::kServer);
+  for (int i = 0; i < 200000; ++i)
+    agg.ingest(random_record(rng, 64, 4, 0.0));
+  auto snapshot = agg.snapshot();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(telemetry::k_anonymity_gate(snapshot, 50));
+  state.counters["groups"] = static_cast<double>(snapshot.size());
+}
+BENCHMARK(BM_KAnonymityGate);
+
+/// Max-min solver cost vs flow count on a shared-backbone topology: the
+/// per-change cost of the fluid network model.
+void BM_MaxMinRecompute(benchmark::State& state) {
+  net::Topology topo;
+  NodeId prev = topo.add_node(net::NodeKind::kRouter, "n0");
+  std::vector<LinkId> links;
+  for (int i = 1; i < 12; ++i) {
+    NodeId next = topo.add_node(net::NodeKind::kRouter, "n");
+    links.push_back(topo.add_link(prev, next, mbps(100), 0.001));
+    prev = next;
+  }
+  sim::Rng rng(6);
+  std::vector<net::FlowSpec> flows;
+  auto count = static_cast<std::size_t>(state.range(0));
+  for (std::size_t f = 0; f < count; ++f) {
+    auto start = static_cast<std::size_t>(rng.uniform_int(0, 9));
+    auto end = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(start) + 1, 11));
+    net::Path path(links.begin() + static_cast<long>(start),
+                   links.begin() + static_cast<long>(end));
+    flows.push_back(net::FlowSpec{
+        path, rng.bernoulli(0.5)
+                  ? std::numeric_limits<double>::infinity()
+                  : mbps(rng.uniform(0.5, 20))});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::max_min_allocation(topo, flows));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MaxMinRecompute)->Arg(10)->Arg(100)->Arg(1000);
+
+/// End-to-end fluid transfer plane: chunk-sized transfers arriving and
+/// completing on a shared bottleneck (events/s of the emulator itself).
+void BM_TransferPlane(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Topology topo;
+    NodeId a = topo.add_node(net::NodeKind::kRouter, "a");
+    NodeId b = topo.add_node(net::NodeKind::kRouter, "b");
+    LinkId ab = topo.add_link(a, b, mbps(100), 0.001);
+    sim::Scheduler sched;
+    net::Network network(topo);
+    net::TransferManager transfers(sched, network);
+    sim::Rng rng(7);
+    auto count = static_cast<int>(state.range(0));
+    int completed = 0;
+    for (int i = 0; i < count; ++i) {
+      sched.schedule_at(rng.uniform(0, 10), [&, ab] {
+        transfers.start({ab}, megabits(rng.uniform(1, 10)),
+                        [&](net::TransferId) { ++completed; });
+      });
+    }
+    state.ResumeTiming();
+    sched.run_all();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TransferPlane)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace

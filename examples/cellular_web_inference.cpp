@@ -1,0 +1,33 @@
+// Figure 4 walkthrough: inferring web QoE from network metrics vs receiving
+// it directly over A2I, across radio-noise levels.
+//
+//   $ ./cellular_web_inference
+#include <cstdio>
+
+#include "scenarios/cellular_web.hpp"
+
+using namespace eona;
+
+int main() {
+  scenarios::CellularWebConfig config;
+  std::printf("Cellular web QoE: %zu sessions over %zu sectors, "
+              "%2.0f%% labelled panel, k=%llu\n\n",
+              config.sessions, config.sectors,
+              100.0 * config.labeled_fraction,
+              static_cast<unsigned long long>(config.k_anonymity));
+  std::printf("%-6s %9s | %9s %9s | %9s %9s | %8s %8s\n", "noise", "truePLT",
+              "inf-MAE", "a2i-MAE", "inf-gMAE", "a2i-gMAE", "inf-rank",
+              "a2i-rank");
+
+  for (double noise : {0.0, 0.25, 0.5, 1.0}) {
+    config.feature_noise = noise;
+    scenarios::CellularWebResult r = scenarios::run_cellular_web(config);
+    std::printf("%-6.1f %8.2fs | %8.2fs %8.2fs | %8.3fs %8.3fs | %8.3f %8.3f\n",
+                noise, r.mean_true_plt, r.inference_mae, r.a2i_mae,
+                r.inference_group_mae, r.a2i_group_mae,
+                r.inference_rank_corr, r.a2i_rank_corr);
+  }
+  std::printf("\n(noise = InfP feature-measurement noise; inference = ridge regression on passive network features; "
+              "a2i = direct k-anonymous group aggregates)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5 walkthrough: control loops chasing each other across peering
+// points, and how EONA information breaks the cycle.
+//
+//   $ ./peering_oscillation
+#include <cstdio>
+
+#include "scenarios/oscillation.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+int main() {
+  scenarios::OscillationConfig config;
+  std::printf("Fig 5 world: X@B=%.0fM (preferred), X@C=%.0fM, Y@C=%.0fM, "
+              "%.2f sessions/s x %.0fs videos\n\n",
+              config.capacity_b / 1e6, config.capacity_cx / 1e6,
+              config.capacity_cy / 1e6, config.arrival_rate,
+              config.video_duration);
+  std::printf("%-9s %8s %8s %8s %8s %7s %7s %6s %9s %9s\n", "mode",
+              "app-sw", "isp-sw", "app-rev", "isp-rev", "cycle", "conv",
+              "green", "buffering", "bitrate");
+
+  for (ControlMode mode :
+       {ControlMode::kBaseline, ControlMode::kEona, ControlMode::kOracle}) {
+    config.mode = mode;
+    scenarios::OscillationResult r = scenarios::run_oscillation(config);
+    std::printf("%-9s %8zu %8zu %8zu %8zu %7s %7s %6s %9.4f %8.2fM\n",
+                scenarios::to_string(mode), r.appp_switches, r.infp_switches,
+                r.appp_reversals, r.infp_reversals, r.cycling ? "yes" : "no",
+                r.converged ? "yes" : "no", r.green_path ? "yes" : "no",
+                r.qoe.mean_buffering, r.qoe.mean_bitrate / 1e6);
+
+    if (mode == ControlMode::kBaseline) {
+      std::printf("\n  baseline knob timeline (primary cdn / X egress):\n");
+      const auto& primary = r.metrics.series("primary_cdn");
+      const auto& egress = r.metrics.series("x_egress");
+      for (const auto& s : primary.resample(0, 1500, 120)) {
+        std::printf("    t=%5.0fs  primary=cdn%d  X-egress=peering%d\n", s.t,
+                    static_cast<int>(s.value),
+                    static_cast<int>(egress.value_at(s.t)));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

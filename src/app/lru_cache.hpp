@@ -1,0 +1,69 @@
+// Fixed-capacity LRU set used for CDN server content caches. O(1) touch,
+// insert, and lookup via list + hash-map iterators.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+
+namespace eona::app {
+
+/// LRU set of keys: membership + recency, no values.
+template <typename Key>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    EONA_EXPECTS(capacity > 0);
+  }
+
+  /// Is the key cached? Does not affect recency.
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.count(key) > 0;
+  }
+
+  /// Mark key as most-recently-used if present; returns whether it was.
+  bool touch(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  /// Insert (or refresh) a key, evicting the LRU entry when full.
+  /// Returns true if the key was newly inserted.
+  bool insert(const Key& key) {
+    if (touch(key)) return false;
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    return true;
+  }
+
+  /// Remove a key if present; returns whether it was.
+  bool erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<Key> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<Key>::iterator> index_;
+};
+
+}  // namespace eona::app

@@ -1,0 +1,113 @@
+// Ownership and lifecycle for dynamically spawned video sessions.
+//
+// Players finish asynchronously (their DoneCallback fires from inside their
+// own event handlers), so destruction must be deferred: the pool collects
+// the final record, then erases the player on a zero-delay follow-up event.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "app/video_player.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eona::app {
+
+/// Final per-session outcome, including the counters that live on the
+/// player (collected before the player is destroyed).
+struct SessionSummary {
+  telemetry::SessionRecord record;
+  std::uint64_t stalls = 0;
+  std::uint64_t cdn_switches = 0;
+  std::uint64_t server_switches = 0;
+};
+
+/// Owns active VideoPlayers; collects final session records.
+class SessionPool {
+ public:
+  /// `make` receives the done-callback the player must invoke and returns
+  /// the constructed player.
+  using Factory = std::function<std::unique_ptr<VideoPlayer>(
+      VideoPlayer::DoneCallback)>;
+
+  explicit SessionPool(sim::Scheduler& sched) : sched_(sched) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Create, register, and start a player.
+  SessionId spawn(const Factory& make) {
+    auto player = make([this](const telemetry::SessionRecord& record) {
+      on_session_done(record);
+    });
+    EONA_EXPECTS(player != nullptr);
+    SessionId id = player->session();
+    VideoPlayer& ref = *player;
+    players_.emplace(id, std::move(player));
+    ref.start();
+    return id;
+  }
+
+  [[nodiscard]] std::size_t active_count() const { return players_.size(); }
+  [[nodiscard]] const std::vector<telemetry::SessionRecord>& finished()
+      const {
+    return finished_;
+  }
+  [[nodiscard]] const std::vector<SessionSummary>& summaries() const {
+    return summaries_;
+  }
+
+  [[nodiscard]] bool contains(SessionId id) const {
+    return players_.count(id) > 0;
+  }
+
+  [[nodiscard]] VideoPlayer& player(SessionId id) {
+    auto it = players_.find(id);
+    if (it == players_.end())
+      throw NotFoundError("session " + std::to_string(id.value()));
+    return *it->second;
+  }
+
+  /// Iterate active players (e.g. the AppP controller pushing guidance).
+  void for_each(const std::function<void(VideoPlayer&)>& fn) {
+    for (auto& [id, player] : players_) fn(*player);
+  }
+
+  /// Abort every active session (end of experiment); final beacons fire.
+  void abort_all() {
+    // Collect ids first: abort() triggers on_session_done -> deferred erase.
+    std::vector<SessionId> ids;
+    ids.reserve(players_.size());
+    for (auto& [id, player] : players_) ids.push_back(id);
+    for (SessionId id : ids) {
+      auto it = players_.find(id);
+      if (it != players_.end()) it->second->abort();
+    }
+  }
+
+ private:
+  void on_session_done(const telemetry::SessionRecord& record) {
+    finished_.push_back(record);
+    SessionId id = record.session;
+    SessionSummary summary;
+    summary.record = record;
+    auto it = players_.find(id);
+    if (it != players_.end()) {
+      summary.stalls = it->second->stall_count();
+      summary.cdn_switches = it->second->cdn_switches();
+      summary.server_switches = it->second->server_switches();
+    }
+    summaries_.push_back(summary);
+    // Deferred destruction: the player is still on the call stack.
+    sched_.schedule_after(0.0, [this, id] { players_.erase(id); });
+  }
+
+  sim::Scheduler& sched_;
+  std::unordered_map<SessionId, std::unique_ptr<VideoPlayer>> players_;
+  std::vector<telemetry::SessionRecord> finished_;
+  std::vector<SessionSummary> summaries_;
+};
+
+}  // namespace eona::app

@@ -1,0 +1,191 @@
+// HTTP adaptive video player over the fluid network.
+//
+// Mechanics live here (buffer dynamics, chunk pipeline, stall accounting,
+// throughput estimation, beacons); *decisions* -- which CDN/server to use,
+// which bitrate to request, when to switch -- are delegated to a PlayerBrain
+// so the control module can plug in today's trial-and-error logic or the
+// EONA-informed logic without touching the player.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/cdn.hpp"
+#include "app/content_catalog.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "net/transfer.hpp"
+#include "qoe/video_qoe.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::app {
+
+/// Player tunables; defaults are typical of production HLS/DASH players.
+struct PlayerConfig {
+  std::vector<BitsPerSecond> ladder{kbps(300), kbps(700), mbps(1.5), mbps(3),
+                                    mbps(6)};  ///< ascending renditions
+  Duration chunk_duration = 4.0;
+  Duration startup_target = 8.0;  ///< join when buffered >= this
+  Duration resume_target = 4.0;   ///< restart playback after a stall
+  Duration max_buffer = 24.0;     ///< stop fetching above this
+  Duration beacon_period = 10.0;  ///< mid-session QoE beacon cadence
+  /// Reconnect cost paid on every endpoint switch (DNS + TCP + TLS to the
+  /// new server) before the next chunk request leaves.
+  Duration switch_delay = 0.3;
+  /// Cooldown before the brain is consulted about switching again.
+  Duration min_switch_interval = 8.0;
+};
+
+/// Read-only player state handed to the brain at each decision point.
+struct PlayerView {
+  SessionId session;
+  TimePoint now = 0.0;
+  Duration buffer = 0.0;
+  BitsPerSecond throughput_estimate = 0.0;  ///< EWMA; 0 before first chunk
+  std::size_t bitrate_index = 0;
+  CdnId cdn;
+  ServerId server;
+  std::uint64_t stall_count = 0;
+  std::uint64_t stalls_since_switch = 0;
+  bool stalled = false;
+  bool joined = false;
+  std::size_t chunks_fetched = 0;
+  std::size_t chunks_total = 0;
+  IspId isp;
+  NodeId client_node;
+  const std::vector<BitsPerSecond>* ladder = nullptr;
+  Duration max_buffer = 0.0;  ///< the player's buffer ceiling
+};
+
+/// Where the player is (or should be) fetching from.
+struct Endpoint {
+  CdnId cdn;
+  ServerId server;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Decision interface. One brain instance may serve many players (it gets
+/// the full view each call); implementations live in eona::control.
+class PlayerBrain {
+ public:
+  virtual ~PlayerBrain() = default;
+
+  /// Pick the starting endpoint (and again whenever the player asks to
+  /// switch).
+  virtual Endpoint choose_endpoint(const PlayerView& view) = 0;
+
+  /// Should the player abandon its current endpoint before the next chunk?
+  virtual bool should_switch_endpoint(const PlayerView& view) = 0;
+
+  /// Index into the ladder for the next chunk.
+  virtual std::size_t choose_bitrate(const PlayerView& view) = 0;
+};
+
+/// One adaptive video session. Create, then call start(); the player runs
+/// itself on the scheduler and reports the final beacon through the
+/// collector and the completion callback.
+class VideoPlayer {
+ public:
+  using DoneCallback = std::function<void(const telemetry::SessionRecord&)>;
+
+  VideoPlayer(sim::Scheduler& sched, net::TransferManager& transfers,
+              net::Network& network, const net::Routing& routing,
+              const CdnDirectory& cdns, PlayerBrain& brain,
+              telemetry::BeaconCollector* collector, PlayerConfig config,
+              SessionId session, telemetry::Dimensions dims, NodeId client,
+              ContentItem content, qoe::EngagementModel engagement = {},
+              DoneCallback on_done = nullptr);
+
+  VideoPlayer(const VideoPlayer&) = delete;
+  VideoPlayer& operator=(const VideoPlayer&) = delete;
+  ~VideoPlayer();
+
+  /// Begin the session (request the first chunk).
+  void start();
+
+  /// Tear down mid-session: cancels transfers, emits a final beacon.
+  void abort();
+
+  [[nodiscard]] bool finished() const { return state_ == State::kDone; }
+  [[nodiscard]] bool stalled() const { return state_ == State::kStalled; }
+  [[nodiscard]] SessionId session() const { return session_; }
+  [[nodiscard]] Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] std::size_t bitrate_index() const { return bitrate_index_; }
+  [[nodiscard]] Duration buffer_level() const;
+  [[nodiscard]] std::uint64_t stall_count() const { return stall_count_; }
+  [[nodiscard]] std::uint64_t cdn_switches() const { return cdn_switches_; }
+  [[nodiscard]] std::uint64_t server_switches() const {
+    return server_switches_;
+  }
+  [[nodiscard]] BitsPerSecond throughput_estimate() const {
+    return throughput_ewma_;
+  }
+
+  /// Current session metrics snapshot (what a beacon would carry now).
+  [[nodiscard]] telemetry::SessionMetrics metrics_now() const;
+
+ private:
+  enum class State { kCreated, kStartup, kPlaying, kStalled, kDone };
+
+  [[nodiscard]] PlayerView view() const;
+  void request_next_chunk();
+  void on_chunk_complete();
+  void on_buffer_underrun();
+  void reschedule_underrun();
+  void maybe_schedule_finish();
+  void emit_beacon();
+  void finish();
+  /// Accrue buffer drain up to now.
+  void sync_buffer();
+
+  sim::Scheduler& sched_;
+  net::TransferManager& transfers_;
+  net::Network& network_;
+  const net::Routing& routing_;
+  const CdnDirectory& cdns_;
+  PlayerBrain& brain_;
+  telemetry::BeaconCollector* collector_;
+  PlayerConfig config_;
+  SessionId session_;
+  telemetry::Dimensions dims_;
+  NodeId client_;
+  ContentItem content_;
+  qoe::EngagementModel engagement_;
+  DoneCallback on_done_;
+
+  State state_ = State::kCreated;
+  qoe::VideoQoeTracker qoe_;
+  Endpoint endpoint_;
+  std::size_t bitrate_index_ = 0;
+  Duration buffer_ = 0.0;
+  TimePoint buffer_synced_at_ = 0.0;
+  BitsPerSecond throughput_ewma_ = 0.0;
+  static constexpr double kEwmaAlpha = 0.4;
+
+  std::size_t chunks_total_ = 0;
+  std::size_t chunks_fetched_ = 0;
+  std::optional<net::TransferId> inflight_;
+  TimePoint fetch_started_ = 0.0;
+  Bits inflight_bits_ = 0.0;
+
+  std::uint64_t stall_count_ = 0;
+  std::uint64_t stalls_since_switch_ = 0;
+  TimePoint switch_block_until_ = 0.0;  ///< reconnect cooldown
+  std::uint64_t cdn_switches_ = 0;
+  std::uint64_t server_switches_ = 0;
+
+  Bits reported_bits_ = 0.0;  ///< volume already beaconed (delta encoding)
+
+  sim::EventHandle underrun_event_;
+  sim::EventHandle fetch_resume_event_;
+  sim::EventHandle finish_event_;
+  std::unique_ptr<sim::PeriodicTask> beacon_task_;
+};
+
+}  // namespace eona::app

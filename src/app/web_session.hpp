@@ -1,0 +1,140 @@
+// Web page-load session over the fluid network (paper Figure 4 substrate).
+//
+// The payload transfer rides the network (so congestion shows up in PLT);
+// handshake and request-round latencies are derived analytically from path
+// delay. The outcome carries both the client-side truth (the beacon) and
+// the network-level features an InfP could observe passively -- the two
+// sides the Fig 4 experiment compares.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "net/routing.hpp"
+#include "net/transfer.hpp"
+#include "qoe/web_qoe.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::app {
+
+/// What the InfP can see on the wire about a finished page load, plus the
+/// client-measured record.
+struct WebSessionOutcome {
+  telemetry::SessionRecord record;  ///< client-side truth (A2I payload)
+  // --- passively observable network features ---
+  Duration rtt = 0.0;
+  BitsPerSecond observed_throughput = 0.0;
+  Bits bytes = 0.0;
+  Duration flow_duration = 0.0;
+};
+
+struct WebSessionConfig {
+  int objects = 12;
+  Duration server_think = 0.05;
+  /// Per-session radio-access latency on top of the wired path (cellular
+  /// last-mile variability; drawn by the scenario per session).
+  Duration extra_rtt = 0.0;
+  qoe::WebEngagementModel engagement{};
+};
+
+/// One page load: start() kicks the payload transfer; the outcome callback
+/// fires when the page completes.
+class WebSession {
+ public:
+  using DoneCallback = std::function<void(const WebSessionOutcome&)>;
+
+  WebSession(sim::Scheduler& sched, net::TransferManager& transfers,
+             const net::Routing& routing, WebSessionConfig config,
+             SessionId session, telemetry::Dimensions dims, NodeId client,
+             NodeId server, Bits page_bits,
+             telemetry::BeaconCollector* collector, DoneCallback on_done)
+      : sched_(sched),
+        transfers_(transfers),
+        routing_(routing),
+        config_(config),
+        session_(session),
+        dims_(dims),
+        client_(client),
+        server_(server),
+        page_bits_(page_bits),
+        collector_(collector),
+        on_done_(std::move(on_done)) {
+    EONA_EXPECTS(page_bits > 0.0);
+  }
+
+  WebSession(const WebSession&) = delete;
+  WebSession& operator=(const WebSession&) = delete;
+
+  ~WebSession() {
+    if (inflight_ && transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
+  }
+
+  void start() {
+    EONA_EXPECTS(!started_);
+    started_ = true;
+    net::Path path = routing_.shortest_path(server_, client_);
+    rtt_ = 2.0 * net::path_delay(routing_.topology(), path) + config_.extra_rtt;
+    started_at_ = sched_.now();
+    inflight_ = transfers_.start(path, page_bits_, [this](net::TransferId) {
+      on_transfer_done();
+    });
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] SessionId session() const { return session_; }
+
+ private:
+  void on_transfer_done() {
+    inflight_.reset();
+    finished_ = true;
+    Duration transfer_time = sched_.now() - started_at_;
+
+    qoe::PageLoadInputs inputs;
+    inputs.rtt = rtt_;
+    inputs.bandwidth = transfer_time > 0.0 ? page_bits_ / transfer_time
+                                           : kbps(1);  // degenerate guard
+    inputs.page_bits = page_bits_;
+    inputs.objects = config_.objects;
+    inputs.server_think = config_.server_think;
+    qoe::PageLoadResult result =
+        qoe::evaluate_page_load(inputs, config_.engagement);
+
+    WebSessionOutcome outcome;
+    outcome.record.session = session_;
+    outcome.record.dims = dims_;
+    outcome.record.metrics = qoe::to_session_metrics(inputs, result);
+    outcome.record.timestamp = sched_.now();
+    outcome.rtt = rtt_;
+    outcome.observed_throughput = inputs.bandwidth;
+    outcome.bytes = page_bits_;
+    outcome.flow_duration = transfer_time;
+
+    if (collector_) collector_->report(outcome.record);
+    if (on_done_) on_done_(outcome);
+  }
+
+  sim::Scheduler& sched_;
+  net::TransferManager& transfers_;
+  const net::Routing& routing_;
+  WebSessionConfig config_;
+  SessionId session_;
+  telemetry::Dimensions dims_;
+  NodeId client_;
+  NodeId server_;
+  Bits page_bits_;
+  telemetry::BeaconCollector* collector_;
+  DoneCallback on_done_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  TimePoint started_at_ = 0.0;
+  Duration rtt_ = 0.0;
+  std::optional<net::TransferId> inflight_;
+};
+
+}  // namespace eona::app

@@ -1,0 +1,107 @@
+// Session arrival processes: Poisson arrivals with a piecewise-constant
+// rate profile, which is how the scenarios express diurnal load and the
+// Figure 3 flash crowd (a sudden rate step).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eona::app {
+
+/// From `start` onwards, arrivals occur at `rate` per second (until the
+/// next phase begins).
+struct ArrivalPhase {
+  TimePoint start = 0.0;
+  double rate = 0.0;
+};
+
+/// Non-homogeneous Poisson arrival process over a piecewise-constant rate
+/// profile. Exact (no thinning needed): by memorylessness, the exponential
+/// draw is restarted at each phase boundary it crosses.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(sim::Scheduler& sched, sim::Rng rng,
+                  std::vector<ArrivalPhase> phases, TimePoint end,
+                  std::function<void()> on_arrival)
+      : sched_(sched),
+        rng_(std::move(rng)),
+        phases_(std::move(phases)),
+        end_(end),
+        on_arrival_(std::move(on_arrival)) {
+    EONA_EXPECTS(!phases_.empty());
+    EONA_EXPECTS(on_arrival_ != nullptr);
+    for (std::size_t i = 1; i < phases_.size(); ++i)
+      EONA_EXPECTS(phases_[i].start > phases_[i - 1].start);
+    for (const auto& phase : phases_) EONA_EXPECTS(phase.rate >= 0.0);
+    schedule_next(sched_.now());
+  }
+
+  PoissonArrivals(const PoissonArrivals&) = delete;
+  PoissonArrivals& operator=(const PoissonArrivals&) = delete;
+  ~PoissonArrivals() { stop(); }
+
+  void stop() { sched_.cancel(pending_); }
+
+  [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
+
+  /// Rate in effect at time t (0 before the first phase).
+  [[nodiscard]] double rate_at(TimePoint t) const {
+    double rate = 0.0;
+    for (const auto& phase : phases_) {
+      if (phase.start > t) break;
+      rate = phase.rate;
+    }
+    return rate;
+  }
+
+  /// Start of the next phase strictly after t; end_ if none.
+  [[nodiscard]] TimePoint next_boundary(TimePoint t) const {
+    for (const auto& phase : phases_)
+      if (phase.start > t) return std::min(phase.start, end_);
+    return end_;
+  }
+
+ private:
+  void schedule_next(TimePoint from) {
+    if (from >= end_) return;
+    double rate = rate_at(from);
+    TimePoint boundary = next_boundary(from);
+    if (rate <= 0.0) {
+      // Idle phase: jump to the next boundary and retry.
+      if (boundary >= end_) return;
+      pending_ = sched_.schedule_at(boundary,
+                                    [this, boundary] { schedule_next(boundary); });
+      return;
+    }
+    TimePoint candidate = from + rng_.exponential(1.0 / rate);
+    if (candidate > boundary) {
+      // Crossed into a new phase: restart the draw there (memorylessness).
+      if (boundary >= end_) return;
+      pending_ = sched_.schedule_at(boundary,
+                                    [this, boundary] { schedule_next(boundary); });
+      return;
+    }
+    if (candidate >= end_) return;
+    pending_ = sched_.schedule_at(candidate, [this, candidate] {
+      ++arrivals_;
+      on_arrival_();
+      schedule_next(candidate);
+    });
+  }
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  std::vector<ArrivalPhase> phases_;
+  TimePoint end_;
+  std::function<void()> on_arrival_;
+  sim::EventHandle pending_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace eona::app

@@ -1,0 +1,49 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.5-I.8). Violations throw eona::ContractViolation so
+// tests can assert on them and long-running experiments fail loudly instead
+// of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eona {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : std::logic_error(std::string(kind) + " failed: " + expr + " at " +
+                         file + ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace eona
+
+#define EONA_EXPECTS(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::eona::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                    __LINE__);                          \
+  } while (false)
+
+#define EONA_ENSURES(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::eona::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                    __LINE__);                          \
+  } while (false)
+
+#define EONA_ASSERT(cond)                                               \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::eona::detail::contract_fail("invariant", #cond, __FILE__,       \
+                                    __LINE__);                          \
+  } while (false)

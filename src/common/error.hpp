@@ -1,0 +1,43 @@
+// Error hierarchy for the EONA libraries. Exceptions signal failure to
+// perform a required task (Core Guidelines I.10); recoverable conditions are
+// expressed in return types instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eona {
+
+/// Root of all runtime errors raised by the EONA libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configuration value is out of range or inconsistent.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// An entity id does not resolve (unknown node, link, CDN, session, ...).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what)
+      : Error("not found: " + what) {}
+};
+
+/// Wire-format encoding or decoding failed.
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what) : Error("codec: " + what) {}
+};
+
+/// An EONA endpoint rejected a request (not authorised / not opted in).
+class AccessDenied : public Error {
+ public:
+  explicit AccessDenied(const std::string& what)
+      : Error("access denied: " + what) {}
+};
+
+}  // namespace eona

@@ -1,0 +1,43 @@
+// Canonical entity id types shared across subsystems. Declared centrally so
+// the network substrate, applications, EONA messages, and controllers all
+// agree on the identity vocabulary.
+#pragma once
+
+#include "common/strong_id.hpp"
+
+namespace eona {
+
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct PeeringTag {};
+struct CdnTag {};
+struct ServerTag {};
+struct IspTag {};
+struct SessionTag {};
+struct ContentTag {};
+struct ProviderTag {};
+
+/// A vertex in the network topology (router, host aggregate, PoP).
+using NodeId = StrongId<NodeTag>;
+/// A directed capacity-constrained edge.
+using LinkId = StrongId<LinkTag>;
+/// One fluid flow traversing a path of links.
+using FlowId = StrongId<FlowTag, std::uint64_t>;
+/// An interconnection point between an ISP and a CDN (e.g. private peering
+/// or a public IXP port).
+using PeeringId = StrongId<PeeringTag>;
+/// A content delivery network operated by one InfP.
+using CdnId = StrongId<CdnTag>;
+/// A server cluster inside a CDN.
+using ServerId = StrongId<ServerTag>;
+/// An access ISP ("eyeball" network).
+using IspId = StrongId<IspTag>;
+/// One client application session (video view, page load, ...).
+using SessionId = StrongId<SessionTag, std::uint64_t>;
+/// A piece of content in the catalog.
+using ContentId = StrongId<ContentTag>;
+/// An EONA participant (an AppP or an InfP) in the provider registry.
+using ProviderId = StrongId<ProviderTag>;
+
+}  // namespace eona

@@ -1,0 +1,54 @@
+// Strongly typed entity identifiers (Core Guidelines I.4: make interfaces
+// precisely and strongly typed). A NodeId cannot be passed where a LinkId is
+// expected, eliminating a whole class of cross-entity mixups in the
+// simulator and controllers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace eona {
+
+/// A zero-overhead wrapper around an integer id, parameterised on a tag type
+/// so distinct entity kinds get distinct, non-convertible id types.
+///
+/// Usage:
+///   struct NodeTag {};
+///   using NodeId = StrongId<NodeTag>;
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  /// Sentinel for "no entity"; default construction yields it.
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+}  // namespace eona
+
+// Hash support so StrongId keys work in unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<eona::StrongId<Tag, Rep>> {
+  std::size_t operator()(eona::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,456 @@
+#include "control/appp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eona::control {
+
+namespace {
+
+/// Deterministic 64-bit mixer for hash-style server picks.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Rate-based ABR shared by both brains: highest rendition within
+/// safety * estimated throughput, subject to an absolute cap; lowest rung
+/// in panic (buffer nearly dry) or before any throughput sample exists.
+/// With a comfortably full buffer the player probes one rung above the safe
+/// choice (probe_up_buffer <= 0 disables probing).
+std::size_t rate_based_bitrate(const app::PlayerView& v, double safety,
+                               Duration panic_buffer, BitsPerSecond cap,
+                               double probe_up_buffer,
+                               std::size_t max_down_steps) {
+  const auto& ladder = *v.ladder;
+  if (v.joined && v.buffer < panic_buffer) return 0;
+  if (v.throughput_estimate <= 0.0) return 0;
+  BitsPerSecond budget = std::min(safety * v.throughput_estimate, cap);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < ladder.size(); ++i)
+    if (ladder[i] <= budget) best = i;
+  if (probe_up_buffer > 0.0 && v.joined && v.max_buffer > 0.0 &&
+      v.buffer >= probe_up_buffer * v.max_buffer && best + 1 < ladder.size() &&
+      ladder[best + 1] <= cap)
+    ++best;
+  // Downswitch smoothing: without better information the player treats a
+  // throughput dip as possible noise and descends gradually.
+  if (max_down_steps > 0 && best < v.bitrate_index) {
+    std::size_t lowest_allowed =
+        v.bitrate_index >= max_down_steps ? v.bitrate_index - max_down_steps
+                                          : 0;
+    best = std::max(best, lowest_allowed);
+  }
+  return best;
+}
+
+/// Sustained throughput too weak to carry the configured rung of the
+/// ladder -- the "my CDN is slow" trigger of 2012-era switching players.
+bool poor_throughput(const app::PlayerView& v,
+                     const control::AppPConfig& cfg) {
+  if (cfg.poor_throughput_rung == 0) return false;
+  if (!v.joined || v.throughput_estimate <= 0.0) return false;
+  if (cfg.poor_throughput_rung >= v.ladder->size()) return false;
+  return v.throughput_estimate < (*v.ladder)[cfg.poor_throughput_rung];
+}
+
+/// Hash-pick an online server: what an AppP without load visibility gets
+/// from CDN DNS. `salt` varies on re-picks so retries can land elsewhere.
+ServerId hashed_server(const app::Cdn& cdn, SessionId session,
+                       std::uint64_t salt) {
+  std::vector<ServerId> online;
+  for (const auto& s : cdn.servers())
+    if (s.online) online.push_back(s.id);
+  if (online.empty())
+    throw NotFoundError("no online server in cdn " + cdn.name());
+  std::uint64_t h = splitmix64(session.value() ^ (salt * 0x517CC1B727220A95ull));
+  return online[h % online.size()];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BaselineBrain: trial-and-error. No visibility below the application layer.
+// ---------------------------------------------------------------------------
+
+class AppPController::BaselineBrain final : public app::PlayerBrain {
+ public:
+  explicit BaselineBrain(AppPController& ctl) : ctl_(ctl) {}
+
+  app::Endpoint choose_endpoint(const app::PlayerView& v) override {
+    CdnId cdn =
+        v.cdn.valid() ? ctl_.next_cdn_after(v.cdn) : ctl_.primary_cdn();
+    return {cdn, hashed_server(ctl_.cdns_.at(cdn), v.session, v.stall_count)};
+  }
+
+  bool should_switch_endpoint(const app::PlayerView& v) override {
+    // The only signals available: my own stalls and my own throughput.
+    // Whole-CDN switch is the only recourse (paper §2 "coarse control").
+    if (v.stalls_since_switch >= ctl_.config_.stalls_before_switch)
+      return true;
+    return poor_throughput(v, ctl_.config_);
+  }
+
+  std::size_t choose_bitrate(const app::PlayerView& v) override {
+    return rate_based_bitrate(v, ctl_.config_.abr_safety,
+                              ctl_.config_.panic_buffer,
+                              std::numeric_limits<BitsPerSecond>::infinity(),
+                              ctl_.config_.probe_up_buffer,
+                              ctl_.config_.max_down_steps);
+  }
+
+ private:
+  AppPController& ctl_;
+};
+
+// ---------------------------------------------------------------------------
+// EonaBrain: same mechanics, I2A-informed decisions.
+// ---------------------------------------------------------------------------
+
+class AppPController::EonaBrain final : public app::PlayerBrain {
+ public:
+  explicit EonaBrain(AppPController& ctl) : ctl_(ctl) {}
+
+  app::Endpoint choose_endpoint(const app::PlayerView& v) override {
+    const auto& i2a = ctl_.latest_i2a_;
+    if (!v.cdn.valid()) {
+      CdnId cdn = ctl_.primary_cdn();
+      return {cdn, pick_server(cdn, v, ServerId{})};
+    }
+    if (i2a) {
+      // Problem attributed to the access network: switching cannot help;
+      // stay put (bitrate logic reacts instead).
+      if (access_severity(v.isp) >=
+          ctl_.config_.congestion_severity_threshold)
+        return {v.cdn, v.server};
+      // Prefer an intra-CDN server switch (cache locality, §2) when the
+      // current CDN's interconnect is healthy and a better server is hinted.
+      if (peering_healthy(v.isp, v.cdn)) {
+        ServerId sibling = best_hinted_server(v.cdn, v.server, v.session);
+        if (sibling.valid()) return {v.cdn, sibling};
+      }
+      // Otherwise move to a CDN whose interconnect is healthy.
+      for (const app::Cdn* cdn : ctl_.cdns_.all()) {
+        if (cdn->id() == v.cdn) continue;
+        if (peering_healthy(v.isp, cdn->id()))
+          return {cdn->id(), pick_server(cdn->id(), v, ServerId{})};
+      }
+    }
+    // No usable information: behave like the baseline.
+    CdnId cdn = ctl_.next_cdn_after(v.cdn);
+    return {cdn, pick_server(cdn, v, ServerId{})};
+  }
+
+  bool should_switch_endpoint(const app::PlayerView& v) override {
+    const auto& i2a = ctl_.latest_i2a_;
+    if (i2a) {
+      // Hinted hard failures trump everything.
+      for (const auto& h : i2a->server_hints)
+        if (h.cdn == v.cdn && h.server == v.server && !h.online) return true;
+      // Access congestion: do NOT switch (Fig 3's lesson).
+      if (access_severity(v.isp) >=
+          ctl_.config_.congestion_severity_threshold)
+        return false;
+      // Current server's hint, if any: overload with a healthy sibling is a
+      // reason to move; a clean bill of health is a reason to *stay* -- the
+      // player attributes its own transient stall to noise rather than
+      // burning a switch (the paper's "reduce trial-and-error" claim).
+      for (const auto& h : i2a->server_hints) {
+        if (h.cdn != v.cdn || h.server != v.server) continue;
+        if (h.load > ctl_.config_.server_overload_threshold)
+          return best_hinted_server(v.cdn, v.server, v.session).valid();
+        return false;  // hinted healthy: hold
+      }
+    }
+    if (v.stalls_since_switch >= ctl_.config_.stalls_before_switch)
+      return true;
+    // Poor throughput without an access-congestion attribution: worth
+    // trying elsewhere (same trigger as baseline, but informed).
+    return poor_throughput(v, ctl_.config_);
+  }
+
+  std::size_t choose_bitrate(const app::PlayerView& v) override {
+    BitsPerSecond cap = std::numeric_limits<BitsPerSecond>::infinity();
+    double severity = access_severity(v.isp);
+    double probe = ctl_.config_.probe_up_buffer;
+    std::size_t down_steps = ctl_.config_.max_down_steps;
+    if (severity >= ctl_.config_.congestion_severity_threshold &&
+        v.throughput_estimate > 0.0) {
+      // Congestion is in the shared access segment: be deliberately more
+      // conservative than the fair share we currently measure, so the
+      // aggregate steps down and the bottleneck drains (Fig 3). The
+      // attribution also says the dip is real: stop probing upward and
+      // lift the downswitch smoothing (jump straight to sustainable).
+      cap = v.throughput_estimate *
+            (1.0 - ctl_.config_.congestion_bitrate_margin * severity);
+      probe = 0.0;
+      down_steps = 0;
+    }
+    return rate_based_bitrate(v, ctl_.config_.abr_safety,
+                              ctl_.config_.panic_buffer, cap, probe,
+                              down_steps);
+  }
+
+ private:
+  /// Max hinted severity of access-scope congestion for this ISP; 0 if none.
+  [[nodiscard]] double access_severity(IspId isp) const {
+    const auto& i2a = ctl_.latest_i2a_;
+    if (!i2a) return 0.0;
+    double severity = 0.0;
+    for (const auto& c : i2a->congestion)
+      if (c.scope == core::CongestionScope::kAccess &&
+          (!c.isp.valid() || !isp.valid() || c.isp == isp))
+        severity = std::max(severity, c.severity);
+    return severity;
+  }
+
+  /// Is the ISP's selected interconnect for `cdn` NOT congested? Unknown
+  /// pairs count as healthy.
+  [[nodiscard]] bool peering_healthy(IspId isp, CdnId cdn) const {
+    const auto& i2a = ctl_.latest_i2a_;
+    if (!i2a) return true;
+    for (const auto& p : i2a->peerings)
+      if (p.cdn == cdn && (!isp.valid() || p.isp == isp) && p.selected &&
+          p.congested)
+        return false;
+    return true;
+  }
+
+  /// A healthy hinted server of `cdn` other than `exclude`; invalid when no
+  /// hint qualifies. Chosen by session hash across all under-threshold
+  /// servers rather than argmin-load: a fleet of players all chasing the
+  /// same "least loaded" server would simply move the hot spot.
+  [[nodiscard]] ServerId best_hinted_server(CdnId cdn, ServerId exclude,
+                                            SessionId session = SessionId{0}) const {
+    const auto& i2a = ctl_.latest_i2a_;
+    if (!i2a) return ServerId{};
+    std::vector<ServerId> healthy;
+    for (const auto& h : i2a->server_hints) {
+      if (h.cdn != cdn || !h.online || h.server == exclude) continue;
+      if (h.load >= ctl_.config_.server_overload_threshold) continue;
+      healthy.push_back(h.server);
+    }
+    if (healthy.empty()) return ServerId{};
+    return healthy[splitmix64(session.value()) % healthy.size()];
+  }
+
+  /// Hinted least-loaded pick; falls back to the hashed pick when no hints.
+  [[nodiscard]] ServerId pick_server(CdnId cdn, const app::PlayerView& v,
+                                     ServerId exclude) const {
+    ServerId hinted = best_hinted_server(cdn, exclude, v.session);
+    if (hinted.valid()) return hinted;
+    return hashed_server(ctl_.cdns_.at(cdn), v.session, v.stall_count);
+  }
+
+  AppPController& ctl_;
+};
+
+// ---------------------------------------------------------------------------
+// AppPController
+// ---------------------------------------------------------------------------
+
+AppPController::AppPController(sim::Scheduler& sched, net::Network& network,
+                               const app::CdnDirectory& cdns, ProviderId self,
+                               AppPConfig config)
+    : sched_(sched),
+      network_(network),
+      cdns_(cdns),
+      self_(self),
+      config_(config),
+      by_isp_cdn_(telemetry::Dim::kIsp | telemetry::Dim::kCdn,
+                  config.qoe_window, config.qoe_window_buckets),
+      by_isp_cdn_server_(telemetry::Dim::kIsp | telemetry::Dim::kCdn |
+                             telemetry::Dim::kServer,
+                         config.qoe_window, config.qoe_window_buckets),
+      a2i_(self),
+      primary_dwell_(config.primary_dwell),
+      baseline_brain_(std::make_unique<BaselineBrain>(*this)),
+      eona_brain_(std::make_unique<EonaBrain>(*this)) {
+  EONA_EXPECTS(cdns.size() > 0);
+  primary_cdn_ = cdns.all().front()->id();
+  primary_trace_.record(sched_.now(), static_cast<int>(primary_cdn_.value()));
+  collector_.add_sink([this](const telemetry::SessionRecord& r) {
+    by_isp_cdn_.ingest(r);
+    by_isp_cdn_server_.ingest(r);
+  });
+}
+
+AppPController::~AppPController() = default;
+
+void AppPController::subscribe_i2a(core::I2AEndpoint* endpoint,
+                                   std::string token) {
+  EONA_EXPECTS(endpoint != nullptr);
+  subscriptions_.push_back(I2ASubscription{endpoint, std::move(token)});
+}
+
+app::PlayerBrain& AppPController::brain() {
+  return eona_enabled_ ? static_cast<app::PlayerBrain&>(*eona_brain_)
+                       : static_cast<app::PlayerBrain&>(*baseline_brain_);
+}
+app::PlayerBrain& AppPController::baseline_brain() { return *baseline_brain_; }
+app::PlayerBrain& AppPController::eona_brain() { return *eona_brain_; }
+
+void AppPController::start() {
+  EONA_EXPECTS(task_ == nullptr);
+  task_ = std::make_unique<sim::PeriodicTask>(sched_, config_.control_period,
+                                              [this] { tick(); });
+}
+
+void AppPController::stop() { task_.reset(); }
+
+void AppPController::tick() {
+  ++tick_count_;
+  a2i_.publish(build_a2i_report(), sched_.now());
+  refresh_i2a();
+  steer_primary_cdn();
+}
+
+void AppPController::refresh_i2a() {
+  std::optional<core::I2AReport> merged;
+  for (const auto& sub : subscriptions_) {
+    auto report = sub.endpoint->query(self_, sub.token, sched_.now());
+    if (!report) continue;
+    if (!merged) {
+      merged = std::move(report);
+    } else {
+      merged->generated_at = std::max(merged->generated_at,
+                                      report->generated_at);
+      merged->peerings.insert(merged->peerings.end(),
+                              report->peerings.begin(),
+                              report->peerings.end());
+      merged->server_hints.insert(merged->server_hints.end(),
+                                  report->server_hints.begin(),
+                                  report->server_hints.end());
+      merged->congestion.insert(merged->congestion.end(),
+                                report->congestion.begin(),
+                                report->congestion.end());
+    }
+  }
+  if (merged) latest_i2a_ = std::move(merged);
+}
+
+core::A2IReport AppPController::build_a2i_report() const {
+  TimePoint now = sched_.now();
+  core::A2IReport report;
+  report.from = self_;
+  report.generated_at = now;
+
+  auto fill_group = [](const telemetry::Dimensions& dims,
+                       const telemetry::MetricAggregate& agg) {
+    core::QoeGroupReport g;
+    g.isp = dims.isp;
+    g.cdn = dims.cdn;
+    g.server = dims.server;
+    g.mean_buffering_ratio = agg.buffering_ratio.mean();
+    // p90 via a normal approximation of the window distribution; the exact
+    // sketch lives in the unwindowed aggregator, but control wants recency.
+    double p90 = agg.buffering_ratio.mean() +
+                 1.2816 * agg.buffering_ratio.stddev();
+    g.p90_buffering_ratio = std::clamp(p90, 0.0, 1.0);
+    g.mean_bitrate = agg.avg_bitrate.mean();
+    g.mean_join_time = agg.join_time.mean();
+    g.mean_engagement = agg.engagement.mean();
+    g.sessions = agg.records;
+    return g;
+  };
+
+  for (const auto& [dims, agg] : by_isp_cdn_.snapshot(now)) {
+    if (agg.empty()) continue;
+    report.groups.push_back(fill_group(dims, agg));
+    core::TrafficForecast f;
+    f.isp = dims.isp;
+    f.cdn = dims.cdn;
+    f.expected_rate = agg.total_bits / config_.qoe_window;
+    if (config_.intended_bitrate > 0.0) {
+      // Forecast *intended* volume (paper §4): sessions times the rate the
+      // AppP wants to deliver, not the degraded rate it currently achieves.
+      double active_estimate = static_cast<double>(agg.records) *
+                               config_.assumed_beacon_period /
+                               config_.qoe_window;
+      f.expected_rate = std::max(f.expected_rate,
+                                 active_estimate * config_.intended_bitrate);
+    }
+    report.forecasts.push_back(f);
+  }
+  for (const auto& [dims, agg] : by_isp_cdn_server_.snapshot(now)) {
+    if (agg.empty()) continue;
+    // Beacons with no server attribution project to a server-wildcard group
+    // that would duplicate the CDN-level one above; skip those.
+    if (!dims.server.valid()) continue;
+    report.groups.push_back(fill_group(dims, agg));
+  }
+  return report;
+}
+
+std::optional<double> AppPController::cdn_buffering(CdnId cdn) const {
+  telemetry::MetricAggregate merged;
+  for (const auto& [dims, agg] : by_isp_cdn_.snapshot(sched_.now()))
+    if (dims.cdn == cdn) merged.merge(agg);
+  if (merged.empty()) return std::nullopt;
+  return merged.buffering_ratio.mean();
+}
+
+bool AppPController::primary_qoe_bad() const {
+  telemetry::MetricAggregate merged;
+  for (const auto& [dims, agg] : by_isp_cdn_.snapshot(sched_.now()))
+    if (dims.cdn == primary_cdn_) merged.merge(agg);
+  if (merged.empty()) return false;
+  if (merged.buffering_ratio.mean() > config_.bad_qoe_buffering) return true;
+  if (config_.bad_qoe_bitrate > 0.0 &&
+      merged.avg_bitrate.mean() < config_.bad_qoe_bitrate)
+    return true;
+  return false;
+}
+
+CdnId AppPController::next_cdn_after(CdnId current) const {
+  const auto& all = cdns_.all();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all[i]->id() == current) return all[(i + 1) % all.size()]->id();
+  return all.front()->id();
+}
+
+void AppPController::set_primary_cdn(CdnId cdn) {
+  if (cdn == primary_cdn_) return;
+  primary_cdn_ = cdn;
+  primary_trace_.record(sched_.now(), static_cast<int>(cdn.value()));
+  primary_dwell_.record_change(sched_.now());
+}
+
+void AppPController::steer_primary_cdn() {
+  if (cdns_.size() < 2) return;
+  if (!primary_qoe_bad()) return;
+  if (!primary_dwell_.may_change(sched_.now())) return;
+
+  if (eona_enabled_ && latest_i2a_) {
+    // Attribute before acting. Access congestion: no CDN will do better.
+    for (const auto& c : latest_i2a_->congestion)
+      if (c.scope == core::CongestionScope::kAccess &&
+          c.severity >= config_.congestion_severity_threshold)
+        return;
+    // The primary CDN still has healthy capacity behind it (hinted online,
+    // unloaded servers): players will move servers inside the CDN; a
+    // wholesale primary switch would only cold-start the rival (§2).
+    for (const auto& h : latest_i2a_->server_hints)
+      if (h.cdn == primary_cdn_ && h.online &&
+          h.load < config_.server_overload_threshold)
+        return;
+    // Interconnect trouble, but the ISP has (or can move to) a peering
+    // point with headroom for us: hold position and let the InfP act --
+    // this is exactly the information that breaks the Fig 5 cycle.
+    BitsPerSecond our_rate = 0.0;
+    for (const auto& f : build_a2i_report().forecasts)
+      if (f.cdn == primary_cdn_) our_rate += f.expected_rate;
+    for (const auto& p : latest_i2a_->peerings) {
+      if (p.cdn != primary_cdn_) continue;
+      BitsPerSecond headroom = p.capacity * (1.0 - p.utilization);
+      if (!p.congested && (p.selected || headroom >= our_rate)) return;
+      if (p.capacity >= our_rate && !p.selected) return;  // ISP can shift
+    }
+  }
+  set_primary_cdn(next_cdn_after(primary_cdn_));
+}
+
+}  // namespace eona::control

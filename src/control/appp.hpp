@@ -1,0 +1,180 @@
+// The application provider's control plane.
+//
+// Owns the telemetry pipeline (collector -> windowed group-by), the A2I
+// looking glass it serves to InfPs, the subscription to InfPs' I2A looking
+// glasses, and the two player brains:
+//
+//  * BaselineBrain -- today's world: rate-based ABR plus trial-and-error
+//    whole-CDN switching after stalls; no network visibility.
+//  * EonaBrain     -- same mechanics, but consuming I2A: congestion
+//    attributed to the access network suppresses CDN switching and caps the
+//    bitrate instead (Fig 3); server hints enable intra-CDN server switches
+//    (§2 coarse control); peering status steers CDN choice (Fig 5).
+//
+// The controller also maintains the session-granularity knob the paper's
+// Fig 5 story needs: the *primary CDN* new sessions are steered to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/cdn.hpp"
+#include "app/video_player.hpp"
+#include "control/dampening.hpp"
+#include "control/oscillation.hpp"
+#include "eona/endpoint.hpp"
+#include "eona/messages.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/collector.hpp"
+
+namespace eona::control {
+
+struct AppPConfig {
+  Duration control_period = 10.0;
+  Duration qoe_window = 60.0;
+  std::size_t qoe_window_buckets = 6;
+  // --- ABR ---
+  double abr_safety = 0.8;       ///< use at most this fraction of est. tput
+  Duration panic_buffer = 4.0;   ///< below this, lowest rendition
+  /// Buffer fill fraction above which the player probes one rendition above
+  /// the throughput-safe choice (how real players discover headroom -- and
+  /// how a crowd of them destabilises a saturated bottleneck). EONA
+  /// suppresses the probe while access congestion is signalled.
+  double probe_up_buffer = 0.70;
+  /// Renditions the ABR may step DOWN per chunk (FESTIVE-style smoothing;
+  /// real players damp downswitches to avoid reacting to noise). 0 =
+  /// unlimited. EONA lifts the limit while congestion is signalled: the
+  /// attribution says the drop is real, so jump straight to sustainable.
+  std::size_t max_down_steps = 1;
+  // --- switching ---
+  std::uint64_t stalls_before_switch = 1;
+  /// Baseline players also abandon an endpoint when sustained throughput
+  /// cannot carry this rung of the ladder (Liu et al. 2012's CDN-switching
+  /// players). 0 disables. EONA gates this on congestion attribution.
+  std::size_t poor_throughput_rung = 1;
+  double server_overload_threshold = 0.90;  ///< hinted load triggering move
+  // --- Fig 3 congestion reaction ---
+  double congestion_severity_threshold = 0.2;
+  double congestion_bitrate_margin = 0.5;  ///< tput discount at severity 1
+  // --- primary-CDN (Fig 5) ---
+  double bad_qoe_buffering = 0.10;  ///< window mean buffering forcing switch
+  BitsPerSecond bad_qoe_bitrate = 0.0;  ///< window mean bitrate below this is
+                                        ///< also "bad QoE" (0 disables)
+  Duration primary_dwell = 0.0;     ///< optional dampening on the knob
+  // --- A2I export ---
+  std::uint64_t k_anonymity = 5;
+  /// Per-session rate the AppP *intends* to deliver (the paper's "traffic
+  /// intended to different CDNs"). When > 0, forecasts report
+  /// active-session-count * intended_bitrate rather than the (possibly
+  /// already-degraded) measured volume. 0 = report measured volume.
+  BitsPerSecond intended_bitrate = 0.0;
+  /// Beacon cadence assumed when estimating active sessions from window
+  /// record counts (must match PlayerConfig::beacon_period).
+  Duration assumed_beacon_period = 10.0;
+};
+
+/// AppP control plane; see file header.
+class AppPController {
+ public:
+  AppPController(sim::Scheduler& sched, net::Network& network,
+                 const app::CdnDirectory& cdns, ProviderId self,
+                 AppPConfig config = {});
+
+  AppPController(const AppPController&) = delete;
+  AppPController& operator=(const AppPController&) = delete;
+  ~AppPController();
+
+  // --- telemetry in ---
+  [[nodiscard]] telemetry::BeaconCollector& collector() { return collector_; }
+
+  // --- EONA wiring ---
+  [[nodiscard]] core::A2IEndpoint& a2i_endpoint() { return a2i_; }
+  /// Subscribe to an InfP's looking glass with the given bearer token.
+  void subscribe_i2a(core::I2AEndpoint* endpoint, std::string token);
+  void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
+  [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
+
+  /// Newest I2A report visible across subscriptions (merged); nullopt until
+  /// the first report arrives. Refreshed each control tick.
+  [[nodiscard]] const std::optional<core::I2AReport>& latest_i2a() const {
+    return latest_i2a_;
+  }
+
+  // --- brains ---
+  [[nodiscard]] app::PlayerBrain& brain();  ///< active per eona_enabled()
+  [[nodiscard]] app::PlayerBrain& baseline_brain();
+  [[nodiscard]] app::PlayerBrain& eona_brain();
+
+  // --- control loop ---
+  /// Begin periodic control (publish A2I, refresh I2A, steer primary CDN).
+  void start();
+  void stop();
+  /// One control epoch, callable directly by tests.
+  void tick();
+
+  /// The CDN new sessions are steered to.
+  [[nodiscard]] CdnId primary_cdn() const { return primary_cdn_; }
+  void set_primary_cdn(CdnId cdn);
+
+  /// Round-robin successor in directory order (baseline switching order).
+  [[nodiscard]] CdnId next_cdn_after(CdnId current) const;
+
+  /// Decision history of the primary-CDN knob (oscillation analysis).
+  [[nodiscard]] const DecisionTrace& primary_trace() const {
+    return primary_trace_;
+  }
+
+  /// Builds the current A2I report from the windowed aggregates (exposed
+  /// for tests and the interface-width experiment).
+  [[nodiscard]] core::A2IReport build_a2i_report() const;
+
+  [[nodiscard]] const AppPConfig& config() const { return config_; }
+  [[nodiscard]] ProviderId id() const { return self_; }
+  [[nodiscard]] std::uint64_t ticks() const { return tick_count_; }
+
+ private:
+  class BaselineBrain;
+  class EonaBrain;
+
+  void refresh_i2a();
+  void steer_primary_cdn();
+  /// Window-mean buffering ratio of sessions on `cdn`; nullopt if no data.
+  [[nodiscard]] std::optional<double> cdn_buffering(CdnId cdn) const;
+  /// Is the primary CDN's windowed QoE below the acceptability bar?
+  [[nodiscard]] bool primary_qoe_bad() const;
+
+  sim::Scheduler& sched_;
+  net::Network& network_;
+  const app::CdnDirectory& cdns_;
+  ProviderId self_;
+  AppPConfig config_;
+
+  telemetry::BeaconCollector collector_;
+  telemetry::WindowedAggregator by_isp_cdn_;
+  telemetry::WindowedAggregator by_isp_cdn_server_;
+
+  core::A2IEndpoint a2i_;
+  struct I2ASubscription {
+    core::I2AEndpoint* endpoint;
+    std::string token;
+  };
+  std::vector<I2ASubscription> subscriptions_;
+  std::optional<core::I2AReport> latest_i2a_;
+
+  bool eona_enabled_ = false;
+  CdnId primary_cdn_;
+  DecisionTrace primary_trace_;
+  DwellTimer primary_dwell_;
+  std::uint64_t tick_count_ = 0;
+
+  std::unique_ptr<BaselineBrain> baseline_brain_;
+  std::unique_ptr<EonaBrain> eona_brain_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace eona::control

@@ -1,0 +1,172 @@
+#include "control/energy.hpp"
+
+#include <algorithm>
+
+namespace eona::control {
+
+EnergyManager::EnergyManager(sim::Scheduler& sched, net::Network& network,
+                             app::Cdn& cdn, ProviderId self,
+                             EnergyConfig config)
+    : sched_(sched),
+      network_(network),
+      cdn_(cdn),
+      self_(self),
+      config_(config) {
+  EONA_EXPECTS(config_.min_online >= 1);
+  EONA_EXPECTS(config_.scale_down_load < config_.scale_up_load);
+  saved_capacity_.reserve(cdn_.server_count());
+  for (const auto& server : cdn_.servers())
+    saved_capacity_.push_back(network_.link_capacity(server.egress));
+  record_online();
+}
+
+EnergyManager::~EnergyManager() = default;
+
+void EnergyManager::subscribe_a2i(core::A2IEndpoint* endpoint,
+                                  std::string token) {
+  EONA_EXPECTS(endpoint != nullptr);
+  subscriptions_.push_back(A2ISubscription{endpoint, std::move(token)});
+}
+
+void EnergyManager::start() {
+  EONA_EXPECTS(task_ == nullptr);
+  task_ = std::make_unique<sim::PeriodicTask>(sched_, config_.control_period,
+                                              [this] { tick(); });
+}
+
+void EnergyManager::stop() { task_.reset(); }
+
+void EnergyManager::refresh_a2i() {
+  for (const auto& sub : subscriptions_) {
+    auto report = sub.endpoint->query(self_, sub.token, sched_.now());
+    if (report) latest_a2i_ = std::move(report);
+  }
+}
+
+std::optional<double> EnergyManager::reported_buffering() const {
+  if (!latest_a2i_) return std::nullopt;
+  double weighted = 0.0;
+  std::uint64_t sessions = 0;
+  for (const auto& g : latest_a2i_->groups) {
+    if (g.cdn != cdn_.id()) continue;
+    if (g.server.valid()) continue;  // use CDN-level groups only
+    weighted += g.mean_buffering_ratio * static_cast<double>(g.sessions);
+    sessions += g.sessions;
+  }
+  if (sessions == 0) return std::nullopt;
+  return weighted / static_cast<double>(sessions);
+}
+
+std::optional<double> EnergyManager::reported_engagement() const {
+  if (!latest_a2i_) return std::nullopt;
+  double weighted = 0.0;
+  std::uint64_t sessions = 0;
+  for (const auto& g : latest_a2i_->groups) {
+    if (g.cdn != cdn_.id()) continue;
+    if (g.server.valid()) continue;
+    weighted += g.mean_engagement * static_cast<double>(g.sessions);
+    sessions += g.sessions;
+  }
+  if (sessions == 0) return std::nullopt;
+  return weighted / static_cast<double>(sessions);
+}
+
+double EnergyManager::mean_online_load() const {
+  double total = 0.0;
+  std::size_t online = 0;
+  for (const auto& server : cdn_.servers()) {
+    if (!server.online) continue;
+    total += network_.link_utilization(server.egress);
+    ++online;
+  }
+  return online == 0 ? 0.0 : total / static_cast<double>(online);
+}
+
+void EnergyManager::tick() {
+  refresh_a2i();
+  double load = mean_online_load();
+
+  if (eona_enabled_) {
+    auto buffering = reported_buffering();
+    auto engagement = reported_engagement();
+    // Guardrail first: measured experience trumps load heuristics.
+    bool qoe_bad =
+        (buffering && *buffering > config_.qoe_buffering_limit) ||
+        (engagement && *engagement < config_.qoe_engagement_floor);
+    if (qoe_bad) {
+      wake_one();
+      return;
+    }
+    bool qoe_comfortable =
+        (!buffering || *buffering <= config_.qoe_buffering_limit * 0.5) &&
+        (!engagement || *engagement >= config_.qoe_engagement_floor +
+                                           config_.qoe_engagement_headroom);
+    if (load >= config_.scale_up_load) {
+      wake_one();
+    } else if (load <= config_.scale_down_load && qoe_comfortable) {
+      // Only shed capacity while experience is comfortably healthy.
+      shut_down_one();
+    }
+    return;
+  }
+
+  // Baseline: load thresholds alone.
+  if (load >= config_.scale_up_load)
+    wake_one();
+  else if (load <= config_.scale_down_load)
+    shut_down_one();
+}
+
+void EnergyManager::shut_down_one() {
+  if (cdn_.online_count() <= config_.min_online) return;
+  // Shed the most lightly loaded online server (its sessions suffer least).
+  ServerId victim;
+  double victim_load = 0.0;
+  for (const auto& server : cdn_.servers()) {
+    if (!server.online) continue;
+    double load = network_.link_utilization(server.egress);
+    if (!victim.valid() || load < victim_load) {
+      victim = server.id;
+      victim_load = load;
+    }
+  }
+  if (!victim.valid()) return;
+  cdn_.set_online(victim, false);
+  // Powering off forfeits the server's RAM cache: when it wakes it serves
+  // misses through the origin until it re-warms -- a QoE cost invisible to
+  // the egress-load metric this controller steers by.
+  cdn_.clear_cache(victim);
+  network_.set_link_capacity(cdn_.server(victim).egress, 0.0);
+  ++shutdowns_;
+  record_online();
+}
+
+void EnergyManager::wake_one() {
+  ServerId sleeper;
+  for (const auto& server : cdn_.servers()) {
+    if (!server.online) {
+      sleeper = server.id;
+      break;
+    }
+  }
+  if (!sleeper.valid()) return;
+  cdn_.set_online(sleeper, true);
+  network_.set_link_capacity(cdn_.server(sleeper).egress,
+                             saved_capacity_[sleeper.value()]);
+  ++wakes_;
+  record_online();
+}
+
+void EnergyManager::record_online() {
+  online_series_.record(sched_.now(),
+                        static_cast<double>(cdn_.online_count()));
+}
+
+double EnergyManager::server_seconds_saved(TimePoint now) const {
+  if (online_series_.empty() || now <= 0.0) return 0.0;
+  double total = static_cast<double>(cdn_.server_count());
+  double mean_online = online_series_.time_weighted_mean(0.0, now);
+  return (total - mean_online) * now;
+}
+
+}  // namespace eona::control

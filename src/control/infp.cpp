@@ -1,0 +1,289 @@
+#include "control/infp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eona::control {
+
+InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
+                               const net::Routing& routing,
+                               net::PeeringBook& peering, IspId isp,
+                               ProviderId self,
+                               std::vector<LinkId> access_links,
+                               InfPConfig config)
+    : sched_(sched),
+      network_(network),
+      routing_(routing),
+      peering_(peering),
+      isp_(isp),
+      self_(self),
+      access_links_(std::move(access_links)),
+      config_(config),
+      i2a_(self) {
+  // Record initial selections; the first-registered point per CDN is the
+  // ISP's preferred (cheapest) interconnect.
+  std::vector<LinkId> monitored = access_links_;
+  for (PeeringId pid : peering_.points_of_isp(isp_)) {
+    const net::PeeringPoint& p = peering_.point(pid);
+    monitored.push_back(p.ingress_link);
+    if (preferred_.find(p.cdn) == preferred_.end()) {
+      preferred_.emplace(p.cdn, pid);
+      egress_dwell_.emplace(p.cdn, DwellTimer(config_.egress_dwell));
+      egress_traces_[p.cdn].record(
+          sched_.now(),
+          static_cast<int>(peering_.selected(isp_, p.cdn).value()));
+    }
+  }
+  monitor_ = std::make_unique<LinkMonitor>(sched_, network_,
+                                           std::move(monitored),
+                                           config_.sample_period,
+                                           config_.window_samples);
+}
+
+InfPController::~InfPController() = default;
+
+void InfPController::subscribe_a2i(core::A2IEndpoint* endpoint,
+                                   std::string token) {
+  EONA_EXPECTS(endpoint != nullptr);
+  subscriptions_.push_back(A2ISubscription{endpoint, std::move(token)});
+}
+
+void InfPController::attach_cdn(const app::Cdn* cdn) {
+  EONA_EXPECTS(cdn != nullptr);
+  operated_cdns_.push_back(cdn);
+  for (const auto& server : cdn->servers()) {
+    if (!monitor_->tracks(server.egress)) monitor_->track(server.egress);
+    nominal_capacity_[server.egress] = network_.link_capacity(server.egress);
+  }
+}
+
+void InfPController::start() {
+  EONA_EXPECTS(task_ == nullptr);
+  task_ = std::make_unique<sim::PeriodicTask>(sched_, config_.control_period,
+                                              [this] { tick(); });
+}
+
+void InfPController::stop() { task_.reset(); }
+
+void InfPController::tick() {
+  ++tick_count_;
+  refresh_a2i();
+  run_traffic_engineering();
+  i2a_.publish(build_i2a_report(), sched_.now());
+}
+
+void InfPController::refresh_a2i() {
+  std::optional<core::A2IReport> merged;
+  for (const auto& sub : subscriptions_) {
+    auto report = sub.endpoint->query(self_, sub.token, sched_.now());
+    if (!report) continue;
+    if (!merged) {
+      merged = std::move(report);
+    } else {
+      merged->generated_at =
+          std::max(merged->generated_at, report->generated_at);
+      merged->groups.insert(merged->groups.end(), report->groups.begin(),
+                            report->groups.end());
+      merged->forecasts.insert(merged->forecasts.end(),
+                               report->forecasts.begin(),
+                               report->forecasts.end());
+    }
+  }
+  if (merged) latest_a2i_ = std::move(merged);
+}
+
+core::I2AReport InfPController::build_i2a_report() const {
+  core::I2AReport report;
+  report.from = self_;
+  report.generated_at = sched_.now();
+
+  for (PeeringId pid : peering_.points_of_isp(isp_)) {
+    const net::PeeringPoint& point = peering_.point(pid);
+    core::PeeringStatus status;
+    status.peering = pid;
+    status.isp = isp_;
+    status.cdn = point.cdn;
+    status.capacity = network_.link_capacity(point.ingress_link);
+    status.utilization = monitor_->mean_utilization(point.ingress_link);
+    status.congested = monitor_->congested(point.ingress_link,
+                                           config_.congested_utilization,
+                                           config_.starved_fraction);
+    status.selected = peering_.selected(isp_, point.cdn) == pid;
+    report.peerings.push_back(status);
+
+    if (status.congested) {
+      core::CongestionSignal signal;
+      signal.isp = isp_;
+      signal.scope = core::CongestionScope::kPeering;
+      signal.peering = pid;
+      signal.severity = std::clamp(
+          (status.utilization - config_.access_alert_utilization) /
+              (1.0 - config_.access_alert_utilization),
+          0.0, 1.0);
+      report.congestion.push_back(signal);
+    }
+  }
+
+  for (LinkId lid : access_links_) {
+    double util = monitor_->mean_utilization(lid);
+    bool starved =
+        monitor_->starved_fraction(lid) >= config_.starved_fraction;
+    if (util >= config_.access_alert_utilization && starved) {
+      core::CongestionSignal signal;
+      signal.isp = isp_;
+      signal.scope = core::CongestionScope::kAccess;
+      signal.severity = std::clamp(
+          (util - config_.access_alert_utilization) /
+              (1.0 - config_.access_alert_utilization),
+          0.0, 1.0);
+      report.congestion.push_back(signal);
+    }
+  }
+
+  for (const app::Cdn* cdn : operated_cdns_) {
+    for (const auto& server : cdn->servers()) {
+      core::ServerHint hint;
+      hint.cdn = cdn->id();
+      hint.server = server.id;
+      hint.load = monitor_->tracks(server.egress)
+                      ? monitor_->mean_utilization(server.egress)
+                      : network_.link_utilization(server.egress);
+      // Health check: degraded serving capacity marks the server offline in
+      // the hint even though it technically still answers.
+      auto nominal = nominal_capacity_.find(server.egress);
+      bool healthy = nominal == nominal_capacity_.end() ||
+                     network_.link_capacity(server.egress) >=
+                         config_.server_health_fraction * nominal->second;
+      hint.online = server.online && healthy;
+      report.server_hints.push_back(hint);
+    }
+  }
+  return report;
+}
+
+double InfPController::utilization(PeeringId point) const {
+  return monitor_->mean_utilization(peering_.point(point).ingress_link);
+}
+
+std::optional<BitsPerSecond> InfPController::forecast_for(CdnId cdn) const {
+  if (!latest_a2i_) return std::nullopt;
+  BitsPerSecond total = 0.0;
+  bool found = false;
+  for (const auto& f : latest_a2i_->forecasts) {
+    if (f.cdn != cdn) continue;
+    if (f.isp.valid() && f.isp != isp_) continue;
+    total += f.expected_rate;
+    found = true;
+  }
+  if (!found) return std::nullopt;
+  return total;
+}
+
+void InfPController::run_traffic_engineering() {
+  // Group this ISP's peering points by CDN, preserving registration order.
+  std::map<CdnId, std::vector<PeeringId>> by_cdn;
+  for (PeeringId pid : peering_.points_of_isp(isp_))
+    by_cdn[peering_.point(pid).cdn].push_back(pid);
+  for (const auto& [cdn, candidates] : by_cdn) {
+    if (candidates.size() < 2) continue;
+    engineer_cdn(cdn, candidates);
+  }
+}
+
+void InfPController::engineer_cdn(CdnId cdn,
+                                  const std::vector<PeeringId>& candidates) {
+  PeeringId current = peering_.selected(isp_, cdn);
+  PeeringId preferred = preferred_.at(cdn);
+  PeeringId target = current;
+
+  if (eona_enabled_) {
+    // EONA TE: place the CDN's *forecast* volume, not its momentary load.
+    auto forecast = forecast_for(cdn);
+    if (!forecast) return;  // no information, hold position
+    BitsPerSecond needed = *forecast * config_.forecast_headroom;
+    auto fits = [&](PeeringId pid) {
+      return network_.link_capacity(peering_.point(pid).ingress_link) >=
+             needed;
+    };
+    if (fits(preferred)) {
+      target = preferred;
+    } else if (!fits(current)) {
+      // Smallest point that fits; otherwise the biggest available.
+      PeeringId best_fit;
+      BitsPerSecond best_cap = 0.0;
+      PeeringId biggest;
+      BitsPerSecond biggest_cap = -1.0;
+      for (PeeringId pid : candidates) {
+        BitsPerSecond cap =
+            network_.link_capacity(peering_.point(pid).ingress_link);
+        if (cap >= needed && (!best_fit.valid() || cap < best_cap)) {
+          best_fit = pid;
+          best_cap = cap;
+        }
+        if (cap > biggest_cap) {
+          biggest = pid;
+          biggest_cap = cap;
+        }
+      }
+      target = best_fit.valid() ? best_fit : biggest;
+    }
+  } else {
+    // Baseline TE: flee heat, drift home to the cheap point when idle.
+    if (utilization(current) >= config_.flee_utilization) {
+      PeeringId coolest;
+      double coolest_util = 0.0;
+      for (PeeringId pid : candidates) {
+        if (pid == current) continue;
+        double util = utilization(pid);
+        if (!coolest.valid() || util < coolest_util) {
+          coolest = pid;
+          coolest_util = util;
+        }
+      }
+      if (coolest.valid()) target = coolest;
+    } else if (current != preferred &&
+               utilization(preferred) <= config_.return_utilization) {
+      target = preferred;
+    }
+  }
+
+  if (target == current) return;
+  // Dampening applies to both worlds: the egress knob may only move once
+  // per dwell period (§5's dampening ablation sweeps this).
+  auto dwell = egress_dwell_.find(cdn);
+  if (dwell != egress_dwell_.end() && !dwell->second.may_change(sched_.now()))
+    return;
+  select_egress(target);
+}
+
+void InfPController::select_egress(PeeringId point) {
+  const net::PeeringPoint& to = peering_.point(point);
+  PeeringId current = peering_.selected(isp_, to.cdn);
+  if (current == point) return;
+  const net::PeeringPoint& from = peering_.point(current);
+  peering_.select(point);
+  migrate_flows(from, to);
+  egress_traces_[to.cdn].record(sched_.now(), static_cast<int>(point.value()));
+  auto dwell = egress_dwell_.find(to.cdn);
+  if (dwell != egress_dwell_.end()) dwell->second.record_change(sched_.now());
+}
+
+void InfPController::migrate_flows(const net::PeeringPoint& from,
+                                   const net::PeeringPoint& to) {
+  for (FlowId fid : network_.flows_on(from.ingress_link)) {
+    NodeId src = network_.flow_src(fid);
+    NodeId dst = network_.flow_dst(fid);
+    network_.reroute(fid, routing_.path_via_link(src, to.ingress_link, dst));
+    ++reroute_count_;
+  }
+}
+
+const DecisionTrace& InfPController::egress_trace(CdnId cdn) const {
+  auto it = egress_traces_.find(cdn);
+  if (it == egress_traces_.end())
+    throw NotFoundError("no egress trace for cdn " +
+                        std::to_string(cdn.value()));
+  return it->second;
+}
+
+}  // namespace eona::control

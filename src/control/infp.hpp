@@ -1,0 +1,148 @@
+// The infrastructure provider's control plane (an access ISP).
+//
+// Owns the ISP-side knobs: per-CDN peering-point selection (traffic
+// engineering) -- and publishes the I2A looking glass: peering status,
+// congestion attribution, and (when operating CDN infrastructure) server
+// hints.
+//
+//  * Baseline TE  -- network metrics only: flees a hot peering point, and
+//    drifts back to the *preferred* (cheap, local) point as soon as it
+//    looks idle. Blind to why the load moved -- one half of the Fig 5
+//    oscillation.
+//  * EONA TE      -- consumes A2I traffic forecasts: picks the peering
+//    point that actually fits the application's expected volume, holds it
+//    (dampened), and thereby ends the cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/cdn.hpp"
+#include "control/dampening.hpp"
+#include "control/link_monitor.hpp"
+#include "control/oscillation.hpp"
+#include "eona/endpoint.hpp"
+#include "eona/messages.hpp"
+#include "net/network.hpp"
+#include "net/peering.hpp"
+#include "net/routing.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eona::control {
+
+struct InfPConfig {
+  Duration control_period = 30.0;
+  // --- link monitoring (windowed means; see LinkMonitor) ---
+  Duration sample_period = 1.0;
+  std::size_t window_samples = 30;
+  // --- congestion detection (thresholds on windowed means) ---
+  double congested_utilization = 0.85;
+  double starved_fraction = 0.30;          ///< min starved share to call it
+  double access_alert_utilization = 0.80;  ///< access severity starts here
+  // --- baseline TE ---
+  double flee_utilization = 0.85;    ///< leave a peering point above this
+  double return_utilization = 0.40;  ///< return to preferred below this
+  // --- EONA TE ---
+  double forecast_headroom = 1.15;  ///< required capacity / forecast ratio
+  Duration egress_dwell = 0.0;      ///< dampening on the egress knob
+  // --- server health checks (operated CDNs) ---
+  /// A server whose current serving capacity has fallen below this fraction
+  /// of its nominal capacity is hinted offline (an idle degraded box would
+  /// otherwise advertise load ~0 and lure the fleet straight back).
+  double server_health_fraction = 0.5;
+};
+
+/// ISP control plane; see file header.
+class InfPController {
+ public:
+  InfPController(sim::Scheduler& sched, net::Network& network,
+                 const net::Routing& routing, net::PeeringBook& peering,
+                 IspId isp, ProviderId self, std::vector<LinkId> access_links,
+                 InfPConfig config = {});
+
+  InfPController(const InfPController&) = delete;
+  InfPController& operator=(const InfPController&) = delete;
+  ~InfPController();
+
+  // --- EONA wiring ---
+  [[nodiscard]] core::I2AEndpoint& i2a_endpoint() { return i2a_; }
+  void subscribe_a2i(core::A2IEndpoint* endpoint, std::string token);
+  void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
+  [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
+  [[nodiscard]] const std::optional<core::A2IReport>& latest_a2i() const {
+    return latest_a2i_;
+  }
+
+  /// CDNs whose servers this InfP operates (emits server hints for them).
+  void attach_cdn(const app::Cdn* cdn);
+
+  // --- control loop ---
+  void start();
+  void stop();
+  void tick();
+
+  /// Current I2A report contents (exposed for tests / benches).
+  [[nodiscard]] core::I2AReport build_i2a_report() const;
+
+  /// Force a specific egress selection (scenario setup); reroutes live flows.
+  void select_egress(PeeringId point);
+
+  /// Decision history of the egress knob for a CDN.
+  [[nodiscard]] const DecisionTrace& egress_trace(CdnId cdn) const;
+
+  [[nodiscard]] IspId isp() const { return isp_; }
+  [[nodiscard]] ProviderId id() const { return self_; }
+  [[nodiscard]] const InfPConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t ticks() const { return tick_count_; }
+  [[nodiscard]] std::uint64_t reroutes() const { return reroute_count_; }
+
+  /// The windowed link statistics the ISP sees (tests introspect it).
+  [[nodiscard]] const LinkMonitor& monitor() const { return *monitor_; }
+
+ private:
+  void refresh_a2i();
+  void run_traffic_engineering();
+  void engineer_cdn(CdnId cdn, const std::vector<PeeringId>& candidates);
+  /// Moves live flows from `from`'s ingress link onto paths via `to`.
+  void migrate_flows(const net::PeeringPoint& from, const net::PeeringPoint& to);
+  [[nodiscard]] double utilization(PeeringId point) const;
+  /// Forecast rate the AppPs intend to send us from `cdn` (A2I); nullopt
+  /// when no forecast is available.
+  [[nodiscard]] std::optional<BitsPerSecond> forecast_for(CdnId cdn) const;
+
+  sim::Scheduler& sched_;
+  net::Network& network_;
+  const net::Routing& routing_;
+  net::PeeringBook& peering_;
+  IspId isp_;
+  ProviderId self_;
+  std::vector<LinkId> access_links_;
+  InfPConfig config_;
+
+  core::I2AEndpoint i2a_;
+  struct A2ISubscription {
+    core::A2IEndpoint* endpoint;
+    std::string token;
+  };
+  std::vector<A2ISubscription> subscriptions_;
+  std::optional<core::A2IReport> latest_a2i_;
+
+  std::vector<const app::Cdn*> operated_cdns_;
+  /// Nominal (healthy) capacity per operated server egress, snapshotted at
+  /// attach time for health checking.
+  std::map<LinkId, BitsPerSecond> nominal_capacity_;
+  bool eona_enabled_ = false;
+  std::map<CdnId, DecisionTrace> egress_traces_;
+  std::map<CdnId, DwellTimer> egress_dwell_;
+  std::map<CdnId, PeeringId> preferred_;  ///< first-registered = cheapest
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t reroute_count_ = 0;
+  std::unique_ptr<LinkMonitor> monitor_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace eona::control

@@ -1,0 +1,130 @@
+// Windowed link statistics for controllers.
+//
+// With elastic (TCP-like) transfers, instantaneous utilisation of a busy
+// link flips between 0 and 1; what a real ISP measures -- and what control
+// decisions need -- is utilisation averaged over a window, plus how often
+// flows on the link were demand-starved. The monitor samples chosen links
+// on a fixed cadence into per-link rings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eona::control {
+
+/// Samples a set of links periodically; answers windowed queries.
+class LinkMonitor {
+ public:
+  LinkMonitor(sim::Scheduler& sched, const net::Network& network,
+              std::vector<LinkId> links, Duration sample_period = 1.0,
+              std::size_t window_samples = 30)
+      : network_(network), window_(window_samples) {
+    EONA_EXPECTS(sample_period > 0.0);
+    EONA_EXPECTS(window_samples >= 2);
+    for (LinkId lid : links)
+      rings_.emplace(lid, Ring{});
+    task_ = std::make_unique<sim::PeriodicTask>(
+        sched, sample_period, [this] { sample(); }, /*start_offset=*/0.0,
+        /*fire_immediately=*/true);
+  }
+
+  LinkMonitor(const LinkMonitor&) = delete;
+  LinkMonitor& operator=(const LinkMonitor&) = delete;
+
+  /// Mean utilisation over the trailing window; 0 before the first sample.
+  [[nodiscard]] double mean_utilization(LinkId link) const {
+    const Ring& ring = require(link);
+    if (ring.samples.empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& s : ring.samples) total += s.utilization;
+    return total / static_cast<double>(ring.samples.size());
+  }
+
+  /// Fraction of window samples where the link was saturated AND some flow
+  /// on it wanted more -- the fluid-model analogue of sustained queueing.
+  [[nodiscard]] double starved_fraction(LinkId link) const {
+    const Ring& ring = require(link);
+    if (ring.samples.empty()) return 0.0;
+    std::size_t starved = 0;
+    for (const auto& s : ring.samples)
+      if (s.starved) ++starved;
+    return static_cast<double>(starved) /
+           static_cast<double>(ring.samples.size());
+  }
+
+  /// Mean number of concurrent flows on the link over the window.
+  [[nodiscard]] double mean_flows(LinkId link) const {
+    const Ring& ring = require(link);
+    if (ring.samples.empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& s : ring.samples) total += s.flows;
+    return total / static_cast<double>(ring.samples.size());
+  }
+
+  /// Sustained congestion: high windowed utilisation with real starvation.
+  [[nodiscard]] bool congested(LinkId link, double utilization_threshold,
+                               double starved_threshold = 0.3) const {
+    return mean_utilization(link) >= utilization_threshold &&
+           starved_fraction(link) >= starved_threshold;
+  }
+
+  [[nodiscard]] bool tracks(LinkId link) const {
+    return rings_.count(link) > 0;
+  }
+
+  /// Add a link to the tracked set (starts empty).
+  void track(LinkId link) { rings_.emplace(link, Ring{}); }
+
+  [[nodiscard]] std::uint64_t sample_count() const { return samples_taken_; }
+
+ private:
+  struct Sample {
+    double utilization = 0.0;
+    bool starved = false;
+    int flows = 0;
+  };
+  struct Ring {
+    std::vector<Sample> samples;  // bounded by window_
+    std::size_t next = 0;
+  };
+
+  const Ring& require(LinkId link) const {
+    auto it = rings_.find(link);
+    if (it == rings_.end())
+      throw NotFoundError("link " + std::to_string(link.value()) +
+                          " not monitored");
+    return it->second;
+  }
+
+  void sample() {
+    ++samples_taken_;
+    for (auto& [lid, ring] : rings_) {
+      Sample s;
+      s.utilization = network_.link_utilization(lid);
+      s.starved = network_.link_congested(lid, 0.98);
+      s.flows = network_.link_flow_count(lid);
+      if (ring.samples.size() < window_) {
+        ring.samples.push_back(s);
+      } else {
+        ring.samples[ring.next] = s;
+        ring.next = (ring.next + 1) % window_;
+      }
+    }
+  }
+
+  const net::Network& network_;
+  std::size_t window_;
+  std::unordered_map<LinkId, Ring> rings_;
+  std::uint64_t samples_taken_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace eona::control

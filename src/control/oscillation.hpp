@@ -1,0 +1,140 @@
+// Oscillation detection over discrete decision traces. The Fig 5 experiment
+// records each controller's decision (peering point id, CDN id) over time
+// and asks: did the pair of loops settle, or cycle forever?
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace eona::control {
+
+/// Append-only trace of one discrete decision variable.
+class DecisionTrace {
+ public:
+  /// Record the decision in effect from `t` (only appends when it differs
+  /// from the last recorded value).
+  void record(TimePoint t, int value) {
+    EONA_EXPECTS(entries_.empty() || t >= entries_.back().t);
+    if (!entries_.empty() && entries_.back().value == value) return;
+    entries_.push_back(Entry{t, value});
+  }
+
+  /// Total number of decision changes (transitions).
+  [[nodiscard]] std::size_t change_count() const {
+    return entries_.empty() ? 0 : entries_.size() - 1;
+  }
+
+  /// Changes occurring at or after `t` -- "did it keep flapping late in the
+  /// run, or converge?"
+  [[nodiscard]] std::size_t changes_after(TimePoint t) const {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].t >= t) ++n;
+    return n;
+  }
+
+  /// Changes within [from, to) -- measurement windows that exclude e.g. the
+  /// end-of-experiment traffic drain.
+  [[nodiscard]] std::size_t changes_between(TimePoint from, TimePoint to) const {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].t >= from && entries_[i].t < to) ++n;
+    return n;
+  }
+
+  /// Decision in effect at time t (last entry at or before t).
+  /// Precondition: at least one entry recorded at or before t.
+  [[nodiscard]] int value_at(TimePoint t) const {
+    EONA_EXPECTS(!entries_.empty() && entries_.front().t <= t);
+    int value = entries_.front().value;
+    for (const Entry& e : entries_) {
+      if (e.t > t) break;
+      value = e.value;
+    }
+    return value;
+  }
+
+  /// Time of the last change; 0 when never changed.
+  [[nodiscard]] TimePoint settled_at() const {
+    return entries_.size() <= 1 ? 0.0 : entries_.back().t;
+  }
+
+  /// Number of A->B->A reversals: the signature of a control loop fighting
+  /// itself (or another loop).
+  [[nodiscard]] std::size_t reversal_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 2; i < entries_.size(); ++i)
+      if (entries_[i].value == entries_[i - 2].value &&
+          entries_[i].value != entries_[i - 1].value)
+        ++n;
+    return n;
+  }
+
+  [[nodiscard]] int last_value() const {
+    EONA_EXPECTS(!entries_.empty());
+    return entries_.back().value;
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint t;
+    int value;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Joint-state cycle detector: feed it the combined (AppP decision, InfP
+/// decision) state at each control epoch; it reports whether the joint
+/// trajectory entered a repeating cycle of period >= 2 rather than a fixed
+/// point.
+class CycleDetector {
+ public:
+  void observe(int joint_state) { states_.push_back(joint_state); }
+
+  /// True when the tail of the trajectory repeats with some period in
+  /// [2, max_period] for at least `repetitions` full periods.
+  [[nodiscard]] bool cycling(std::size_t max_period = 8,
+                             std::size_t repetitions = 2) const {
+    EONA_EXPECTS(repetitions >= 1);
+    for (std::size_t period = 2; period <= max_period; ++period) {
+      std::size_t needed = period * (repetitions + 1);
+      if (states_.size() < needed) continue;
+      bool match = true;
+      // The last `needed` states must be periodic with this period, and the
+      // cycle must not be constant (that's convergence, not oscillation).
+      bool varies = false;
+      for (std::size_t i = states_.size() - needed;
+           i + period < states_.size(); ++i) {
+        if (states_[i] != states_[i + period]) {
+          match = false;
+          break;
+        }
+        if (states_[i] != states_[states_.size() - 1]) varies = true;
+      }
+      if (match && varies) return true;
+    }
+    return false;
+  }
+
+  /// True when the last `window` observations are all identical.
+  [[nodiscard]] bool converged(std::size_t window = 5) const {
+    if (states_.size() < window) return false;
+    for (std::size_t i = states_.size() - window; i < states_.size(); ++i)
+      if (states_[i] != states_.back()) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+ private:
+  std::vector<int> states_;
+};
+
+}  // namespace eona::control

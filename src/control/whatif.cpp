@@ -1,0 +1,138 @@
+#include "control/whatif.hpp"
+
+#include <algorithm>
+
+namespace eona::control {
+
+PlanScore WhatIfEngine::score(const Problem& problem, const Plan& plan) const {
+  EONA_EXPECTS(plan.endpoint.size() == problem.groups.size());
+  EONA_EXPECTS(plan.bitrate.size() == problem.groups.size());
+  EONA_EXPECTS(!problem.ladder.empty());
+
+  // Build one demand-capped flow per group (sessions * capped bitrate). The
+  // fluid model treats a group as one aggregate flow; the max-min share it
+  // receives divides evenly among its sessions.
+  std::vector<net::FlowSpec> flows;
+  flows.reserve(problem.groups.size());
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    EONA_EXPECTS(plan.endpoint[g] < problem.options[g].size());
+    EONA_EXPECTS(plan.bitrate[g] < problem.ladder.size());
+    const SessionGroup& group = problem.groups[g];
+    BitsPerSecond cap = std::min(problem.ladder[plan.bitrate[g]],
+                                 group.intended_bitrate);
+    flows.push_back(net::FlowSpec{
+        problem.options[g][plan.endpoint[g]].path,
+        cap * static_cast<double>(group.sessions)});
+  }
+
+  std::vector<BitsPerSecond> rates = net::max_min_allocation(*topo_, flows);
+
+  PlanScore result;
+  double weighted_engagement = 0.0;
+  double total_sessions = 0.0;
+  double satisfied = 0.0;
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    const SessionGroup& group = problem.groups[g];
+    if (group.sessions == 0) continue;
+    double n = static_cast<double>(group.sessions);
+    BitsPerSecond per_session = rates[g] / n;
+    BitsPerSecond cap = std::min(problem.ladder[plan.bitrate[g]],
+                                 group.intended_bitrate);
+    // Under-delivery relative to the chosen cap manifests as buffering in
+    // the fluid model: the shortfall ratio approximates buffering ratio.
+    double shortfall =
+        cap <= 0.0 ? 0.0 : std::clamp(1.0 - per_session / cap, 0.0, 1.0);
+    double engagement = model_.predict(std::min(shortfall, 1.0),
+                                       per_session, /*join_time=*/2.0);
+    weighted_engagement += engagement * n;
+    total_sessions += n;
+    if (shortfall < 1e-6) satisfied += n;
+    result.total_rate += rates[g];
+  }
+  if (total_sessions > 0.0) {
+    result.mean_engagement = weighted_engagement / total_sessions;
+    result.satisfied_fraction = satisfied / total_sessions;
+  }
+  return result;
+}
+
+WhatIfEngine::SearchResult WhatIfEngine::search(const Problem& problem) const {
+  EONA_EXPECTS(!problem.groups.empty());
+  EONA_EXPECTS(problem.options.size() == problem.groups.size());
+  for (const auto& opts : problem.options) EONA_EXPECTS(!opts.empty());
+
+  SearchResult result;
+  Plan plan;
+  plan.endpoint.assign(problem.groups.size(), 0);
+  plan.bitrate.assign(problem.groups.size(), 0);
+
+  // Odometer enumeration over (endpoint x bitrate) per group.
+  bool first = true;
+  while (true) {
+    PlanScore score_now = score(problem, plan);
+    ++result.evaluated;
+    if (first || score_now.mean_engagement > result.best_score.mean_engagement) {
+      result.best = plan;
+      result.best_score = score_now;
+      first = false;
+    }
+    // Increment the odometer.
+    std::size_t g = 0;
+    while (g < problem.groups.size()) {
+      if (++plan.bitrate[g] < problem.ladder.size()) break;
+      plan.bitrate[g] = 0;
+      if (++plan.endpoint[g] < problem.options[g].size()) break;
+      plan.endpoint[g] = 0;
+      ++g;
+    }
+    if (g == problem.groups.size()) break;
+  }
+  return result;
+}
+
+Problem prune_problem(const Problem& problem, const core::I2AReport& i2a) {
+  Problem pruned = problem;
+
+  // Access-scope congestion: endpoint moves cannot help the affected ISP's
+  // groups; keep only their first (current) option.
+  auto access_congested = [&](IspId isp) {
+    for (const auto& c : i2a.congestion)
+      if (c.scope == core::CongestionScope::kAccess &&
+          (!c.isp.valid() || !isp.valid() || c.isp == isp) && c.severity > 0.0)
+        return true;
+    return false;
+  };
+
+  auto server_unhealthy = [&](CdnId cdn, ServerId server) {
+    for (const auto& h : i2a.server_hints)
+      if (h.cdn == cdn && h.server == server && (!h.online || h.load > 0.95))
+        return true;
+    return false;
+  };
+
+  for (std::size_t g = 0; g < pruned.groups.size(); ++g) {
+    auto& opts = pruned.options[g];
+    if (access_congested(pruned.groups[g].isp)) {
+      opts.erase(opts.begin() + 1, opts.end());
+      continue;
+    }
+    // Drop hinted-unhealthy servers (keep at least one option).
+    std::vector<EndpointOption> kept;
+    for (const auto& option : opts)
+      if (!server_unhealthy(option.cdn, option.server)) kept.push_back(option);
+    if (!kept.empty()) opts = std::move(kept);
+  }
+  return pruned;
+}
+
+WhatIfEngine::PrunedResult WhatIfEngine::search_pruned(
+    const Problem& problem, const core::I2AReport& i2a) const {
+  PrunedResult result;
+  result.plans_before = problem.plan_count();
+  Problem pruned = prune_problem(problem, i2a);
+  result.plans_after = pruned.plan_count();
+  result.result = search(pruned);
+  return result;
+}
+
+}  // namespace eona::control

@@ -1,0 +1,120 @@
+// What-if engine: the §5 "search space exploration" open challenge.
+//
+// "Both AppPs and InfPs are deploying new capabilities that give them more
+// control knobs. With more knobs, however, the search space of options
+// grows combinatorially. A natural question is if and how EONA interfaces
+// can simplify this exploration process."
+//
+// This module makes the question concrete. A *plan* fixes the joint knobs
+// for a session population: which CDN/server each group uses, a bitrate
+// cap, and the ISP's egress point per CDN. The engine predicts the plan's
+// quality by solving the max-min allocation the plan would induce (no
+// simulation: one fluid solve per candidate). A searcher enumerates
+// candidate plans; EONA information prunes the enumeration:
+//   * A2I traffic intent fixes the demand vector (no per-demand sweep);
+//   * I2A congestion attribution removes knobs that cannot help (don't
+//     enumerate CDN moves when the access segment is the bottleneck);
+//   * I2A server hints drop unhealthy servers from the candidate set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/ids.hpp"
+#include "eona/messages.hpp"
+#include "net/fairshare.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "qoe/video_qoe.hpp"
+
+namespace eona::control {
+
+/// One group of identical sessions the planner places as a unit.
+struct SessionGroup {
+  std::string name;
+  std::size_t sessions = 0;
+  IspId isp;
+  NodeId client;
+  BitsPerSecond intended_bitrate = 0.0;  ///< demand per session at full quality
+};
+
+/// A candidate endpoint for a group (one CDN server and the path quality
+/// metadata the planner needs).
+struct EndpointOption {
+  CdnId cdn;
+  ServerId server;
+  net::Path path;  ///< server -> client under a given egress selection
+};
+
+/// The joint decision being scored: per group, an endpoint option index and
+/// a bitrate cap (as an index into the ladder).
+struct Plan {
+  std::vector<std::size_t> endpoint;  ///< per group: index into its options
+  std::vector<std::size_t> bitrate;   ///< per group: index into the ladder
+};
+
+/// Prediction for one plan.
+struct PlanScore {
+  double mean_engagement = 0.0;   ///< across sessions, demand-weighted
+  double satisfied_fraction = 0;  ///< sessions whose cap is fully served
+  BitsPerSecond total_rate = 0.0;
+};
+
+/// The planning problem: groups, their endpoint options, and the ladder.
+struct Problem {
+  std::vector<SessionGroup> groups;
+  std::vector<std::vector<EndpointOption>> options;  ///< per group
+  std::vector<BitsPerSecond> ladder;                 ///< ascending
+
+  [[nodiscard]] std::size_t plan_count() const {
+    std::size_t count = 1;
+    for (const auto& opts : options) count *= opts.size() * ladder.size();
+    return count;
+  }
+};
+
+/// Scores plans against the fluid model.
+class WhatIfEngine {
+ public:
+  WhatIfEngine(const net::Topology& topo, qoe::EngagementModel model = {})
+      : topo_(&topo), model_(model) {}
+
+  /// Predict a plan's outcome: one max-min solve over the induced flows.
+  [[nodiscard]] PlanScore score(const Problem& problem, const Plan& plan) const;
+
+  /// Exhaustive search; returns the best plan and the number of plans
+  /// evaluated. Deterministic tie-breaking (first best wins).
+  struct SearchResult {
+    Plan best;
+    PlanScore best_score;
+    std::size_t evaluated = 0;
+  };
+  [[nodiscard]] SearchResult search(const Problem& problem) const;
+
+  /// EONA-pruned search: uses an I2A report to shrink the space before the
+  /// same exhaustive sweep. Returns the pruned problem's result plus how
+  /// many candidates pruning removed.
+  struct PrunedResult {
+    SearchResult result;
+    std::size_t plans_before = 0;
+    std::size_t plans_after = 0;
+  };
+  [[nodiscard]] PrunedResult search_pruned(const Problem& problem,
+                                           const core::I2AReport& i2a) const;
+
+ private:
+  const net::Topology* topo_;
+  qoe::EngagementModel model_;
+};
+
+/// Builds the pruned problem (exposed for testing): drops endpoint options
+/// through hinted-unhealthy servers, and under access-scope congestion
+/// collapses each group's endpoint choice to its current/first option
+/// (moving cannot help; only the bitrate knob remains).
+[[nodiscard]] Problem prune_problem(const Problem& problem,
+                                    const core::I2AReport& i2a);
+
+}  // namespace eona::control

@@ -1,0 +1,64 @@
+#include "eona/audit.hpp"
+
+namespace eona::core {
+
+InterfaceAuditor::Health InterfaceAuditor::classify(
+    const CdnEvidence& e) const {
+  if (e.sessions < config_.min_sessions || e.intended_bitrate <= 0.0)
+    return Health::kAmbiguous;
+  double fraction = e.mean_bitrate / e.intended_bitrate;
+  if (fraction >= config_.healthy_bitrate_fraction &&
+      e.mean_buffering <= config_.healthy_buffering_limit)
+    return Health::kHealthy;
+  if (fraction < config_.starving_bitrate_fraction ||
+      e.mean_buffering > config_.starving_buffering_limit)
+    return Health::kStarving;
+  return Health::kAmbiguous;
+}
+
+bool InterfaceAuditor::excused(const I2AReport& report, CdnId cdn) {
+  for (const auto& c : report.congestion)
+    if (c.scope == CongestionScope::kAccess && c.severity > 0.0) return true;
+  for (const auto& h : report.server_hints)
+    if (h.cdn == cdn && (!h.online || h.load > 0.95)) return true;
+  return false;
+}
+
+AuditOutcome InterfaceAuditor::audit(
+    const I2AReport& report, const std::vector<CdnEvidence>& evidence) {
+  AuditOutcome outcome;
+  for (const CdnEvidence& e : evidence) {
+    Health health = classify(e);
+    if (health == Health::kAmbiguous) continue;
+
+    // Find the selected interconnect claim for this CDN, if reported.
+    const PeeringStatus* selected = nullptr;
+    for (const auto& p : report.peerings)
+      if (p.cdn == e.cdn && p.selected) selected = &p;
+    if (selected == nullptr) continue;
+
+    ++outcome.claims_checked;
+    bool contradiction = false;
+    if (selected->congested && health == Health::kHealthy) {
+      // Cried congestion, clients are thriving.
+      contradiction = true;
+    } else if (!selected->congested && health == Health::kStarving &&
+               !excused(report, e.cdn)) {
+      // Denied congestion, clients are starving, and nothing else in the
+      // report accounts for it.
+      contradiction = true;
+    }
+    if (contradiction) ++outcome.contradictions;
+  }
+
+  checked_ += outcome.claims_checked;
+  contradicted_ += outcome.contradictions;
+  // One EWMA step per audited claim so evidence-rich reports weigh more.
+  for (std::size_t i = 0; i < outcome.claims_checked; ++i) {
+    bool ok = i >= outcome.contradictions;  // contradictions first: order
+    trust_ = (1.0 - config_.alpha) * trust_ + config_.alpha * (ok ? 1.0 : 0.0);
+  }
+  return outcome;
+}
+
+}  // namespace eona::core

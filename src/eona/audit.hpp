@@ -1,0 +1,99 @@
+// Interface auditing: the §5 "fairness and trust" open challenge.
+//
+// EONA assumes collaborators are honest; the paper suggests "third-party /
+// neutral validation services" as the remedy when they are not. This module
+// implements the AppP-side half of that service: cross-check an InfP's I2A
+// claims against the AppP's own client-side evidence, maintain a trust
+// score, and let control logic discount reports from low-trust peers.
+//
+// Auditable claims (per report):
+//  * "the selected interconnect for CDN C is congested"   -- yet our
+//    sessions through C deliver their intended bitrate cleanly;
+//  * "nothing on the path to CDN C is congested"          -- yet our
+//    sessions through C are starving (and no other report section explains
+//    it: no access congestion, no offline/overloaded server).
+//
+// Each audited claim is consistent or contradicted; trust is an EWMA of
+// consistency. A provider that reports honestly converges to trust ~1; one
+// that shades the truth decays toward 0 at a rate set by how often its
+// claims are checkable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/ids.hpp"
+#include "eona/messages.hpp"
+
+namespace eona::core {
+
+/// The AppP's own client-side evidence about one CDN over the last window.
+struct CdnEvidence {
+  CdnId cdn;
+  BitsPerSecond mean_bitrate = 0.0;      ///< delivered, from beacons
+  BitsPerSecond intended_bitrate = 0.0;  ///< what the AppP wanted to deliver
+  double mean_buffering = 0.0;
+  std::uint64_t sessions = 0;
+};
+
+struct AuditConfig {
+  /// Sessions delivering at least this fraction of intent with negligible
+  /// buffering count as "healthy" evidence.
+  double healthy_bitrate_fraction = 0.9;
+  double healthy_buffering_limit = 0.02;
+  /// Below this fraction of intent (or above the buffering limit) the CDN
+  /// counts as "starving" evidence.
+  double starving_bitrate_fraction = 0.6;
+  double starving_buffering_limit = 0.10;
+  /// Minimum sessions behind the evidence before a claim is auditable.
+  std::uint64_t min_sessions = 5;
+  /// EWMA weight of each new audit outcome.
+  double alpha = 0.2;
+  /// Peers below this trust should be discounted by control logic.
+  double distrust_threshold = 0.5;
+};
+
+/// Outcome of auditing one report.
+struct AuditOutcome {
+  std::size_t claims_checked = 0;
+  std::size_t contradictions = 0;
+};
+
+/// Per-peer audit state (one auditor per InfP the AppP subscribes to).
+class InterfaceAuditor {
+ public:
+  explicit InterfaceAuditor(AuditConfig config = {}) : config_(config) {
+    EONA_EXPECTS(config.alpha > 0.0 && config.alpha <= 1.0);
+    EONA_EXPECTS(config.healthy_bitrate_fraction >
+                 config.starving_bitrate_fraction);
+  }
+
+  /// Audit one I2A report against the AppP's evidence; updates trust.
+  AuditOutcome audit(const I2AReport& report,
+                     const std::vector<CdnEvidence>& evidence);
+
+  /// Current trust in [0, 1]; starts at 1 (innocent until contradicted).
+  [[nodiscard]] double trust() const { return trust_; }
+  [[nodiscard]] bool trusted() const {
+    return trust_ >= config_.distrust_threshold;
+  }
+
+  [[nodiscard]] std::uint64_t claims_checked() const { return checked_; }
+  [[nodiscard]] std::uint64_t contradictions() const { return contradicted_; }
+  [[nodiscard]] const AuditConfig& config() const { return config_; }
+
+ private:
+  enum class Health { kHealthy, kStarving, kAmbiguous };
+  [[nodiscard]] Health classify(const CdnEvidence& e) const;
+  /// Does any report section other than the audited claim explain starving
+  /// evidence for `cdn` (access congestion, offline/overloaded server)?
+  [[nodiscard]] static bool excused(const I2AReport& report, CdnId cdn);
+
+  AuditConfig config_;
+  double trust_ = 1.0;
+  std::uint64_t checked_ = 0;
+  std::uint64_t contradicted_ = 0;
+};
+
+}  // namespace eona::core

@@ -1,0 +1,84 @@
+// Report channel with propagation delay: models the inherent staleness of
+// EONA data (§5 "dealing with staleness"). A report published at time t
+// becomes visible to queries at t + delay; queries always see the newest
+// visible report. The staleness bench sweeps `delay` from zero to minutes.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace eona::core {
+
+/// Delayed-visibility single-producer channel of reports of type T.
+template <typename T>
+class ReportChannel {
+ public:
+  explicit ReportChannel(Duration delay = 0.0) : delay_(delay) {
+    EONA_EXPECTS(delay >= 0.0);
+  }
+
+  [[nodiscard]] Duration delay() const { return delay_; }
+  void set_delay(Duration delay) {
+    EONA_EXPECTS(delay >= 0.0);
+    delay_ = delay;
+  }
+
+  /// Publish a report at time `now`.
+  void publish(T report, TimePoint now) {
+    EONA_EXPECTS(history_.empty() || now >= history_.back().published_at);
+    history_.push_back(Entry{now, std::move(report)});
+    ++published_;
+    // Keep only what queries can still distinguish: everything older than
+    // the newest visible entry will never be returned again.
+    trim(now);
+  }
+
+  /// Newest report visible at `now` (i.e. published at or before
+  /// now - delay). nullopt when none is visible yet.
+  [[nodiscard]] std::optional<T> fetch(TimePoint now) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : history_)
+      if (e.published_at + delay_ <= now) best = &e;
+    if (!best) return std::nullopt;
+    return best->report;
+  }
+
+  /// Age of the report `fetch(now)` would return; nullopt when none.
+  [[nodiscard]] std::optional<Duration> staleness(TimePoint now) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : history_)
+      if (e.published_at + delay_ <= now) best = &e;
+    if (!best) return std::nullopt;
+    return now - best->published_at;
+  }
+
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  struct Entry {
+    TimePoint published_at;
+    T report;
+  };
+
+  void trim(TimePoint now) {
+    // Drop entries strictly older than the newest one that is already
+    // visible -- fetch() can never return them.
+    std::size_t newest_visible = history_.size();
+    for (std::size_t i = 0; i < history_.size(); ++i)
+      if (history_[i].published_at + delay_ <= now) newest_visible = i;
+    if (newest_visible == history_.size()) return;
+    while (newest_visible > 0) {
+      history_.pop_front();
+      --newest_visible;
+    }
+  }
+
+  Duration delay_;
+  std::deque<Entry> history_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace eona::core

@@ -1,0 +1,62 @@
+// Export policy: the *minimality* half of the paper's interface recipe.
+//
+// Each provider declares which report sections it is willing to share with
+// each peer, plus a k-anonymity floor on QoE groups. The policy is applied
+// at publish time inside the endpoint, so nothing the policy suppresses is
+// ever observable by a peer -- the narrow interface is enforced, not
+// advisory.
+#pragma once
+
+#include <cstdint>
+
+#include "eona/messages.hpp"
+
+namespace eona::core {
+
+/// Which A2I sections cross the boundary.
+struct A2IPolicy {
+  bool share_qoe_groups = true;
+  bool share_server_level_qoe = false;  ///< per-server groups (finer grain)
+  bool share_traffic_forecasts = true;
+  std::uint64_t k_anonymity = 1;  ///< suppress groups with fewer sessions
+
+  /// Returns the report as this policy allows the peer to see it.
+  [[nodiscard]] A2IReport apply(const A2IReport& report) const {
+    A2IReport out;
+    out.from = report.from;
+    out.generated_at = report.generated_at;
+    if (share_qoe_groups) {
+      for (const auto& g : report.groups) {
+        if (g.sessions < k_anonymity) continue;
+        if (g.server.valid() && !share_server_level_qoe) continue;
+        out.groups.push_back(g);
+      }
+    }
+    if (share_traffic_forecasts) out.forecasts = report.forecasts;
+    return out;
+  }
+};
+
+/// Which I2A sections cross the boundary.
+struct I2APolicy {
+  bool share_peering_status = true;
+  bool share_peering_capacity = true;  ///< else capacity is zeroed out
+  bool share_server_hints = true;
+  bool share_congestion = true;
+
+  [[nodiscard]] I2AReport apply(const I2AReport& report) const {
+    I2AReport out;
+    out.from = report.from;
+    out.generated_at = report.generated_at;
+    if (share_peering_status) {
+      out.peerings = report.peerings;
+      if (!share_peering_capacity)
+        for (auto& p : out.peerings) p.capacity = 0.0;
+    }
+    if (share_server_hints) out.server_hints = report.server_hints;
+    if (share_congestion) out.congestion = report.congestion;
+    return out;
+  }
+};
+
+}  // namespace eona::core

@@ -1,0 +1,36 @@
+#include "eona/recipe.hpp"
+
+#include <algorithm>
+
+namespace eona::core {
+
+NarrowingResult narrow_interface(std::size_t field_count,
+                                 const QualityFn& eval) {
+  EONA_EXPECTS(eval != nullptr);
+  NarrowingResult result;
+  std::vector<bool> enabled(field_count, false);
+  result.baseline_quality = eval(enabled);
+
+  std::vector<bool> remaining(field_count, true);
+  for (std::size_t round = 0; round < field_count; ++round) {
+    double best_quality = 0.0;
+    std::size_t best_field = field_count;
+    for (std::size_t f = 0; f < field_count; ++f) {
+      if (!remaining[f]) continue;
+      enabled[f] = true;
+      double quality = eval(enabled);
+      enabled[f] = false;
+      if (best_field == field_count || quality > best_quality) {
+        best_quality = quality;
+        best_field = f;
+      }
+    }
+    EONA_ASSERT(best_field < field_count);
+    enabled[best_field] = true;
+    remaining[best_field] = false;
+    result.steps.push_back(NarrowingStep{best_field, best_quality});
+  }
+  return result;
+}
+
+}  // namespace eona::core

@@ -1,0 +1,100 @@
+// The §4 interface-design recipe, mechanised.
+//
+// The paper's recipe: (1) enumerate use cases; (2) imagine a global
+// controller with all data and all knobs; (3) map knobs/data to owners --
+// any optimisation that pairs one owner's knob with another's data marks a
+// field that must be shared; (4) narrow: pick the minimal subset of shared
+// fields whose quality stays close to the global controller.
+//
+// Steps 1-3 are the inventory types below; step 4 is greedy forward
+// selection against a caller-supplied quality evaluator (the benches run a
+// full scenario per evaluation).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/ids.hpp"
+
+namespace eona::core {
+
+enum class Owner : std::uint8_t { kAppP, kInfP };
+
+/// A control knob in the ecosystem (step 2/3 of the recipe).
+struct Knob {
+  std::string name;
+  Owner owner = Owner::kAppP;
+};
+
+/// A data attribute some control logic could use.
+struct DataAttribute {
+  std::string name;
+  Owner owner = Owner::kAppP;
+};
+
+/// A (knob, data) pairing the hypothetical global controller exploits.
+struct Coupling {
+  std::size_t knob;  ///< index into the knob inventory
+  std::size_t data;  ///< index into the data inventory
+};
+
+/// The full step-1..3 inventory for one use-case suite.
+struct InterfaceInventory {
+  std::vector<Knob> knobs;
+  std::vector<DataAttribute> data;
+  std::vector<Coupling> couplings;
+
+  /// Data attributes that must cross the boundary: used by a knob whose
+  /// owner differs from the data's owner. Returns indices into `data`,
+  /// deduplicated, in first-coupling order. This is the "wide" interface.
+  [[nodiscard]] std::vector<std::size_t> shared_fields() const {
+    std::vector<std::size_t> fields;
+    for (const Coupling& c : couplings) {
+      EONA_EXPECTS(c.knob < knobs.size() && c.data < data.size());
+      if (knobs[c.knob].owner == data[c.data].owner) continue;
+      bool seen = false;
+      for (std::size_t f : fields) seen = seen || (f == c.data);
+      if (!seen) fields.push_back(c.data);
+    }
+    return fields;
+  }
+};
+
+/// Quality of the system when a given subset of candidate fields is shared
+/// (enabled[i] says whether field i crosses the boundary). Higher is
+/// better; callers typically return mean engagement from a scenario run.
+using QualityFn = std::function<double(const std::vector<bool>& enabled)>;
+
+/// One step of the greedy narrowing trace.
+struct NarrowingStep {
+  std::size_t field;   ///< which field was added
+  double quality;      ///< quality with the subset up to and including it
+};
+
+/// Result of step 4.
+struct NarrowingResult {
+  double baseline_quality = 0.0;  ///< nothing shared
+  std::vector<NarrowingStep> steps;  ///< fields in greedy order
+
+  /// Smallest number of shared fields whose quality is within
+  /// `tolerance` (absolute) of the best achieved quality.
+  [[nodiscard]] std::size_t minimal_width(double tolerance) const {
+    double best = baseline_quality;
+    for (const auto& s : steps) best = std::max(best, s.quality);
+    if (baseline_quality >= best - tolerance) return 0;
+    for (std::size_t i = 0; i < steps.size(); ++i)
+      if (steps[i].quality >= best - tolerance) return i + 1;
+    return steps.size();
+  }
+};
+
+/// Greedy forward selection: starting from nothing shared, repeatedly add
+/// the candidate field with the largest quality gain until all fields are
+/// included (the caller inspects the trace to pick the knee). `eval` is
+/// called O(n^2) times.
+[[nodiscard]] NarrowingResult narrow_interface(std::size_t field_count,
+                                               const QualityFn& eval);
+
+}  // namespace eona::core

@@ -1,0 +1,65 @@
+// Provider registry: the directory of EONA participants and their bearer
+// tokens. Token issuance is deterministic per (registry seed, provider) so
+// experiments reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace eona::core {
+
+enum class ProviderKind : std::uint8_t { kAppP, kInfP };
+
+struct ProviderInfo {
+  ProviderId id;
+  ProviderKind kind = ProviderKind::kAppP;
+  std::string name;
+};
+
+/// Directory of providers + token minting.
+class ProviderRegistry {
+ public:
+  explicit ProviderRegistry(std::uint64_t seed = 0x45'4F'4E'41) : seed_(seed) {}
+
+  ProviderId register_provider(ProviderKind kind, std::string name) {
+    EONA_EXPECTS(!name.empty());
+    ProviderId id(static_cast<ProviderId::rep_type>(providers_.size()));
+    providers_.push_back(ProviderInfo{id, kind, std::move(name)});
+    return id;
+  }
+
+  [[nodiscard]] const ProviderInfo& info(ProviderId id) const {
+    if (!id.valid() || id.value() >= providers_.size())
+      throw NotFoundError("provider " + std::to_string(id.value()));
+    return providers_[id.value()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return providers_.size(); }
+
+  /// Deterministic bearer token binding (granter -> grantee).
+  [[nodiscard]] std::string mint_token(ProviderId granter,
+                                       ProviderId grantee) const {
+    std::uint64_t h = seed_;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    };
+    mix(granter.value());
+    mix(grantee.value());
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string("eona-") + buf;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<ProviderInfo> providers_;
+};
+
+}  // namespace eona::core

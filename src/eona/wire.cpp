@@ -1,0 +1,269 @@
+#include "eona/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace eona::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x454F4E41;  // "EONA"
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename IdType>
+void put_id(WireWriter& w, IdType id) {
+  if constexpr (sizeof(typename IdType::rep_type) == 8)
+    w.u64(id.value());
+  else
+    w.u32(id.value());
+}
+
+template <typename IdType>
+IdType get_id32(WireReader& r) {
+  return IdType(r.u32());
+}
+
+}  // namespace
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireReader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("truncated frame");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return (*bytes_)[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>((*bytes_)[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>((*bytes_)[pos_++]) << (8 * i);
+  return v;
+}
+
+double WireReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+namespace {
+
+void write_header(WireWriter& w, MessageKind kind) {
+  w.u32(kMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+/// Appends the checksum over everything written so far.
+WireBytes seal(WireWriter&& w) {
+  WireBytes bytes = w.take();
+  std::uint64_t checksum = fnv1a(bytes.data(), bytes.size());
+  for (int i = 0; i < 8; ++i)
+    bytes.push_back((checksum >> (8 * i)) & 0xFF);
+  return bytes;
+}
+
+/// Validates framing and returns a reader positioned after the header.
+WireReader open_frame(const WireBytes& bytes, MessageKind expected) {
+  if (bytes.size() < 4 + 1 + 1 + 8) throw CodecError("frame too short");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i)
+    stored |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + i]) << (8 * i);
+  if (fnv1a(bytes.data(), bytes.size() - 8) != stored)
+    throw CodecError("checksum mismatch");
+  WireReader r(bytes);
+  if (r.u32() != kMagic) throw CodecError("bad magic");
+  if (r.u8() != kWireVersion) throw CodecError("unsupported version");
+  auto kind = static_cast<MessageKind>(r.u8());
+  if (kind != expected) throw CodecError("unexpected message kind");
+  return r;
+}
+
+}  // namespace
+
+MessageKind peek_kind(const WireBytes& bytes) {
+  if (bytes.size() < 4 + 1 + 1 + 8) throw CodecError("frame too short");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i)
+    stored |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + i]) << (8 * i);
+  if (fnv1a(bytes.data(), bytes.size() - 8) != stored)
+    throw CodecError("checksum mismatch");
+  WireReader r(bytes);
+  if (r.u32() != kMagic) throw CodecError("bad magic");
+  if (r.u8() != kWireVersion) throw CodecError("unsupported version");
+  auto kind = static_cast<MessageKind>(r.u8());
+  if (kind != MessageKind::kA2I && kind != MessageKind::kI2A)
+    throw CodecError("unknown message kind");
+  return kind;
+}
+
+WireBytes encode(const A2IReport& report) {
+  WireWriter w;
+  write_header(w, MessageKind::kA2I);
+  put_id(w, report.from);
+  w.f64(report.generated_at);
+  w.u32(static_cast<std::uint32_t>(report.groups.size()));
+  for (const auto& g : report.groups) {
+    put_id(w, g.isp);
+    put_id(w, g.cdn);
+    put_id(w, g.server);
+    w.f64(g.mean_buffering_ratio);
+    w.f64(g.p90_buffering_ratio);
+    w.f64(g.mean_bitrate);
+    w.f64(g.mean_join_time);
+    w.f64(g.mean_engagement);
+    w.u64(g.sessions);
+  }
+  w.u32(static_cast<std::uint32_t>(report.forecasts.size()));
+  for (const auto& f : report.forecasts) {
+    put_id(w, f.isp);
+    put_id(w, f.cdn);
+    w.f64(f.expected_rate);
+  }
+  return seal(std::move(w));
+}
+
+A2IReport decode_a2i(const WireBytes& bytes) {
+  WireReader r = open_frame(bytes, MessageKind::kA2I);
+  A2IReport report;
+  report.from = get_id32<ProviderId>(r);
+  report.generated_at = r.f64();
+  std::uint32_t group_count = r.u32();
+  report.groups.reserve(group_count);
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    QoeGroupReport g;
+    g.isp = get_id32<IspId>(r);
+    g.cdn = get_id32<CdnId>(r);
+    g.server = get_id32<ServerId>(r);
+    g.mean_buffering_ratio = r.f64();
+    g.p90_buffering_ratio = r.f64();
+    g.mean_bitrate = r.f64();
+    g.mean_join_time = r.f64();
+    g.mean_engagement = r.f64();
+    g.sessions = r.u64();
+    report.groups.push_back(g);
+  }
+  std::uint32_t forecast_count = r.u32();
+  report.forecasts.reserve(forecast_count);
+  for (std::uint32_t i = 0; i < forecast_count; ++i) {
+    TrafficForecast f;
+    f.isp = get_id32<IspId>(r);
+    f.cdn = get_id32<CdnId>(r);
+    f.expected_rate = r.f64();
+    report.forecasts.push_back(f);
+  }
+  if (r.remaining() != 8) throw CodecError("trailing bytes in A2I frame");
+  return report;
+}
+
+WireBytes encode(const I2AReport& report) {
+  WireWriter w;
+  write_header(w, MessageKind::kI2A);
+  put_id(w, report.from);
+  w.f64(report.generated_at);
+  w.u32(static_cast<std::uint32_t>(report.peerings.size()));
+  for (const auto& p : report.peerings) {
+    put_id(w, p.peering);
+    put_id(w, p.isp);
+    put_id(w, p.cdn);
+    w.f64(p.capacity);
+    w.f64(p.utilization);
+    w.boolean(p.congested);
+    w.boolean(p.selected);
+  }
+  w.u32(static_cast<std::uint32_t>(report.server_hints.size()));
+  for (const auto& h : report.server_hints) {
+    put_id(w, h.cdn);
+    put_id(w, h.server);
+    w.f64(h.load);
+    w.boolean(h.online);
+  }
+  w.u32(static_cast<std::uint32_t>(report.congestion.size()));
+  for (const auto& c : report.congestion) {
+    put_id(w, c.isp);
+    w.u8(static_cast<std::uint8_t>(c.scope));
+    put_id(w, c.peering);
+    w.f64(c.severity);
+  }
+  return seal(std::move(w));
+}
+
+I2AReport decode_i2a(const WireBytes& bytes) {
+  WireReader r = open_frame(bytes, MessageKind::kI2A);
+  I2AReport report;
+  report.from = get_id32<ProviderId>(r);
+  report.generated_at = r.f64();
+  std::uint32_t peering_count = r.u32();
+  report.peerings.reserve(peering_count);
+  for (std::uint32_t i = 0; i < peering_count; ++i) {
+    PeeringStatus p;
+    p.peering = get_id32<PeeringId>(r);
+    p.isp = get_id32<IspId>(r);
+    p.cdn = get_id32<CdnId>(r);
+    p.capacity = r.f64();
+    p.utilization = r.f64();
+    p.congested = r.boolean();
+    p.selected = r.boolean();
+    report.peerings.push_back(p);
+  }
+  std::uint32_t hint_count = r.u32();
+  report.server_hints.reserve(hint_count);
+  for (std::uint32_t i = 0; i < hint_count; ++i) {
+    ServerHint h;
+    h.cdn = get_id32<CdnId>(r);
+    h.server = get_id32<ServerId>(r);
+    h.load = r.f64();
+    h.online = r.boolean();
+    report.server_hints.push_back(h);
+  }
+  std::uint32_t congestion_count = r.u32();
+  report.congestion.reserve(congestion_count);
+  for (std::uint32_t i = 0; i < congestion_count; ++i) {
+    CongestionSignal c;
+    c.isp = get_id32<IspId>(r);
+    auto scope = r.u8();
+    if (scope > 2) throw CodecError("bad congestion scope");
+    c.scope = static_cast<CongestionScope>(scope);
+    c.peering = get_id32<PeeringId>(r);
+    c.severity = r.f64();
+    report.congestion.push_back(c);
+  }
+  if (r.remaining() != 8) throw CodecError("trailing bytes in I2A frame");
+  return report;
+}
+
+}  // namespace eona::core

@@ -1,0 +1,76 @@
+// Binary wire format for EONA reports.
+//
+// Self-describing enough to fail loudly: a 4-byte magic, a format version,
+// a message-kind byte, and a trailing FNV-1a checksum. All integers are
+// little-endian fixed width; doubles are IEEE-754 bit patterns. Round-trip
+// fidelity is property-tested in tests/eona_wire_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "eona/messages.hpp"
+
+namespace eona::core {
+
+/// Serialized message bytes.
+using WireBytes = std::vector<std::uint8_t>;
+
+/// Message kinds carried on the wire.
+enum class MessageKind : std::uint8_t { kA2I = 1, kI2A = 2 };
+
+/// Current format version; decoders reject other versions.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Low-level append-only byte writer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] const WireBytes& bytes() const { return bytes_; }
+  [[nodiscard]] WireBytes take() { return std::move(bytes_); }
+
+ private:
+  WireBytes bytes_;
+};
+
+/// Low-level sequential byte reader; throws CodecError on underrun.
+class WireReader {
+ public:
+  explicit WireReader(const WireBytes& bytes) : bytes_(&bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_->size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+  const WireBytes* bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode a report into framed, checksummed bytes.
+[[nodiscard]] WireBytes encode(const A2IReport& report);
+[[nodiscard]] WireBytes encode(const I2AReport& report);
+
+/// Peek at the message kind of a frame (validates magic/version/checksum).
+[[nodiscard]] MessageKind peek_kind(const WireBytes& bytes);
+
+/// Decode; throws CodecError on malformed input or kind mismatch.
+[[nodiscard]] A2IReport decode_a2i(const WireBytes& bytes);
+[[nodiscard]] I2AReport decode_i2a(const WireBytes& bytes);
+
+}  // namespace eona::core

@@ -1,0 +1,101 @@
+#include "net/fairshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace eona::net {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<BitsPerSecond> max_min_allocation(
+    const Topology& topo, const std::vector<FlowSpec>& flows) {
+  std::vector<BitsPerSecond> capacities(topo.link_count());
+  for (std::size_t l = 0; l < topo.link_count(); ++l)
+    capacities[l] =
+        topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+  return max_min_allocation(topo, flows, capacities);
+}
+
+std::vector<BitsPerSecond> max_min_allocation(
+    const Topology& topo, const std::vector<FlowSpec>& flows,
+    const std::vector<BitsPerSecond>& capacities) {
+  EONA_EXPECTS(capacities.size() == topo.link_count());
+  const std::size_t flow_count = flows.size();
+  std::vector<BitsPerSecond> rate(flow_count, 0.0);
+  std::vector<bool> frozen(flow_count, false);
+
+  // Residual capacity per link and count of unfrozen flows per link.
+  std::vector<double> residual = capacities;
+  std::vector<int> active_on(topo.link_count(), 0);
+
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    EONA_EXPECTS(flows[f].demand >= 0.0);
+    if (flows[f].demand <= kEps) {
+      frozen[f] = true;  // zero-demand flows get zero
+      continue;
+    }
+    if (flows[f].path.empty()) {
+      // Local flow: no shared links, gets its full demand immediately.
+      // An elastic (infinite-demand) flow must cross at least one link.
+      EONA_EXPECTS(std::isfinite(flows[f].demand));
+      rate[f] = flows[f].demand;
+      frozen[f] = true;
+      continue;
+    }
+    ++unfrozen;
+    for (LinkId lid : flows[f].path) ++active_on[lid.value()];
+  }
+
+  while (unfrozen > 0) {
+    // Uniform increment limited by (a) the tightest link's equal share and
+    // (b) the smallest remaining demand among unfrozen flows.
+    double inc = kInf;
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      if (active_on[l] > 0)
+        inc = std::min(inc, residual[l] / active_on[l]);
+    }
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (!frozen[f])
+        inc = std::min(inc, flows[f].demand - rate[f]);
+    }
+    EONA_ASSERT(inc < kInf);
+    inc = std::max(inc, 0.0);
+
+    // Grow all unfrozen flows by inc and charge their links.
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += inc;
+      for (LinkId lid : flows[f].path) residual[lid.value()] -= inc;
+    }
+
+    // Freeze demand-satisfied flows and flows crossing saturated links.
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = rate[f] >= flows[f].demand - kEps;
+      if (!freeze) {
+        for (LinkId lid : flows[f].path) {
+          if (residual[lid.value()] <= kEps * capacities[lid.value()] + kEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[f] = true;
+        --unfrozen;
+        for (LinkId lid : flows[f].path) --active_on[lid.value()];
+      }
+    }
+  }
+
+  return rate;
+}
+
+}  // namespace eona::net

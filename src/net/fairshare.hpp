@@ -1,0 +1,43 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// This is the core of the fluid network model: given the set of flows, each
+// with a route and an upper demand cap, compute the rate vector that is
+// max-min fair subject to link capacities. TCP-style elastic flows use an
+// effectively infinite demand and are limited only by their bottleneck link.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace eona::net {
+
+/// Input to the allocator: one flow's route and demand ceiling.
+struct FlowSpec {
+  Path path;                 ///< links the flow traverses (may be empty: src==dst)
+  BitsPerSecond demand = 0;  ///< upper bound on useful rate (inf for elastic)
+};
+
+/// Computes the max-min fair allocation for `flows` over `topo`, using
+/// `capacities` (one per link, indexed by link id) instead of the static
+/// topology capacities -- the Network layer owns dynamic capacity (server
+/// shutdown, degradation).
+///
+/// Returns one rate per flow (same order as input). Flows with an empty path
+/// are local (src == dst) and receive exactly their demand. The algorithm is
+/// progressive filling: all unfrozen flows grow at the same pace; when a link
+/// saturates, the flows crossing it freeze at the current level; when a flow
+/// reaches its demand it freezes too. Complexity O((F + L) * rounds), rounds
+/// <= F, ample for scenario-scale inputs.
+[[nodiscard]] std::vector<BitsPerSecond> max_min_allocation(
+    const Topology& topo, const std::vector<FlowSpec>& flows,
+    const std::vector<BitsPerSecond>& capacities);
+
+/// Convenience overload using the topology's static capacities.
+[[nodiscard]] std::vector<BitsPerSecond> max_min_allocation(
+    const Topology& topo, const std::vector<FlowSpec>& flows);
+
+}  // namespace eona::net

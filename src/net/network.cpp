@@ -1,0 +1,55 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eona::net {
+
+void Network::recompute() {
+  ++recompute_count_;
+
+  // Deterministic order: sort flow ids. The max-min allocation is unique
+  // regardless of order, but fixed iteration keeps floating-point results
+  // bit-identical across runs.
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<FlowSpec> specs;
+  specs.reserve(ids.size());
+  for (FlowId id : ids) {
+    const FlowState& flow = flows_.at(id);
+    specs.push_back(FlowSpec{flow.path, flow.demand});
+  }
+
+  std::vector<BitsPerSecond> rates =
+      max_min_allocation(*topo_, specs, link_capacity_);
+
+  std::fill(link_allocated_.begin(), link_allocated_.end(), 0.0);
+  std::fill(link_flows_.begin(), link_flows_.end(), 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    FlowState& flow = flows_.at(ids[i]);
+    flow.rate = rates[i];
+    for (LinkId lid : flow.path) {
+      link_allocated_[lid.value()] += rates[i];
+      ++link_flows_[lid.value()];
+    }
+  }
+}
+
+bool Network::link_congested(LinkId id, double threshold) const {
+  EONA_EXPECTS(topo_->contains(id));
+  EONA_EXPECTS(threshold > 0.0 && threshold <= 1.0);
+  if (link_utilization(id) < threshold) return false;
+  // Saturated AND at least one flow on it is demand-starved: some flow
+  // crossing this link got less than it wanted.
+  for (const auto& [fid, flow] : flows_) {
+    if (flow.rate >= flow.demand - 1e-9) continue;
+    for (LinkId lid : flow.path)
+      if (lid == id) return true;
+  }
+  return false;
+}
+
+}  // namespace eona::net

@@ -1,0 +1,257 @@
+// Dynamic flow-level network: live flows over a Topology with max-min fair
+// rate allocation recomputed on every change.
+//
+// Mutations (add/remove/reroute/set_demand) trigger: before_change hook ->
+// apply mutation -> recompute rates -> after_change hook. The hooks let the
+// TransferManager integrate delivered bits under the old rate vector before
+// rates move (see transfer.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "net/fairshare.hpp"
+#include "net/topology.hpp"
+
+namespace eona::net {
+
+/// Demand value for an elastic (TCP-like) flow limited only by the network.
+inline constexpr BitsPerSecond kElasticDemand =
+    std::numeric_limits<BitsPerSecond>::infinity();
+
+/// Live flow-level network state.
+class Network {
+ public:
+  using Hook = std::function<void()>;
+
+  explicit Network(const Topology& topo)
+      : topo_(&topo),
+        link_capacity_(topo.link_count(), 0.0),
+        link_allocated_(topo.link_count(), 0.0),
+        link_flows_(topo.link_count(), 0) {
+    for (std::size_t l = 0; l < topo.link_count(); ++l)
+      link_capacity_[l] =
+          topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+  }
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+  /// Install hooks around state changes. Pass nullptr to clear.
+  void set_change_hooks(Hook before, Hook after) {
+    before_change_ = std::move(before);
+    after_change_ = std::move(after);
+  }
+
+  /// Admit a new flow on `path` with the given demand ceiling.
+  FlowId add_flow(Path path, BitsPerSecond demand = kElasticDemand) {
+    validate_path(path);
+    EONA_EXPECTS(demand >= 0.0);
+    EONA_EXPECTS(!path.empty() || std::isfinite(demand));
+    fire_before();
+    FlowId id(next_flow_id_++);
+    flows_.emplace(id, FlowState{std::move(path), demand, 0.0});
+    recompute();
+    fire_after();
+    return id;
+  }
+
+  void remove_flow(FlowId id) {
+    require(id);
+    fire_before();
+    flows_.erase(id);
+    recompute();
+    fire_after();
+  }
+
+  /// Change a flow's demand ceiling (e.g. the player picked a new bitrate).
+  void set_demand(FlowId id, BitsPerSecond demand) {
+    EONA_EXPECTS(demand >= 0.0);
+    FlowState& flow = require(id);
+    if (flow.demand == demand) return;
+    EONA_EXPECTS(!flow.path.empty() || std::isfinite(demand));
+    fire_before();
+    flow.demand = demand;
+    recompute();
+    fire_after();
+  }
+
+  /// Move a flow to a new path (e.g. the ISP changed its egress point).
+  void reroute(FlowId id, Path path) {
+    validate_path(path);
+    FlowState& flow = require(id);
+    EONA_EXPECTS(!path.empty() || std::isfinite(flow.demand));
+    fire_before();
+    flow.path = std::move(path);
+    recompute();
+    fire_after();
+  }
+
+  [[nodiscard]] bool contains(FlowId id) const { return flows_.count(id) > 0; }
+
+  /// Currently allocated max-min fair rate of the flow.
+  [[nodiscard]] BitsPerSecond rate(FlowId id) const {
+    return require(id).rate;
+  }
+
+  [[nodiscard]] BitsPerSecond demand(FlowId id) const {
+    return require(id).demand;
+  }
+
+  [[nodiscard]] const Path& path(FlowId id) const { return require(id).path; }
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Sum of allocated flow rates on the link.
+  [[nodiscard]] BitsPerSecond link_allocated(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    return link_allocated_[id.value()];
+  }
+
+  /// Current (dynamic) capacity of the link. Starts at the topology value.
+  [[nodiscard]] BitsPerSecond link_capacity(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    return link_capacity_[id.value()];
+  }
+
+  /// Change a link's effective capacity (degradation, server shutdown,
+  /// maintenance). Capacity 0 starves every flow crossing the link.
+  void set_link_capacity(LinkId id, BitsPerSecond capacity) {
+    EONA_EXPECTS(topo_->contains(id));
+    EONA_EXPECTS(capacity >= 0.0);
+    if (link_capacity_[id.value()] == capacity) return;
+    fire_before();
+    link_capacity_[id.value()] = capacity;
+    recompute();
+    fire_after();
+  }
+
+  /// allocated / capacity, in [0, 1] modulo floating-point slack.
+  /// A zero-capacity link reports utilisation 1 (unusable).
+  [[nodiscard]] double link_utilization(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    BitsPerSecond cap = link_capacity_[id.value()];
+    if (cap <= 0.0) return 1.0;
+    return link_allocated_[id.value()] / cap;
+  }
+
+  /// Number of flows currently crossing the link.
+  [[nodiscard]] int link_flow_count(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    return link_flows_[id.value()];
+  }
+
+  /// A link is congested when it is nearly fully allocated and some flow on
+  /// it wanted more (its demand was not met). This is the signal an InfP
+  /// would derive from queue buildup / loss in a real network.
+  [[nodiscard]] bool link_congested(LinkId id, double threshold = 0.98) const;
+
+  /// Number of rate recomputations so far (for perf accounting in benches).
+  [[nodiscard]] std::uint64_t recompute_count() const {
+    return recompute_count_;
+  }
+
+  /// Flows currently crossing a link, in ascending flow-id order
+  /// (deterministic). O(F * path length).
+  [[nodiscard]] std::vector<FlowId> flows_on(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    std::vector<FlowId> result;
+    for (const auto& [fid, flow] : flows_)
+      for (LinkId lid : flow.path)
+        if (lid == id) {
+          result.push_back(fid);
+          break;
+        }
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+  /// Source node of a flow (src of its first link); invalid for local flows.
+  [[nodiscard]] NodeId flow_src(FlowId id) const {
+    const FlowState& flow = require(id);
+    if (flow.path.empty()) return NodeId{};
+    return topo_->link(flow.path.front()).src;
+  }
+
+  /// Destination node of a flow (dst of its last link); invalid for local.
+  [[nodiscard]] NodeId flow_dst(FlowId id) const {
+    const FlowState& flow = require(id);
+    if (flow.path.empty()) return NodeId{};
+    return topo_->link(flow.path.back()).dst;
+  }
+
+  /// Rough fair share a hypothetical new flow would get on `path`: the
+  /// minimum over links of capacity / (flows + 1). Used by oracle-grade
+  /// controllers that may introspect the network directly.
+  [[nodiscard]] BitsPerSecond predicted_share(const Path& path) const {
+    BitsPerSecond share = std::numeric_limits<BitsPerSecond>::infinity();
+    for (LinkId lid : path) {
+      EONA_EXPECTS(topo_->contains(lid));
+      BitsPerSecond cap = link_capacity_[lid.value()];
+      share = std::min(
+          share, cap / static_cast<double>(link_flows_[lid.value()] + 1));
+    }
+    return share;
+  }
+
+ private:
+  struct FlowState {
+    Path path;
+    BitsPerSecond demand;
+    BitsPerSecond rate;
+  };
+
+  void validate_path(const Path& path) const {
+    for (LinkId lid : path)
+      if (!topo_->contains(lid)) throw NotFoundError("link in path");
+  }
+
+  FlowState& require(FlowId id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+      throw NotFoundError("flow " + std::to_string(id.value()));
+    return it->second;
+  }
+  const FlowState& require(FlowId id) const {
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+      throw NotFoundError("flow " + std::to_string(id.value()));
+    return it->second;
+  }
+
+  void fire_before() {
+    if (before_change_ && !in_hook_) {
+      in_hook_ = true;
+      before_change_();
+      in_hook_ = false;
+    }
+  }
+  void fire_after() {
+    if (after_change_ && !in_hook_) {
+      in_hook_ = true;
+      after_change_();
+      in_hook_ = false;
+    }
+  }
+
+  void recompute();
+
+  const Topology* topo_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::vector<BitsPerSecond> link_capacity_;
+  std::vector<BitsPerSecond> link_allocated_;
+  std::vector<int> link_flows_;
+  Hook before_change_;
+  Hook after_change_;
+  bool in_hook_ = false;
+  FlowId::rep_type next_flow_id_ = 0;
+  std::uint64_t recompute_count_ = 0;
+};
+
+}  // namespace eona::net

@@ -1,0 +1,53 @@
+// Shortest-path routing over the topology. Paths are sequences of link ids;
+// Dijkstra runs on link propagation delay with deterministic tie-breaking
+// (lower link id wins) so routes are reproducible.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/topology.hpp"
+
+namespace eona::net {
+
+/// An ordered sequence of links from a source node to a destination node.
+/// Empty path means "src == dst" or "no route" depending on the query; use
+/// Routing::has_route to disambiguate.
+using Path = std::vector<LinkId>;
+
+/// Total propagation delay along a path.
+[[nodiscard]] Duration path_delay(const Topology& topo, const Path& path);
+
+/// Validates that `path` is a contiguous walk from `src` to `dst` in `topo`.
+[[nodiscard]] bool path_connects(const Topology& topo, const Path& path,
+                                 NodeId src, NodeId dst);
+
+/// Dijkstra shortest-path engine. Stateless between queries apart from the
+/// topology reference; cheap enough to recompute on demand at the scales the
+/// scenarios use (tens to hundreds of nodes).
+class Routing {
+ public:
+  explicit Routing(const Topology& topo) : topo_(&topo) {}
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+  /// Shortest (min total delay) path src -> dst.
+  /// Throws NotFoundError when no route exists.
+  [[nodiscard]] Path shortest_path(NodeId src, NodeId dst) const;
+
+  /// True when dst is reachable from src.
+  [[nodiscard]] bool has_route(NodeId src, NodeId dst) const;
+
+  /// Shortest path constrained to pass through `via` (e.g. a chosen peering
+  /// point): concatenation of src->via and via->dst shortest paths.
+  [[nodiscard]] Path path_via(NodeId src, NodeId via, NodeId dst) const;
+
+  /// Shortest path that must traverse the specific link `via` as its
+  /// entry into the second segment: src -> link.src, link, link.dst -> dst.
+  [[nodiscard]] Path path_via_link(NodeId src, LinkId via, NodeId dst) const;
+
+ private:
+  const Topology* topo_;
+};
+
+}  // namespace eona::net

@@ -1,0 +1,123 @@
+// Network topology: nodes and directed capacity-constrained links.
+//
+// The topology is the static substrate; dynamic state (flows, rates) lives in
+// eona::net::Network. Nodes carry a kind tag so scenario builders and
+// diagnostics can tell client aggregates from routers from CDN servers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace eona::net {
+
+/// Role of a node in the delivery chain (for diagnostics and scenario
+/// wiring; routing treats all nodes identically).
+enum class NodeKind {
+  kClientPop,     ///< aggregate of clients in one ISP region
+  kRouter,        ///< interior ISP/transit router
+  kPeeringPoint,  ///< interconnect between an ISP and a CDN/transit
+  kCdnServer,     ///< CDN server cluster
+  kOrigin,        ///< content origin
+};
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kRouter;
+  std::string name;
+};
+
+/// A directed link. Capacity constrains the sum of fair-share rates of the
+/// flows crossing it; delay is propagation latency used by routing and RTT
+/// estimates.
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  BitsPerSecond capacity = 0.0;
+  Duration delay = 0.0;
+  std::string name;
+};
+
+/// Immutable-after-construction graph of nodes and links with O(1) lookup.
+/// Built through the fluent add_* calls, then handed to Network/Routing.
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name) {
+    NodeId id(static_cast<NodeId::rep_type>(nodes_.size()));
+    nodes_.push_back(Node{id, kind, std::move(name)});
+    out_links_.emplace_back();
+    return id;
+  }
+
+  /// Adds a directed link src -> dst.
+  LinkId add_link(NodeId src, NodeId dst, BitsPerSecond capacity,
+                  Duration delay, std::string name = {}) {
+    EONA_EXPECTS(contains(src) && contains(dst));
+    EONA_EXPECTS(capacity > 0.0);
+    EONA_EXPECTS(delay >= 0.0);
+    LinkId id(static_cast<LinkId::rep_type>(links_.size()));
+    if (name.empty())
+      name = node(src).name + "->" + node(dst).name;
+    links_.push_back(Link{id, src, dst, capacity, delay, std::move(name)});
+    out_links_[src.value()].push_back(id);
+    return id;
+  }
+
+  /// Adds a pair of directed links (src<->dst) with identical parameters and
+  /// returns the forward one (src -> dst).
+  LinkId add_duplex_link(NodeId a, NodeId b, BitsPerSecond capacity,
+                         Duration delay) {
+    LinkId forward = add_link(a, b, capacity, delay);
+    add_link(b, a, capacity, delay);
+    return forward;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const {
+    return id.valid() && id.value() < nodes_.size();
+  }
+  [[nodiscard]] bool contains(LinkId id) const {
+    return id.valid() && id.value() < links_.size();
+  }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    if (!contains(id)) throw NotFoundError("node " + std::to_string(id.value()));
+    return nodes_[id.value()];
+  }
+
+  [[nodiscard]] const Link& link(LinkId id) const {
+    if (!contains(id)) throw NotFoundError("link " + std::to_string(id.value()));
+    return links_[id.value()];
+  }
+
+  /// Links leaving `id`, in insertion order (deterministic).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const {
+    EONA_EXPECTS(contains(id));
+    return out_links_[id.value()];
+  }
+
+  /// First link src -> dst if one exists; invalid LinkId otherwise.
+  [[nodiscard]] LinkId find_link(NodeId src, NodeId dst) const {
+    EONA_EXPECTS(contains(src) && contains(dst));
+    for (LinkId lid : out_links_[src.value()])
+      if (links_[lid.value()].dst == dst) return lid;
+    return LinkId{};
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+}  // namespace eona::net

@@ -1,0 +1,168 @@
+// Volume-based transfers over the fluid network.
+//
+// A Transfer is "deliver V bits over this path, then call me back". Because
+// rates change whenever any flow in the network changes, delivered volume
+// must be integrated piecewise: the manager hooks the network's
+// before-change/after-change events, banks progress under the outgoing rate
+// vector, then re-predicts every transfer's completion time under the new
+// one. Applications (video chunk fetches, page loads) are built on this.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eona::net {
+
+struct TransferTag {};
+/// Identifier of one in-flight transfer.
+using TransferId = StrongId<TransferTag, std::uint64_t>;
+
+/// Progress snapshot of an in-flight transfer.
+struct TransferStatus {
+  Bits total = 0.0;
+  Bits remaining = 0.0;
+  BitsPerSecond current_rate = 0.0;
+  TimePoint started_at = 0.0;
+};
+
+/// Owns all volume transfers riding on one Network + Scheduler pair.
+///
+/// All network mutations made by applications and controllers can go through
+/// the network directly; the manager keeps itself consistent via the change
+/// hooks. Exactly one TransferManager may be attached to a Network.
+class TransferManager {
+ public:
+  using CompletionCallback = std::function<void(TransferId)>;
+
+  TransferManager(sim::Scheduler& sched, Network& network)
+      : sched_(&sched), network_(&network) {
+    network_->set_change_hooks([this] { advance_all(); },
+                               [this] { reschedule_all(); });
+  }
+
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  ~TransferManager() { network_->set_change_hooks(nullptr, nullptr); }
+
+  /// Start delivering `volume` bits along `path`, at most `demand` bps.
+  /// `on_complete` fires (once) when the last bit lands.
+  TransferId start(Path path, Bits volume, CompletionCallback on_complete,
+                   BitsPerSecond demand = kElasticDemand) {
+    EONA_EXPECTS(volume > 0.0);
+    FlowId flow = network_->add_flow(std::move(path), demand);
+    TransferId id(next_id_++);
+    transfers_.emplace(
+        id, State{flow, volume, volume, sched_->now(), sched_->now(),
+                  std::move(on_complete), sim::EventHandle{}});
+    reschedule(id);
+    return id;
+  }
+
+  /// Abort a transfer; its callback never fires. Idempotent for transfers
+  /// that already completed (NotFoundError for never-existed ids is
+  /// deliberately NOT thrown to keep cancellation races harmless).
+  void cancel(TransferId id) {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end()) return;
+    sched_->cancel(it->second.completion);
+    FlowId flow = it->second.flow;
+    transfers_.erase(it);
+    network_->remove_flow(flow);  // triggers hooks; transfer already gone
+  }
+
+  [[nodiscard]] bool active(TransferId id) const {
+    return transfers_.count(id) > 0;
+  }
+
+  [[nodiscard]] TransferStatus status(TransferId id) const {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end())
+      throw NotFoundError("transfer " + std::to_string(id.value()));
+    const State& state = it->second;
+    Bits banked = state.remaining -
+                  network_->rate(state.flow) * (sched_->now() - state.last_update);
+    return TransferStatus{state.total, std::max(banked, 0.0),
+                          network_->rate(state.flow), state.started_at};
+  }
+
+  /// The network flow carrying a transfer (lets controllers reroute it).
+  [[nodiscard]] FlowId flow(TransferId id) const {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end())
+      throw NotFoundError("transfer " + std::to_string(id.value()));
+    return it->second.flow;
+  }
+
+  /// Adjust the demand ceiling of a transfer (e.g. pacing a chunk fetch).
+  void set_demand(TransferId id, BitsPerSecond demand) {
+    network_->set_demand(flow(id), demand);
+  }
+
+  [[nodiscard]] std::size_t active_count() const { return transfers_.size(); }
+
+ private:
+  struct State {
+    FlowId flow;
+    Bits total;
+    Bits remaining;
+    TimePoint started_at;
+    TimePoint last_update;
+    CompletionCallback on_complete;
+    sim::EventHandle completion;
+  };
+
+  /// Bank progress for every transfer at the current rates (called just
+  /// before the rate vector changes).
+  void advance_all() {
+    TimePoint now = sched_->now();
+    for (auto& [id, state] : transfers_) {
+      Duration elapsed = now - state.last_update;
+      if (elapsed > 0.0) {
+        state.remaining -= network_->rate(state.flow) * elapsed;
+        state.remaining = std::max(state.remaining, 0.0);
+        state.last_update = now;
+      }
+    }
+  }
+
+  /// Re-predict completion times under the (new) rate vector.
+  void reschedule_all() {
+    for (auto& [id, state] : transfers_) reschedule(id);
+  }
+
+  void reschedule(TransferId id) {
+    State& state = transfers_.at(id);
+    sched_->cancel(state.completion);
+    BitsPerSecond current = network_->rate(state.flow);
+    if (current <= 0.0) return;  // starved; rescheduled on next rate change
+    Duration eta = state.remaining / current;
+    state.completion =
+        sched_->schedule_after(eta, [this, id] { complete(id); });
+  }
+
+  void complete(TransferId id) {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end()) return;  // raced with cancel
+    // Bank final progress, detach, then notify (callback may start new
+    // transfers or mutate the network freely).
+    CompletionCallback callback = std::move(it->second.on_complete);
+    FlowId flow = it->second.flow;
+    transfers_.erase(it);
+    network_->remove_flow(flow);
+    if (callback) callback(id);
+  }
+
+  sim::Scheduler* sched_;
+  Network* network_;
+  std::map<TransferId, State> transfers_;  // ordered: deterministic iteration
+  TransferId::rep_type next_id_ = 0;
+};
+
+}  // namespace eona::net

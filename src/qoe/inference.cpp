@@ -1,0 +1,135 @@
+#include "qoe/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace eona::qoe {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  EONA_EXPECTS(b.size() == n);
+  for (const auto& row : a) EONA_EXPECTS(row.size() == n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw ConfigError("singular system in solve_linear_system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+void RidgeRegression::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size())
+    throw ConfigError("ridge fit: empty or mismatched data");
+  const std::size_t d = x.front().size();
+  if (d == 0) throw ConfigError("ridge fit: zero-dimensional features");
+  for (const auto& row : x)
+    if (row.size() != d) throw ConfigError("ridge fit: ragged feature rows");
+
+  // Augment with a constant 1 for the bias; regularise only the weights.
+  const std::size_t m = d + 1;
+  std::vector<std::vector<double>> gram(m, std::vector<double>(m, 0.0));
+  std::vector<double> xty(m, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto feature = [&](std::size_t j) {
+      return j < d ? x[i][j] : 1.0;
+    };
+    for (std::size_t j = 0; j < m; ++j) {
+      xty[j] += feature(j) * y[i];
+      for (std::size_t k = j; k < m; ++k) gram[j][k] += feature(j) * feature(k);
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t k = 0; k < j; ++k) gram[j][k] = gram[k][j];
+  for (std::size_t j = 0; j < d; ++j) gram[j][j] += lambda_;
+
+  std::vector<double> solution = solve_linear_system(std::move(gram), xty);
+  bias_ = solution.back();
+  solution.pop_back();
+  weights_ = std::move(solution);
+}
+
+double RidgeRegression::predict(const std::vector<double>& features) const {
+  EONA_EXPECTS(fitted());
+  EONA_EXPECTS(features.size() == weights_.size());
+  double result = bias_;
+  for (std::size_t j = 0; j < weights_.size(); ++j)
+    result += weights_[j] * features[j];
+  return result;
+}
+
+double RidgeRegression::mae(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) const {
+  EONA_EXPECTS(!x.empty() && x.size() == y.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    total += std::abs(predict(x[i]) - y[i]);
+  return total / static_cast<double>(x.size());
+}
+
+namespace {
+/// Average ranks with ties sharing the mean rank.
+std::vector<double> ranks_of(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    double mean_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman_correlation(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  EONA_EXPECTS(a.size() == b.size());
+  EONA_EXPECTS(a.size() >= 2);
+  std::vector<double> ra = ranks_of(a);
+  std::vector<double> rb = ranks_of(b);
+  double mean = (static_cast<double>(a.size()) + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double da = ra[i] - mean;
+    double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;  // constant input: undefined
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace eona::qoe

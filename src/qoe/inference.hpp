@@ -1,0 +1,60 @@
+// Network-metric -> QoE inference: the stop-gap the paper says ISPs use
+// today (Figure 4). An InfP that cannot see application experience fits a
+// regression from passively observable network features (throughput, RTT,
+// loss proxy, bytes, flow duration) to the experience metric, and uses the
+// model's predictions in its control loop. The Fig 4 experiment measures
+// how inaccurate this is compared to direct A2I export.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace eona::qoe {
+
+/// Dense ridge regression y ~ w.x + b, fitted by the regularised normal
+/// equations. Feature dimension is small (network features), so the O(d^3)
+/// solve is negligible.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {
+    EONA_EXPECTS(lambda >= 0.0);
+  }
+
+  /// Fit on rows `x` (all the same dimension) and targets `y`.
+  /// Throws ConfigError on shape mismatch or an unsolvable system.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  [[nodiscard]] bool fitted() const { return !weights_.empty(); }
+
+  /// Predict one sample; dimension must match the training data.
+  [[nodiscard]] double predict(const std::vector<double>& features) const;
+
+  /// Mean absolute error over a dataset.
+  [[nodiscard]] double mae(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] double bias() const { return bias_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place by
+/// Gaussian elimination with partial pivoting. Exposed for direct testing.
+/// Throws ConfigError when the matrix is singular.
+[[nodiscard]] std::vector<double> solve_linear_system(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+/// Spearman rank correlation between two equally sized samples; the Fig 4
+/// experiment reports it alongside MAE (an ISP ranking CDNs/cells by
+/// inferred QoE cares about ordering, not absolute values).
+[[nodiscard]] double spearman_correlation(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+}  // namespace eona::qoe

@@ -1,0 +1,90 @@
+#include "qoe/infogain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace eona::qoe {
+
+double entropy_bits(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+
+/// Equal-width binning over the observed range; constant columns collapse
+/// into a single bin.
+std::vector<std::size_t> discretise(const std::vector<double>& values,
+                                    std::size_t bins) {
+  auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *lo_it, hi = *hi_it;
+  std::vector<std::size_t> out(values.size(), 0);
+  if (hi <= lo) return out;
+  double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    auto b = static_cast<std::size_t>((values[i] - lo) / width);
+    out[i] = std::min(b, bins - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+double information_gain(const std::vector<double>& feature,
+                        const std::vector<double>& label, std::size_t bins) {
+  EONA_EXPECTS(!feature.empty());
+  EONA_EXPECTS(feature.size() == label.size());
+  EONA_EXPECTS(bins >= 2);
+
+  const std::size_t n = feature.size();
+  std::vector<std::size_t> fb = discretise(feature, bins);
+  std::vector<std::size_t> lb = discretise(label, bins);
+
+  std::vector<std::size_t> label_counts(bins, 0);
+  for (std::size_t b : lb) ++label_counts[b];
+  double h_label = entropy_bits(label_counts);
+  if (h_label == 0.0) return 0.0;
+
+  // Conditional entropy H(label | feature bin).
+  double h_conditional = 0.0;
+  for (std::size_t f = 0; f < bins; ++f) {
+    std::vector<std::size_t> conditional(bins, 0);
+    std::size_t in_bin = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fb[i] == f) {
+        ++conditional[lb[i]];
+        ++in_bin;
+      }
+    }
+    if (in_bin == 0) continue;
+    h_conditional += (static_cast<double>(in_bin) / static_cast<double>(n)) *
+                     entropy_bits(conditional);
+  }
+  double gain = h_label - h_conditional;
+  return gain < 0.0 ? 0.0 : gain;
+}
+
+std::vector<std::pair<std::string, double>> rank_features(
+    const std::vector<FeatureColumn>& columns, const std::vector<double>& label,
+    std::size_t bins) {
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(columns.size());
+  for (const auto& col : columns)
+    ranked.emplace_back(col.name, information_gain(col.values, label, bins));
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+}  // namespace eona::qoe

@@ -1,0 +1,35 @@
+// Information-gain feature ranking (paper §4, "identifying useful knobs and
+// data"): given candidate attributes and an experience label, rank the
+// attributes by mutual information so the interface designer can decide
+// which fields are worth exporting across A2I/I2A.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eona::qoe {
+
+/// One candidate feature column with a display name.
+struct FeatureColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Shannon entropy (bits) of a discrete histogram given as counts.
+[[nodiscard]] double entropy_bits(const std::vector<std::size_t>& counts);
+
+/// Information gain (bits) of `feature` about `label`, with both continuous
+/// columns discretised into `bins` equal-width bins over their observed
+/// range. Returns 0 for degenerate (constant) inputs.
+[[nodiscard]] double information_gain(const std::vector<double>& feature,
+                                      const std::vector<double>& label,
+                                      std::size_t bins = 8);
+
+/// Ranks columns by information gain about `label`, descending; returns
+/// (name, gain) pairs. Deterministic: equal gains keep input order.
+[[nodiscard]] std::vector<std::pair<std::string, double>> rank_features(
+    const std::vector<FeatureColumn>& columns,
+    const std::vector<double>& label, std::size_t bins = 8);
+
+}  // namespace eona::qoe

@@ -1,0 +1,162 @@
+// Video QoE accounting and the QoE -> engagement model.
+//
+// VideoQoeTracker turns player lifecycle events (join, stall, bitrate
+// switches) into the session metrics the A2I interface exports: buffering
+// ratio, time-weighted average bitrate, join time, rebuffer rate. The
+// engagement model follows the empirical shape of Dobrian et al. (SIGCOMM
+// 2011) and Krishnan & Sitaraman (IMC 2012): engagement falls steeply with
+// buffering ratio, mildly with join time, and rises with bitrate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::qoe {
+
+/// Tunable coefficients of the engagement model. Defaults approximate the
+/// published regressions; benches may sweep them.
+struct EngagementModel {
+  /// Engagement lost per unit buffering ratio (1% buffering ~ 3% viewing).
+  double buffering_penalty = 3.0;
+  /// e-folding join time: engagement *= exp(-join_time / this).
+  Duration join_time_scale = 30.0;
+  /// Bitrate at which the bitrate factor saturates.
+  BitsPerSecond bitrate_saturation = 2.0e6;
+  /// Floor of the bitrate factor (engagement at ~zero bitrate).
+  double bitrate_floor = 0.6;
+
+  /// Predicted fraction of the content the viewer watches, in [0, 1].
+  [[nodiscard]] double predict(double buffering_ratio,
+                               BitsPerSecond avg_bitrate,
+                               Duration join_time) const {
+    EONA_EXPECTS(buffering_ratio >= 0.0 && buffering_ratio <= 1.0);
+    double base = 1.0 - buffering_penalty * buffering_ratio;
+    if (base < 0.0) base = 0.0;
+    double bitrate_frac = avg_bitrate / bitrate_saturation;
+    if (bitrate_frac > 1.0) bitrate_frac = 1.0;
+    double bitrate_factor =
+        bitrate_floor + (1.0 - bitrate_floor) * bitrate_frac;
+    double join_factor =
+        join_time <= 0.0 ? 1.0 : std::exp(-join_time / join_time_scale);
+    double engagement = base * bitrate_factor * join_factor;
+    return engagement < 0.0 ? 0.0 : (engagement > 1.0 ? 1.0 : engagement);
+  }
+};
+
+/// Accumulates one video session's QoE from player lifecycle callbacks.
+///
+/// State machine: created (startup) -> playing <-> stalled -> finalized.
+/// All timestamps must be non-decreasing.
+class VideoQoeTracker {
+ public:
+  explicit VideoQoeTracker(TimePoint session_start)
+      : start_(session_start), last_event_(session_start) {}
+
+  /// First frame rendered; startup ends.
+  void on_join(TimePoint t, BitsPerSecond initial_bitrate) {
+    EONA_EXPECTS(!joined_);
+    advance(t);
+    joined_ = true;
+    playing_ = true;
+    join_time_ = t - start_;
+    bitrate_ = initial_bitrate;
+  }
+
+  /// Playback stalled (buffer ran dry).
+  void on_stall_start(TimePoint t) {
+    EONA_EXPECTS(joined_ && playing_);
+    advance(t);
+    playing_ = false;
+    ++rebuffer_events_;
+  }
+
+  /// Playback resumed after a stall.
+  void on_stall_end(TimePoint t) {
+    EONA_EXPECTS(joined_ && !playing_);
+    advance(t);
+    playing_ = true;
+  }
+
+  /// The ABR logic switched rendition.
+  void on_bitrate_change(TimePoint t, BitsPerSecond bitrate) {
+    EONA_EXPECTS(bitrate >= 0.0);
+    advance(t);
+    bitrate_ = bitrate;
+  }
+
+  /// Record delivered volume (for traffic forecasts).
+  void on_bits_delivered(Bits bits) {
+    EONA_EXPECTS(bits >= 0.0);
+    bits_delivered_ += bits;
+  }
+
+  [[nodiscard]] bool joined() const { return joined_; }
+  [[nodiscard]] bool stalled() const { return joined_ && !playing_; }
+  [[nodiscard]] std::uint64_t rebuffer_events() const {
+    return rebuffer_events_;
+  }
+
+  /// Buffering ratio so far: stall time / (play + stall) time.
+  [[nodiscard]] double buffering_ratio(TimePoint now) const {
+    VideoQoeTracker copy = *this;
+    copy.advance(now);
+    Duration active = copy.play_time_ + copy.stall_time_;
+    return active <= 0.0 ? 0.0 : copy.stall_time_ / active;
+  }
+
+  /// Snapshot the session metrics as of `now` (also used for the periodic
+  /// beacons clients emit mid-session).
+  [[nodiscard]] telemetry::SessionMetrics snapshot(
+      TimePoint now, const EngagementModel& model = {}) const {
+    VideoQoeTracker copy = *this;
+    copy.advance(now);
+    telemetry::SessionMetrics m;
+    Duration active = copy.play_time_ + copy.stall_time_;
+    m.buffering_ratio = active <= 0.0 ? 0.0 : copy.stall_time_ / active;
+    m.avg_bitrate =
+        copy.play_time_ <= 0.0 ? 0.0 : copy.bitrate_seconds_ / copy.play_time_;
+    m.join_time = copy.joined_ ? copy.join_time_ : now - copy.start_;
+    m.rebuffer_rate =
+        active <= 0.0
+            ? 0.0
+            : static_cast<double>(copy.rebuffer_events_) / (active / 60.0);
+    m.engagement = model.predict(m.buffering_ratio, m.avg_bitrate,
+                                 copy.joined_ ? copy.join_time_ : 60.0);
+    m.bytes_delivered = copy.bits_delivered_;
+    return m;
+  }
+
+ private:
+  /// Accrue play/stall time and bitrate-seconds up to t.
+  void advance(TimePoint t) {
+    EONA_EXPECTS(t >= last_event_);
+    Duration elapsed = t - last_event_;
+    if (joined_) {
+      if (playing_) {
+        play_time_ += elapsed;
+        bitrate_seconds_ += bitrate_ * elapsed;
+      } else {
+        stall_time_ += elapsed;
+      }
+    }
+    last_event_ = t;
+  }
+
+  TimePoint start_;
+  TimePoint last_event_;
+  bool joined_ = false;
+  bool playing_ = false;
+  Duration join_time_ = 0.0;
+  Duration play_time_ = 0.0;
+  Duration stall_time_ = 0.0;
+  double bitrate_seconds_ = 0.0;  ///< integral of bitrate over play time
+  BitsPerSecond bitrate_ = 0.0;
+  std::uint64_t rebuffer_events_ = 0;
+  Bits bits_delivered_ = 0.0;
+};
+
+}  // namespace eona::qoe

@@ -1,0 +1,78 @@
+// Web QoE model for the cellular-web scenario (paper Figure 4).
+//
+// A page load is modelled as: DNS+TLS setup, a first-byte delay dominated by
+// RTT, then transfer of the page's critical bytes over the available
+// bandwidth, with render overhead proportional to object count. This is the
+// standard first-order PLT model; it gives the ground-truth experience that
+// the InfP either infers (baseline) or receives via A2I (EONA).
+#pragma once
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::qoe {
+
+/// Inputs of one page load.
+struct PageLoadInputs {
+  Duration rtt = 0.050;          ///< end-to-end round-trip time
+  BitsPerSecond bandwidth = 0;   ///< delivered bandwidth to the client
+  Bits page_bits = 0;            ///< critical-path payload
+  int objects = 10;              ///< object count (each costs ~1 RTT setup)
+  Duration server_think = 0.05;  ///< backend processing before first byte
+};
+
+/// Derived web experience metrics.
+struct PageLoadResult {
+  Duration ttfb = 0.0;
+  Duration plt = 0.0;
+  double engagement = 0.0;  ///< probability the user stays (vs abandons)
+};
+
+/// Tunables for the web engagement (abandonment) curve. Empirically users
+/// abandon steeply beyond a few seconds of PLT.
+struct WebEngagementModel {
+  Duration tolerable_plt = 2.0;  ///< below this, engagement ~ 1
+  Duration halving_time = 3.0;   ///< every extra `halving_time`, halves
+
+  [[nodiscard]] double predict(Duration plt) const {
+    EONA_EXPECTS(plt >= 0.0);
+    if (plt <= tolerable_plt) return 1.0;
+    double excess = (plt - tolerable_plt) / halving_time;
+    return std::pow(0.5, excess);
+  }
+};
+
+/// Evaluates the page-load model.
+[[nodiscard]] inline PageLoadResult evaluate_page_load(
+    const PageLoadInputs& in, const WebEngagementModel& model = {}) {
+  EONA_EXPECTS(in.rtt >= 0.0);
+  EONA_EXPECTS(in.bandwidth > 0.0);
+  EONA_EXPECTS(in.page_bits >= 0.0);
+  EONA_EXPECTS(in.objects >= 1);
+  PageLoadResult out;
+  // TTFB: connection setup (1.5 RTT for TCP+TLS-ish), server think time,
+  // then half an RTT for the first byte to travel back.
+  out.ttfb = 1.5 * in.rtt + in.server_think + 0.5 * in.rtt;
+  // Each additional object burns roughly one extra RTT of request latency
+  // (amortised over parallel connections: count / 6 rounds).
+  double request_rounds = static_cast<double>((in.objects + 5) / 6);
+  out.plt = out.ttfb + in.page_bits / in.bandwidth + request_rounds * in.rtt;
+  out.engagement = model.predict(out.plt);
+  return out;
+}
+
+/// Packs a page-load result into the beacon schema.
+[[nodiscard]] inline telemetry::SessionMetrics to_session_metrics(
+    const PageLoadInputs& in, const PageLoadResult& result) {
+  telemetry::SessionMetrics m;
+  m.page_load_time = result.plt;
+  m.ttfb = result.ttfb;
+  m.engagement = result.engagement;
+  m.bytes_delivered = in.page_bits;
+  return m;
+}
+
+}  // namespace eona::qoe

@@ -1,0 +1,165 @@
+#include "scenarios/coarse_control.hpp"
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "control/oracle.hpp"
+#include "net/peering.hpp"
+#include "net/transfer.hpp"
+#include "sim/rng.hpp"
+
+namespace eona::scenarios {
+
+CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
+  sim::Scheduler sched;
+  sim::Rng rng(config.seed);
+
+  // --- topology ---------------------------------------------------------------
+  net::Topology topo;
+  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
+  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  NodeId srv1a = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srvA");
+  NodeId srv1b = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srvB");
+  NodeId srv2 = topo.add_node(net::NodeKind::kCdnServer, "cdn2-srv");
+  NodeId origin1 = topo.add_node(net::NodeKind::kOrigin, "cdn1-origin");
+  NodeId origin2 = topo.add_node(net::NodeKind::kOrigin, "cdn2-origin");
+
+  topo.add_link(edge, client, gbps(1), milliseconds(5));
+  LinkId egress_1a =
+      topo.add_link(srv1a, edge, config.server_capacity, milliseconds(8));
+  LinkId egress_1b =
+      topo.add_link(srv1b, edge, config.server_capacity, milliseconds(8));
+  LinkId egress_2 =
+      topo.add_link(srv2, edge, config.server_capacity, milliseconds(10));
+  topo.add_link(origin1, srv1a, config.origin_capacity, milliseconds(30));
+  topo.add_link(origin1, srv1b, config.origin_capacity, milliseconds(30));
+  topo.add_link(origin2, srv2, config.origin_capacity, milliseconds(30));
+
+  net::Network network(topo);
+  net::TransferManager transfers(sched, network);
+  net::Routing routing(topo);
+  IspId isp(0);
+
+  // --- CDNs: 1 has two servers (A about to degrade, B healthy + warm);
+  //           2 is the rival with cold caches. --------------------------------
+  app::ContentCatalog catalog = app::ContentCatalog::videos(
+      config.catalog_size, config.video_duration, 0.8);
+  app::Cdn cdn1(CdnId(0), "cdn-1", origin1);
+  app::Cdn cdn2(CdnId(1), "cdn-2", origin2);
+  ServerId s1a = cdn1.add_server(srv1a, egress_1a, config.catalog_size);
+  ServerId s1b = cdn1.add_server(srv1b, egress_1b, config.catalog_size);
+  cdn2.add_server(srv2, egress_2, config.catalog_size);
+  {
+    std::vector<ContentId> all;
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      all.push_back(ContentId(static_cast<ContentId::rep_type>(i)));
+    cdn1.warm_cache(s1a, all);
+    cdn1.warm_cache(s1b, all);
+    // cdn2 deliberately cold.
+  }
+  app::CdnDirectory directory;
+  directory.add(&cdn1);
+  directory.add(&cdn2);
+
+  // --- control planes ----------------------------------------------------------
+  core::ProviderRegistry registry;
+  ProviderId appp_id =
+      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
+  ProviderId infp_id =
+      registry.register_provider(core::ProviderKind::kInfP, "cdn-operator");
+
+  control::AppPConfig appp_cfg;
+  appp_cfg.control_period = 5.0;
+  appp_cfg.qoe_window = 30.0;
+  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+
+  net::PeeringBook peering(topo);  // no alternative interconnects here
+  control::InfPConfig infp_cfg;
+  infp_cfg.control_period = 10.0;
+  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
+                               {}, infp_cfg);
+  infp.attach_cdn(&cdn1);  // the CDN operator publishes server hints
+  infp.attach_cdn(&cdn2);
+
+  wire_eona(registry, appp, infp);
+  // Oracle mode models the hypothetical global controller: the player brain
+  // introspects the network directly AND both control planes run fully
+  // informed (baseline logic would pollute the upper bound).
+  appp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  infp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  appp.start();
+  infp.start();
+
+  control::OracleBrain oracle(network, routing, directory);
+  app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
+                                ? static_cast<app::PlayerBrain&>(oracle)
+                                : appp.brain();
+
+  // --- the incident ---------------------------------------------------------------
+  sched.schedule_at(config.incident_at, [&] {
+    network.set_link_capacity(egress_1a,
+                              config.server_capacity * config.degraded_factor);
+  });
+
+  // --- traffic accounting sink ------------------------------------------------------
+  double bits_cdn1_post = 0.0, bits_total_post = 0.0;
+  appp.collector().add_sink([&](const telemetry::SessionRecord& r) {
+    if (r.timestamp < config.incident_at) return;
+    bits_total_post += r.metrics.bytes_delivered;
+    if (r.dims.cdn == cdn1.id()) bits_cdn1_post += r.metrics.bytes_delivered;
+  });
+
+  // --- workload ------------------------------------------------------------------
+  app::SessionPool pool(sched);
+  SessionId::rep_type next_session = 0;
+  sim::Rng content_rng = rng.fork();
+  auto spawn = [&] {
+    SessionId session(next_session++);
+    telemetry::Dimensions dims;
+    dims.isp = isp;
+    ContentId content = catalog.sample(content_rng);
+    pool.spawn([&, session, dims,
+                content](app::VideoPlayer::DoneCallback done) {
+      return std::make_unique<app::VideoPlayer>(
+          sched, transfers, network, routing, directory, brain,
+          &appp.collector(), app::PlayerConfig{}, session, dims, client,
+          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+    });
+  };
+  app::PoissonArrivals arrivals(
+      sched, rng.fork(), {{0.0, config.arrival_rate}},
+      config.run_duration - config.video_duration, spawn);
+
+  CoarseControlResult result;
+  sim::PeriodicTask sampler(sched, 2.0, [&] {
+    std::size_t active = 0, stalled = 0;
+    pool.for_each([&](app::VideoPlayer& p) {
+      ++active;
+      if (p.stalled()) ++stalled;
+    });
+    result.metrics.series("stalled_fraction")
+        .record(sched.now(),
+                active == 0 ? 0.0 : static_cast<double>(stalled) / active);
+  });
+
+  // --- run ----------------------------------------------------------------------
+  sched.run_until(config.run_duration);
+  arrivals.stop();
+  pool.abort_all();
+  sched.run_until(config.run_duration + 1.0);
+
+  // --- summarise -------------------------------------------------------------------
+  result.qoe = QoeSummary::from(pool.summaries());
+  result.post_incident = QoeSummary::from(
+      pool.summaries(), [&](const app::SessionSummary& s) {
+        return s.record.timestamp > config.incident_at;
+      });
+  result.cdn1_traffic_share =
+      bits_total_post <= 0.0 ? 0.0 : bits_cdn1_post / bits_total_post;
+  result.cdn2_hit_ratio = cdn2.hit_ratio();
+  result.cdn_switches = result.qoe.cdn_switches;
+  result.server_switches = result.qoe.server_switches;
+  return result;
+}
+
+}  // namespace eona::scenarios

@@ -1,0 +1,110 @@
+// Shared vocabulary for the experiment scenarios: control modes, QoE
+// summaries computed from finished sessions, and the EONA wiring helper
+// that authorises the two looking glasses in both directions.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "app/session_pool.hpp"
+#include "control/appp.hpp"
+#include "control/energy.hpp"
+#include "control/infp.hpp"
+#include "eona/registry.hpp"
+
+namespace eona::scenarios {
+
+/// Which control world a scenario runs in.
+enum class ControlMode {
+  kBaseline,  ///< today's independent, information-starved loops
+  kEona,      ///< EONA interfaces wired and consumed
+  kOracle,    ///< hypothetical global controller (upper bound)
+};
+
+[[nodiscard]] inline const char* to_string(ControlMode mode) {
+  switch (mode) {
+    case ControlMode::kBaseline: return "baseline";
+    case ControlMode::kEona: return "eona";
+    case ControlMode::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+/// Aggregate experience over a set of finished sessions.
+struct QoeSummary {
+  std::size_t sessions = 0;
+  double mean_buffering = 0.0;
+  double p90_buffering = 0.0;
+  double mean_bitrate = 0.0;   // bps
+  double mean_join_time = 0.0;
+  double mean_engagement = 0.0;
+  std::uint64_t stalls = 0;
+  std::uint64_t cdn_switches = 0;
+  std::uint64_t server_switches = 0;
+
+  /// Summarise sessions passing `keep` (default: all).
+  template <typename Pred>
+  static QoeSummary from(const std::vector<app::SessionSummary>& all,
+                         Pred keep) {
+    QoeSummary s;
+    std::vector<double> buffering;
+    for (const auto& session : all) {
+      if (!keep(session)) continue;
+      ++s.sessions;
+      const auto& m = session.record.metrics;
+      s.mean_buffering += m.buffering_ratio;
+      s.mean_bitrate += m.avg_bitrate;
+      s.mean_join_time += m.join_time;
+      s.mean_engagement += m.engagement;
+      s.stalls += session.stalls;
+      s.cdn_switches += session.cdn_switches;
+      s.server_switches += session.server_switches;
+      buffering.push_back(m.buffering_ratio);
+    }
+    if (s.sessions == 0) return s;
+    auto n = static_cast<double>(s.sessions);
+    s.mean_buffering /= n;
+    s.mean_bitrate /= n;
+    s.mean_join_time /= n;
+    s.mean_engagement /= n;
+    std::sort(buffering.begin(), buffering.end());
+    s.p90_buffering = buffering[static_cast<std::size_t>(
+        0.9 * static_cast<double>(buffering.size() - 1))];
+    return s;
+  }
+
+  static QoeSummary from(const std::vector<app::SessionSummary>& all) {
+    return from(all, [](const app::SessionSummary&) { return true; });
+  }
+};
+
+/// Authorise and subscribe both EONA directions between one AppP and one
+/// InfP, with per-direction staleness and policies.
+inline void wire_eona(const core::ProviderRegistry& registry,
+                      control::AppPController& appp,
+                      control::InfPController& infp,
+                      Duration a2i_delay = 0.0, Duration i2a_delay = 0.0,
+                      core::A2IPolicy a2i_policy = {},
+                      core::I2APolicy i2a_policy = {}) {
+  std::string a2i_token = registry.mint_token(appp.id(), infp.id());
+  appp.a2i_endpoint().authorize(infp.id(), a2i_token, a2i_policy, a2i_delay);
+  infp.subscribe_a2i(&appp.a2i_endpoint(), a2i_token);
+
+  std::string i2a_token = registry.mint_token(infp.id(), appp.id());
+  infp.i2a_endpoint().authorize(appp.id(), i2a_token, i2a_policy, i2a_delay);
+  appp.subscribe_i2a(&infp.i2a_endpoint(), i2a_token);
+}
+
+/// Authorise an energy manager (an InfP-side consumer) on an AppP's A2I.
+inline void wire_energy_a2i(const core::ProviderRegistry& registry,
+                            control::AppPController& appp,
+                            control::EnergyManager& energy,
+                            Duration a2i_delay = 0.0,
+                            core::A2IPolicy policy = {}) {
+  std::string token = registry.mint_token(appp.id(), energy.id());
+  appp.a2i_endpoint().authorize(energy.id(), token, policy, a2i_delay);
+  energy.subscribe_a2i(&appp.a2i_endpoint(), token);
+}
+
+}  // namespace eona::scenarios

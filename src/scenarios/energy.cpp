@@ -1,0 +1,144 @@
+#include "scenarios/energy.hpp"
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "net/peering.hpp"
+#include "net/transfer.hpp"
+#include "sim/rng.hpp"
+
+namespace eona::scenarios {
+
+EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
+  sim::Scheduler sched;
+  sim::Rng rng(config.seed);
+
+  // --- topology: one CDN, `servers` clusters --------------------------------
+  net::Topology topo;
+  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
+  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  NodeId origin = topo.add_node(net::NodeKind::kOrigin, "origin");
+  topo.add_link(edge, client, gbps(2), milliseconds(5));
+
+  net::Topology* t = &topo;
+  std::vector<NodeId> server_nodes;
+  std::vector<LinkId> server_links;
+  for (std::size_t i = 0; i < config.servers; ++i) {
+    NodeId node = t->add_node(net::NodeKind::kCdnServer,
+                              "srv-" + std::to_string(i));
+    server_nodes.push_back(node);
+    server_links.push_back(
+        t->add_link(node, edge, config.server_capacity, milliseconds(8)));
+    t->add_link(origin, node, mbps(40), milliseconds(25));
+  }
+
+  net::Network network(topo);
+  net::TransferManager transfers(sched, network);
+  net::Routing routing(topo);
+  IspId isp(0);
+
+  app::ContentCatalog catalog =
+      app::ContentCatalog::videos(60, config.video_duration, 0.8);
+  app::Cdn cdn(CdnId(0), "cdn", origin);
+  for (std::size_t i = 0; i < config.servers; ++i) {
+    ServerId sid = cdn.add_server(server_nodes[i], server_links[i], 20);
+    // Warm each cache with the head of the popularity curve (cache capacity
+    // is a third of the catalog; the tail always misses via the origin).
+    std::vector<ContentId> head;
+    for (std::size_t c = 0; c < 20; ++c)
+      head.push_back(ContentId(static_cast<ContentId::rep_type>(c)));
+    cdn.warm_cache(sid, head);
+  }
+  app::CdnDirectory directory;
+  directory.add(&cdn);
+
+  // --- control ---------------------------------------------------------------
+  core::ProviderRegistry registry;
+  ProviderId appp_id =
+      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
+  ProviderId energy_id =
+      registry.register_provider(core::ProviderKind::kInfP, "cdn-energy");
+
+  control::AppPConfig appp_cfg;
+  appp_cfg.control_period = 10.0;
+  appp_cfg.qoe_window = 60.0;
+  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+  appp.start();
+
+  control::EnergyConfig energy_cfg;
+  energy_cfg.control_period = config.energy_period;
+  energy_cfg.scale_down_load = config.scale_down_load;
+  energy_cfg.scale_up_load = config.scale_up_load;
+  control::EnergyManager energy(sched, network, cdn, energy_id, energy_cfg);
+  wire_energy_a2i(registry, appp, energy);
+  energy.set_eona_enabled(config.eona);
+  energy.start();
+
+  // --- workload: diurnal cycle -------------------------------------------------
+  std::vector<app::ArrivalPhase> phases;
+  TimePoint t0 = 0.0;
+  for (std::size_t c = 0; c < config.cycles; ++c) {
+    phases.push_back({t0, config.day_rate});
+    phases.push_back({t0 + config.phase_length, config.night_rate});
+    t0 += 2.0 * config.phase_length;
+  }
+  TimePoint run_duration = t0;
+
+  app::SessionPool pool(sched);
+  SessionId::rep_type next_session = 0;
+  sim::Rng content_rng = rng.fork();
+  auto spawn = [&] {
+    SessionId session(next_session++);
+    telemetry::Dimensions dims;
+    dims.isp = isp;
+    ContentId content = catalog.sample(content_rng);
+    pool.spawn([&, session, dims,
+                content](app::VideoPlayer::DoneCallback done) {
+      return std::make_unique<app::VideoPlayer>(
+          sched, transfers, network, routing, directory, appp.brain(),
+          &appp.collector(), app::PlayerConfig{}, session, dims, client,
+          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+    });
+  };
+  app::PoissonArrivals arrivals(sched, rng.fork(), phases,
+                                run_duration - config.video_duration, spawn);
+
+  EnergyScenarioResult result;
+  sim::PeriodicTask sampler(sched, 5.0, [&] {
+    result.metrics.series("online_servers")
+        .record(sched.now(), static_cast<double>(cdn.online_count()));
+    std::size_t active = 0, stalled = 0;
+    pool.for_each([&](app::VideoPlayer& p) {
+      ++active;
+      if (p.stalled()) ++stalled;
+    });
+    result.metrics.series("stalled_fraction")
+        .record(sched.now(),
+                active == 0 ? 0.0 : static_cast<double>(stalled) / active);
+  });
+
+  // --- run -----------------------------------------------------------------------
+  sched.run_until(run_duration);
+  arrivals.stop();
+  pool.abort_all();
+  sched.run_until(run_duration + 1.0);
+
+  // --- summarise --------------------------------------------------------------------
+  result.qoe = QoeSummary::from(pool.summaries());
+  result.night_qoe = QoeSummary::from(
+      pool.summaries(), [&](const app::SessionSummary& s) {
+        // Night phases are the odd phase_length slots.
+        auto slot = static_cast<std::size_t>(s.record.timestamp /
+                                             config.phase_length);
+        return slot % 2 == 1;
+      });
+  double total = static_cast<double>(config.servers) * run_duration;
+  result.saved_fraction = energy.server_seconds_saved(run_duration) / total;
+  result.mean_online =
+      energy.online_series().time_weighted_mean(0.0, run_duration);
+  result.shutdowns = energy.shutdowns();
+  result.wakes = energy.wakes();
+  return result;
+}
+
+}  // namespace eona::scenarios

@@ -1,0 +1,188 @@
+#include "scenarios/flashcrowd.hpp"
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "control/oracle.hpp"
+#include "net/peering.hpp"
+#include "net/transfer.hpp"
+#include "sim/rng.hpp"
+
+namespace eona::scenarios {
+
+FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
+  sim::Scheduler sched;
+  sim::Rng rng(config.seed);
+
+  // --- topology: two CDNs behind one access-ISP bottleneck -----------------
+  net::Topology topo;
+  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
+  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  NodeId srv1 = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srv");
+  NodeId srv2 = topo.add_node(net::NodeKind::kCdnServer, "cdn2-srv");
+  NodeId origin1 = topo.add_node(net::NodeKind::kOrigin, "cdn1-origin");
+  NodeId origin2 = topo.add_node(net::NodeKind::kOrigin, "cdn2-origin");
+
+  LinkId access =
+      topo.add_link(edge, client, config.access_capacity, milliseconds(5));
+  LinkId peer1 = topo.add_link(srv1, edge, gbps(1), milliseconds(8));
+  LinkId peer2 = topo.add_link(srv2, edge, gbps(1), milliseconds(8));
+  topo.add_link(origin1, srv1, config.origin_capacity, milliseconds(20));
+  topo.add_link(origin2, srv2, config.origin_capacity, milliseconds(20));
+
+  net::Network network(topo);
+  net::TransferManager transfers(sched, network);
+  net::Routing routing(topo);
+
+  IspId isp(0);
+  net::PeeringBook peering(topo);
+
+  // --- delivery ecosystem ---------------------------------------------------
+  app::ContentCatalog catalog =
+      app::ContentCatalog::videos(20, config.video_duration, 0.8);
+  app::Cdn cdn1(CdnId(0), "cdn-1", origin1);
+  app::Cdn cdn2(CdnId(1), "cdn-2", origin2);
+  ServerId s1 = cdn1.add_server(srv1, peer1, 32);
+  ServerId s2 = cdn2.add_server(srv2, peer2, 32);
+  peering.add(isp, cdn1.id(), peer1, "cdn1@edge");
+  peering.add(isp, cdn2.id(), peer2, "cdn2@edge");
+  cdn1.set_peering_book(&peering);
+  cdn2.set_peering_book(&peering);
+  // The AppP's primary CDN is warm; the rival is cold, so trial-and-error
+  // switching into it pays the origin detour (the "disruption" of Fig 3).
+  {
+    std::vector<ContentId> all;
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      all.push_back(ContentId(static_cast<ContentId::rep_type>(i)));
+    cdn1.warm_cache(s1, all);
+    (void)s2;
+  }
+  app::CdnDirectory directory;
+  directory.add(&cdn1);
+  directory.add(&cdn2);
+
+  // --- control planes ---------------------------------------------------------
+  core::ProviderRegistry registry;
+  ProviderId appp_id = registry.register_provider(core::ProviderKind::kAppP,
+                                                  "video-appp");
+  ProviderId infp_id =
+      registry.register_provider(core::ProviderKind::kInfP, "access-isp");
+
+  control::AppPConfig appp_cfg;
+  appp_cfg.control_period = 5.0;
+  appp_cfg.qoe_window = 30.0;
+  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+
+  control::InfPConfig infp_cfg;
+  infp_cfg.control_period = 10.0;
+  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
+                               {access}, infp_cfg);
+
+  wire_eona(registry, appp, infp, config.a2i_delay, config.i2a_delay,
+            config.a2i_policy, config.i2a_policy);
+  // Oracle mode models the hypothetical global controller: the player brain
+  // introspects the network directly AND both control planes run fully
+  // informed (baseline logic would pollute the upper bound).
+  appp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  infp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  appp.start();
+  infp.start();
+
+  control::OracleBrain oracle(network, routing, directory);
+  app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
+                                ? static_cast<app::PlayerBrain&>(oracle)
+                                : appp.brain();
+
+  // --- workload ----------------------------------------------------------------
+  app::SessionPool pool(sched);
+  SessionId::rep_type next_session = 0;
+  sim::Rng content_rng = rng.fork();
+  app::PlayerConfig player_cfg;
+  // A low floor so the crowd can squeeze renditions hard before starving.
+  player_cfg.ladder = {kbps(200), kbps(450), mbps(1), mbps(2.5), mbps(6)};
+  auto spawn = [&] {
+    SessionId session(next_session++);
+    telemetry::Dimensions dims;
+    dims.isp = isp;
+    ContentId content = catalog.sample(content_rng);
+    pool.spawn([&, session, dims,
+                content](app::VideoPlayer::DoneCallback done) {
+      return std::make_unique<app::VideoPlayer>(
+          sched, transfers, network, routing, directory, brain,
+          &appp.collector(), player_cfg, session, dims, client,
+          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+    });
+  };
+
+  app::PoissonArrivals arrivals(sched, rng.fork(),
+                                {{0.0, config.arrival_rate}},
+                                config.run_duration - 60.0, spawn);
+
+  // --- the flash crowd: background surge on the access link ----------------
+  // Arrives in ten batches over twenty seconds (crowds ramp, they don't
+  // teleport), leaves at crowd_end.
+  std::vector<FlowId> crowd_flows;
+  BitsPerSecond per_flow = config.access_capacity *
+                           config.crowd_background_fraction /
+                           static_cast<double>(config.crowd_flows);
+  for (std::size_t batch = 0; batch < 10; ++batch) {
+    sched.schedule_at(config.crowd_start + 2.0 * static_cast<double>(batch),
+                      [&, batch] {
+                        std::size_t per_batch = config.crowd_flows / 10;
+                        for (std::size_t i = 0; i < per_batch; ++i)
+                          crowd_flows.push_back(
+                              network.add_flow({access}, per_flow));
+                      });
+  }
+  sched.schedule_at(config.crowd_end, [&] {
+    for (FlowId f : crowd_flows) network.remove_flow(f);
+    crowd_flows.clear();
+  });
+
+  // --- sampling ------------------------------------------------------------------
+  FlashCrowdResult result;
+  sim::PeriodicTask sampler(sched, 2.0, [&] {
+    TimePoint now = sched.now();
+    std::size_t active = 0, stalled = 0;
+    double bitrate = 0.0;
+    pool.for_each([&](app::VideoPlayer& p) {
+      ++active;
+      if (p.stalled()) ++stalled;
+      bitrate += player_cfg.ladder[p.bitrate_index()];
+    });
+    double stalled_fraction =
+        active == 0 ? 0.0 : static_cast<double>(stalled) / active;
+    result.metrics.series("stalled_fraction").record(now, stalled_fraction);
+    result.metrics.series("active_sessions")
+        .record(now, static_cast<double>(active));
+    result.metrics.series("mean_bitrate")
+        .record(now, active == 0 ? 0.0 : bitrate / active);
+    result.metrics.series("access_util")
+        .record(now, network.link_utilization(access));
+  });
+
+  // --- run -------------------------------------------------------------------------
+  sched.run_until(config.run_duration);
+  arrivals.stop();
+  pool.abort_all();
+  sched.run_until(config.run_duration + 1.0);
+
+  // --- summarise ----------------------------------------------------------------------
+  result.arrivals = arrivals.arrivals();
+  result.qoe = QoeSummary::from(pool.summaries());
+  result.crowd_qoe = QoeSummary::from(
+      pool.summaries(), [&](const app::SessionSummary& s) {
+        return s.record.timestamp >= config.crowd_start &&
+               s.record.timestamp <= config.crowd_end + 60.0;
+      });
+  const auto& stalled_series = result.metrics.series("stalled_fraction");
+  result.peak_stalled_fraction =
+      stalled_series.empty() ? 0.0 : stalled_series.max();
+  const auto& util_series = result.metrics.series("access_util");
+  if (!util_series.empty() && config.crowd_end > config.crowd_start)
+    result.mean_access_utilization = util_series.time_weighted_mean(
+        config.crowd_start, config.crowd_end);
+  return result;
+}
+
+}  // namespace eona::scenarios

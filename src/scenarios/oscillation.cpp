@@ -1,0 +1,186 @@
+#include "scenarios/oscillation.hpp"
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "control/oracle.hpp"
+#include "control/oscillation.hpp"
+#include "net/peering.hpp"
+#include "net/transfer.hpp"
+#include "sim/rng.hpp"
+
+namespace eona::scenarios {
+
+OscillationResult run_oscillation(const OscillationConfig& config) {
+  sim::Scheduler sched;
+  sim::Rng rng(config.seed);
+
+  // --- topology: Fig 5 -------------------------------------------------------
+  net::Topology topo;
+  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
+  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  NodeId srv_x = topo.add_node(net::NodeKind::kCdnServer, "cdnX-srv");
+  NodeId srv_y = topo.add_node(net::NodeKind::kCdnServer, "cdnY-srv");
+  NodeId origin_x = topo.add_node(net::NodeKind::kOrigin, "cdnX-origin");
+  NodeId origin_y = topo.add_node(net::NodeKind::kOrigin, "cdnY-origin");
+
+  topo.add_link(edge, client, gbps(1), milliseconds(5));
+  // Two parallel interconnects for X: local B (cheap, small) and IXP C.
+  LinkId x_at_b =
+      topo.add_link(srv_x, edge, config.capacity_b, milliseconds(3), "X@B");
+  LinkId x_at_c =
+      topo.add_link(srv_x, edge, config.capacity_cx, milliseconds(12), "X@C");
+  LinkId y_at_c =
+      topo.add_link(srv_y, edge, config.capacity_cy, milliseconds(12), "Y@C");
+  topo.add_link(origin_x, srv_x, mbps(500), milliseconds(15));
+  topo.add_link(origin_y, srv_y, mbps(500), milliseconds(15));
+
+  net::Network network(topo);
+  net::TransferManager transfers(sched, network);
+  net::Routing routing(topo);
+
+  IspId isp(0);
+  net::PeeringBook peering(topo);
+
+  app::ContentCatalog catalog =
+      app::ContentCatalog::videos(24, config.video_duration, 0.8);
+  app::Cdn cdn_x(CdnId(0), "cdn-X", origin_x);
+  app::Cdn cdn_y(CdnId(1), "cdn-Y", origin_y);
+  ServerId sx = cdn_x.add_server(srv_x, x_at_b, 32);  // egress tracked at B
+  ServerId sy = cdn_y.add_server(srv_y, y_at_c, 32);
+  // Registration order defines the ISP's preference: B first (cheap).
+  PeeringId peer_xb = peering.add(isp, cdn_x.id(), x_at_b, "X@B");
+  PeeringId peer_xc = peering.add(isp, cdn_x.id(), x_at_c, "X@C");
+  peering.add(isp, cdn_y.id(), y_at_c, "Y@C");
+  cdn_x.set_peering_book(&peering);
+  cdn_y.set_peering_book(&peering);
+  {
+    std::vector<ContentId> all;
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      all.push_back(ContentId(static_cast<ContentId::rep_type>(i)));
+    cdn_x.warm_cache(sx, all);
+    cdn_y.warm_cache(sy, all);
+  }
+  app::CdnDirectory directory;
+  directory.add(&cdn_x);
+  directory.add(&cdn_y);
+
+  // --- control planes ---------------------------------------------------------
+  core::ProviderRegistry registry;
+  ProviderId appp_id =
+      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
+  ProviderId infp_id =
+      registry.register_provider(core::ProviderKind::kInfP, "access-isp");
+
+  const std::vector<BitsPerSecond> ladder{kbps(300), kbps(700), mbps(1.5),
+                                          mbps(3)};
+  control::AppPConfig appp_cfg;
+  appp_cfg.control_period = config.appp_period;
+  appp_cfg.qoe_window = 60.0;
+  appp_cfg.bad_qoe_buffering = 0.03;
+  appp_cfg.bad_qoe_bitrate = mbps(1.2);  // below this the AppP acts
+  appp_cfg.primary_dwell = config.appp_dwell;
+  appp_cfg.intended_bitrate = ladder.back();
+  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+
+  control::InfPConfig infp_cfg;
+  infp_cfg.control_period = config.infp_period;
+  infp_cfg.egress_dwell = config.infp_dwell;
+  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
+                               {}, infp_cfg);
+
+  wire_eona(registry, appp, infp, config.a2i_delay, config.i2a_delay,
+            config.a2i_policy, config.i2a_policy);
+  // Oracle mode models the hypothetical global controller: the player brain
+  // introspects the network directly AND both control planes run fully
+  // informed (baseline logic would pollute the upper bound).
+  appp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  infp.set_eona_enabled(config.mode != ControlMode::kBaseline);
+  appp.start();
+  infp.start();
+
+  control::OracleBrain oracle(network, routing, directory);
+  app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
+                                ? static_cast<app::PlayerBrain&>(oracle)
+                                : appp.brain();
+
+  // --- workload ---------------------------------------------------------------
+  app::SessionPool pool(sched);
+  SessionId::rep_type next_session = 0;
+  sim::Rng content_rng = rng.fork();
+  app::PlayerConfig player_cfg;
+  player_cfg.ladder = ladder;
+  auto spawn = [&] {
+    SessionId session(next_session++);
+    telemetry::Dimensions dims;
+    dims.isp = isp;
+    ContentId content = catalog.sample(content_rng);
+    pool.spawn([&, session, dims,
+                content](app::VideoPlayer::DoneCallback done) {
+      return std::make_unique<app::VideoPlayer>(
+          sched, transfers, network, routing, directory, brain,
+          &appp.collector(), player_cfg, session, dims, client,
+          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+    });
+  };
+  app::PoissonArrivals arrivals(
+      sched, rng.fork(), {{0.0, config.arrival_rate}},
+      config.run_duration - config.video_duration, spawn);
+
+  // --- joint-state sampling ------------------------------------------------------
+  // Oscillation statistics cover [measure_from, measure_to): the warmup and
+  // the end-of-run traffic drain (where returning to the cheap point is
+  // correct, not flapping) are excluded.
+  const TimePoint measure_to = config.run_duration - config.video_duration;
+  OscillationResult result;
+  control::CycleDetector detector;
+  sim::PeriodicTask sampler(sched, config.infp_period, [&] {
+    int primary = static_cast<int>(appp.primary_cdn().value());
+    int egress = static_cast<int>(peering.selected(isp, cdn_x.id()).value());
+    if (sched.now() < measure_to) detector.observe(primary * 16 + egress);
+    result.metrics.series("primary_cdn")
+        .record(sched.now(), static_cast<double>(primary));
+    result.metrics.series("x_egress")
+        .record(sched.now(), static_cast<double>(egress));
+    double bitrate = 0.0;
+    std::size_t active = 0;
+    pool.for_each([&](app::VideoPlayer& p) {
+      ++active;
+      bitrate += player_cfg.ladder[p.bitrate_index()];
+    });
+    result.metrics.series("mean_bitrate")
+        .record(sched.now(), active == 0 ? 0.0 : bitrate / active);
+  });
+
+  // --- run ---------------------------------------------------------------------
+  sched.run_until(config.run_duration);
+  arrivals.stop();
+  pool.abort_all();
+  sched.run_until(config.run_duration + 1.0);
+
+  // --- summarise ------------------------------------------------------------------
+  result.qoe = QoeSummary::from(pool.summaries());
+  const control::DecisionTrace& appp_trace = appp.primary_trace();
+  const control::DecisionTrace& infp_trace = infp.egress_trace(cdn_x.id());
+  result.appp_switches =
+      appp_trace.changes_between(config.measure_from, measure_to);
+  result.infp_switches =
+      infp_trace.changes_between(config.measure_from, measure_to);
+  result.appp_reversals = appp_trace.reversal_count();
+  result.infp_reversals = infp_trace.reversal_count();
+  result.cycling = detector.cycling();
+  result.converged = detector.converged();
+  result.settled_at =
+      std::max(appp_trace.settled_at(), infp_trace.settled_at());
+  // The green path means *settling* on it: converged at the end of the
+  // measurement window with primary on X and X entering via the IXP C.
+  // A cycling run that merely passes through that state does not count.
+  result.green_path =
+      result.converged &&
+      appp_trace.value_at(measure_to) == static_cast<int>(cdn_x.id().value()) &&
+      infp_trace.value_at(measure_to) == static_cast<int>(peer_xc.value());
+  (void)peer_xb;
+  return result;
+}
+
+}  // namespace eona::scenarios

@@ -1,0 +1,49 @@
+// Minimal leveled logger stamped with simulated time. Quiet by default so
+// benches stay clean; examples turn it up to narrate scenarios.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace eona::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink configuration. A deliberate, tiny exception to the
+/// "no globals" rule (Core Guidelines I.2 allows cerr-like channels): logging
+/// is observational and never feeds back into behaviour.
+class Log {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static void set_threshold(LogLevel level) { threshold() = level; }
+
+  static bool enabled(LogLevel level) { return level >= threshold(); }
+
+  static void write(LogLevel level, TimePoint now, const std::string& msg) {
+    if (!enabled(level)) return;
+    std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
+    os << "[" << label(level) << " t=" << now << "] " << msg << '\n';
+  }
+
+ private:
+  static const char* label(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+};
+
+}  // namespace eona::sim

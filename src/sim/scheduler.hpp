@@ -1,0 +1,204 @@
+// Deterministic discrete-event scheduler: the heartbeat of the emulator.
+//
+// Events are (time, sequence) ordered; the sequence number makes ties
+// deterministic (events scheduled earlier fire earlier), which in turn makes
+// every experiment bit-for-bit reproducible from its seed and config.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace eona::sim {
+
+/// Opaque handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to an event that has neither fired nor been
+  /// cancelled.
+  [[nodiscard]] bool pending() const { return state_ && !*state_; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> state)
+      : state_(std::move(state)) {}
+  // Shared "cancelled/fired" flag; the queue entry holds the other reference.
+  std::shared_ptr<bool> state_;
+};
+
+/// Priority-queue based event scheduler with a virtual clock.
+///
+/// Not thread-safe by design: the whole emulation is single-threaded and
+/// deterministic (Core Guidelines CP.1 -- assume your code will run as part
+/// of a multi-threaded program only where you have made that true).
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Number of events that have fired so far.
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// Number of events still queued (including cancelled-but-unpopped ones).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Schedule `action` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(TimePoint when, Action action) {
+    EONA_EXPECTS(when >= now_);
+    EONA_EXPECTS(action != nullptr);
+    auto state = std::make_shared<bool>(false);
+    queue_.push(Entry{when, next_seq_++, std::move(action), state});
+    return EventHandle(std::move(state));
+  }
+
+  /// Schedule `action` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_after(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op (idempotent).
+  void cancel(const EventHandle& handle) {
+    if (handle.state_) *handle.state_ = true;
+  }
+
+  /// Fire the single next pending event, advancing the clock to its time.
+  /// Returns false when the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      // The queue is ordered; copy out the top then pop so the action may
+      // itself schedule or cancel events.
+      Entry entry = queue_.top();
+      queue_.pop();
+      if (*entry.done) continue;  // cancelled
+      *entry.done = true;
+      EONA_ASSERT(entry.when >= now_);
+      now_ = entry.when;
+      ++fired_;
+      entry.action();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run events until the queue drains or the clock would pass `deadline`.
+  /// The clock is left at exactly `deadline` (events at == deadline fire).
+  void run_until(TimePoint deadline) {
+    EONA_EXPECTS(deadline >= now_);
+    while (!empty()) {
+      if (next_event_time() > deadline) break;
+      step();
+    }
+    now_ = deadline;
+  }
+
+  /// Run until no events remain. Guarded by a generous safety valve so a
+  /// buggy self-rescheduling loop fails loudly instead of hanging.
+  void run_all(std::uint64_t max_events = 500'000'000) {
+    while (step()) {
+      if (fired_ > max_events)
+        throw Error("scheduler: event budget exhausted (runaway loop?)");
+    }
+  }
+
+  /// Time of the earliest pending (non-cancelled) event.
+  /// Precondition: at least one pending event.
+  [[nodiscard]] TimePoint next_event_time() {
+    drop_cancelled();
+    EONA_EXPECTS(!queue_.empty());
+    return queue_.top().when;
+  }
+
+  [[nodiscard]] bool empty() {
+    drop_cancelled();
+    return queue_.empty();
+  }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> done;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!queue_.empty() && *queue_.top().done) queue_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+/// Repeatedly runs an action at a fixed period until stopped. Used for
+/// control loops (AppP/InfP controllers act on their own cadence).
+class PeriodicTask {
+ public:
+  /// Starts ticking `period` seconds after `start_offset`; fires action at
+  /// each tick. The first tick is at now + start_offset + period unless
+  /// `fire_immediately`.
+  PeriodicTask(Scheduler& sched, Duration period, Scheduler::Action action,
+               Duration start_offset = 0.0, bool fire_immediately = false)
+      : sched_(sched), period_(period), action_(std::move(action)) {
+    EONA_EXPECTS(period > 0.0);
+    EONA_EXPECTS(start_offset >= 0.0);
+    Duration first = fire_immediately ? start_offset : start_offset + period_;
+    handle_ = sched_.schedule_after(first, [this] { tick(); });
+  }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  ~PeriodicTask() { stop(); }
+
+  /// Stop ticking; idempotent.
+  void stop() {
+    stopped_ = true;
+    sched_.cancel(handle_);
+  }
+
+  /// Change the period for subsequent ticks (takes effect after the next
+  /// already-scheduled tick fires).
+  void set_period(Duration period) {
+    EONA_EXPECTS(period > 0.0);
+    period_ = period;
+  }
+
+  [[nodiscard]] Duration period() const { return period_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick() {
+    if (stopped_) return;
+    ++ticks_;
+    action_();
+    if (!stopped_) handle_ = sched_.schedule_after(period_, [this] { tick(); });
+  }
+
+  Scheduler& sched_;
+  Duration period_;
+  Scheduler::Action action_;
+  EventHandle handle_;
+  bool stopped_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace eona::sim

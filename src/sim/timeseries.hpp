@@ -1,0 +1,150 @@
+// Time-series recording for experiment outputs. Controllers and players
+// record gauges over simulated time; the bench harnesses resample and
+// summarise them into the tables/series the experiments report.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace eona::sim {
+
+/// One sample of a recorded metric.
+struct Sample {
+  TimePoint t = 0.0;
+  double value = 0.0;
+};
+
+/// An append-only series of (time, value) samples with non-decreasing time.
+class TimeSeries {
+ public:
+  void record(TimePoint t, double value) {
+    EONA_EXPECTS(samples_.empty() || t >= samples_.back().t);
+    samples_.push_back(Sample{t, value});
+  }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const Sample& back() const {
+    EONA_EXPECTS(!samples_.empty());
+    return samples_.back();
+  }
+
+  /// Plain arithmetic mean of sample values.
+  [[nodiscard]] double mean() const {
+    EONA_EXPECTS(!samples_.empty());
+    double total = 0.0;
+    for (const auto& s : samples_) total += s.value;
+    return total / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    EONA_EXPECTS(!samples_.empty());
+    return std::min_element(samples_.begin(), samples_.end(),
+                            [](const Sample& a, const Sample& b) {
+                              return a.value < b.value;
+                            })
+        ->value;
+  }
+
+  [[nodiscard]] double max() const {
+    EONA_EXPECTS(!samples_.empty());
+    return std::max_element(samples_.begin(), samples_.end(),
+                            [](const Sample& a, const Sample& b) {
+                              return a.value < b.value;
+                            })
+        ->value;
+  }
+
+  /// Time-weighted mean over [from, to], treating the series as a
+  /// step function (each sample holds until the next). This is the right
+  /// average for gauges like link utilisation or buffer level.
+  [[nodiscard]] double time_weighted_mean(TimePoint from, TimePoint to) const {
+    EONA_EXPECTS(to > from);
+    EONA_EXPECTS(!samples_.empty());
+    double area = 0.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      TimePoint seg_start = std::max(from, samples_[i].t);
+      TimePoint seg_end =
+          (i + 1 < samples_.size()) ? std::min(to, samples_[i + 1].t) : to;
+      if (seg_end > seg_start) area += samples_[i].value * (seg_end - seg_start);
+    }
+    // Before the first sample the gauge is taken as the first value.
+    if (samples_.front().t > from) {
+      TimePoint seg_end = std::min(to, samples_.front().t);
+      if (seg_end > from) area += samples_.front().value * (seg_end - from);
+    }
+    return area / (to - from);
+  }
+
+  /// Value of the step function at time t (last sample at or before t);
+  /// before the first sample, the first value.
+  [[nodiscard]] double value_at(TimePoint t) const {
+    EONA_EXPECTS(!samples_.empty());
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](TimePoint tp, const Sample& s) { return tp < s.t; });
+    if (it == samples_.begin()) return samples_.front().value;
+    return std::prev(it)->value;
+  }
+
+  /// Resample onto a fixed grid [from, to) with the given step; used to emit
+  /// aligned series for figures.
+  [[nodiscard]] std::vector<Sample> resample(TimePoint from, TimePoint to,
+                                             Duration step) const {
+    EONA_EXPECTS(step > 0.0);
+    std::vector<Sample> grid;
+    for (TimePoint t = from; t < to; t += step)
+      grid.push_back(Sample{t, value_at(t)});
+    return grid;
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// A named collection of time series plus scalar counters; each experiment
+/// owns one MetricSet and benches read results out of it.
+class MetricSet {
+ public:
+  /// Get-or-create the named series.
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+
+  [[nodiscard]] bool has_series(const std::string& name) const {
+    return series_.count(name) > 0;
+  }
+
+  [[nodiscard]] const TimeSeries& series(const std::string& name) const {
+    auto it = series_.find(name);
+    EONA_EXPECTS(it != series_.end());
+    return it->second;
+  }
+
+  /// Add to a named scalar counter.
+  void count(const std::string& name, double delta = 1.0) {
+    counters_[name] += delta;
+  }
+
+  [[nodiscard]] double counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, TimeSeries>& all_series() const {
+    return series_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& all_counters() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace eona::sim

@@ -1,0 +1,53 @@
+// Mergeable aggregate of session metrics: the unit the pipeline stores per
+// group and per window bucket. Exact and O(1)-mergeable (Welford/Chan);
+// quantile sketches, which do not merge exactly, live at the query layer
+// (GroupByAggregator).
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/session_record.hpp"
+#include "telemetry/welford.hpp"
+
+namespace eona::telemetry {
+
+/// Streaming aggregate of SessionMetrics observations.
+struct MetricAggregate {
+  Welford buffering_ratio;
+  Welford avg_bitrate;
+  Welford join_time;
+  Welford rebuffer_rate;
+  Welford page_load_time;
+  Welford ttfb;
+  Welford engagement;
+  double total_bits = 0.0;  ///< summed traffic volume (for A2I forecasts)
+  std::uint64_t records = 0;
+
+  void add(const SessionMetrics& m) {
+    buffering_ratio.add(m.buffering_ratio);
+    avg_bitrate.add(m.avg_bitrate);
+    join_time.add(m.join_time);
+    rebuffer_rate.add(m.rebuffer_rate);
+    page_load_time.add(m.page_load_time);
+    ttfb.add(m.ttfb);
+    engagement.add(m.engagement);
+    total_bits += m.bytes_delivered;
+    ++records;
+  }
+
+  void merge(const MetricAggregate& other) {
+    buffering_ratio.merge(other.buffering_ratio);
+    avg_bitrate.merge(other.avg_bitrate);
+    join_time.merge(other.join_time);
+    rebuffer_rate.merge(other.rebuffer_rate);
+    page_load_time.merge(other.page_load_time);
+    ttfb.merge(other.ttfb);
+    engagement.merge(other.engagement);
+    total_bits += other.total_bits;
+    records += other.records;
+  }
+
+  [[nodiscard]] bool empty() const { return records == 0; }
+};
+
+}  // namespace eona::telemetry

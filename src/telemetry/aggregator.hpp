@@ -1,0 +1,179 @@
+// Group-by aggregation: the "big data platform" stand-in.
+//
+// GroupByAggregator keys incoming beacons by a projection of their
+// dimensions (e.g. per (ISP, CDN)) and maintains a mergeable aggregate plus
+// median/p90 buffering-ratio sketches per group. WindowedAggregator adds a
+// rotating time-bucket ring so queries cover only the recent past -- the
+// freshness the A2I interface exports.
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "telemetry/aggregate.hpp"
+#include "telemetry/p2_quantile.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::telemetry {
+
+/// Unwindowed group-by over a fixed projection mask.
+class GroupByAggregator {
+ public:
+  explicit GroupByAggregator(Dim mask) : mask_(mask) {}
+
+  void ingest(const SessionRecord& record) {
+    Dimensions key = project(record.dims, mask_);
+    Group& group = groups_.try_emplace(key, Group{}).first->second;
+    group.aggregate.add(record.metrics);
+    group.buffering_p50.add(record.metrics.buffering_ratio);
+    group.buffering_p90.add(record.metrics.buffering_ratio);
+  }
+
+  [[nodiscard]] Dim mask() const { return mask_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  [[nodiscard]] const MetricAggregate* find(const Dimensions& dims) const {
+    auto it = groups_.find(project(dims, mask_));
+    return it == groups_.end() ? nullptr : &it->second.aggregate;
+  }
+
+  /// p50/p90 buffering ratio estimates for a group; {0,0} when unseen.
+  [[nodiscard]] std::pair<double, double> buffering_percentiles(
+      const Dimensions& dims) const {
+    auto it = groups_.find(project(dims, mask_));
+    if (it == groups_.end() || it->second.buffering_p50.empty())
+      return {0.0, 0.0};
+    return {it->second.buffering_p50.value(), it->second.buffering_p90.value()};
+  }
+
+  /// Deterministically ordered snapshot of all groups.
+  [[nodiscard]] std::vector<std::pair<Dimensions, MetricAggregate>> snapshot()
+      const {
+    std::vector<std::pair<Dimensions, MetricAggregate>> result;
+    result.reserve(groups_.size());
+    for (const auto& [key, group] : groups_)
+      result.emplace_back(key, group.aggregate);
+    std::sort(result.begin(), result.end(),
+              [](const auto& a, const auto& b) { return before(a.first, b.first); });
+    return result;
+  }
+
+  void clear() { groups_.clear(); }
+
+ private:
+  struct Group {
+    MetricAggregate aggregate;
+    P2Quantile buffering_p50{0.5};
+    P2Quantile buffering_p90{0.9};
+  };
+
+  static bool before(const Dimensions& a, const Dimensions& b) {
+    auto tup = [](const Dimensions& d) {
+      return std::make_tuple(d.isp.value(), d.cdn.value(), d.server.value(),
+                             d.region);
+    };
+    return tup(a) < tup(b);
+  }
+
+  Dim mask_;
+  std::unordered_map<Dimensions, Group> groups_;
+};
+
+/// Time-windowed group-by: a ring of bucket maps covering the trailing
+/// window. `query` merges the live buckets; buckets older than the window
+/// are recycled lazily as time advances.
+class WindowedAggregator {
+ public:
+  /// `window` trailing seconds of data retained, in `buckets` equal slices.
+  WindowedAggregator(Dim mask, Duration window, std::size_t buckets)
+      : mask_(mask),
+        bucket_span_(window / static_cast<double>(buckets)),
+        ring_(buckets) {
+    EONA_EXPECTS(window > 0.0);
+    EONA_EXPECTS(buckets >= 2);
+  }
+
+  void ingest(const SessionRecord& record) {
+    Bucket& bucket = bucket_for(record.timestamp);
+    bucket.groups[project(record.dims, mask_)].add(record.metrics);
+  }
+
+  /// Merged aggregate for `dims`' group over the window ending at `now`.
+  /// Empty aggregate when the group produced no beacons in the window.
+  [[nodiscard]] MetricAggregate query(const Dimensions& dims,
+                                      TimePoint now) const {
+    Dimensions key = project(dims, mask_);
+    MetricAggregate merged;
+    for (const Bucket& bucket : ring_) {
+      if (!live(bucket, now)) continue;
+      auto it = bucket.groups.find(key);
+      if (it != bucket.groups.end()) merged.merge(it->second);
+    }
+    return merged;
+  }
+
+  /// All groups seen in the window ending at `now`, deterministically
+  /// ordered.
+  [[nodiscard]] std::vector<std::pair<Dimensions, MetricAggregate>> snapshot(
+      TimePoint now) const {
+    std::unordered_map<Dimensions, MetricAggregate> merged;
+    for (const Bucket& bucket : ring_) {
+      if (!live(bucket, now)) continue;
+      for (const auto& [key, agg] : bucket.groups) merged[key].merge(agg);
+    }
+    std::vector<std::pair<Dimensions, MetricAggregate>> result(merged.begin(),
+                                                               merged.end());
+    std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+      auto tup = [](const Dimensions& d) {
+        return std::make_tuple(d.isp.value(), d.cdn.value(), d.server.value(),
+                               d.region);
+      };
+      return tup(a.first) < tup(b.first);
+    });
+    return result;
+  }
+
+  [[nodiscard]] Duration window() const {
+    return bucket_span_ * static_cast<double>(ring_.size());
+  }
+
+ private:
+  struct Bucket {
+    std::int64_t index = -1;  ///< which bucket_span_-slice of time this holds
+    std::unordered_map<Dimensions, MetricAggregate> groups;
+  };
+
+  [[nodiscard]] std::int64_t index_of(TimePoint t) const {
+    return static_cast<std::int64_t>(t / bucket_span_);
+  }
+
+  Bucket& bucket_for(TimePoint t) {
+    std::int64_t idx = index_of(t);
+    Bucket& bucket = ring_[static_cast<std::size_t>(idx) % ring_.size()];
+    if (bucket.index != idx) {  // recycle an expired slot
+      bucket.index = idx;
+      bucket.groups.clear();
+    }
+    return bucket;
+  }
+
+  /// A bucket is live for a query at `now` when its slice overlaps the
+  /// trailing window (now - window, now].
+  [[nodiscard]] bool live(const Bucket& bucket, TimePoint now) const {
+    if (bucket.index < 0) return false;
+    std::int64_t newest = index_of(now);
+    std::int64_t oldest = newest - static_cast<std::int64_t>(ring_.size()) + 1;
+    return bucket.index >= oldest && bucket.index <= newest;
+  }
+
+  Dim mask_;
+  Duration bucket_span_;
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace eona::telemetry

@@ -1,0 +1,41 @@
+// k-anonymity gate: the "blinding" technique the paper's interface-design
+// recipe calls for (§4, minimality vs effectiveness). Before aggregates
+// cross the A2I/I2A boundary, groups backed by fewer than k sessions are
+// suppressed so no export can be traced to a small user population.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "telemetry/aggregate.hpp"
+#include "telemetry/session_record.hpp"
+
+namespace eona::telemetry {
+
+/// Result of gating a snapshot: surviving groups plus suppression counts.
+struct GatedSnapshot {
+  std::vector<std::pair<Dimensions, MetricAggregate>> groups;
+  std::size_t suppressed_groups = 0;
+  std::uint64_t suppressed_records = 0;
+};
+
+/// Drops every group with fewer than `k` backing records.
+inline GatedSnapshot k_anonymity_gate(
+    std::vector<std::pair<Dimensions, MetricAggregate>> snapshot,
+    std::uint64_t k) {
+  EONA_EXPECTS(k >= 1);
+  GatedSnapshot result;
+  for (auto& entry : snapshot) {
+    if (entry.second.records >= k) {
+      result.groups.push_back(std::move(entry));
+    } else {
+      ++result.suppressed_groups;
+      result.suppressed_records += entry.second.records;
+    }
+  }
+  return result;
+}
+
+}  // namespace eona::telemetry

@@ -1,0 +1,125 @@
+// P-square (P²) streaming quantile estimator (Jain & Chlamtac 1985).
+//
+// Tracks one quantile with five markers in O(1) memory and O(1) update time.
+// The telemetry pipeline uses it for percentile QoE (e.g. p90 buffering
+// ratio per (ISP, CDN) group), where exact percentiles over tens of millions
+// of sessions would be prohibitive.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace eona::telemetry {
+
+/// Streaming estimator of a single quantile q in (0, 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) : q_(q) {
+    EONA_EXPECTS(q > 0.0 && q < 1.0);
+  }
+
+  void add(double x) {
+    if (count_ < 5) {
+      // Bootstrap: store the first five observations sorted.
+      heights_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(heights_.begin(), heights_.end());
+        positions_ = {1, 2, 3, 4, 5};
+        desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+        increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+      }
+      return;
+    }
+
+    // Locate the cell containing x and clamp the extreme markers.
+    int cell;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      cell = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = std::max(heights_[4], x);
+      cell = 3;
+    } else {
+      cell = 0;
+      while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+    }
+
+    ++count_;
+    for (int i = cell + 1; i < 5; ++i) ++positions_[i];
+    for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+    // Adjust interior markers toward their desired positions using the
+    // piecewise-parabolic (P²) interpolation, falling back to linear when
+    // the parabola would violate monotonicity.
+    for (int i = 1; i <= 3; ++i) {
+      double d = desired_[i] - positions_[i];
+      if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1) ||
+          (d <= -1.0 && positions_[i - 1] - positions_[i] < -1)) {
+        int sign = d >= 0 ? 1 : -1;
+        double candidate = parabolic(i, sign);
+        if (heights_[i - 1] < candidate && candidate < heights_[i + 1])
+          heights_[i] = candidate;
+        else
+          heights_[i] = linear(i, sign);
+        positions_[i] += sign;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Current quantile estimate. With fewer than 5 samples, falls back to the
+  /// nearest-rank quantile of what has been seen.
+  [[nodiscard]] double value() const {
+    EONA_EXPECTS(count_ > 0);
+    if (count_ < 5) {
+      std::array<double, 5> sorted = heights_;
+      std::sort(sorted.begin(), sorted.begin() + count_);
+      auto rank = static_cast<std::size_t>(
+          std::ceil(q_ * static_cast<double>(count_)));
+      rank = std::min(std::max<std::size_t>(rank, 1),
+                      static_cast<std::size_t>(count_));
+      return sorted[rank - 1];
+    }
+    return heights_[2];
+  }
+
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  double parabolic(int i, int sign) const {
+    double d = static_cast<double>(sign);
+    double qi = heights_[i];
+    double np = static_cast<double>(positions_[i + 1] - positions_[i]);
+    double nm = static_cast<double>(positions_[i - 1] - positions_[i]);
+    double ntot = static_cast<double>(positions_[i + 1] - positions_[i - 1]);
+    return qi + d / ntot *
+                    ((static_cast<double>(positions_[i] - positions_[i - 1]) +
+                      d) *
+                         (heights_[i + 1] - qi) / np +
+                     (static_cast<double>(positions_[i + 1] - positions_[i]) -
+                      d) *
+                         (qi - heights_[i - 1]) / (-nm));
+  }
+
+  double linear(int i, int sign) const {
+    return heights_[i] + static_cast<double>(sign) *
+                             (heights_[i + sign] - heights_[i]) /
+                             static_cast<double>(positions_[i + sign] -
+                                                 positions_[i]);
+  }
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<std::int64_t, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace eona::telemetry

@@ -1,0 +1,94 @@
+// Client-side measurement schema: what one session beacon carries.
+//
+// This mirrors the Conviva-style instrumentation the paper leans on: each
+// client session periodically reports experience metrics together with the
+// attributes needed to aggregate them (client ISP, CDN, server, region).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace eona::telemetry {
+
+/// Attribute tuple identifying where a session lives in the delivery chain.
+/// Invalid ids mean "unknown / not applicable" (e.g. web sessions have no
+/// CDN server).
+struct Dimensions {
+  IspId isp;
+  CdnId cdn;
+  ServerId server;
+  std::uint32_t region = 0;
+
+  friend bool operator==(const Dimensions&, const Dimensions&) = default;
+};
+
+/// Which attribute columns a group-by keeps; the rest are wildcarded.
+/// E.g. (kIsp | kCdn) aggregates per (ISP, CDN) pair -- exactly the
+/// granularity the paper's A2I example exports.
+enum class Dim : std::uint8_t {
+  kNone = 0,
+  kIsp = 1 << 0,
+  kCdn = 1 << 1,
+  kServer = 1 << 2,
+  kRegion = 1 << 3,
+};
+
+constexpr Dim operator|(Dim a, Dim b) {
+  return static_cast<Dim>(static_cast<std::uint8_t>(a) |
+                          static_cast<std::uint8_t>(b));
+}
+constexpr bool has_dim(Dim mask, Dim d) {
+  return (static_cast<std::uint8_t>(mask) & static_cast<std::uint8_t>(d)) != 0;
+}
+
+/// Projects `dims` onto the columns selected by `mask` (others invalidated),
+/// producing the group key.
+inline Dimensions project(const Dimensions& dims, Dim mask) {
+  Dimensions key;
+  if (has_dim(mask, Dim::kIsp)) key.isp = dims.isp;
+  if (has_dim(mask, Dim::kCdn)) key.cdn = dims.cdn;
+  if (has_dim(mask, Dim::kServer)) key.server = dims.server;
+  if (has_dim(mask, Dim::kRegion)) key.region = dims.region;
+  return key;
+}
+
+/// Experience metrics carried by one beacon. Video sessions fill the video
+/// fields; web sessions fill the web fields; both fill traffic volume.
+struct SessionMetrics {
+  // --- video ---
+  double buffering_ratio = 0.0;   ///< fraction of wall time spent rebuffering
+  BitsPerSecond avg_bitrate = 0;  ///< mean playback bitrate
+  Duration join_time = 0.0;       ///< startup delay until first frame
+  double rebuffer_rate = 0.0;     ///< rebuffer events per minute
+  // --- web ---
+  Duration page_load_time = 0.0;
+  Duration ttfb = 0.0;
+  // --- common ---
+  double engagement = 0.0;  ///< model-predicted engagement (0..1 of content)
+  Bits bytes_delivered = 0.0;  ///< traffic volume (bits, despite legacy name)
+};
+
+/// One beacon: session identity + where it sits + what it measured + when.
+struct SessionRecord {
+  SessionId session;
+  Dimensions dims;
+  SessionMetrics metrics;
+  TimePoint timestamp = 0.0;
+};
+
+}  // namespace eona::telemetry
+
+template <>
+struct std::hash<eona::telemetry::Dimensions> {
+  std::size_t operator()(const eona::telemetry::Dimensions& d) const noexcept {
+    std::size_t h = std::hash<eona::IspId>{}(d.isp);
+    h = h * 1315423911u ^ std::hash<eona::CdnId>{}(d.cdn);
+    h = h * 1315423911u ^ std::hash<eona::ServerId>{}(d.server);
+    h = h * 1315423911u ^ std::hash<std::uint32_t>{}(d.region);
+    return h;
+  }
+};

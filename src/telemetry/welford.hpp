@@ -1,0 +1,78 @@
+// Welford's online algorithm for numerically stable streaming mean and
+// variance. Constant memory per metric; the workhorse of the aggregation
+// pipeline.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace eona::telemetry {
+
+/// Streaming mean / variance / min / max over a sequence of observations.
+class Welford {
+ public:
+  void add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one (parallel aggregation, window
+  /// bucket merging). Uses Chan's parallel variance formula.
+  void merge(const Welford& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    std::uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] double mean() const {
+    EONA_EXPECTS(count_ > 0);
+    return mean_;
+  }
+
+  /// Population variance.
+  [[nodiscard]] double variance() const {
+    EONA_EXPECTS(count_ > 0);
+    return m2_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  [[nodiscard]] double min() const {
+    EONA_EXPECTS(count_ > 0);
+    return min_;
+  }
+  [[nodiscard]] double max() const {
+    EONA_EXPECTS(count_ > 0);
+    return max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace eona::telemetry

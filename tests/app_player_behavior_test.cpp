@@ -1,0 +1,197 @@
+// Behavioural tests of the player's switching discipline: reconnect delay,
+// switch cooldown, and stall-time bitrate abandonment.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "app/video_player.hpp"
+#include "net/transfer.hpp"
+
+namespace eona::app {
+namespace {
+
+/// Brain that always wants to switch between two servers and records how
+/// often it was allowed to.
+class EagerSwitcher : public PlayerBrain {
+ public:
+  ServerId a, b;
+  std::size_t bitrate = 0;
+  int endpoint_calls = 0;
+
+  Endpoint choose_endpoint(const PlayerView& v) override {
+    ++endpoint_calls;
+    if (!v.server.valid()) return {CdnId(0), a};
+    return {CdnId(0), v.server == a ? b : a};
+  }
+  bool should_switch_endpoint(const PlayerView& v) override {
+    return v.chunks_fetched > 0;  // always, after the first chunk
+  }
+  std::size_t choose_bitrate(const PlayerView&) override { return bitrate; }
+};
+
+class PlayerBehaviorTest : public ::testing::Test {
+ protected:
+  PlayerBehaviorTest() : cdn(CdnId(0), "cdn", NodeId{}) {
+    client = topo.add_node(net::NodeKind::kClientPop, "client");
+    edge = topo.add_node(net::NodeKind::kRouter, "edge");
+    sa = topo.add_node(net::NodeKind::kCdnServer, "a");
+    sb = topo.add_node(net::NodeKind::kCdnServer, "b");
+    origin = topo.add_node(net::NodeKind::kOrigin, "o");
+    topo.add_link(edge, client, mbps(100), milliseconds(1));
+    ea = topo.add_link(sa, edge, mbps(10), milliseconds(1));
+    eb = topo.add_link(sb, edge, mbps(10), milliseconds(1));
+    topo.add_link(origin, sa, mbps(10), milliseconds(1));
+    topo.add_link(origin, sb, mbps(10), milliseconds(1));
+    cdn = Cdn(CdnId(0), "cdn", origin);
+    srv_a = cdn.add_server(sa, ea, 4);
+    srv_b = cdn.add_server(sb, eb, 4);
+    cdn.warm_cache(srv_a, {ContentId(0)});
+    cdn.warm_cache(srv_b, {ContentId(0)});
+    directory.add(&cdn);
+    network.emplace(topo);
+    transfers.emplace(sched, *network);
+    routing.emplace(topo);
+    content.id = ContentId(0);
+    content.kind = ContentKind::kVideo;
+    content.video_duration = 60.0;
+    config.ladder = {mbps(1), mbps(2)};
+    config.chunk_duration = 4.0;
+    config.min_switch_interval = 10.0;
+    config.switch_delay = 0.5;
+    config.beacon_period = 0.0;  // no beacons
+  }
+
+  std::unique_ptr<VideoPlayer> make_player(PlayerBrain& brain) {
+    telemetry::Dimensions dims;
+    dims.isp = IspId(0);
+    return std::make_unique<VideoPlayer>(
+        sched, *transfers, *network, *routing, directory, brain, nullptr,
+        config, SessionId(1), dims, client, content, qoe::EngagementModel{},
+        nullptr);
+  }
+
+  net::Topology topo;
+  NodeId client, edge, sa, sb, origin;
+  LinkId ea, eb;
+  Cdn cdn;
+  ServerId srv_a, srv_b;
+  CdnDirectory directory;
+  sim::Scheduler sched;
+  std::optional<net::Network> network;
+  std::optional<net::TransferManager> transfers;
+  std::optional<net::Routing> routing;
+  ContentItem content;
+  PlayerConfig config;
+};
+
+TEST_F(PlayerBehaviorTest, SwitchCooldownBoundsChurn) {
+  EagerSwitcher brain;
+  brain.a = srv_a;
+  brain.b = srv_b;
+  auto player = make_player(brain);
+  player->start();
+  sched.run_all();
+  EXPECT_TRUE(player->finished());
+  // A 60 s video with a 10 s cooldown admits at most ~7 switches even
+  // though the brain wants one per chunk (15 chunks).
+  EXPECT_LE(player->server_switches(), 7u);
+  EXPECT_GE(player->server_switches(), 3u);
+}
+
+TEST_F(PlayerBehaviorTest, ZeroCooldownSwitchesEveryChunk) {
+  config.min_switch_interval = 0.0;
+  config.switch_delay = 0.0;
+  EagerSwitcher brain;
+  brain.a = srv_a;
+  brain.b = srv_b;
+  auto player = make_player(brain);
+  player->start();
+  sched.run_all();
+  // 15 chunks, switching considered before each after the first.
+  EXPECT_GE(player->server_switches(), 12u);
+}
+
+TEST_F(PlayerBehaviorTest, ReconnectDelayExtendsTheSession) {
+  // Same brain, same world; with a large reconnect delay the session must
+  // take visibly longer in startup-bound phases.
+  EagerSwitcher fast_brain;
+  fast_brain.a = srv_a;
+  fast_brain.b = srv_b;
+  config.min_switch_interval = 4.0;
+  config.switch_delay = 0.0;
+  TimePoint fast_end;
+  {
+    auto player = make_player(fast_brain);
+    player->start();
+    sched.run_all();
+    fast_end = sched.now();
+  }
+  sim::Scheduler sched2;
+  net::Network network2(topo);
+  net::TransferManager transfers2(sched2, network2);
+  config.switch_delay = 2.0;  // every switch stalls the pipeline 2 s
+  EagerSwitcher slow_brain;
+  slow_brain.a = srv_a;
+  slow_brain.b = srv_b;
+  telemetry::Dimensions dims;
+  dims.isp = IspId(0);
+  VideoPlayer slow(sched2, transfers2, network2, *routing, directory,
+                   slow_brain, nullptr, config, SessionId(2), dims, client,
+                   content, qoe::EngagementModel{}, nullptr);
+  slow.start();
+  sched2.run_all();
+  // Both finish; the delayed one cannot finish earlier.
+  EXPECT_TRUE(slow.finished());
+  EXPECT_GE(sched2.now(), fast_end - 1e-9);
+}
+
+/// Brain that never switches endpoints and greedily retries the oversized
+/// top rung whenever the buffer looks comfortable.
+class StubbornBrain : public PlayerBrain {
+ public:
+  ServerId server;
+  Endpoint choose_endpoint(const PlayerView&) override {
+    return {CdnId(0), server};
+  }
+  bool should_switch_endpoint(const PlayerView&) override { return false; }
+  std::size_t choose_bitrate(const PlayerView& v) override {
+    return (v.joined && v.buffer >= 8.0) ? 1 : 0;
+  }
+};
+
+TEST_F(PlayerBehaviorTest, StallAbandonsOversizedChunkAndRecovers) {
+  // A 6 Mbps top rung over a link squeezed to 1.5 Mbps: every top-rung
+  // chunk (24 Mb, 16 s) is doomed. Stall-time abandonment must cancel it
+  // and refetch at the floor (4 Mb, 2.7 s) so stalls stay short; without
+  // abandonment each stall would run ~13 s and the session would spend the
+  // majority of its time frozen.
+  config.ladder = {mbps(1), mbps(6)};
+  config.max_buffer = 12.0;
+  config.startup_target = 8.0;
+  content.video_duration = 120.0;
+  StubbornBrain brain;
+  brain.server = srv_a;
+  std::optional<telemetry::SessionRecord> final_record;
+  telemetry::Dimensions dims;
+  dims.isp = IspId(0);
+  VideoPlayer player(sched, *transfers, *network, *routing, directory, brain,
+                     nullptr, config, SessionId(1), dims, client, content,
+                     qoe::EngagementModel{},
+                     [&](const telemetry::SessionRecord& r) {
+                       final_record = r;
+                     });
+  player.start();
+  sched.schedule_at(12.0, [&] { network->set_link_capacity(ea, mbps(1.5)); });
+  sched.run_all();
+  ASSERT_TRUE(final_record.has_value());
+  EXPECT_TRUE(player.finished());
+  EXPECT_GE(player.stall_count(), 2u);  // the brain keeps re-trying the top
+  EXPECT_EQ(player.server_switches(), 0u);
+  // Short abandonment stalls, not 13 s freezes.
+  EXPECT_LT(final_record->metrics.buffering_ratio, 0.30);
+  // And the session ends in bounded time (no wedging on doomed requests).
+  EXPECT_LT(final_record->timestamp, 1.8 * content.video_duration);
+}
+
+}  // namespace
+}  // namespace eona::app

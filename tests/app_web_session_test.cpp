@@ -1,0 +1,113 @@
+// Tests for web page-load sessions over the fluid network.
+#include "app/web_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/transfer.hpp"
+
+namespace eona::app {
+namespace {
+
+class WebSessionTest : public ::testing::Test {
+ protected:
+  WebSessionTest() {
+    client = topo.add_node(net::NodeKind::kClientPop, "client");
+    server = topo.add_node(net::NodeKind::kOrigin, "server");
+    link = topo.add_link(server, client, mbps(8), milliseconds(25));
+    network.emplace(topo);
+    transfers.emplace(sched, *network);
+    routing.emplace(topo);
+  }
+
+  net::Topology topo;
+  NodeId client, server;
+  LinkId link;
+  sim::Scheduler sched;
+  std::optional<net::Network> network;
+  std::optional<net::TransferManager> transfers;
+  std::optional<net::Routing> routing;
+};
+
+TEST_F(WebSessionTest, OutcomeMatchesAnalyticModel) {
+  WebSessionConfig cfg;
+  cfg.objects = 12;
+  cfg.server_think = 0.05;
+  std::optional<WebSessionOutcome> outcome;
+  telemetry::Dimensions dims;
+  dims.region = 3;
+  WebSession session(sched, *transfers, *routing, cfg, SessionId(1), dims,
+                     client, server, megabits(8), nullptr,
+                     [&](const WebSessionOutcome& o) { outcome = o; });
+  session.start();
+  sched.run_all();
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(session.finished());
+  // One-way delay 25 ms -> RTT 50 ms; transfer of 8 Mb at 8 Mbps = 1 s.
+  EXPECT_NEAR(outcome->rtt, 0.050, 1e-9);
+  EXPECT_NEAR(outcome->flow_duration, 1.0, 1e-9);
+  EXPECT_NEAR(outcome->observed_throughput, mbps(8), 1e3);
+  // TTFB = 2 RTT + think.
+  EXPECT_NEAR(outcome->record.metrics.ttfb, 0.15, 1e-9);
+  // PLT = ttfb + transfer + 2 request rounds x RTT.
+  EXPECT_NEAR(outcome->record.metrics.page_load_time, 0.15 + 1.0 + 0.1, 1e-9);
+  EXPECT_EQ(outcome->record.dims.region, 3u);
+  EXPECT_GT(outcome->record.metrics.engagement, 0.9);
+}
+
+TEST_F(WebSessionTest, ExtraRttModelsRadioLatency) {
+  WebSessionConfig base;
+  WebSessionConfig radio = base;
+  radio.extra_rtt = 0.2;
+
+  std::optional<WebSessionOutcome> fast, slow;
+  WebSession s1(sched, *transfers, *routing, base, SessionId(1), {}, client,
+                server, megabits(4), nullptr,
+                [&](const WebSessionOutcome& o) { fast = o; });
+  WebSession s2(sched, *transfers, *routing, radio, SessionId(2), {}, client,
+                server, megabits(4), nullptr,
+                [&](const WebSessionOutcome& o) { slow = o; });
+  s1.start();
+  sched.run_all();
+  s2.start();
+  sched.run_all();
+  ASSERT_TRUE(fast && slow);
+  EXPECT_NEAR(slow->rtt - fast->rtt, 0.2, 1e-9);
+  EXPECT_GT(slow->record.metrics.page_load_time,
+            fast->record.metrics.page_load_time + 0.4);
+}
+
+TEST_F(WebSessionTest, CongestionSlowsTheLoad) {
+  // Occupy the link with a competitor so the page gets half the bandwidth.
+  network->add_flow({link});
+  std::optional<WebSessionOutcome> outcome;
+  WebSession session(sched, *transfers, *routing, {}, SessionId(1), {}, client,
+                     server, megabits(8), nullptr,
+                     [&](const WebSessionOutcome& o) { outcome = o; });
+  session.start();
+  sched.run_all();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NEAR(outcome->flow_duration, 2.0, 1e-6);
+  EXPECT_NEAR(outcome->observed_throughput, mbps(4), 1e3);
+}
+
+TEST_F(WebSessionTest, BeaconGoesToCollector) {
+  telemetry::BeaconCollector collector;
+  WebSession session(sched, *transfers, *routing, {}, SessionId(9), {}, client,
+                     server, megabits(1), &collector, nullptr);
+  session.start();
+  sched.run_all();
+  EXPECT_EQ(collector.beacon_count(), 1u);
+}
+
+TEST_F(WebSessionTest, DoubleStartIsAContractViolation) {
+  WebSession session(sched, *transfers, *routing, {}, SessionId(1), {}, client,
+                     server, megabits(1), nullptr, nullptr);
+  session.start();
+  EXPECT_THROW(session.start(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace eona::app

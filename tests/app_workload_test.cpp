@@ -1,0 +1,109 @@
+// Tests for the non-homogeneous Poisson arrival process.
+#include "app/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eona::app {
+namespace {
+
+TEST(PoissonArrivals, EmpiricalRateMatchesPhase) {
+  sim::Scheduler sched;
+  int count = 0;
+  PoissonArrivals arrivals(sched, sim::Rng(1), {{0.0, 2.0}}, 1000.0,
+                           [&] { ++count; });
+  sched.run_all();
+  // 2/s for 1000 s: expect ~2000 +- a few sigma (sigma ~ 45).
+  EXPECT_NEAR(count, 2000, 200);
+  EXPECT_EQ(arrivals.arrivals(), static_cast<std::uint64_t>(count));
+}
+
+TEST(PoissonArrivals, PhasesChangeTheRate) {
+  sim::Scheduler sched;
+  std::vector<TimePoint> times;
+  PoissonArrivals arrivals(sched, sim::Rng(2),
+                           {{0.0, 0.2}, {500.0, 5.0}, {600.0, 0.2}}, 1100.0,
+                           [&] { times.push_back(sched.now()); });
+  sched.run_all();
+  int before = 0, during = 0, after = 0;
+  for (TimePoint t : times) {
+    if (t < 500.0)
+      ++before;
+    else if (t < 600.0)
+      ++during;
+    else
+      ++after;
+  }
+  EXPECT_NEAR(before, 100, 40);   // 0.2/s x 500 s
+  EXPECT_NEAR(during, 500, 100);  // 5/s x 100 s
+  EXPECT_NEAR(after, 100, 40);
+}
+
+TEST(PoissonArrivals, ZeroRatePhaseProducesNothing) {
+  sim::Scheduler sched;
+  std::vector<TimePoint> times;
+  PoissonArrivals arrivals(sched, sim::Rng(3), {{0.0, 0.0}, {100.0, 1.0}},
+                           200.0, [&] { times.push_back(sched.now()); });
+  sched.run_all();
+  for (TimePoint t : times) EXPECT_GE(t, 100.0);
+  EXPECT_GT(times.size(), 50u);
+}
+
+TEST(PoissonArrivals, NoArrivalsAtOrAfterEnd) {
+  sim::Scheduler sched;
+  std::vector<TimePoint> times;
+  PoissonArrivals arrivals(sched, sim::Rng(4), {{0.0, 10.0}}, 50.0,
+                           [&] { times.push_back(sched.now()); });
+  sched.run_all();
+  for (TimePoint t : times) EXPECT_LT(t, 50.0);
+}
+
+TEST(PoissonArrivals, StopHalts) {
+  sim::Scheduler sched;
+  int count = 0;
+  PoissonArrivals arrivals(sched, sim::Rng(5), {{0.0, 10.0}}, 1000.0,
+                           [&] { ++count; });
+  sched.run_until(10.0);
+  int at_stop = count;
+  arrivals.stop();
+  sched.run_all();
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(PoissonArrivals, RateAtAndBoundaries) {
+  sim::Scheduler sched;
+  PoissonArrivals arrivals(sched, sim::Rng(6), {{0.0, 1.0}, {10.0, 2.0}},
+                           100.0, [] {});
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(arrivals.next_boundary(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(arrivals.next_boundary(10.0), 100.0);
+  arrivals.stop();
+}
+
+TEST(PoissonArrivals, InvalidConfigsAreContractViolations) {
+  sim::Scheduler sched;
+  EXPECT_THROW(
+      PoissonArrivals(sched, sim::Rng(7), {}, 10.0, [] {}),
+      ContractViolation);
+  EXPECT_THROW(PoissonArrivals(sched, sim::Rng(7), {{0.0, -1.0}}, 10.0, [] {}),
+               ContractViolation);
+  EXPECT_THROW(PoissonArrivals(sched, sim::Rng(7), {{5.0, 1.0}, {5.0, 2.0}},
+                               10.0, [] {}),
+               ContractViolation);
+}
+
+TEST(PoissonArrivals, DeterministicForFixedSeed) {
+  auto run = [] {
+    sim::Scheduler sched;
+    std::vector<TimePoint> times;
+    PoissonArrivals arrivals(sched, sim::Rng(99), {{0.0, 1.0}}, 100.0,
+                             [&] { times.push_back(sched.now()); });
+    sched.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace eona::app

@@ -1,0 +1,197 @@
+// Tests for server energy management: load-threshold scaling, the EONA QoE
+// guardrail, cache loss on power-off, and savings accounting.
+#include "control/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/transfer.hpp"
+
+namespace eona::control {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest() : cdn(CdnId(0), "cdn", NodeId{}) {
+    edge = topo.add_node(net::NodeKind::kRouter, "edge");
+    origin = topo.add_node(net::NodeKind::kOrigin, "origin");
+    for (int i = 0; i < 3; ++i) {
+      NodeId node =
+          topo.add_node(net::NodeKind::kCdnServer, "s" + std::to_string(i));
+      nodes.push_back(node);
+      links.push_back(topo.add_link(node, edge, mbps(10), milliseconds(1)));
+    }
+    network.emplace(topo);
+    cdn = app::Cdn(CdnId(0), "cdn", origin);
+    for (int i = 0; i < 3; ++i) {
+      servers.push_back(cdn.add_server(nodes[i], links[i], 4));
+      cdn.warm_cache(servers.back(), {ContentId(0)});
+    }
+  }
+
+  EnergyManager make(EnergyConfig config = {}) {
+    return EnergyManager(sched, *network, cdn, ProviderId(2), config);
+  }
+
+  void push_a2i(EnergyManager& energy, double buffering, double engagement,
+                std::uint64_t sessions = 100) {
+    if (!a2i_source) {
+      a2i_source.emplace(ProviderId(0));
+      a2i_source->authorize(ProviderId(2), "tok");
+      energy.subscribe_a2i(&*a2i_source, "tok");
+    }
+    core::A2IReport report;
+    report.from = ProviderId(0);
+    report.generated_at = sched.now();
+    core::QoeGroupReport g;
+    g.isp = IspId(0);
+    g.cdn = CdnId(0);
+    g.mean_buffering_ratio = buffering;
+    g.mean_engagement = engagement;
+    g.sessions = sessions;
+    report.groups.push_back(g);
+    a2i_source->publish(report, sched.now());
+  }
+
+  net::Topology topo;
+  NodeId edge, origin;
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  std::vector<ServerId> servers;
+  sim::Scheduler sched;
+  std::optional<net::Network> network;
+  app::Cdn cdn;
+  std::optional<core::A2IEndpoint> a2i_source;
+};
+
+TEST_F(EnergyTest, BaselineShedsWhenIdle) {
+  EnergyManager energy = make();
+  EXPECT_EQ(cdn.online_count(), 3u);
+  energy.tick();  // load 0 <= scale_down
+  EXPECT_EQ(cdn.online_count(), 2u);
+  EXPECT_EQ(energy.shutdowns(), 1u);
+  energy.tick();
+  energy.tick();
+  // min_online=1 floors the shedding.
+  EXPECT_EQ(cdn.online_count(), 1u);
+  energy.tick();
+  EXPECT_EQ(cdn.online_count(), 1u);
+}
+
+TEST_F(EnergyTest, ShutdownZeroesCapacityAndDropsCache) {
+  EnergyManager energy = make();
+  energy.tick();
+  // Find the offline server.
+  ServerId off;
+  for (const auto& s : cdn.servers())
+    if (!s.online) off = s.id;
+  ASSERT_TRUE(off.valid());
+  EXPECT_DOUBLE_EQ(network->link_capacity(cdn.server(off).egress), 0.0);
+  EXPECT_EQ(cdn.server(off).cache.size(), 0u) << "power-off loses the cache";
+}
+
+TEST_F(EnergyTest, WakeRestoresCapacity) {
+  EnergyManager energy = make();
+  energy.tick();  // shed one
+  // Saturate the two remaining servers so mean load > scale_up.
+  for (const auto& s : cdn.servers())
+    if (s.online) network->add_flow({s.egress});
+  energy.tick();
+  EXPECT_EQ(cdn.online_count(), 3u);
+  EXPECT_EQ(energy.wakes(), 1u);
+  for (const auto& s : cdn.servers())
+    EXPECT_DOUBLE_EQ(network->link_capacity(s.egress), mbps(10));
+}
+
+TEST_F(EnergyTest, ShedsTheLeastLoadedServer) {
+  EnergyManager energy = make();
+  network->add_flow({links[0]});
+  network->add_flow({links[1]});
+  // Server 2 idle -> it is the victim. (Loads: 1, 1, 0 -> mean ~0.67, but
+  // scale_down must permit: use a generous threshold.)
+  EnergyConfig config;
+  config.scale_down_load = 0.7;
+  config.scale_up_load = 0.9;
+  EnergyManager aggressive = make(config);
+  aggressive.tick();
+  EXPECT_FALSE(cdn.server(servers[2]).online);
+}
+
+TEST_F(EnergyTest, EonaGuardrailBlocksSheddingOnBadQoe) {
+  EnergyManager energy = make();
+  energy.set_eona_enabled(true);
+  push_a2i(energy, /*buffering=*/0.10, /*engagement=*/0.95);
+  energy.tick();
+  // Bad buffering: wake (no-op at 3/3) and refuse to shed.
+  EXPECT_EQ(cdn.online_count(), 3u);
+  EXPECT_EQ(energy.shutdowns(), 0u);
+}
+
+TEST_F(EnergyTest, EonaGuardrailBlocksSheddingOnLowEngagement) {
+  EnergyManager energy = make();
+  energy.set_eona_enabled(true);
+  push_a2i(energy, 0.0, /*engagement=*/0.70);
+  energy.tick();
+  EXPECT_EQ(energy.shutdowns(), 0u);
+}
+
+TEST_F(EnergyTest, EonaWakesOnQoeDegradation) {
+  EnergyManager energy = make();
+  energy.set_eona_enabled(true);
+  push_a2i(energy, 0.0, 0.99);
+  energy.tick();  // healthy: sheds one
+  EXPECT_EQ(cdn.online_count(), 2u);
+  push_a2i(energy, 0.20, 0.50);
+  energy.tick();  // QoE collapsed: wake immediately
+  EXPECT_EQ(cdn.online_count(), 3u);
+}
+
+TEST_F(EnergyTest, EonaShedsWhenComfortable) {
+  EnergyManager energy = make();
+  energy.set_eona_enabled(true);
+  push_a2i(energy, 0.001, 0.98);
+  energy.tick();
+  EXPECT_EQ(cdn.online_count(), 2u);
+}
+
+TEST_F(EnergyTest, SavingsAccounting) {
+  EnergyManager energy = make();
+  energy.tick();  // 2 online from t=0
+  sched.run_until(100.0);
+  // 3 servers, one off for ~100 s.
+  EXPECT_NEAR(energy.server_seconds_saved(100.0), 100.0, 1.0);
+  EXPECT_NEAR(energy.online_series().time_weighted_mean(0.0, 100.0), 2.0,
+              0.05);
+}
+
+TEST_F(EnergyTest, MeanLoadCoversOnlyOnlineServers) {
+  EnergyManager energy = make();
+  network->add_flow({links[0]});  // saturates server 0
+  EXPECT_NEAR(energy.mean_online_load(), 1.0 / 3.0, 1e-9);
+  cdn.set_online(servers[1], false);
+  cdn.set_online(servers[2], false);
+  EXPECT_NEAR(energy.mean_online_load(), 1.0, 1e-9);
+}
+
+TEST_F(EnergyTest, ReportedMetricsComeFromMatchingCdnOnly) {
+  EnergyManager energy = make();
+  energy.set_eona_enabled(true);
+  // Report for a different CDN: must be ignored.
+  core::A2IReport report;
+  report.from = ProviderId(0);
+  core::QoeGroupReport g;
+  g.cdn = CdnId(9);
+  g.mean_buffering_ratio = 0.9;
+  g.sessions = 10;
+  report.groups.push_back(g);
+  a2i_source.emplace(ProviderId(0));
+  a2i_source->authorize(ProviderId(2), "tok");
+  energy.subscribe_a2i(&*a2i_source, "tok");
+  a2i_source->publish(report, 0.0);
+  energy.tick();
+  EXPECT_FALSE(energy.reported_buffering().has_value());
+  // With no QoE data the EONA controller still sheds on load.
+  EXPECT_EQ(energy.shutdowns(), 1u);
+}
+
+}  // namespace
+}  // namespace eona::control

@@ -1,0 +1,89 @@
+// Tests for windowed link statistics.
+#include "control/link_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/transfer.hpp"
+
+namespace eona::control {
+namespace {
+
+class LinkMonitorTest : public ::testing::Test {
+ protected:
+  LinkMonitorTest() {
+    a = topo.add_node(net::NodeKind::kRouter, "a");
+    b = topo.add_node(net::NodeKind::kRouter, "b");
+    ab = topo.add_link(a, b, mbps(10), milliseconds(1));
+    network.emplace(topo);
+  }
+  net::Topology topo;
+  NodeId a, b;
+  LinkId ab;
+  sim::Scheduler sched;
+  std::optional<net::Network> network;
+};
+
+TEST_F(LinkMonitorTest, IdleLinkReadsZero) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 10);
+  sched.run_until(20.0);
+  EXPECT_DOUBLE_EQ(monitor.mean_utilization(ab), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.starved_fraction(ab), 0.0);
+  EXPECT_FALSE(monitor.congested(ab, 0.8));
+  EXPECT_GT(monitor.sample_count(), 15u);
+}
+
+TEST_F(LinkMonitorTest, DutyCycleShowsUpInTheMean) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 20);
+  // Saturate the link for exactly half the window.
+  FlowId flow{};
+  sched.schedule_at(0.5, [&] { flow = network->add_flow({ab}); });
+  sched.schedule_at(10.5, [&] { network->remove_flow(flow); });
+  sched.run_until(20.5);
+  EXPECT_NEAR(monitor.mean_utilization(ab), 0.5, 0.1);
+  EXPECT_NEAR(monitor.starved_fraction(ab), 0.5, 0.1);
+}
+
+TEST_F(LinkMonitorTest, WindowForgetsOldSamples) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 10);
+  FlowId flow{};
+  sched.schedule_at(0.5, [&] { flow = network->add_flow({ab}); });
+  sched.schedule_at(5.5, [&] { network->remove_flow(flow); });
+  // 30 s later the 10-sample window holds only idle samples.
+  sched.run_until(35.0);
+  EXPECT_DOUBLE_EQ(monitor.mean_utilization(ab), 0.0);
+}
+
+TEST_F(LinkMonitorTest, CongestedNeedsBothConditions) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 10);
+  // Demand-capped at capacity: high utilisation but nobody starved.
+  network->add_flow({ab}, mbps(10));
+  sched.run_until(15.0);
+  EXPECT_GT(monitor.mean_utilization(ab), 0.9);
+  EXPECT_DOUBLE_EQ(monitor.starved_fraction(ab), 0.0);
+  EXPECT_FALSE(monitor.congested(ab, 0.85));
+  // Add an elastic flow: now flows are starved too.
+  network->add_flow({ab});
+  sched.run_until(40.0);
+  EXPECT_TRUE(monitor.congested(ab, 0.85));
+}
+
+TEST_F(LinkMonitorTest, MeanFlowsTracksConcurrency) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 10);
+  network->add_flow({ab});
+  network->add_flow({ab});
+  sched.run_until(15.0);
+  EXPECT_NEAR(monitor.mean_flows(ab), 2.0, 0.01);
+}
+
+TEST_F(LinkMonitorTest, TrackAddsLinksLazily) {
+  LinkMonitor monitor(sched, *network, {}, 1.0, 10);
+  EXPECT_FALSE(monitor.tracks(ab));
+  EXPECT_THROW(monitor.mean_utilization(ab), NotFoundError);
+  monitor.track(ab);
+  network->add_flow({ab});
+  sched.run_until(5.0);
+  EXPECT_GT(monitor.mean_utilization(ab), 0.9);
+}
+
+}  // namespace
+}  // namespace eona::control

@@ -1,0 +1,125 @@
+// Tests for the omniscient oracle brain.
+#include "control/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/transfer.hpp"
+
+namespace eona::control {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : cdn1(CdnId(0), "c1", NodeId{}), cdn2(CdnId(1), "c2", NodeId{}) {
+    client = topo.add_node(net::NodeKind::kClientPop, "client");
+    edge = topo.add_node(net::NodeKind::kRouter, "edge");
+    s1 = topo.add_node(net::NodeKind::kCdnServer, "s1");
+    s2 = topo.add_node(net::NodeKind::kCdnServer, "s2");
+    s3 = topo.add_node(net::NodeKind::kCdnServer, "s3");
+    origin = topo.add_node(net::NodeKind::kOrigin, "origin");
+    topo.add_link(edge, client, mbps(200), milliseconds(2));
+    e1 = topo.add_link(s1, edge, mbps(50), milliseconds(2));
+    e2 = topo.add_link(s2, edge, mbps(10), milliseconds(2));
+    e3 = topo.add_link(s3, edge, mbps(30), milliseconds(2));
+    cdn1 = app::Cdn(CdnId(0), "c1", origin);
+    cdn2 = app::Cdn(CdnId(1), "c2", origin);
+    srv1 = cdn1.add_server(s1, e1, 4);
+    srv2 = cdn1.add_server(s2, e2, 4);
+    srv3 = cdn2.add_server(s3, e3, 4);
+    directory.add(&cdn1);
+    directory.add(&cdn2);
+    network.emplace(topo);
+    routing.emplace(topo);
+  }
+
+  app::PlayerView view(CdnId cdn = CdnId{}, ServerId server = ServerId{}) {
+    app::PlayerView v;
+    v.session = SessionId(1);
+    v.cdn = cdn;
+    v.server = server;
+    v.isp = IspId(0);
+    v.client_node = client;
+    v.joined = true;
+    v.buffer = 15.0;
+    v.max_buffer = 24.0;
+    v.ladder = &ladder;
+    return v;
+  }
+
+  net::Topology topo;
+  NodeId client, edge, s1, s2, s3, origin;
+  LinkId e1, e2, e3;
+  app::Cdn cdn1, cdn2;
+  ServerId srv1, srv2, srv3;
+  app::CdnDirectory directory;
+  std::optional<net::Network> network;
+  std::optional<net::Routing> routing;
+  std::vector<BitsPerSecond> ladder{mbps(1), mbps(3), mbps(6)};
+};
+
+TEST_F(OracleTest, PicksTheBiggestPipeAcrossCdns) {
+  OracleBrain oracle(*network, *routing, directory);
+  app::Endpoint choice = oracle.choose_endpoint(view());
+  EXPECT_EQ(choice.cdn, CdnId(0));
+  EXPECT_EQ(choice.server, srv1);  // 50 Mbps beats 30 and 10
+}
+
+TEST_F(OracleTest, AccountsForExistingLoad) {
+  OracleBrain oracle(*network, *routing, directory);
+  // Crowd server 1 with background flows: 50/(5+1) ~ 8.3 < 30 on server 3.
+  for (int i = 0; i < 5; ++i) network->add_flow({e1});
+  app::Endpoint choice = oracle.choose_endpoint(view());
+  EXPECT_EQ(choice.server, srv3);
+  EXPECT_EQ(choice.cdn, CdnId(1));
+}
+
+TEST_F(OracleTest, SkipsOfflineServers) {
+  OracleBrain oracle(*network, *routing, directory);
+  cdn1.set_online(srv1, false);
+  app::Endpoint choice = oracle.choose_endpoint(view());
+  // Best remaining pipe is cdn2's 30 Mbps server (server ids are per-CDN,
+  // so compare the full endpoint).
+  EXPECT_EQ(choice.cdn, CdnId(1));
+  EXPECT_EQ(choice.server, srv3);
+}
+
+TEST_F(OracleTest, SwitchRequiresRealGain) {
+  OracleConfig config;
+  config.switch_gain = 1.3;
+  OracleBrain oracle(*network, *routing, directory, config);
+  // Currently on server 3 (30 Mbps); best is server 1 (50 Mbps): 50/30 =
+  // 1.67 > 1.3 -> switch.
+  EXPECT_TRUE(oracle.should_switch_endpoint(view(CdnId(1), srv3)));
+  // Load server 1 so its edge drops to 25 Mbps for a newcomer: gain < 1.3.
+  network->add_flow({e1});
+  EXPECT_FALSE(oracle.should_switch_endpoint(view(CdnId(1), srv3)));
+  // Already on the best endpoint: never switch.
+  EXPECT_FALSE(oracle.should_switch_endpoint(view(CdnId(0), srv1)));
+}
+
+TEST_F(OracleTest, BitrateFollowsPredictedShare) {
+  OracleBrain oracle(*network, *routing, directory);
+  app::PlayerView v = view(CdnId(0), srv1);
+  // Empty network: share 50/(0+1) -> 0.85*50 = 42.5 -> top rung.
+  EXPECT_EQ(oracle.choose_bitrate(v), 2u);
+  // Crowd it: share 50/11 = 4.5 -> 0.85*4.5 = 3.9 -> 3 Mbps rung.
+  for (int i = 0; i < 10; ++i) network->add_flow({e1});
+  EXPECT_EQ(oracle.choose_bitrate(v), 1u);
+}
+
+TEST_F(OracleTest, PanicBufferDropsToFloor) {
+  OracleBrain oracle(*network, *routing, directory);
+  app::PlayerView v = view(CdnId(0), srv1);
+  v.buffer = 1.0;
+  EXPECT_EQ(oracle.choose_bitrate(v), 0u);
+}
+
+TEST_F(OracleTest, MeasuredThroughputTempersOptimism) {
+  OracleBrain oracle(*network, *routing, directory);
+  app::PlayerView v = view(CdnId(0), srv1);
+  v.throughput_estimate = mbps(2);  // reality disagrees with the share
+  EXPECT_EQ(oracle.choose_bitrate(v), 0u);  // 0.85*2 = 1.7 -> 1 Mbps rung
+}
+
+}  // namespace
+}  // namespace eona::control

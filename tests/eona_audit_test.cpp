@@ -1,0 +1,149 @@
+// Tests for the trust auditor (§5 fairness & trust).
+#include "eona/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eona::core {
+namespace {
+
+CdnEvidence healthy(CdnId cdn) {
+  CdnEvidence e;
+  e.cdn = cdn;
+  e.mean_bitrate = 2.9e6;
+  e.intended_bitrate = 3e6;
+  e.mean_buffering = 0.001;
+  e.sessions = 50;
+  return e;
+}
+
+CdnEvidence starving(CdnId cdn) {
+  CdnEvidence e;
+  e.cdn = cdn;
+  e.mean_bitrate = 0.8e6;
+  e.intended_bitrate = 3e6;
+  e.mean_buffering = 0.15;
+  e.sessions = 50;
+  return e;
+}
+
+I2AReport selected_claim(CdnId cdn, bool congested) {
+  I2AReport report;
+  report.from = ProviderId(1);
+  PeeringStatus p;
+  p.peering = PeeringId(0);
+  p.cdn = cdn;
+  p.selected = true;
+  p.congested = congested;
+  report.peerings.push_back(p);
+  return report;
+}
+
+TEST(Auditor, StartsFullyTrusted) {
+  InterfaceAuditor auditor;
+  EXPECT_DOUBLE_EQ(auditor.trust(), 1.0);
+  EXPECT_TRUE(auditor.trusted());
+}
+
+TEST(Auditor, ConsistentClaimsKeepTrustHigh) {
+  InterfaceAuditor auditor;
+  for (int i = 0; i < 20; ++i) {
+    // Claims congestion; clients are indeed starving. Consistent.
+    auto outcome = auditor.audit(selected_claim(CdnId(0), true),
+                                 {starving(CdnId(0))});
+    EXPECT_EQ(outcome.contradictions, 0u);
+  }
+  EXPECT_DOUBLE_EQ(auditor.trust(), 1.0);
+  EXPECT_EQ(auditor.claims_checked(), 20u);
+}
+
+TEST(Auditor, CryingWolfErodesTrust) {
+  InterfaceAuditor auditor;
+  for (int i = 0; i < 20; ++i) {
+    // Claims congestion while clients thrive: contradiction every report.
+    auto outcome =
+        auditor.audit(selected_claim(CdnId(0), true), {healthy(CdnId(0))});
+    EXPECT_EQ(outcome.contradictions, 1u);
+  }
+  EXPECT_LT(auditor.trust(), 0.05);
+  EXPECT_FALSE(auditor.trusted());
+  EXPECT_EQ(auditor.contradictions(), 20u);
+}
+
+TEST(Auditor, DenyingRealCongestionErodesTrust) {
+  InterfaceAuditor auditor;
+  for (int i = 0; i < 10; ++i)
+    auditor.audit(selected_claim(CdnId(0), false), {starving(CdnId(0))});
+  EXPECT_LT(auditor.trust(), 0.2);
+}
+
+TEST(Auditor, StarvationExcusedByAccessCongestion) {
+  InterfaceAuditor auditor;
+  I2AReport report = selected_claim(CdnId(0), false);
+  CongestionSignal access;
+  access.scope = CongestionScope::kAccess;
+  access.severity = 0.7;
+  report.congestion.push_back(access);
+  auto outcome = auditor.audit(report, {starving(CdnId(0))});
+  EXPECT_EQ(outcome.contradictions, 0u);
+  EXPECT_DOUBLE_EQ(auditor.trust(), 1.0);
+}
+
+TEST(Auditor, StarvationExcusedByOfflineServer) {
+  InterfaceAuditor auditor;
+  I2AReport report = selected_claim(CdnId(0), false);
+  ServerHint hint;
+  hint.cdn = CdnId(0);
+  hint.server = ServerId(1);
+  hint.online = false;
+  report.server_hints.push_back(hint);
+  auto outcome = auditor.audit(report, {starving(CdnId(0))});
+  EXPECT_EQ(outcome.contradictions, 0u);
+}
+
+TEST(Auditor, ThinEvidenceIsNotAudited) {
+  InterfaceAuditor auditor;
+  CdnEvidence thin = healthy(CdnId(0));
+  thin.sessions = 2;  // below min_sessions
+  auto outcome = auditor.audit(selected_claim(CdnId(0), true), {thin});
+  EXPECT_EQ(outcome.claims_checked, 0u);
+  EXPECT_DOUBLE_EQ(auditor.trust(), 1.0);
+}
+
+TEST(Auditor, AmbiguousEvidenceIsNotAudited) {
+  InterfaceAuditor auditor;
+  CdnEvidence middling = healthy(CdnId(0));
+  middling.mean_bitrate = 2.2e6;  // 73% of intent: neither healthy nor starving
+  auto outcome = auditor.audit(selected_claim(CdnId(0), true), {middling});
+  EXPECT_EQ(outcome.claims_checked, 0u);
+}
+
+TEST(Auditor, UnreportedCdnsAreSkipped) {
+  InterfaceAuditor auditor;
+  auto outcome =
+      auditor.audit(selected_claim(CdnId(0), true), {healthy(CdnId(7))});
+  EXPECT_EQ(outcome.claims_checked, 0u);
+}
+
+TEST(Auditor, TrustRecoversAfterHonestStreak) {
+  InterfaceAuditor auditor;
+  for (int i = 0; i < 10; ++i)
+    auditor.audit(selected_claim(CdnId(0), true), {healthy(CdnId(0))});
+  double low = auditor.trust();
+  ASSERT_LT(low, 0.5);
+  for (int i = 0; i < 30; ++i)
+    auditor.audit(selected_claim(CdnId(0), true), {starving(CdnId(0))});
+  EXPECT_GT(auditor.trust(), 0.9);
+}
+
+TEST(Auditor, InvalidConfigIsAContractViolation) {
+  AuditConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(InterfaceAuditor{bad}, ContractViolation);
+  AuditConfig inverted;
+  inverted.healthy_bitrate_fraction = 0.5;
+  inverted.starving_bitrate_fraction = 0.6;
+  EXPECT_THROW(InterfaceAuditor{inverted}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace eona::core

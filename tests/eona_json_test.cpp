@@ -1,0 +1,161 @@
+// Tests for the JSON codec: value model, parser strictness, and report
+// round trips (including a randomized sweep).
+#include "eona/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace eona::core {
+namespace {
+
+TEST(Json, ScalarDumpAndParse) {
+  EXPECT_EQ(JsonValue::number(42).dump(), "42");
+  EXPECT_EQ(JsonValue::number(-3.5).dump(), "-3.5");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue{}.dump(), "null");
+  EXPECT_EQ(JsonValue::string("hi").dump(), "\"hi\"");
+
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_TRUE(JsonValue::parse(" null ").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  JsonValue v = JsonValue::string("a\"b\\c\nd\te");
+  std::string dumped = v.dump();
+  EXPECT_EQ(JsonValue::parse(dumped).as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, NestedStructures) {
+  JsonValue obj = JsonValue::object();
+  obj.set("name", JsonValue::string("eona"));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::number(1));
+  arr.push_back(JsonValue::number(2));
+  obj.set("values", std::move(arr));
+
+  JsonValue parsed = JsonValue::parse(obj.dump(2));
+  EXPECT_EQ(parsed.at("name").as_string(), "eona");
+  ASSERT_EQ(parsed.at("values").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.at("values").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(parsed.has("name"));
+  EXPECT_FALSE(parsed.has("nope"));
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1 2]", "nul", "\"bad\\q\"", "--1", "{a:1}"}) {
+    EXPECT_THROW(JsonValue::parse(bad), CodecError) << bad;
+  }
+}
+
+TEST(Json, KindMismatchesThrow) {
+  JsonValue n = JsonValue::number(1);
+  EXPECT_THROW(n.as_string(), CodecError);
+  EXPECT_THROW(n.as_array(), CodecError);
+  EXPECT_THROW(n.at("x"), CodecError);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.at("missing"), CodecError);
+}
+
+TEST(Json, NonFiniteNumbersRefuseToSerialise) {
+  EXPECT_THROW(JsonValue::number(1.0 / 0.0).dump(), CodecError);
+}
+
+TEST(JsonReports, A2IRoundTrip) {
+  A2IReport report;
+  report.from = ProviderId(3);
+  report.generated_at = 12.5;
+  QoeGroupReport g;
+  g.isp = IspId(1);
+  g.cdn = CdnId(2);
+  // server deliberately invalid: must survive as a wildcard
+  g.mean_buffering_ratio = 0.0625;
+  g.mean_bitrate = 2.5e6;
+  g.sessions = 12345;
+  report.groups.push_back(g);
+  TrafficForecast f;
+  f.cdn = CdnId(2);
+  f.expected_rate = 1.25e8;
+  report.forecasts.push_back(f);
+
+  std::string text = to_json(report);
+  A2IReport decoded = a2i_from_json(text);
+  EXPECT_EQ(decoded, report);
+  EXPECT_FALSE(decoded.groups[0].server.valid());
+}
+
+TEST(JsonReports, I2ARoundTripAllScopes) {
+  I2AReport report;
+  report.from = ProviderId(9);
+  for (auto scope : {CongestionScope::kAccess, CongestionScope::kPeering,
+                     CongestionScope::kBackbone}) {
+    CongestionSignal c;
+    c.isp = IspId(0);
+    c.scope = scope;
+    c.severity = 0.5;
+    report.congestion.push_back(c);
+  }
+  PeeringStatus p;
+  p.peering = PeeringId(1);
+  p.congested = true;
+  p.selected = true;
+  report.peerings.push_back(p);
+  ServerHint h;
+  h.server = ServerId(4);
+  h.online = false;
+  report.server_hints.push_back(h);
+
+  EXPECT_EQ(i2a_from_json(to_json(report)), report);
+}
+
+TEST(JsonReports, KindFieldIsEnforced) {
+  A2IReport a2i;
+  a2i.from = ProviderId(0);
+  I2AReport i2a;
+  i2a.from = ProviderId(0);
+  EXPECT_THROW(i2a_from_json(to_json(a2i)), CodecError);
+  EXPECT_THROW(a2i_from_json(to_json(i2a)), CodecError);
+}
+
+TEST(JsonReports, CompactAndIndentedAgree) {
+  A2IReport report;
+  report.from = ProviderId(1);
+  QoeGroupReport g;
+  g.sessions = 7;
+  report.groups.push_back(g);
+  EXPECT_EQ(a2i_from_json(to_json(report, 0)),
+            a2i_from_json(to_json(report, 4)));
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzzTest, RandomReportsRoundTrip) {
+  sim::Rng rng(GetParam());
+  A2IReport report;
+  report.from = ProviderId(static_cast<std::uint32_t>(rng.uniform_int(0, 50)));
+  report.generated_at = rng.uniform(0, 1e5);
+  auto n = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  for (std::size_t i = 0; i < n; ++i) {
+    QoeGroupReport g;
+    if (rng.bernoulli(0.8))
+      g.isp = IspId(static_cast<std::uint32_t>(rng.uniform_int(0, 9)));
+    g.cdn = CdnId(static_cast<std::uint32_t>(rng.uniform_int(0, 3)));
+    g.mean_buffering_ratio = rng.uniform(0, 1);
+    g.mean_bitrate = rng.uniform(0, 1e7);
+    g.mean_engagement = rng.uniform(0, 1);
+    g.sessions = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    report.groups.push_back(g);
+  }
+  EXPECT_EQ(a2i_from_json(to_json(report)), report);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace eona::core

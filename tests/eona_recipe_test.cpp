@@ -1,0 +1,103 @@
+// Tests for the §4 interface-design recipe engine: owner mapping of the
+// knob/data inventory and greedy narrowing.
+#include "eona/recipe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eona::core {
+namespace {
+
+TEST(Inventory, SharedFieldsAreCrossOwnerCouplingsOnly) {
+  InterfaceInventory inventory;
+  inventory.knobs = {
+      {"cdn_choice", Owner::kAppP},      // 0
+      {"bitrate", Owner::kAppP},         // 1
+      {"peering_point", Owner::kInfP},   // 2
+  };
+  inventory.data = {
+      {"session_qoe", Owner::kAppP},       // 0
+      {"traffic_intent", Owner::kAppP},    // 1
+      {"peering_congestion", Owner::kInfP}, // 2
+      {"access_congestion", Owner::kInfP}, // 3
+  };
+  inventory.couplings = {
+      {0, 2},  // cdn_choice needs peering_congestion (InfP data) -> shared
+      {1, 3},  // bitrate needs access_congestion -> shared
+      {1, 0},  // bitrate needs session_qoe (same owner) -> NOT shared
+      {2, 1},  // peering_point needs traffic_intent -> shared
+      {0, 2},  // duplicate coupling must not duplicate the field
+  };
+  std::vector<std::size_t> shared = inventory.shared_fields();
+  EXPECT_EQ(shared, (std::vector<std::size_t>{2, 3, 1}));
+}
+
+TEST(Inventory, OutOfRangeCouplingIsAContractViolation) {
+  InterfaceInventory inventory;
+  inventory.knobs = {{"k", Owner::kAppP}};
+  inventory.data = {{"d", Owner::kInfP}};
+  inventory.couplings = {{0, 5}};
+  EXPECT_THROW(inventory.shared_fields(), ContractViolation);
+}
+
+/// Synthetic quality function: additive field values with diminishing
+/// baseline; greedy must pick fields in descending value order.
+TEST(Narrowing, GreedyPicksByMarginalGain) {
+  std::vector<double> value{0.05, 0.30, 0.10, 0.02};
+  auto eval = [&](const std::vector<bool>& enabled) {
+    double q = 0.5;
+    for (std::size_t i = 0; i < enabled.size(); ++i)
+      if (enabled[i]) q += value[i];
+    return q;
+  };
+  NarrowingResult result = narrow_interface(4, eval);
+  EXPECT_DOUBLE_EQ(result.baseline_quality, 0.5);
+  ASSERT_EQ(result.steps.size(), 4u);
+  EXPECT_EQ(result.steps[0].field, 1u);
+  EXPECT_EQ(result.steps[1].field, 2u);
+  EXPECT_EQ(result.steps[2].field, 0u);
+  EXPECT_EQ(result.steps[3].field, 3u);
+  EXPECT_DOUBLE_EQ(result.steps[3].quality, 0.97);
+}
+
+TEST(Narrowing, MinimalWidthFindsTheKnee) {
+  // One dominant field; the rest contribute nothing.
+  auto eval = [](const std::vector<bool>& enabled) {
+    return enabled[2] ? 1.0 : 0.2;
+  };
+  NarrowingResult result = narrow_interface(5, eval);
+  EXPECT_EQ(result.steps[0].field, 2u);
+  EXPECT_EQ(result.minimal_width(0.01), 1u);
+}
+
+TEST(Narrowing, MinimalWidthZeroWhenSharingIsUseless) {
+  auto eval = [](const std::vector<bool>&) { return 0.7; };
+  NarrowingResult result = narrow_interface(3, eval);
+  EXPECT_EQ(result.minimal_width(0.01), 0u);
+}
+
+TEST(Narrowing, SynergisticFieldsAreStillFound) {
+  // Quality only improves when BOTH fields 0 and 1 are shared (the Fig 5
+  // situation: forecast alone or peering status alone is not enough).
+  auto eval = [](const std::vector<bool>& enabled) {
+    return (enabled[0] && enabled[1]) ? 1.0 : 0.3;
+  };
+  NarrowingResult result = narrow_interface(3, eval);
+  double best = 0.0;
+  for (const auto& s : result.steps) best = std::max(best, s.quality);
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  EXPECT_LE(result.minimal_width(0.01), 2u);
+}
+
+TEST(Narrowing, NullEvaluatorIsAContractViolation) {
+  EXPECT_THROW(narrow_interface(2, nullptr), ContractViolation);
+}
+
+TEST(Narrowing, ZeroFieldsYieldsBaselineOnly) {
+  auto eval = [](const std::vector<bool>&) { return 0.4; };
+  NarrowingResult result = narrow_interface(0, eval);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_DOUBLE_EQ(result.baseline_quality, 0.4);
+}
+
+}  // namespace
+}  // namespace eona::core

@@ -1,0 +1,204 @@
+// Wire-format tests: round-trip fidelity (including a randomized property
+// sweep), framing validation, and corruption detection.
+#include "eona/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace eona::core {
+namespace {
+
+A2IReport sample_a2i() {
+  A2IReport report;
+  report.from = ProviderId(3);
+  report.generated_at = 123.5;
+  QoeGroupReport g;
+  g.isp = IspId(1);
+  g.cdn = CdnId(2);
+  g.server = ServerId(4);
+  g.mean_buffering_ratio = 0.05;
+  g.p90_buffering_ratio = 0.20;
+  g.mean_bitrate = 2.5e6;
+  g.mean_join_time = 1.25;
+  g.mean_engagement = 0.8;
+  g.sessions = 1234;
+  report.groups.push_back(g);
+  TrafficForecast f;
+  f.isp = IspId(1);
+  f.cdn = CdnId(2);
+  f.expected_rate = 1e8;
+  report.forecasts.push_back(f);
+  return report;
+}
+
+I2AReport sample_i2a() {
+  I2AReport report;
+  report.from = ProviderId(9);
+  report.generated_at = 99.0;
+  PeeringStatus p;
+  p.peering = PeeringId(0);
+  p.isp = IspId(1);
+  p.cdn = CdnId(2);
+  p.capacity = 4.5e7;
+  p.utilization = 0.93;
+  p.congested = true;
+  p.selected = true;
+  report.peerings.push_back(p);
+  ServerHint h;
+  h.cdn = CdnId(2);
+  h.server = ServerId(7);
+  h.load = 0.4;
+  h.online = false;
+  report.server_hints.push_back(h);
+  CongestionSignal c;
+  c.isp = IspId(1);
+  c.scope = CongestionScope::kPeering;
+  c.peering = PeeringId(0);
+  c.severity = 0.66;
+  report.congestion.push_back(c);
+  return report;
+}
+
+TEST(Wire, A2IRoundTrip) {
+  A2IReport report = sample_a2i();
+  WireBytes bytes = encode(report);
+  EXPECT_EQ(peek_kind(bytes), MessageKind::kA2I);
+  EXPECT_EQ(decode_a2i(bytes), report);
+}
+
+TEST(Wire, I2ARoundTrip) {
+  I2AReport report = sample_i2a();
+  WireBytes bytes = encode(report);
+  EXPECT_EQ(peek_kind(bytes), MessageKind::kI2A);
+  EXPECT_EQ(decode_i2a(bytes), report);
+}
+
+TEST(Wire, EmptyReportsRoundTrip) {
+  A2IReport a2i;
+  a2i.from = ProviderId(0);
+  EXPECT_EQ(decode_a2i(encode(a2i)), a2i);
+  I2AReport i2a;
+  i2a.from = ProviderId(0);
+  EXPECT_EQ(decode_i2a(encode(i2a)), i2a);
+}
+
+TEST(Wire, InvalidIdsSurviveTheTrip) {
+  A2IReport report;
+  report.from = ProviderId(1);
+  QoeGroupReport g;  // all ids invalid (wildcards)
+  g.sessions = 5;
+  report.groups.push_back(g);
+  A2IReport decoded = decode_a2i(encode(report));
+  EXPECT_FALSE(decoded.groups[0].isp.valid());
+  EXPECT_FALSE(decoded.groups[0].server.valid());
+  EXPECT_EQ(decoded, report);
+}
+
+TEST(Wire, KindMismatchIsRejected) {
+  WireBytes a2i_frame = encode(sample_a2i());
+  EXPECT_THROW(decode_i2a(a2i_frame), CodecError);
+  WireBytes i2a_frame = encode(sample_i2a());
+  EXPECT_THROW(decode_a2i(i2a_frame), CodecError);
+}
+
+TEST(Wire, TruncationIsDetected) {
+  WireBytes bytes = encode(sample_a2i());
+  for (std::size_t keep : {0UL, 5UL, bytes.size() / 2, bytes.size() - 1}) {
+    WireBytes cut(bytes.begin(), bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(decode_a2i(cut), CodecError) << "kept " << keep;
+  }
+}
+
+TEST(Wire, SingleBitCorruptionIsDetected) {
+  WireBytes bytes = encode(sample_i2a());
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    WireBytes corrupted = bytes;
+    corrupted[pos] ^= 0x10;
+    EXPECT_THROW(decode_i2a(corrupted), CodecError) << "byte " << pos;
+  }
+}
+
+TEST(Wire, TrailingGarbageIsDetected) {
+  WireBytes bytes = encode(sample_a2i());
+  bytes.push_back(0xAB);
+  EXPECT_THROW(decode_a2i(bytes), CodecError);
+}
+
+TEST(Wire, BadMagicIsRejected) {
+  WireBytes bytes = encode(sample_a2i());
+  bytes[0] = 0x00;
+  EXPECT_THROW(peek_kind(bytes), CodecError);
+}
+
+// --- randomized round-trip property sweep ----------------------------------
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomReportsRoundTrip) {
+  sim::Rng rng(GetParam());
+  A2IReport a2i;
+  a2i.from = ProviderId(static_cast<std::uint32_t>(rng.uniform_int(0, 100)));
+  a2i.generated_at = rng.uniform(0, 1e6);
+  auto groups = static_cast<std::size_t>(rng.uniform_int(0, 20));
+  for (std::size_t i = 0; i < groups; ++i) {
+    QoeGroupReport g;
+    g.isp = IspId(static_cast<std::uint32_t>(rng.uniform_int(0, 5)));
+    g.cdn = CdnId(static_cast<std::uint32_t>(rng.uniform_int(0, 5)));
+    if (rng.bernoulli(0.5))
+      g.server = ServerId(static_cast<std::uint32_t>(rng.uniform_int(0, 9)));
+    g.mean_buffering_ratio = rng.uniform(0, 1);
+    g.p90_buffering_ratio = rng.uniform(0, 1);
+    g.mean_bitrate = rng.uniform(0, 1e7);
+    g.mean_join_time = rng.uniform(0, 30);
+    g.mean_engagement = rng.uniform(0, 1);
+    g.sessions = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    a2i.groups.push_back(g);
+  }
+  auto forecasts = static_cast<std::size_t>(rng.uniform_int(0, 10));
+  for (std::size_t i = 0; i < forecasts; ++i) {
+    TrafficForecast f;
+    f.isp = IspId(static_cast<std::uint32_t>(rng.uniform_int(0, 5)));
+    f.cdn = CdnId(static_cast<std::uint32_t>(rng.uniform_int(0, 5)));
+    f.expected_rate = rng.uniform(0, 1e9);
+    a2i.forecasts.push_back(f);
+  }
+  EXPECT_EQ(decode_a2i(encode(a2i)), a2i);
+
+  I2AReport i2a;
+  i2a.from = ProviderId(static_cast<std::uint32_t>(rng.uniform_int(0, 100)));
+  i2a.generated_at = rng.uniform(0, 1e6);
+  auto peerings = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  for (std::size_t i = 0; i < peerings; ++i) {
+    PeeringStatus p;
+    p.peering = PeeringId(static_cast<std::uint32_t>(i));
+    p.capacity = rng.uniform(0, 1e9);
+    p.utilization = rng.uniform(0, 1.2);
+    p.congested = rng.bernoulli(0.3);
+    p.selected = rng.bernoulli(0.5);
+    i2a.peerings.push_back(p);
+  }
+  auto hints = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  for (std::size_t i = 0; i < hints; ++i) {
+    ServerHint h;
+    h.cdn = CdnId(static_cast<std::uint32_t>(rng.uniform_int(0, 3)));
+    h.server = ServerId(static_cast<std::uint32_t>(i));
+    h.load = rng.uniform(0, 1);
+    h.online = rng.bernoulli(0.9);
+    i2a.server_hints.push_back(h);
+  }
+  auto signals = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  for (std::size_t i = 0; i < signals; ++i) {
+    CongestionSignal c;
+    c.scope = static_cast<CongestionScope>(rng.uniform_int(0, 2));
+    c.severity = rng.uniform(0, 1);
+    i2a.congestion.push_back(c);
+  }
+  EXPECT_EQ(decode_i2a(encode(i2a)), i2a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace eona::core

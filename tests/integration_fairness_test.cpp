@@ -1,0 +1,54 @@
+// Integration tests for the E11 fairness/partial-deployment scenario.
+#include <gtest/gtest.h>
+
+#include "scenarios/fairness.hpp"
+
+namespace eona::scenarios {
+namespace {
+
+FairnessConfig config(bool one, bool two) {
+  FairnessConfig c;
+  c.appp1_eona = one;
+  c.appp2_eona = two;
+  return c;
+}
+
+TEST(FairnessShape, FullParticipationIsFairAndGreen) {
+  FairnessResult r = run_fairness(config(true, true));
+  ASSERT_GT(r.appp1.sessions, 50u);
+  ASSERT_GT(r.appp2.sessions, 20u);
+  EXPECT_TRUE(r.green_path);
+  EXPECT_EQ(r.isp_switches, 0u);
+  // Both tenants thrive, and neither at the other's expense.
+  EXPECT_GT(r.appp1.mean_engagement, 0.95);
+  EXPECT_GT(r.appp2.mean_engagement, 0.95);
+  EXPECT_LT(r.engagement_gap, 0.02);
+}
+
+TEST(FairnessShape, BaselineIsWorseForEveryone) {
+  FairnessResult baseline = run_fairness(config(false, false));
+  FairnessResult eona = run_fairness(config(true, true));
+  EXPECT_GT(eona.appp1.mean_engagement, baseline.appp1.mean_engagement);
+  EXPECT_GT(eona.appp2.mean_engagement, baseline.appp2.mean_engagement);
+  EXPECT_GT(baseline.appp1.cdn_switches + baseline.appp2.cdn_switches, 100u);
+}
+
+TEST(FairnessShape, LargeTenantParticipationLiftsTheFreeRider) {
+  // Only the large AppP shares its forecast; its volume alone justifies the
+  // IXP, so the non-participating small tenant free-rides to full quality.
+  FairnessResult r = run_fairness(config(true, false));
+  EXPECT_TRUE(r.green_path);
+  EXPECT_GT(r.appp2.mean_engagement, 0.95) << "free-riding works";
+}
+
+TEST(FairnessShape, SmallTenantAloneCannotFixTheInterconnect) {
+  // The small AppP's forecast fits the cheap point B, so the ISP never
+  // moves -- and the non-participating large tenant is left worst off.
+  FairnessResult r = run_fairness(config(false, true));
+  EXPECT_FALSE(r.green_path);
+  EXPECT_LT(r.appp1.mean_engagement, r.appp2.mean_engagement);
+  EXPECT_GT(r.engagement_gap, 0.02);
+}
+
+}  // namespace
+}  // namespace eona::scenarios

@@ -1,0 +1,205 @@
+// Property tests for max-min fair allocation.
+//
+// The allocation is max-min fair iff (a) it is feasible (no link over
+// capacity, no flow over demand) and (b) every flow is either
+// demand-satisfied or crosses a *bottleneck* link: a saturated link on which
+// it has the maximal rate. These invariants are checked on hand-built
+// cases and on randomly generated instances across a parameterized sweep.
+#include "net/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/rng.hpp"
+
+namespace eona::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTol = 1e-6;
+
+/// Checks feasibility + the bottleneck characterisation of max-min fairness.
+void expect_max_min(const Topology& topo, const std::vector<FlowSpec>& flows,
+                    const std::vector<BitsPerSecond>& rates) {
+  ASSERT_EQ(rates.size(), flows.size());
+
+  std::vector<double> load(topo.link_count(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GE(rates[f], -kTol);
+    EXPECT_LE(rates[f], flows[f].demand + kTol) << "flow " << f;
+    for (LinkId l : flows[f].path) load[l.value()] += rates[f];
+  }
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    double cap = topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+    EXPECT_LE(load[l], cap * (1 + 1e-9) + kTol) << "link " << l;
+  }
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (rates[f] >= flows[f].demand - kTol) continue;  // demand-satisfied
+    bool has_bottleneck = false;
+    for (LinkId l : flows[f].path) {
+      double cap = topo.link(l).capacity;
+      if (load[l.value()] < cap - std::max(kTol, 1e-9 * cap)) continue;
+      // Saturated; is this flow maximal on it?
+      bool maximal = true;
+      for (std::size_t g = 0; g < flows.size(); ++g) {
+        if (g == f) continue;
+        for (LinkId gl : flows[g].path)
+          if (gl == l && rates[g] > rates[f] + kTol) maximal = false;
+      }
+      if (maximal) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "unsatisfied flow " << f
+                                << " lacks a bottleneck (rate " << rates[f]
+                                << ")";
+  }
+}
+
+/// Single shared link, equal elastic flows -> equal split.
+TEST(MaxMin, EqualSplitOnSharedLink) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  LinkId l = topo.add_link(a, b, mbps(30), 0.0);
+  std::vector<FlowSpec> flows(3, FlowSpec{{l}, kInf});
+  auto rates = max_min_allocation(topo, flows);
+  for (double r : rates) EXPECT_NEAR(r, mbps(10), kTol);
+  expect_max_min(topo, flows, rates);
+}
+
+TEST(MaxMin, DemandCapsFreeCapacityForOthers) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  LinkId l = topo.add_link(a, b, mbps(30), 0.0);
+  std::vector<FlowSpec> flows{
+      FlowSpec{{l}, mbps(4)},   // capped well below the equal share
+      FlowSpec{{l}, kInf},
+      FlowSpec{{l}, kInf},
+  };
+  auto rates = max_min_allocation(topo, flows);
+  EXPECT_NEAR(rates[0], mbps(4), kTol);
+  EXPECT_NEAR(rates[1], mbps(13), kTol);
+  EXPECT_NEAR(rates[2], mbps(13), kTol);
+  expect_max_min(topo, flows, rates);
+}
+
+TEST(MaxMin, MultiLinkBottleneckHierarchy) {
+  // Classic 3-flow example: flow0 crosses both links, flow1 only link1,
+  // flow2 only link2. cap1 = 10, cap2 = 30. Max-min: flow0 and flow1 get 5
+  // (link1 bottleneck); flow2 gets 25.
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  NodeId c = topo.add_node(NodeKind::kRouter, "c");
+  LinkId l1 = topo.add_link(a, b, mbps(10), 0.0);
+  LinkId l2 = topo.add_link(b, c, mbps(30), 0.0);
+  std::vector<FlowSpec> flows{
+      FlowSpec{{l1, l2}, kInf},
+      FlowSpec{{l1}, kInf},
+      FlowSpec{{l2}, kInf},
+  };
+  auto rates = max_min_allocation(topo, flows);
+  EXPECT_NEAR(rates[0], mbps(5), kTol);
+  EXPECT_NEAR(rates[1], mbps(5), kTol);
+  EXPECT_NEAR(rates[2], mbps(25), kTol);
+  expect_max_min(topo, flows, rates);
+}
+
+TEST(MaxMin, ZeroDemandFlowsGetZero) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  LinkId l = topo.add_link(a, b, mbps(10), 0.0);
+  std::vector<FlowSpec> flows{FlowSpec{{l}, 0.0}, FlowSpec{{l}, kInf}};
+  auto rates = max_min_allocation(topo, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_NEAR(rates[1], mbps(10), kTol);
+}
+
+TEST(MaxMin, LocalFlowGetsItsDemand) {
+  Topology topo;
+  std::vector<FlowSpec> flows{FlowSpec{{}, mbps(7)}};
+  auto rates = max_min_allocation(topo, flows);
+  EXPECT_DOUBLE_EQ(rates[0], mbps(7));
+}
+
+TEST(MaxMin, LocalElasticFlowIsAContractViolation) {
+  Topology topo;
+  std::vector<FlowSpec> flows{FlowSpec{{}, kInf}};
+  EXPECT_THROW(max_min_allocation(topo, flows), ContractViolation);
+}
+
+TEST(MaxMin, NoFlowsNoProblem) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  topo.add_link(a, b, mbps(10), 0.0);
+  EXPECT_TRUE(max_min_allocation(topo, {}).empty());
+}
+
+TEST(MaxMin, DynamicCapacitiesOverrideTopology) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  LinkId l = topo.add_link(a, b, mbps(10), 0.0);
+  std::vector<FlowSpec> flows{FlowSpec{{l}, kInf}};
+  std::vector<BitsPerSecond> caps{mbps(3)};
+  auto rates = max_min_allocation(topo, flows, caps);
+  EXPECT_NEAR(rates[0], mbps(3), kTol);
+}
+
+TEST(MaxMin, ZeroCapacityLinkStarvesItsFlows) {
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kRouter, "a");
+  NodeId b = topo.add_node(NodeKind::kRouter, "b");
+  LinkId l = topo.add_link(a, b, mbps(10), 0.0);
+  std::vector<FlowSpec> flows{FlowSpec{{l}, kInf}, FlowSpec{{l}, mbps(1)}};
+  std::vector<BitsPerSecond> caps{0.0};
+  auto rates = max_min_allocation(topo, flows, caps);
+  EXPECT_NEAR(rates[0], 0.0, kTol);
+  EXPECT_NEAR(rates[1], 0.0, kTol);
+}
+
+// --- randomized property sweep ---------------------------------------------
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, RandomInstanceIsMaxMinFair) {
+  sim::Rng rng(GetParam());
+  // Random linear backbone with shortcut links.
+  Topology topo;
+  const int node_count = static_cast<int>(rng.uniform_int(4, 10));
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < node_count; ++i)
+    nodes.push_back(topo.add_node(NodeKind::kRouter, "n" + std::to_string(i)));
+  std::vector<LinkId> links;
+  for (int i = 0; i + 1 < node_count; ++i)
+    links.push_back(topo.add_link(nodes[i], nodes[i + 1],
+                                  mbps(rng.uniform(5, 100)), 0.0));
+
+  // Random flows along contiguous segments; mixed demands.
+  const int flow_count = static_cast<int>(rng.uniform_int(1, 25));
+  std::vector<FlowSpec> flows;
+  for (int f = 0; f < flow_count; ++f) {
+    int start = static_cast<int>(rng.uniform_int(0, node_count - 2));
+    int end = static_cast<int>(rng.uniform_int(start + 1, node_count - 1));
+    Path path;
+    for (int i = start; i < end; ++i) path.push_back(links[i]);
+    double demand = rng.bernoulli(0.5) ? kInf : mbps(rng.uniform(0.1, 50));
+    flows.push_back(FlowSpec{path, demand});
+  }
+
+  auto rates = max_min_allocation(topo, flows);
+  expect_max_min(topo, flows, rates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace eona::net

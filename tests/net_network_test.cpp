@@ -1,0 +1,178 @@
+// Tests for the dynamic Network layer: flow lifecycle, rate recomputation,
+// change hooks, dynamic capacity, link statistics, and introspection.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eona::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    a = topo.add_node(NodeKind::kRouter, "a");
+    b = topo.add_node(NodeKind::kRouter, "b");
+    c = topo.add_node(NodeKind::kRouter, "c");
+    ab = topo.add_link(a, b, mbps(10), milliseconds(1));
+    bc = topo.add_link(b, c, mbps(20), milliseconds(1));
+  }
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+};
+
+TEST_F(NetworkTest, SingleElasticFlowFillsBottleneck) {
+  Network net(topo);
+  FlowId f = net.add_flow({ab, bc});
+  EXPECT_NEAR(net.rate(f), mbps(10), 1.0);
+  EXPECT_NEAR(net.link_utilization(ab), 1.0, 1e-6);
+  EXPECT_NEAR(net.link_utilization(bc), 0.5, 1e-6);
+  EXPECT_EQ(net.link_flow_count(ab), 1);
+}
+
+TEST_F(NetworkTest, RatesRebalanceOnArrivalAndDeparture) {
+  Network net(topo);
+  FlowId f1 = net.add_flow({ab});
+  EXPECT_NEAR(net.rate(f1), mbps(10), 1.0);
+  FlowId f2 = net.add_flow({ab});
+  EXPECT_NEAR(net.rate(f1), mbps(5), 1.0);
+  EXPECT_NEAR(net.rate(f2), mbps(5), 1.0);
+  net.remove_flow(f2);
+  EXPECT_NEAR(net.rate(f1), mbps(10), 1.0);
+  EXPECT_FALSE(net.contains(f2));
+}
+
+TEST_F(NetworkTest, SetDemandCapsAndReleases) {
+  Network net(topo);
+  FlowId f1 = net.add_flow({ab});
+  FlowId f2 = net.add_flow({ab});
+  net.set_demand(f1, mbps(2));
+  EXPECT_NEAR(net.rate(f1), mbps(2), 1.0);
+  EXPECT_NEAR(net.rate(f2), mbps(8), 1.0);
+  net.set_demand(f1, kElasticDemand);
+  EXPECT_NEAR(net.rate(f1), mbps(5), 1.0);
+}
+
+TEST_F(NetworkTest, RerouteMovesLoad) {
+  Network net(topo);
+  FlowId f = net.add_flow({ab});
+  EXPECT_EQ(net.link_flow_count(ab), 1);
+  net.reroute(f, {bc});
+  EXPECT_EQ(net.link_flow_count(ab), 0);
+  EXPECT_EQ(net.link_flow_count(bc), 1);
+  EXPECT_NEAR(net.rate(f), mbps(20), 1.0);
+}
+
+TEST_F(NetworkTest, HooksFireAroundEveryChange) {
+  Network net(topo);
+  std::vector<std::string> log;
+  net.set_change_hooks([&] { log.push_back("before"); },
+                       [&] { log.push_back("after"); });
+  FlowId f = net.add_flow({ab});
+  net.set_demand(f, mbps(1));
+  net.reroute(f, {bc});
+  net.set_link_capacity(ab, mbps(5));
+  net.remove_flow(f);
+  ASSERT_EQ(log.size(), 10u);
+  for (std::size_t i = 0; i < log.size(); i += 2) {
+    EXPECT_EQ(log[i], "before");
+    EXPECT_EQ(log[i + 1], "after");
+  }
+}
+
+TEST_F(NetworkTest, NoopDemandChangeSkipsHooks) {
+  Network net(topo);
+  FlowId f = net.add_flow({ab}, mbps(3));
+  int hook_calls = 0;
+  net.set_change_hooks([&] { ++hook_calls; }, [&] { ++hook_calls; });
+  net.set_demand(f, mbps(3));
+  EXPECT_EQ(hook_calls, 0);
+  net.set_link_capacity(ab, net.link_capacity(ab));
+  EXPECT_EQ(hook_calls, 0);
+}
+
+TEST_F(NetworkTest, DynamicCapacityChangesRates) {
+  Network net(topo);
+  FlowId f = net.add_flow({ab});
+  net.set_link_capacity(ab, mbps(4));
+  EXPECT_NEAR(net.rate(f), mbps(4), 1.0);
+  EXPECT_DOUBLE_EQ(net.link_capacity(ab), mbps(4));
+  net.set_link_capacity(ab, 0.0);
+  EXPECT_NEAR(net.rate(f), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(net.link_utilization(ab), 1.0);  // unusable reads as full
+}
+
+TEST_F(NetworkTest, CongestionRequiresSaturationAndStarvation) {
+  Network net(topo);
+  // One demand-capped flow below capacity: not congested.
+  FlowId f1 = net.add_flow({ab}, mbps(3));
+  EXPECT_FALSE(net.link_congested(ab));
+  // One elastic flow saturates and is starved: congested.
+  net.add_flow({ab});
+  EXPECT_TRUE(net.link_congested(ab));
+  net.remove_flow(f1);
+  EXPECT_TRUE(net.link_congested(ab));  // the elastic flow alone still wants more
+}
+
+TEST_F(NetworkTest, SaturatedButSatisfiedIsNotCongested) {
+  Network net(topo);
+  net.add_flow({ab}, mbps(10));  // demand exactly equals capacity
+  EXPECT_NEAR(net.link_utilization(ab), 1.0, 1e-9);
+  EXPECT_FALSE(net.link_congested(ab));
+}
+
+TEST_F(NetworkTest, FlowsOnAndEndpointIntrospection) {
+  Network net(topo);
+  FlowId f1 = net.add_flow({ab, bc});
+  FlowId f2 = net.add_flow({bc});
+  std::vector<FlowId> on_bc = net.flows_on(bc);
+  ASSERT_EQ(on_bc.size(), 2u);
+  EXPECT_EQ(on_bc[0], f1);
+  EXPECT_EQ(on_bc[1], f2);
+  EXPECT_EQ(net.flow_src(f1), a);
+  EXPECT_EQ(net.flow_dst(f1), c);
+  EXPECT_EQ(net.flow_src(f2), b);
+}
+
+TEST_F(NetworkTest, PredictedShareAccountsForExistingFlows) {
+  Network net(topo);
+  EXPECT_NEAR(net.predicted_share({ab}), mbps(10), 1.0);
+  net.add_flow({ab});
+  EXPECT_NEAR(net.predicted_share({ab}), mbps(5), 1.0);
+  EXPECT_NEAR(net.predicted_share({ab, bc}), mbps(5), 1.0);
+}
+
+TEST_F(NetworkTest, UnknownFlowThrows) {
+  Network net(topo);
+  EXPECT_THROW(net.rate(FlowId(99)), NotFoundError);
+  EXPECT_THROW(net.remove_flow(FlowId(99)), NotFoundError);
+  EXPECT_THROW(net.set_demand(FlowId(99), 1.0), NotFoundError);
+}
+
+TEST_F(NetworkTest, FlowIdsAreNeverReused) {
+  Network net(topo);
+  FlowId f1 = net.add_flow({ab});
+  net.remove_flow(f1);
+  FlowId f2 = net.add_flow({ab});
+  EXPECT_NE(f1, f2);
+}
+
+TEST_F(NetworkTest, DeterministicRatesRegardlessOfInsertionPattern) {
+  Network net1(topo), net2(topo);
+  FlowId a1 = net1.add_flow({ab});
+  net1.add_flow({ab, bc});
+  net1.remove_flow(a1);
+  net1.add_flow({ab});
+
+  net2.add_flow({ab, bc});
+  net2.add_flow({ab});
+  // Same multiset of flows; rates must match by path.
+  double total1 = net1.link_allocated(ab);
+  double total2 = net2.link_allocated(ab);
+  EXPECT_NEAR(total1, total2, 1e-9);
+}
+
+}  // namespace
+}  // namespace eona::net

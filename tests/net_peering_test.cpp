@@ -1,0 +1,66 @@
+// Tests for the peering book: registration, default and explicit selection.
+#include "net/peering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eona::net {
+namespace {
+
+class PeeringTest : public ::testing::Test {
+ protected:
+  PeeringTest() {
+    NodeId cdn_edge = topo.add_node(NodeKind::kCdnServer, "cdn");
+    NodeId isp_edge = topo.add_node(NodeKind::kRouter, "isp");
+    link_b = topo.add_link(cdn_edge, isp_edge, mbps(50), milliseconds(2));
+    link_c = topo.add_link(cdn_edge, isp_edge, mbps(200), milliseconds(10));
+  }
+  Topology topo;
+  LinkId link_b, link_c;
+  IspId isp{0};
+  CdnId cdn_x{0}, cdn_y{1};
+};
+
+TEST_F(PeeringTest, FirstRegisteredIsDefaultSelection) {
+  PeeringBook book(topo);
+  PeeringId b = book.add(isp, cdn_x, link_b, "B");
+  PeeringId c = book.add(isp, cdn_x, link_c, "C");
+  EXPECT_EQ(book.selected(isp, cdn_x), b);
+  EXPECT_EQ(book.points_between(isp, cdn_x),
+            (std::vector<PeeringId>{b, c}));
+}
+
+TEST_F(PeeringTest, SelectSwitchesThePair) {
+  PeeringBook book(topo);
+  book.add(isp, cdn_x, link_b, "B");
+  PeeringId c = book.add(isp, cdn_x, link_c, "C");
+  book.select(c);
+  EXPECT_EQ(book.selected(isp, cdn_x), c);
+}
+
+TEST_F(PeeringTest, PairsAreIndependent) {
+  PeeringBook book(topo);
+  PeeringId xb = book.add(isp, cdn_x, link_b, "X@B");
+  PeeringId yc = book.add(isp, cdn_y, link_c, "Y@C");
+  EXPECT_EQ(book.selected(isp, cdn_x), xb);
+  EXPECT_EQ(book.selected(isp, cdn_y), yc);
+  EXPECT_EQ(book.points_of_isp(isp).size(), 2u);
+}
+
+TEST_F(PeeringTest, UnknownPairThrows) {
+  PeeringBook book(topo);
+  EXPECT_THROW(book.selected(isp, cdn_x), NotFoundError);
+  EXPECT_THROW(book.point(PeeringId(3)), NotFoundError);
+}
+
+TEST_F(PeeringTest, PointMetadataRoundTrips) {
+  PeeringBook book(topo);
+  PeeringId b = book.add(isp, cdn_x, link_b, "local-B");
+  const PeeringPoint& p = book.point(b);
+  EXPECT_EQ(p.isp, isp);
+  EXPECT_EQ(p.cdn, cdn_x);
+  EXPECT_EQ(p.ingress_link, link_b);
+  EXPECT_EQ(p.name, "local-B");
+}
+
+}  // namespace
+}  // namespace eona::net

@@ -1,0 +1,190 @@
+// Tests for volume transfers over the fluid network: completion timing is
+// analytically exact, including across rate changes, cancellation, and
+// callback-driven chaining.
+#include "net/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace eona::net {
+namespace {
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() {
+    a = topo.add_node(NodeKind::kRouter, "a");
+    b = topo.add_node(NodeKind::kRouter, "b");
+    ab = topo.add_link(a, b, mbps(10), milliseconds(1));
+  }
+  Topology topo;
+  NodeId a, b;
+  LinkId ab;
+};
+
+TEST_F(TransferTest, SingleTransferCompletesAtVolumeOverRate) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TimePoint done_at = -1.0;
+  transfers.start({ab}, megabits(20),
+                  [&](TransferId) { done_at = sched.now(); });
+  sched.run_all();
+  // 20 Mb at 10 Mbps = 2 s.
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+  EXPECT_EQ(transfers.active_count(), 0u);
+  EXPECT_EQ(net.flow_count(), 0u);
+}
+
+TEST_F(TransferTest, TwoConcurrentTransfersShareFairly) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  std::vector<TimePoint> done;
+  transfers.start({ab}, megabits(10),
+                  [&](TransferId) { done.push_back(sched.now()); });
+  transfers.start({ab}, megabits(10),
+                  [&](TransferId) { done.push_back(sched.now()); });
+  sched.run_all();
+  // Both at 5 Mbps until both finish at t=2 s.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST_F(TransferTest, ProgressIsBankedAcrossRateChanges) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TimePoint done_at = -1.0;
+  // Transfer of 10 Mb. Alone: 10 Mbps. At t=0.5 a second transfer starts,
+  // halving the rate.
+  transfers.start({ab}, megabits(10),
+                  [&](TransferId) { done_at = sched.now(); });
+  sched.schedule_at(0.5, [&] {
+    transfers.start({ab}, megabits(100), nullptr);
+  });
+  sched.run_all();
+  // 5 Mb delivered by t=0.5; remaining 5 Mb at 5 Mbps = 1 s more.
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST_F(TransferTest, DemandCapLimitsRate) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TimePoint done_at = -1.0;
+  transfers.start({ab}, megabits(4),
+                  [&](TransferId) { done_at = sched.now(); },
+                  /*demand=*/mbps(2));
+  sched.run_all();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST_F(TransferTest, StatusReflectsLiveProgress) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TransferId id = transfers.start({ab}, megabits(10), nullptr);
+  sched.run_until(0.5);
+  TransferStatus status = transfers.status(id);
+  EXPECT_NEAR(status.remaining, megabits(5), 1e3);
+  EXPECT_NEAR(status.current_rate, mbps(10), 1.0);
+  EXPECT_DOUBLE_EQ(status.total, megabits(10));
+  EXPECT_DOUBLE_EQ(status.started_at, 0.0);
+}
+
+TEST_F(TransferTest, CancelStopsCompletionAndFreesTheFlow) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  bool fired = false;
+  TransferId id = transfers.start({ab}, megabits(10),
+                                  [&](TransferId) { fired = true; });
+  sched.run_until(0.2);
+  transfers.cancel(id);
+  EXPECT_FALSE(transfers.active(id));
+  EXPECT_EQ(net.flow_count(), 0u);
+  sched.run_all();
+  EXPECT_FALSE(fired);
+  transfers.cancel(id);  // idempotent
+}
+
+TEST_F(TransferTest, StatusOfUnknownTransferThrows) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  EXPECT_THROW(transfers.status(TransferId(7)), NotFoundError);
+  EXPECT_THROW(transfers.flow(TransferId(7)), NotFoundError);
+}
+
+TEST_F(TransferTest, CompletionCallbackMayStartNewTransfers) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  std::vector<TimePoint> completions;
+  std::function<void(int)> chain = [&](int remaining) {
+    transfers.start({ab}, megabits(10), [&, remaining](TransferId) {
+      completions.push_back(sched.now());
+      if (remaining > 1) chain(remaining - 1);
+    });
+  };
+  chain(3);
+  sched.run_all();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[0], 1.0, 1e-9);
+  EXPECT_NEAR(completions[1], 2.0, 1e-9);
+  EXPECT_NEAR(completions[2], 3.0, 1e-9);
+}
+
+TEST_F(TransferTest, StarvedTransferResumesWhenCapacityReturns) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TimePoint done_at = -1.0;
+  transfers.start({ab}, megabits(10),
+                  [&](TransferId) { done_at = sched.now(); });
+  sched.schedule_at(0.5, [&] { net.set_link_capacity(ab, 0.0); });
+  sched.schedule_at(10.5, [&] { net.set_link_capacity(ab, mbps(10)); });
+  sched.run_all();
+  // 5 Mb by 0.5 s, starved for 10 s, remaining 5 Mb takes 0.5 s.
+  EXPECT_NEAR(done_at, 11.0, 1e-9);
+}
+
+TEST_F(TransferTest, SetDemandAdjustsPacing) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  TimePoint done_at = -1.0;
+  TransferId id = transfers.start({ab}, megabits(10),
+                                  [&](TransferId) { done_at = sched.now(); });
+  sched.schedule_at(0.5, [&] { transfers.set_demand(id, mbps(1)); });
+  sched.run_all();
+  // 5 Mb by 0.5 s at 10 Mbps, then 5 Mb at 1 Mbps = 5 s.
+  EXPECT_NEAR(done_at, 5.5, 1e-9);
+}
+
+TEST_F(TransferTest, ManyTransfersAllCompleteExactlyOnce) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  int completions = 0;
+  for (int i = 0; i < 40; ++i)
+    transfers.start({ab}, megabits(1 + i % 5),
+                    [&](TransferId) { ++completions; });
+  sched.run_all();
+  EXPECT_EQ(completions, 40);
+  EXPECT_EQ(transfers.active_count(), 0u);
+  EXPECT_EQ(net.flow_count(), 0u);
+}
+
+TEST_F(TransferTest, ZeroVolumeIsAContractViolation) {
+  sim::Scheduler sched;
+  Network net(topo);
+  TransferManager transfers(sched, net);
+  EXPECT_THROW(transfers.start({ab}, 0.0, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace eona::net

@@ -1,0 +1,224 @@
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// cancellation, periodic tasks, and the runaway guard.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eona::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZeroWithNoEvents) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0.0);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.events_fired(), 0u);
+}
+
+TEST(Scheduler, FiresEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(3.0, [&] { order.push_back(3); });
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(2.0, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, SimultaneousEventsFireInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sched.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sched.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler sched;
+  TimePoint seen = -1.0;
+  sched.schedule_after(7.5, [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Scheduler, SchedulingInThePastIsAContractViolation) {
+  Scheduler sched;
+  sched.schedule_at(10.0, [] {});
+  sched.run_all();
+  EXPECT_THROW(sched.schedule_at(5.0, [] {}), ContractViolation);
+}
+
+TEST(Scheduler, NullActionIsAContractViolation) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_at(1.0, Scheduler::Action{}),
+               ContractViolation);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle handle = sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  sched.cancel(handle);
+  EXPECT_FALSE(handle.pending());
+  sched.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFiring) {
+  Scheduler sched;
+  int fires = 0;
+  EventHandle handle = sched.schedule_at(1.0, [&] { ++fires; });
+  sched.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(handle.pending());
+  sched.cancel(handle);  // no-op
+  sched.cancel(handle);  // still a no-op
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Scheduler, DefaultConstructedHandleIsNotPending) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  std::vector<TimePoint> times;
+  sched.schedule_at(1.0, [&] {
+    times.push_back(sched.now());
+    sched.schedule_after(1.0, [&] { times.push_back(sched.now()); });
+  });
+  sched.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndSetsClock) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1.0, [&] { ++fired; });
+  sched.schedule_at(5.0, [&] { ++fired; });
+  sched.schedule_at(10.0, [&] { ++fired; });
+  sched.run_until(5.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline fire
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+  sched.run_until(20.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sched.now(), 20.0);
+}
+
+TEST(Scheduler, RunUntilWithOnlyCancelledEventsAdvancesClock) {
+  Scheduler sched;
+  EventHandle handle = sched.schedule_at(3.0, [] {});
+  sched.cancel(handle);
+  sched.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sched.now(), 10.0);
+}
+
+TEST(Scheduler, RunAllGuardsAgainstRunawayLoops) {
+  Scheduler sched;
+  std::function<void()> rearm = [&] { sched.schedule_after(0.001, rearm); };
+  sched.schedule_after(0.001, rearm);
+  EXPECT_THROW(sched.run_all(/*max_events=*/1000), Error);
+}
+
+TEST(Scheduler, NextEventTimeSkipsCancelled) {
+  Scheduler sched;
+  EventHandle first = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  sched.cancel(first);
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 2.0);
+}
+
+TEST(PeriodicTask, TicksAtFixedPeriod) {
+  Scheduler sched;
+  std::vector<TimePoint> ticks;
+  PeriodicTask task(sched, 2.0, [&] { ticks.push_back(sched.now()); });
+  sched.run_until(7.0);
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 4.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 6.0);
+  EXPECT_EQ(task.ticks(), 3u);
+}
+
+TEST(PeriodicTask, FireImmediatelyStartsAtOffset) {
+  Scheduler sched;
+  std::vector<TimePoint> ticks;
+  PeriodicTask task(sched, 5.0, [&] { ticks.push_back(sched.now()); },
+                    /*start_offset=*/1.0, /*fire_immediately=*/true);
+  sched.run_until(12.0);
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 6.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 11.0);
+}
+
+TEST(PeriodicTask, StopIsIdempotentAndHalting) {
+  Scheduler sched;
+  int ticks = 0;
+  PeriodicTask task(sched, 1.0, [&] {
+    ++ticks;
+    if (ticks == 3) task.stop();
+  });
+  sched.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+  task.stop();
+  sched.run_until(20.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTask, SetPeriodAffectsSubsequentTicks) {
+  Scheduler sched;
+  std::vector<TimePoint> ticks;
+  PeriodicTask task(sched, 1.0, [&] {
+    ticks.push_back(sched.now());
+    task.set_period(3.0);
+  });
+  sched.run_until(8.0);
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 4.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 7.0);
+}
+
+TEST(PeriodicTask, DestructorStopsTicking) {
+  Scheduler sched;
+  int ticks = 0;
+  {
+    PeriodicTask task(sched, 1.0, [&] { ++ticks; });
+    sched.run_until(2.5);
+  }
+  sched.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTask, ZeroPeriodIsAContractViolation) {
+  Scheduler sched;
+  EXPECT_THROW(PeriodicTask(sched, 0.0, [] {}), ContractViolation);
+}
+
+/// Two identical event programs must fire identically (determinism).
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto run = [] {
+    Scheduler sched;
+    std::vector<std::string> log;
+    for (int i = 0; i < 50; ++i) {
+      double t = (i * 37 % 10) * 0.5;
+      sched.schedule_at(t, [&log, i] { log.push_back(std::to_string(i)); });
+    }
+    sched.run_all();
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace eona::sim

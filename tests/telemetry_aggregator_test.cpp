@@ -1,0 +1,167 @@
+// Tests for the aggregation pipeline: dimension projection, group-by,
+// windowed expiry, the beacon collector, and the k-anonymity gate.
+#include "telemetry/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/anonymity.hpp"
+#include "telemetry/collector.hpp"
+
+namespace eona::telemetry {
+namespace {
+
+SessionRecord make_record(std::uint64_t session, IspId isp, CdnId cdn,
+                          ServerId server, double buffering, TimePoint t,
+                          Bits bits = 1e6) {
+  SessionRecord r;
+  r.session = SessionId(session);
+  r.dims.isp = isp;
+  r.dims.cdn = cdn;
+  r.dims.server = server;
+  r.metrics.buffering_ratio = buffering;
+  r.metrics.bytes_delivered = bits;
+  r.timestamp = t;
+  return r;
+}
+
+TEST(Dimensions, ProjectionKeepsOnlyMaskedColumns) {
+  Dimensions dims;
+  dims.isp = IspId(1);
+  dims.cdn = CdnId(2);
+  dims.server = ServerId(3);
+  dims.region = 4;
+  Dimensions key = project(dims, Dim::kIsp | Dim::kCdn);
+  EXPECT_EQ(key.isp, IspId(1));
+  EXPECT_EQ(key.cdn, CdnId(2));
+  EXPECT_FALSE(key.server.valid());
+  EXPECT_EQ(key.region, 0u);
+}
+
+TEST(GroupByAggregator, GroupsByProjectedKey) {
+  GroupByAggregator agg(Dim::kIsp | Dim::kCdn);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId(0), 0.1, 0.0));
+  agg.ingest(make_record(2, IspId(0), CdnId(0), ServerId(1), 0.3, 1.0));
+  agg.ingest(make_record(3, IspId(0), CdnId(1), ServerId(2), 0.5, 2.0));
+  EXPECT_EQ(agg.group_count(), 2u);  // server is projected away
+
+  Dimensions probe;
+  probe.isp = IspId(0);
+  probe.cdn = CdnId(0);
+  const MetricAggregate* group = agg.find(probe);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->records, 2u);
+  EXPECT_NEAR(group->buffering_ratio.mean(), 0.2, 1e-12);
+}
+
+TEST(GroupByAggregator, SnapshotIsSortedDeterministically) {
+  GroupByAggregator agg(Dim::kIsp | Dim::kCdn);
+  agg.ingest(make_record(1, IspId(1), CdnId(1), ServerId{}, 0.1, 0.0));
+  agg.ingest(make_record(2, IspId(0), CdnId(1), ServerId{}, 0.1, 0.0));
+  agg.ingest(make_record(3, IspId(0), CdnId(0), ServerId{}, 0.1, 0.0));
+  auto snapshot = agg.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first.isp, IspId(0));
+  EXPECT_EQ(snapshot[0].first.cdn, CdnId(0));
+  EXPECT_EQ(snapshot[2].first.isp, IspId(1));
+}
+
+TEST(GroupByAggregator, BufferingPercentilesPerGroup) {
+  GroupByAggregator agg(Dim::kCdn);
+  Dimensions dims;
+  dims.cdn = CdnId(0);
+  for (int i = 1; i <= 100; ++i) {
+    SessionRecord r = make_record(static_cast<std::uint64_t>(i), IspId(0),
+                                  CdnId(0), ServerId{}, i / 100.0, 0.0);
+    agg.ingest(r);
+  }
+  auto [p50, p90] = agg.buffering_percentiles(dims);
+  EXPECT_NEAR(p50, 0.5, 0.1);
+  EXPECT_NEAR(p90, 0.9, 0.1);
+  Dimensions unseen;
+  unseen.cdn = CdnId(9);
+  auto [u50, u90] = agg.buffering_percentiles(unseen);
+  EXPECT_EQ(u50, 0.0);
+  EXPECT_EQ(u90, 0.0);
+}
+
+TEST(WindowedAggregator, QueriesCoverOnlyTheTrailingWindow) {
+  WindowedAggregator agg(Dim::kCdn, /*window=*/60.0, /*buckets=*/6);
+  Dimensions dims;
+  dims.cdn = CdnId(0);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.9, 5.0));
+  agg.ingest(make_record(2, IspId(0), CdnId(0), ServerId{}, 0.1, 100.0));
+  // At t=110, only the second record is within the last 60 s.
+  MetricAggregate recent = agg.query(dims, 110.0);
+  EXPECT_EQ(recent.records, 1u);
+  EXPECT_NEAR(recent.buffering_ratio.mean(), 0.1, 1e-12);
+}
+
+TEST(WindowedAggregator, BucketsExpireAsTimeAdvances) {
+  WindowedAggregator agg(Dim::kCdn, 30.0, 3);
+  Dimensions dims;
+  dims.cdn = CdnId(0);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.5, 0.0));
+  EXPECT_EQ(agg.query(dims, 5.0).records, 1u);
+  EXPECT_EQ(agg.query(dims, 29.0).records, 1u);
+  EXPECT_EQ(agg.query(dims, 200.0).records, 0u);
+}
+
+TEST(WindowedAggregator, BucketReuseClearsOldData) {
+  WindowedAggregator agg(Dim::kCdn, 30.0, 3);  // 10 s buckets
+  Dimensions dims;
+  dims.cdn = CdnId(0);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.9, 0.0));
+  // 40 s later the same ring slot is reused; the old record must be gone.
+  agg.ingest(make_record(2, IspId(0), CdnId(0), ServerId{}, 0.1, 31.0));
+  MetricAggregate result = agg.query(dims, 35.0);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_NEAR(result.buffering_ratio.mean(), 0.1, 1e-12);
+}
+
+TEST(WindowedAggregator, SnapshotMergesAcrossBuckets) {
+  WindowedAggregator agg(Dim::kCdn, 60.0, 6);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.2, 1.0, 100.0));
+  agg.ingest(make_record(2, IspId(0), CdnId(0), ServerId{}, 0.4, 25.0, 300.0));
+  agg.ingest(make_record(3, IspId(0), CdnId(1), ServerId{}, 0.6, 30.0));
+  auto snapshot = agg.snapshot(40.0);
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].second.records, 2u);
+  EXPECT_NEAR(snapshot[0].second.total_bits, 400.0, 1e-12);
+}
+
+TEST(BeaconCollector, FansOutToSinksInOrder) {
+  BeaconCollector collector;
+  std::vector<int> order;
+  collector.add_sink([&](const SessionRecord&) { order.push_back(1); });
+  collector.add_sink([&](const SessionRecord&) { order.push_back(2); });
+  collector.report(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.0, 0.0,
+                               5e6));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(collector.beacon_count(), 1u);
+  EXPECT_DOUBLE_EQ(collector.total_bits_reported(), 5e6);
+}
+
+TEST(KAnonymityGate, SuppressesSmallGroups) {
+  GroupByAggregator agg(Dim::kCdn);
+  for (int i = 0; i < 10; ++i)
+    agg.ingest(make_record(static_cast<std::uint64_t>(i), IspId(0), CdnId(0),
+                           ServerId{}, 0.1, 0.0));
+  agg.ingest(make_record(99, IspId(0), CdnId(1), ServerId{}, 0.9, 0.0));
+
+  GatedSnapshot gated = k_anonymity_gate(agg.snapshot(), 5);
+  ASSERT_EQ(gated.groups.size(), 1u);
+  EXPECT_EQ(gated.groups[0].first.cdn, CdnId(0));
+  EXPECT_EQ(gated.suppressed_groups, 1u);
+  EXPECT_EQ(gated.suppressed_records, 1u);
+}
+
+TEST(KAnonymityGate, KOneKeepsEverything) {
+  GroupByAggregator agg(Dim::kCdn);
+  agg.ingest(make_record(1, IspId(0), CdnId(0), ServerId{}, 0.1, 0.0));
+  GatedSnapshot gated = k_anonymity_gate(agg.snapshot(), 1);
+  EXPECT_EQ(gated.groups.size(), 1u);
+  EXPECT_EQ(gated.suppressed_groups, 0u);
+}
+
+}  // namespace
+}  // namespace eona::telemetry

@@ -1,0 +1,320 @@
+// eona_lab: command-line driver for the experiment scenarios.
+//
+// Run any scenario by name with key=value overrides; results print as JSON
+// (machine-readable) and recorded time series can be dumped as CSV --
+// the surface a downstream user scripts against.
+//
+//   $ eona_lab flashcrowd mode=eona access_capacity_mbps=80 seed=7
+//   $ eona_lab oscillation mode=baseline run_duration=1800 --series=csv
+//   $ eona_lab fairness appp1_eona=1 appp2_eona=0
+//   $ eona_lab list
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "eona/json.hpp"
+#include "scenarios/cellular_web.hpp"
+#include "scenarios/coarse_control.hpp"
+#include "scenarios/energy.hpp"
+#include "scenarios/fairness.hpp"
+#include "scenarios/flashcrowd.hpp"
+#include "scenarios/oscillation.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+namespace {
+
+struct Args {
+  std::string scenario;
+  std::map<std::string, std::string> overrides;
+  bool csv_series = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.scenario = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--series=csv") {
+      args.csv_series = true;
+      continue;
+    }
+    auto eq = token.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("expected key=value, got '" + token + "'");
+    args.overrides[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return args;
+}
+
+/// Typed override helpers: consume recognised keys, complain about leftovers.
+class Overrides {
+ public:
+  explicit Overrides(std::map<std::string, std::string> kv)
+      : kv_(std::move(kv)) {}
+
+  void number(const char* key, double& out) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    out = std::stod(it->second);
+    kv_.erase(it);
+  }
+  void integer(const char* key, std::uint64_t& out) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    out = std::stoull(it->second);
+    kv_.erase(it);
+  }
+  void size(const char* key, std::size_t& out) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    out = static_cast<std::size_t>(std::stoull(it->second));
+    kv_.erase(it);
+  }
+  void boolean(const char* key, bool& out) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    out = it->second == "1" || it->second == "true" || it->second == "yes";
+    kv_.erase(it);
+  }
+  void mode(const char* key, ControlMode& out) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    if (it->second == "baseline") out = ControlMode::kBaseline;
+    else if (it->second == "eona") out = ControlMode::kEona;
+    else if (it->second == "oracle") out = ControlMode::kOracle;
+    else throw ConfigError("mode must be baseline|eona|oracle");
+    kv_.erase(it);
+  }
+  void finish() const {
+    if (kv_.empty()) return;
+    std::string unknown;
+    for (const auto& [k, v] : kv_) unknown += " " + k;
+    throw ConfigError("unknown keys:" + unknown);
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+core::JsonValue qoe_json(const scenarios::QoeSummary& qoe) {
+  core::JsonValue obj = core::JsonValue::object();
+  obj.set("sessions", core::JsonValue::number(static_cast<double>(qoe.sessions)));
+  obj.set("mean_buffering", core::JsonValue::number(qoe.mean_buffering));
+  obj.set("p90_buffering", core::JsonValue::number(qoe.p90_buffering));
+  obj.set("mean_bitrate", core::JsonValue::number(qoe.mean_bitrate));
+  obj.set("mean_join_time", core::JsonValue::number(qoe.mean_join_time));
+  obj.set("mean_engagement", core::JsonValue::number(qoe.mean_engagement));
+  obj.set("stalls", core::JsonValue::number(static_cast<double>(qoe.stalls)));
+  obj.set("cdn_switches",
+          core::JsonValue::number(static_cast<double>(qoe.cdn_switches)));
+  obj.set("server_switches",
+          core::JsonValue::number(static_cast<double>(qoe.server_switches)));
+  return obj;
+}
+
+void dump_series_csv(const sim::MetricSet& metrics) {
+  for (const auto& [name, series] : metrics.all_series()) {
+    std::printf("# series,%s\n", name.c_str());
+    std::printf("t,value\n");
+    for (const auto& s : series.samples())
+      std::printf("%.3f,%.6g\n", s.t, s.value);
+  }
+}
+
+int run_flashcrowd(Overrides& ov, bool csv) {
+  scenarios::FlashCrowdConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("crowd_background_fraction", config.crowd_background_fraction);
+  ov.number("crowd_start", config.crowd_start);
+  ov.number("crowd_end", config.crowd_end);
+  ov.number("run_duration", config.run_duration);
+  ov.number("a2i_delay", config.a2i_delay);
+  ov.number("i2a_delay", config.i2a_delay);
+  ov.finish();
+
+  scenarios::FlashCrowdResult r = scenarios::run_flash_crowd(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("flashcrowd"));
+  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("crowd_qoe", qoe_json(r.crowd_qoe));
+  out.set("peak_stalled_fraction",
+          core::JsonValue::number(r.peak_stalled_fraction));
+  out.set("mean_access_utilization",
+          core::JsonValue::number(r.mean_access_utilization));
+  std::printf("%s\n", out.dump(2).c_str());
+  if (csv) dump_series_csv(r.metrics);
+  return 0;
+}
+
+int run_oscillation(Overrides& ov, bool csv) {
+  scenarios::OscillationConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("run_duration", config.run_duration);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("appp_period", config.appp_period);
+  ov.number("infp_period", config.infp_period);
+  ov.number("appp_dwell", config.appp_dwell);
+  ov.number("infp_dwell", config.infp_dwell);
+  ov.number("a2i_delay", config.a2i_delay);
+  ov.number("i2a_delay", config.i2a_delay);
+  ov.finish();
+
+  scenarios::OscillationResult r = scenarios::run_oscillation(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("oscillation"));
+  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("appp_switches",
+          core::JsonValue::number(static_cast<double>(r.appp_switches)));
+  out.set("infp_switches",
+          core::JsonValue::number(static_cast<double>(r.infp_switches)));
+  out.set("cycling", core::JsonValue::boolean(r.cycling));
+  out.set("converged", core::JsonValue::boolean(r.converged));
+  out.set("green_path", core::JsonValue::boolean(r.green_path));
+  std::printf("%s\n", out.dump(2).c_str());
+  if (csv) dump_series_csv(r.metrics);
+  return 0;
+}
+
+int run_coarse(Overrides& ov, bool csv) {
+  scenarios::CoarseControlConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("incident_at", config.incident_at);
+  ov.number("run_duration", config.run_duration);
+  ov.number("degraded_factor", config.degraded_factor);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.finish();
+
+  scenarios::CoarseControlResult r = scenarios::run_coarse_control(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("coarse_control"));
+  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("post_incident", qoe_json(r.post_incident));
+  out.set("cdn1_traffic_share", core::JsonValue::number(r.cdn1_traffic_share));
+  out.set("cdn2_hit_ratio", core::JsonValue::number(r.cdn2_hit_ratio));
+  std::printf("%s\n", out.dump(2).c_str());
+  if (csv) dump_series_csv(r.metrics);
+  return 0;
+}
+
+int run_energy(Overrides& ov, bool csv) {
+  scenarios::EnergyScenarioConfig config;
+  ov.integer("seed", config.seed);
+  ov.boolean("eona", config.eona);
+  ov.number("scale_down_load", config.scale_down_load);
+  ov.number("scale_up_load", config.scale_up_load);
+  ov.number("day_rate", config.day_rate);
+  ov.number("night_rate", config.night_rate);
+  ov.size("cycles", config.cycles);
+  ov.finish();
+
+  scenarios::EnergyScenarioResult r = scenarios::run_energy(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("energy"));
+  out.set("eona", core::JsonValue::boolean(config.eona));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("night_qoe", qoe_json(r.night_qoe));
+  out.set("saved_fraction", core::JsonValue::number(r.saved_fraction));
+  out.set("mean_online", core::JsonValue::number(r.mean_online));
+  std::printf("%s\n", out.dump(2).c_str());
+  if (csv) dump_series_csv(r.metrics);
+  return 0;
+}
+
+int run_cellular(Overrides& ov) {
+  scenarios::CellularWebConfig config;
+  ov.integer("seed", config.seed);
+  ov.size("sessions", config.sessions);
+  ov.size("sectors", config.sectors);
+  ov.number("feature_noise", config.feature_noise);
+  ov.number("labeled_fraction", config.labeled_fraction);
+  ov.integer("k_anonymity", config.k_anonymity);
+  ov.finish();
+
+  scenarios::CellularWebResult r = scenarios::run_cellular_web(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("cellular_web"));
+  out.set("evaluated",
+          core::JsonValue::number(static_cast<double>(r.evaluated)));
+  out.set("inference_mae", core::JsonValue::number(r.inference_mae));
+  out.set("a2i_mae", core::JsonValue::number(r.a2i_mae));
+  out.set("inference_group_mae",
+          core::JsonValue::number(r.inference_group_mae));
+  out.set("a2i_group_mae", core::JsonValue::number(r.a2i_group_mae));
+  std::printf("%s\n", out.dump(2).c_str());
+  return 0;
+}
+
+int run_fairness(Overrides& ov) {
+  scenarios::FairnessConfig config;
+  ov.integer("seed", config.seed);
+  ov.boolean("appp1_eona", config.appp1_eona);
+  ov.boolean("appp2_eona", config.appp2_eona);
+  ov.number("rate1", config.rate1);
+  ov.number("rate2", config.rate2);
+  ov.number("run_duration", config.run_duration);
+  ov.finish();
+
+  scenarios::FairnessResult r = scenarios::run_fairness(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("fairness"));
+  out.set("appp1", qoe_json(r.appp1));
+  out.set("appp2", qoe_json(r.appp2));
+  out.set("engagement_gap", core::JsonValue::number(r.engagement_gap));
+  out.set("green_path", core::JsonValue::boolean(r.green_path));
+  std::printf("%s\n", out.dump(2).c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
+      "scenarios:\n"
+      "  flashcrowd    Fig 3  (mode, seed, access_capacity_mbps, arrival_rate,\n"
+      "                        crowd_background_fraction, crowd_start, crowd_end,\n"
+      "                        run_duration, a2i_delay, i2a_delay)\n"
+      "  oscillation   Fig 5  (mode, seed, run_duration, arrival_rate,\n"
+      "                        appp_period, infp_period, appp_dwell, infp_dwell,\n"
+      "                        a2i_delay, i2a_delay)\n"
+      "  coarse        Sec 2  (mode, seed, incident_at, run_duration,\n"
+      "                        degraded_factor, arrival_rate)\n"
+      "  energy        Sec 2  (seed, eona, scale_down_load, scale_up_load,\n"
+      "                        day_rate, night_rate, cycles)\n"
+      "  cellular      Fig 4  (seed, sessions, sectors, feature_noise,\n"
+      "                        labeled_fraction, k_anonymity)\n"
+      "  fairness      Sec 5  (seed, appp1_eona, appp2_eona, rate1, rate2,\n"
+      "                        run_duration)\n"
+      "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args = parse_args(argc, argv);
+    Overrides ov(args.overrides);
+    if (args.scenario == "flashcrowd") return run_flashcrowd(ov, args.csv_series);
+    if (args.scenario == "oscillation") return run_oscillation(ov, args.csv_series);
+    if (args.scenario == "coarse") return run_coarse(ov, args.csv_series);
+    if (args.scenario == "energy") return run_energy(ov, args.csv_series);
+    if (args.scenario == "cellular") return run_cellular(ov);
+    if (args.scenario == "fairness") return run_fairness(ov);
+    usage();
+    return args.scenario.empty() || args.scenario == "list" ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "eona_lab: %s\n", e.what());
+    return 1;
+  }
+}
