@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_interface_plane.dir/bench_fig2_interface_plane.cpp.o"
+  "CMakeFiles/bench_fig2_interface_plane.dir/bench_fig2_interface_plane.cpp.o.d"
+  "bench_fig2_interface_plane"
+  "bench_fig2_interface_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interface_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

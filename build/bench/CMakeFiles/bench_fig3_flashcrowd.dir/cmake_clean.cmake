@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_flashcrowd.dir/bench_fig3_flashcrowd.cpp.o"
+  "CMakeFiles/bench_fig3_flashcrowd.dir/bench_fig3_flashcrowd.cpp.o.d"
+  "bench_fig3_flashcrowd"
+  "bench_fig3_flashcrowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_flashcrowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

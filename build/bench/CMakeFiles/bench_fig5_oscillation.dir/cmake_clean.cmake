@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_oscillation.dir/bench_fig5_oscillation.cpp.o"
+  "CMakeFiles/bench_fig5_oscillation.dir/bench_fig5_oscillation.cpp.o.d"
+  "bench_fig5_oscillation"
+  "bench_fig5_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_coarse_control.dir/bench_sec2_coarse_control.cpp.o"
+  "CMakeFiles/bench_sec2_coarse_control.dir/bench_sec2_coarse_control.cpp.o.d"
+  "bench_sec2_coarse_control"
+  "bench_sec2_coarse_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_coarse_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec2_coarse_control.
+# This may be replaced when dependencies are built.

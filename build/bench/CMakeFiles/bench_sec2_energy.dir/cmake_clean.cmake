@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_energy.dir/bench_sec2_energy.cpp.o"
+  "CMakeFiles/bench_sec2_energy.dir/bench_sec2_energy.cpp.o.d"
+  "bench_sec2_energy"
+  "bench_sec2_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

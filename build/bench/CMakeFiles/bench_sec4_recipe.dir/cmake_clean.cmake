@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_recipe.dir/bench_sec4_recipe.cpp.o"
+  "CMakeFiles/bench_sec4_recipe.dir/bench_sec4_recipe.cpp.o.d"
+  "bench_sec4_recipe"
+  "bench_sec4_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

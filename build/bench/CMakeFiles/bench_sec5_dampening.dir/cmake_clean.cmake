@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_dampening.dir/bench_sec5_dampening.cpp.o"
+  "CMakeFiles/bench_sec5_dampening.dir/bench_sec5_dampening.cpp.o.d"
+  "bench_sec5_dampening"
+  "bench_sec5_dampening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_dampening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

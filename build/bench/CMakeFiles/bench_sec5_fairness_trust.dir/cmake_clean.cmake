@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_fairness_trust.dir/bench_sec5_fairness_trust.cpp.o"
+  "CMakeFiles/bench_sec5_fairness_trust.dir/bench_sec5_fairness_trust.cpp.o.d"
+  "bench_sec5_fairness_trust"
+  "bench_sec5_fairness_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_fairness_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

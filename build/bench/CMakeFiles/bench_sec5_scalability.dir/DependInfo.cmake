@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec5_scalability.cpp" "bench/CMakeFiles/bench_sec5_scalability.dir/bench_sec5_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_sec5_scalability.dir/bench_sec5_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/eona_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/eona_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/eona_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/eona/CMakeFiles/eona_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eona_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/eona_qoe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_staleness.dir/bench_sec5_staleness.cpp.o"
+  "CMakeFiles/bench_sec5_staleness.dir/bench_sec5_staleness.cpp.o.d"
+  "bench_sec5_staleness"
+  "bench_sec5_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

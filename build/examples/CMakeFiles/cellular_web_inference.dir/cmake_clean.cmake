@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_web_inference.dir/cellular_web_inference.cpp.o"
+  "CMakeFiles/cellular_web_inference.dir/cellular_web_inference.cpp.o.d"
+  "cellular_web_inference"
+  "cellular_web_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_web_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/looking_glass_audit.dir/looking_glass_audit.cpp.o"
+  "CMakeFiles/looking_glass_audit.dir/looking_glass_audit.cpp.o.d"
+  "looking_glass_audit"
+  "looking_glass_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/looking_glass_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_oscillation.dir/peering_oscillation.cpp.o"
+  "CMakeFiles/peering_oscillation.dir/peering_oscillation.cpp.o.d"
+  "peering_oscillation"
+  "peering_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_flashcrowd.dir/video_flashcrowd.cpp.o"
+  "CMakeFiles/video_flashcrowd.dir/video_flashcrowd.cpp.o.d"
+  "video_flashcrowd"
+  "video_flashcrowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_flashcrowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

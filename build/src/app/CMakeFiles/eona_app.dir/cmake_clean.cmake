@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_app.dir/video_player.cpp.o"
+  "CMakeFiles/eona_app.dir/video_player.cpp.o.d"
+  "libeona_app.a"
+  "libeona_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

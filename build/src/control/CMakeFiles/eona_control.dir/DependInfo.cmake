@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/appp.cpp" "src/control/CMakeFiles/eona_control.dir/appp.cpp.o" "gcc" "src/control/CMakeFiles/eona_control.dir/appp.cpp.o.d"
+  "/root/repo/src/control/energy.cpp" "src/control/CMakeFiles/eona_control.dir/energy.cpp.o" "gcc" "src/control/CMakeFiles/eona_control.dir/energy.cpp.o.d"
+  "/root/repo/src/control/infp.cpp" "src/control/CMakeFiles/eona_control.dir/infp.cpp.o" "gcc" "src/control/CMakeFiles/eona_control.dir/infp.cpp.o.d"
+  "/root/repo/src/control/whatif.cpp" "src/control/CMakeFiles/eona_control.dir/whatif.cpp.o" "gcc" "src/control/CMakeFiles/eona_control.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eona_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/eona_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/eona/CMakeFiles/eona_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/eona_qoe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_control.dir/appp.cpp.o"
+  "CMakeFiles/eona_control.dir/appp.cpp.o.d"
+  "CMakeFiles/eona_control.dir/energy.cpp.o"
+  "CMakeFiles/eona_control.dir/energy.cpp.o.d"
+  "CMakeFiles/eona_control.dir/infp.cpp.o"
+  "CMakeFiles/eona_control.dir/infp.cpp.o.d"
+  "CMakeFiles/eona_control.dir/whatif.cpp.o"
+  "CMakeFiles/eona_control.dir/whatif.cpp.o.d"
+  "libeona_control.a"
+  "libeona_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eona/audit.cpp" "src/eona/CMakeFiles/eona_core.dir/audit.cpp.o" "gcc" "src/eona/CMakeFiles/eona_core.dir/audit.cpp.o.d"
+  "/root/repo/src/eona/json.cpp" "src/eona/CMakeFiles/eona_core.dir/json.cpp.o" "gcc" "src/eona/CMakeFiles/eona_core.dir/json.cpp.o.d"
+  "/root/repo/src/eona/recipe.cpp" "src/eona/CMakeFiles/eona_core.dir/recipe.cpp.o" "gcc" "src/eona/CMakeFiles/eona_core.dir/recipe.cpp.o.d"
+  "/root/repo/src/eona/wire.cpp" "src/eona/CMakeFiles/eona_core.dir/wire.cpp.o" "gcc" "src/eona/CMakeFiles/eona_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_core.dir/audit.cpp.o"
+  "CMakeFiles/eona_core.dir/audit.cpp.o.d"
+  "CMakeFiles/eona_core.dir/json.cpp.o"
+  "CMakeFiles/eona_core.dir/json.cpp.o.d"
+  "CMakeFiles/eona_core.dir/recipe.cpp.o"
+  "CMakeFiles/eona_core.dir/recipe.cpp.o.d"
+  "CMakeFiles/eona_core.dir/wire.cpp.o"
+  "CMakeFiles/eona_core.dir/wire.cpp.o.d"
+  "libeona_core.a"
+  "libeona_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_net.dir/fairshare.cpp.o"
+  "CMakeFiles/eona_net.dir/fairshare.cpp.o.d"
+  "CMakeFiles/eona_net.dir/network.cpp.o"
+  "CMakeFiles/eona_net.dir/network.cpp.o.d"
+  "CMakeFiles/eona_net.dir/routing.cpp.o"
+  "CMakeFiles/eona_net.dir/routing.cpp.o.d"
+  "libeona_net.a"
+  "libeona_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_qoe.dir/inference.cpp.o"
+  "CMakeFiles/eona_qoe.dir/inference.cpp.o.d"
+  "CMakeFiles/eona_qoe.dir/infogain.cpp.o"
+  "CMakeFiles/eona_qoe.dir/infogain.cpp.o.d"
+  "libeona_qoe.a"
+  "libeona_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

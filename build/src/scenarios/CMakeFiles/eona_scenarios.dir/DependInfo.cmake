@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/cellular_web.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/cellular_web.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/cellular_web.cpp.o.d"
+  "/root/repo/src/scenarios/coarse_control.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/coarse_control.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/coarse_control.cpp.o.d"
+  "/root/repo/src/scenarios/energy.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/energy.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/energy.cpp.o.d"
+  "/root/repo/src/scenarios/fairness.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/fairness.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/fairness.cpp.o.d"
+  "/root/repo/src/scenarios/flashcrowd.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/flashcrowd.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/flashcrowd.cpp.o.d"
+  "/root/repo/src/scenarios/oscillation.cpp" "src/scenarios/CMakeFiles/eona_scenarios.dir/oscillation.cpp.o" "gcc" "src/scenarios/CMakeFiles/eona_scenarios.dir/oscillation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/eona_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/eona_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/eona/CMakeFiles/eona_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eona_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/eona_qoe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

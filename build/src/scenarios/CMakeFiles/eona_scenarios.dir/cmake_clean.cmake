@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_scenarios.dir/cellular_web.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/cellular_web.cpp.o.d"
+  "CMakeFiles/eona_scenarios.dir/coarse_control.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/coarse_control.cpp.o.d"
+  "CMakeFiles/eona_scenarios.dir/energy.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/energy.cpp.o.d"
+  "CMakeFiles/eona_scenarios.dir/fairness.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/fairness.cpp.o.d"
+  "CMakeFiles/eona_scenarios.dir/flashcrowd.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/flashcrowd.cpp.o.d"
+  "CMakeFiles/eona_scenarios.dir/oscillation.cpp.o"
+  "CMakeFiles/eona_scenarios.dir/oscillation.cpp.o.d"
+  "libeona_scenarios.a"
+  "libeona_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_cdn_test.dir/app_cdn_test.cpp.o"
+  "CMakeFiles/app_cdn_test.dir/app_cdn_test.cpp.o.d"
+  "app_cdn_test"
+  "app_cdn_test.pdb"
+  "app_cdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_cdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

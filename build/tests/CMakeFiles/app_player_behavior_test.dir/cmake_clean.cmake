@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_player_behavior_test.dir/app_player_behavior_test.cpp.o"
+  "CMakeFiles/app_player_behavior_test.dir/app_player_behavior_test.cpp.o.d"
+  "app_player_behavior_test"
+  "app_player_behavior_test.pdb"
+  "app_player_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_player_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

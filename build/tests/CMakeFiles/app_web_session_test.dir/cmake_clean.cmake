@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_web_session_test.dir/app_web_session_test.cpp.o"
+  "CMakeFiles/app_web_session_test.dir/app_web_session_test.cpp.o.d"
+  "app_web_session_test"
+  "app_web_session_test.pdb"
+  "app_web_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_web_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

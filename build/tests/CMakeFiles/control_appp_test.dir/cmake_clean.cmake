@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_appp_test.dir/control_appp_test.cpp.o"
+  "CMakeFiles/control_appp_test.dir/control_appp_test.cpp.o.d"
+  "control_appp_test"
+  "control_appp_test.pdb"
+  "control_appp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_appp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

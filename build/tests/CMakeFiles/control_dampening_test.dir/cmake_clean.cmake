@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_dampening_test.dir/control_dampening_test.cpp.o"
+  "CMakeFiles/control_dampening_test.dir/control_dampening_test.cpp.o.d"
+  "control_dampening_test"
+  "control_dampening_test.pdb"
+  "control_dampening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_dampening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_energy_test.dir/control_energy_test.cpp.o"
+  "CMakeFiles/control_energy_test.dir/control_energy_test.cpp.o.d"
+  "control_energy_test"
+  "control_energy_test.pdb"
+  "control_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

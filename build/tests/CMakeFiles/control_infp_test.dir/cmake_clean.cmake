@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_infp_test.dir/control_infp_test.cpp.o"
+  "CMakeFiles/control_infp_test.dir/control_infp_test.cpp.o.d"
+  "control_infp_test"
+  "control_infp_test.pdb"
+  "control_infp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_infp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

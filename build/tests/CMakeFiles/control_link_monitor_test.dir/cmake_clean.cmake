@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_link_monitor_test.dir/control_link_monitor_test.cpp.o"
+  "CMakeFiles/control_link_monitor_test.dir/control_link_monitor_test.cpp.o.d"
+  "control_link_monitor_test"
+  "control_link_monitor_test.pdb"
+  "control_link_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_link_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

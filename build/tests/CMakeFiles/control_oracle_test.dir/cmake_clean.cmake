@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_oracle_test.dir/control_oracle_test.cpp.o"
+  "CMakeFiles/control_oracle_test.dir/control_oracle_test.cpp.o.d"
+  "control_oracle_test"
+  "control_oracle_test.pdb"
+  "control_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

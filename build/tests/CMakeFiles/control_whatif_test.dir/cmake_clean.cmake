@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_whatif_test.dir/control_whatif_test.cpp.o"
+  "CMakeFiles/control_whatif_test.dir/control_whatif_test.cpp.o.d"
+  "control_whatif_test"
+  "control_whatif_test.pdb"
+  "control_whatif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_audit_test.dir/eona_audit_test.cpp.o"
+  "CMakeFiles/eona_audit_test.dir/eona_audit_test.cpp.o.d"
+  "eona_audit_test"
+  "eona_audit_test.pdb"
+  "eona_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_endpoint_test.dir/eona_endpoint_test.cpp.o"
+  "CMakeFiles/eona_endpoint_test.dir/eona_endpoint_test.cpp.o.d"
+  "eona_endpoint_test"
+  "eona_endpoint_test.pdb"
+  "eona_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_json_test.dir/eona_json_test.cpp.o"
+  "CMakeFiles/eona_json_test.dir/eona_json_test.cpp.o.d"
+  "eona_json_test"
+  "eona_json_test.pdb"
+  "eona_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

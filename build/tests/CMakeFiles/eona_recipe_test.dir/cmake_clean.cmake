@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_recipe_test.dir/eona_recipe_test.cpp.o"
+  "CMakeFiles/eona_recipe_test.dir/eona_recipe_test.cpp.o.d"
+  "eona_recipe_test"
+  "eona_recipe_test.pdb"
+  "eona_recipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_recipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

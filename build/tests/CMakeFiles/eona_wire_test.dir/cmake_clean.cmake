@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_wire_test.dir/eona_wire_test.cpp.o"
+  "CMakeFiles/eona_wire_test.dir/eona_wire_test.cpp.o.d"
+  "eona_wire_test"
+  "eona_wire_test.pdb"
+  "eona_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

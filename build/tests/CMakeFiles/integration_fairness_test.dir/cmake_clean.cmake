@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fairness_test.dir/integration_fairness_test.cpp.o"
+  "CMakeFiles/integration_fairness_test.dir/integration_fairness_test.cpp.o.d"
+  "integration_fairness_test"
+  "integration_fairness_test.pdb"
+  "integration_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

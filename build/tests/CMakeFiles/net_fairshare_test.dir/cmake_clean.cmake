@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_fairshare_test.dir/net_fairshare_test.cpp.o"
+  "CMakeFiles/net_fairshare_test.dir/net_fairshare_test.cpp.o.d"
+  "net_fairshare_test"
+  "net_fairshare_test.pdb"
+  "net_fairshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_fairshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

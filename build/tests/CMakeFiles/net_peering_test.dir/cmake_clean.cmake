@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_peering_test.dir/net_peering_test.cpp.o"
+  "CMakeFiles/net_peering_test.dir/net_peering_test.cpp.o.d"
+  "net_peering_test"
+  "net_peering_test.pdb"
+  "net_peering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_peering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

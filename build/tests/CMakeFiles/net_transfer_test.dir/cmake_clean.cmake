@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_transfer_test.dir/net_transfer_test.cpp.o"
+  "CMakeFiles/net_transfer_test.dir/net_transfer_test.cpp.o.d"
+  "net_transfer_test"
+  "net_transfer_test.pdb"
+  "net_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

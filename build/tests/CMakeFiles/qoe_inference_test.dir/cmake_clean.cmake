@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_inference_test.dir/qoe_inference_test.cpp.o"
+  "CMakeFiles/qoe_inference_test.dir/qoe_inference_test.cpp.o.d"
+  "qoe_inference_test"
+  "qoe_inference_test.pdb"
+  "qoe_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

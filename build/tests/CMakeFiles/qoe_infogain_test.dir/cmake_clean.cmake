@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_infogain_test.dir/qoe_infogain_test.cpp.o"
+  "CMakeFiles/qoe_infogain_test.dir/qoe_infogain_test.cpp.o.d"
+  "qoe_infogain_test"
+  "qoe_infogain_test.pdb"
+  "qoe_infogain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_infogain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

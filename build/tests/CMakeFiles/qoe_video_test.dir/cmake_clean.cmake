@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_video_test.dir/qoe_video_test.cpp.o"
+  "CMakeFiles/qoe_video_test.dir/qoe_video_test.cpp.o.d"
+  "qoe_video_test"
+  "qoe_video_test.pdb"
+  "qoe_video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

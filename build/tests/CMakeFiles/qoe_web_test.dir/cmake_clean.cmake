@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_web_test.dir/qoe_web_test.cpp.o"
+  "CMakeFiles/qoe_web_test.dir/qoe_web_test.cpp.o.d"
+  "qoe_web_test"
+  "qoe_web_test.pdb"
+  "qoe_web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timeseries_test.dir/sim_timeseries_test.cpp.o"
+  "CMakeFiles/sim_timeseries_test.dir/sim_timeseries_test.cpp.o.d"
+  "sim_timeseries_test"
+  "sim_timeseries_test.pdb"
+  "sim_timeseries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eona_lab.dir/eona_lab.cpp.o"
+  "CMakeFiles/eona_lab.dir/eona_lab.cpp.o.d"
+  "eona_lab"
+  "eona_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eona_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
