@@ -1,0 +1,174 @@
+// E13 (§5 graceful degradation): what happens to QoE when the EONA control
+// plane itself fails -- reports dropped, duplicated, jittered, or the
+// looking glass down for minutes mid-incident?
+//
+// Expected shape: with query-side robustness (bounded retry + last-known-good
+// fallback + stale-aware dampening) the EONA advantage decays *smoothly*
+// with the fault rate and outage length; a naive consumer that trusts only
+// the current tick's fetch falls off a cliff back to (or below) baseline
+// behaviour the moment the channel misbehaves, because every missed fetch
+// blinds the brain mid-crowd.
+//
+// Run 1: drop-rate sweep under the standard fault profile (10% duplicates,
+//        2 s jitter, one 150 s outage in the middle of the flash crowd).
+// Run 2: outage-length sweep at 20% drop.
+// Run 3: same-seed reproducibility check (fault injection must not perturb
+//        determinism).
+//
+// Prints PASS/FAIL verdicts for the acceptance thresholds:
+//  * robust QoE at 20% drop within 15% of the zero-fault EONA reference;
+//  * naive QoE at 20% drop at least 40% below that reference;
+//  * two identical runs produce bit-identical QoE and health counters.
+#include <cmath>
+#include <cstdio>
+
+#include "scenarios/flashcrowd.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+namespace {
+
+/// The standard fault profile of the sweep: `drop` loss, 10% duplication,
+/// 2 s delivery jitter, and a 150 s outage while the crowd is at its worst.
+core::FaultProfile standard_profile(double drop, Duration outage_len = 150.0,
+                                    TimePoint outage_start = 210.0) {
+  core::FaultProfile fault;
+  fault.drop_rate = drop;
+  fault.duplicate_rate = 0.10;
+  fault.max_extra_delay = 2.0;
+  if (outage_len > 0.0)
+    fault.outages.push_back({outage_start, outage_start + outage_len});
+  return fault;
+}
+
+scenarios::FlashCrowdConfig base_config(bool robust) {
+  scenarios::FlashCrowdConfig config;
+  config.mode = ControlMode::kEona;
+  // A crowd heavy enough that the bottleneck only survives if the informed
+  // aggregate steps down (the Fig 3 mechanism): with I2A flowing, the EONA
+  // brain caps bitrates and the access link drains; blind players probe up,
+  // stall, and thrash CDNs. This makes the value of the interface -- and
+  // hence the cost of losing it -- large enough to measure cleanly.
+  config.crowd_flows = 250;
+  config.crowd_background_fraction = 0.95;
+  config.robust_fetch = robust;
+  if (robust) {
+    config.retry.max_retries = 3;
+    config.retry.base_backoff = 0.5;
+    config.retry.freshness_deadline = 30.0;
+    config.stale_widening = 2.0;
+  }
+  return config;
+}
+
+scenarios::FlashCrowdResult run(double drop, bool robust,
+                                Duration outage_len = 150.0) {
+  scenarios::FlashCrowdConfig config = base_config(robust);
+  config.i2a_fault = standard_profile(drop, outage_len);
+  config.a2i_fault = standard_profile(drop, outage_len);
+  return scenarios::run_flash_crowd(config);
+}
+
+double qoe_of(const scenarios::FlashCrowdResult& r) {
+  return r.crowd_qoe.mean_engagement;
+}
+
+void print_row(const char* label, const scenarios::FlashCrowdResult& r,
+               double reference) {
+  std::printf("%10s | %8.3f %7.1f%% | %7.3f %8llu %8.2f | %6llu %6llu %6llu\n",
+              label, qoe_of(r),
+              reference > 0.0 ? 100.0 * qoe_of(r) / reference : 0.0,
+              r.qoe.mean_engagement,
+              static_cast<unsigned long long>(r.qoe.cdn_switches),
+              r.peak_stalled_fraction,
+              static_cast<unsigned long long>(r.i2a_health.drops),
+              static_cast<unsigned long long>(r.i2a_health.retries),
+              static_cast<unsigned long long>(r.i2a_health.stale_serves));
+}
+
+bool health_equal(const telemetry::DeliveryHealthSnapshot& a,
+                  const telemetry::DeliveryHealthSnapshot& b) {
+  return a == b;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E13 / Sec 5: fault tolerance of the EONA control plane ===\n\n");
+
+  // Zero-fault EONA reference: the value robustness must preserve.
+  scenarios::FlashCrowdResult reference =
+      scenarios::run_flash_crowd(base_config(/*robust=*/true));
+  scenarios::FlashCrowdResult baseline = [] {
+    scenarios::FlashCrowdConfig config = base_config(/*robust=*/false);
+    config.mode = ControlMode::kBaseline;
+    return scenarios::run_flash_crowd(config);
+  }();
+  const double ref_qoe = qoe_of(reference);
+  std::printf("zero-fault eona reference: crowd-engage=%.3f | "
+              "no-eona baseline: crowd-engage=%.3f\n\n",
+              ref_qoe, qoe_of(baseline));
+
+  std::printf("--- drop-rate sweep (dup 10%%, jitter 2 s, 150 s outage) ---\n");
+  std::printf("%10s | %8s %8s | %7s %8s %8s | %6s %6s %6s\n", "drop", "crowd-q",
+              "vs-ref", "engage", "cdn-sw", "peak", "drops", "retry", "stale");
+  scenarios::FlashCrowdResult robust_at_20, naive_at_20;
+  for (double drop : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40}) {
+    scenarios::FlashCrowdResult robust = run(drop, /*robust=*/true);
+    scenarios::FlashCrowdResult naive = run(drop, /*robust=*/false);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%% rob", 100.0 * drop);
+    print_row(label, robust, ref_qoe);
+    std::snprintf(label, sizeof(label), "%.0f%% naive", 100.0 * drop);
+    print_row(label, naive, ref_qoe);
+    if (drop == 0.20) {
+      robust_at_20 = robust;
+      naive_at_20 = naive;
+    }
+  }
+
+  std::printf("\n--- outage-length sweep at 20%% drop ---\n");
+  std::printf("%10s | %8s %8s | %7s %8s %8s | %6s %6s %6s\n", "outage",
+              "crowd-q", "vs-ref", "engage", "cdn-sw", "peak", "drops", "retry",
+              "stale");
+  for (Duration len : {0.0, 30.0, 60.0, 120.0, 240.0}) {
+    scenarios::FlashCrowdResult robust = run(0.20, /*robust=*/true, len);
+    scenarios::FlashCrowdResult naive = run(0.20, /*robust=*/false, len);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0fs rob", len);
+    print_row(label, robust, ref_qoe);
+    std::snprintf(label, sizeof(label), "%.0fs naive", len);
+    print_row(label, naive, ref_qoe);
+  }
+
+  std::printf("\n--- reproducibility: 20%% drop, robust, same seed twice ---\n");
+  scenarios::FlashCrowdResult again = run(0.20, /*robust=*/true);
+  bool reproducible =
+      qoe_of(again) == qoe_of(robust_at_20) &&
+      again.qoe.mean_engagement == robust_at_20.qoe.mean_engagement &&
+      again.qoe.stalls == robust_at_20.qoe.stalls &&
+      again.peak_stalled_fraction == robust_at_20.peak_stalled_fraction &&
+      health_equal(again.i2a_health, robust_at_20.i2a_health) &&
+      health_equal(again.a2i_health, robust_at_20.a2i_health);
+  std::printf("run1 crowd-engage=%.6f stalls=%llu drops=%llu | "
+              "run2 crowd-engage=%.6f stalls=%llu drops=%llu\n",
+              qoe_of(robust_at_20),
+              static_cast<unsigned long long>(robust_at_20.qoe.stalls),
+              static_cast<unsigned long long>(robust_at_20.i2a_health.drops),
+              qoe_of(again), static_cast<unsigned long long>(again.qoe.stalls),
+              static_cast<unsigned long long>(again.i2a_health.drops));
+
+  std::printf("\n--- verdicts ---\n");
+  double robust_ratio = qoe_of(robust_at_20) / ref_qoe;
+  double naive_ratio = qoe_of(naive_at_20) / ref_qoe;
+  bool robust_holds = robust_ratio >= 0.85;
+  bool naive_cliffs = naive_ratio <= 0.60;
+  std::printf("robust @20%% drop keeps %.1f%% of reference (need >= 85%%): %s\n",
+              100.0 * robust_ratio, robust_holds ? "PASS" : "FAIL");
+  std::printf("naive  @20%% drop keeps %.1f%% of reference (need <= 60%%): %s\n",
+              100.0 * naive_ratio, naive_cliffs ? "PASS" : "FAIL");
+  std::printf("same seed reproduces identical numbers: %s\n",
+              reproducible ? "PASS" : "FAIL");
+  return (robust_holds && naive_cliffs && reproducible) ? 0 : 1;
+}

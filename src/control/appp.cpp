@@ -57,6 +57,24 @@ bool poor_throughput(const app::PlayerView& v,
   return v.throughput_estimate < (*v.ladder)[cfg.poor_throughput_rung];
 }
 
+/// Merge one I2A report into the accumulated multi-InfP view.
+void merge_i2a(std::optional<core::I2AReport>& merged,
+               core::I2AReport report) {
+  if (!merged) {
+    merged = std::move(report);
+    return;
+  }
+  merged->generated_at = std::max(merged->generated_at, report.generated_at);
+  merged->peerings.insert(merged->peerings.end(), report.peerings.begin(),
+                          report.peerings.end());
+  merged->server_hints.insert(merged->server_hints.end(),
+                              report.server_hints.begin(),
+                              report.server_hints.end());
+  merged->congestion.insert(merged->congestion.end(),
+                            report.congestion.begin(),
+                            report.congestion.end());
+}
+
 /// Hash-pick an online server: what an AppP without load visibility gets
 /// from CDN DNS. `salt` varies on re-picks so retries can land elsewhere.
 ServerId hashed_server(const app::Cdn& cdn, SessionId session,
@@ -283,7 +301,18 @@ AppPController::~AppPController() = default;
 void AppPController::subscribe_i2a(core::I2AEndpoint* endpoint,
                                    std::string token) {
   EONA_EXPECTS(endpoint != nullptr);
-  subscriptions_.push_back(I2ASubscription{endpoint, std::move(token)});
+  I2ASubscription sub{endpoint, std::move(token), nullptr};
+  // Deterministic per-subscription seed: backoff jitter must not depend on
+  // subscription order elsewhere or on any workload randomness.
+  std::uint64_t seed =
+      splitmix64(self_.value() ^ (subscriptions_.size() + 1) * 0xD1B54A32D192ED03ull);
+  sub.fetcher = std::make_unique<core::RobustFetcher<core::I2AReport>>(
+      sched_,
+      [this, endpoint, token = sub.token](TimePoint now) {
+        return endpoint->query(self_, token, now);
+      },
+      config_.i2a_retry, seed, [this] { remerge_i2a(); });
+  subscriptions_.push_back(std::move(sub));
 }
 
 app::PlayerBrain& AppPController::brain() {
@@ -309,27 +338,74 @@ void AppPController::tick() {
 }
 
 void AppPController::refresh_i2a() {
+  TimePoint now = sched_.now();
+  if (config_.robust_fetch) {
+    for (auto& sub : subscriptions_) sub.fetcher->poll();
+    remerge_i2a();
+  } else {
+    // Naive consumer: trust only what this tick's fetches returned. A tick
+    // where every subscription misses (drop streak, outage) goes blind.
+    std::optional<core::I2AReport> merged;
+    for (const auto& sub : subscriptions_) {
+      ++naive_stats_.attempts;
+      auto report = sub.endpoint->query(self_, sub.token, now);
+      if (!report) {
+        ++naive_stats_.misses;
+        continue;
+      }
+      ++naive_stats_.fresh_hits;
+      merge_i2a(merged, std::move(*report));
+    }
+    latest_i2a_ = std::move(merged);
+  }
+
+  if (subscriptions_.empty()) return;
+  if (config_.robust_fetch) {
+    i2a_stale_ = true;
+    for (const auto& sub : subscriptions_)
+      if (!sub.fetcher->stale(now)) i2a_stale_ = false;
+  } else {
+    i2a_stale_ = !latest_i2a_ ||
+                 now - latest_i2a_->generated_at >
+                     config_.i2a_retry.freshness_deadline;
+  }
+  if (latest_i2a_)
+    i2a_delivery_.observe_serve(now - latest_i2a_->generated_at, i2a_stale_);
+  // Graceful degradation: on stale data the primary-CDN knob moves at most
+  // half as often (stale_widening). Gated on a finite freshness deadline so
+  // the default configuration is bit-identical to the pre-fault controller.
+  if (std::isfinite(config_.i2a_retry.freshness_deadline))
+    primary_dwell_.set_widening(
+        i2a_stale_ ? std::max(1.0, config_.stale_widening) : 1.0);
+}
+
+void AppPController::remerge_i2a() {
   std::optional<core::I2AReport> merged;
   for (const auto& sub : subscriptions_) {
-    auto report = sub.endpoint->query(self_, sub.token, sched_.now());
+    const auto& report = sub.fetcher->report();
     if (!report) continue;
-    if (!merged) {
-      merged = std::move(report);
-    } else {
-      merged->generated_at = std::max(merged->generated_at,
-                                      report->generated_at);
-      merged->peerings.insert(merged->peerings.end(),
-                              report->peerings.begin(),
-                              report->peerings.end());
-      merged->server_hints.insert(merged->server_hints.end(),
-                                  report->server_hints.begin(),
-                                  report->server_hints.end());
-      merged->congestion.insert(merged->congestion.end(),
-                                report->congestion.begin(),
-                                report->congestion.end());
-    }
+    merge_i2a(merged, *report);
   }
   if (merged) latest_i2a_ = std::move(merged);
+}
+
+telemetry::DeliveryHealthSnapshot AppPController::i2a_health() const {
+  telemetry::DeliveryHealthSnapshot s = i2a_delivery_.snapshot();
+  core::FetchStats fetches = naive_stats_;
+  for (const auto& sub : subscriptions_) {
+    fetches += sub.fetcher->stats();
+    const core::ChannelStats& ch = sub.endpoint->peer_stats(self_);
+    s.publishes += ch.published;
+    s.deliveries += ch.delivered;
+    s.drops += ch.dropped;
+    s.duplicates += ch.duplicated;
+  }
+  s.fetch_attempts = fetches.attempts;
+  s.retries = fetches.retries;
+  s.fresh_hits = fetches.fresh_hits;
+  s.stale_hits = fetches.stale_hits;
+  s.misses = fetches.misses;
+  return s;
 }
 
 core::A2IReport AppPController::build_a2i_report() const {

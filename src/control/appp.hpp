@@ -27,10 +27,12 @@
 #include "control/oscillation.hpp"
 #include "eona/endpoint.hpp"
 #include "eona/messages.hpp"
+#include "eona/robust.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/collector.hpp"
+#include "telemetry/delivery_health.hpp"
 
 namespace eona::control {
 
@@ -76,6 +78,20 @@ struct AppPConfig {
   /// Beacon cadence assumed when estimating active sessions from window
   /// record counts (must match PlayerConfig::beacon_period).
   Duration assumed_beacon_period = 10.0;
+  // --- I2A robustness (§5 graceful degradation) ---
+  /// When false, a control tick whose fetches all miss *clears* the I2A view
+  /// (the naive consumer trusts only what it just read) -- the fragile mode
+  /// the fault-tolerance bench contrasts against.
+  bool robust_fetch = true;
+  /// Retry/backoff + freshness policy for I2A fetches. The default (no
+  /// retries, infinite freshness) reproduces the plain one-fetch-per-tick
+  /// behaviour exactly.
+  core::RetryPolicy i2a_retry{};
+  /// While every I2A subscription is stale (per the freshness deadline), the
+  /// primary-CDN dwell is multiplied by this factor: with degraded
+  /// information the controller acts more conservatively. Only active when
+  /// i2a_retry.freshness_deadline is finite.
+  double stale_widening = 2.0;
 };
 
 /// AppP control plane; see file header.
@@ -100,10 +116,19 @@ class AppPController {
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
 
   /// Newest I2A report visible across subscriptions (merged); nullopt until
-  /// the first report arrives. Refreshed each control tick.
+  /// the first report arrives. Refreshed each control tick (and, with
+  /// retries enabled, whenever a backoff re-fetch lands newer data).
   [[nodiscard]] const std::optional<core::I2AReport>& latest_i2a() const {
     return latest_i2a_;
   }
+
+  /// True while no I2A subscription holds data within the freshness
+  /// deadline (always false before the first tick).
+  [[nodiscard]] bool i2a_stale() const { return i2a_stale_; }
+
+  /// Combined delivery-health snapshot of the I2A consumption path:
+  /// producer-side channel counters + fetch counters + staleness quantile.
+  [[nodiscard]] telemetry::DeliveryHealthSnapshot i2a_health() const;
 
   // --- brains ---
   [[nodiscard]] app::PlayerBrain& brain();  ///< active per eona_enabled()
@@ -142,6 +167,8 @@ class AppPController {
   class EonaBrain;
 
   void refresh_i2a();
+  /// Rebuild latest_i2a_ from the robust fetchers' last-known-good reports.
+  void remerge_i2a();
   void steer_primary_cdn();
   /// Window-mean buffering ratio of sessions on `cdn`; nullopt if no data.
   [[nodiscard]] std::optional<double> cdn_buffering(CdnId cdn) const;
@@ -162,9 +189,13 @@ class AppPController {
   struct I2ASubscription {
     core::I2AEndpoint* endpoint;
     std::string token;
+    std::unique_ptr<core::RobustFetcher<core::I2AReport>> fetcher;
   };
   std::vector<I2ASubscription> subscriptions_;
   std::optional<core::I2AReport> latest_i2a_;
+  bool i2a_stale_ = false;
+  telemetry::DeliveryHealth i2a_delivery_;
+  core::FetchStats naive_stats_;  ///< fetch counters in non-robust mode
 
   bool eona_enabled_ = false;
   CdnId primary_cdn_;

@@ -17,7 +17,10 @@
 
 namespace eona::control {
 
-/// Allows at most one change per `dwell` seconds.
+/// Allows at most one change per `dwell` seconds. The effective dwell can be
+/// temporarily *widened* (multiplied) by a controller that is operating on
+/// stale or missing EONA data: with degraded information, acting less often
+/// is the graceful way to degrade (§5).
 class DwellTimer {
  public:
   explicit DwellTimer(Duration dwell) : dwell_(dwell) {
@@ -25,7 +28,7 @@ class DwellTimer {
   }
 
   [[nodiscard]] bool may_change(TimePoint now) const {
-    return !changed_once_ || now - last_change_ >= dwell_;
+    return !changed_once_ || now - last_change_ >= dwell_ * widening_;
   }
 
   void record_change(TimePoint now) {
@@ -39,8 +42,16 @@ class DwellTimer {
     dwell_ = dwell;
   }
 
+  /// Multiply the effective dwell by `factor` (>= 1) until reset to 1.
+  void set_widening(double factor) {
+    EONA_EXPECTS(factor >= 1.0);
+    widening_ = factor;
+  }
+  [[nodiscard]] double widening() const { return widening_; }
+
  private:
   Duration dwell_;
+  double widening_ = 1.0;
   TimePoint last_change_ = 0.0;
   bool changed_once_ = false;
 };

@@ -1,9 +1,35 @@
 #include "control/infp.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace eona::control {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Merge one A2I report into the accumulated multi-AppP view.
+void merge_a2i(std::optional<core::A2IReport>& merged,
+               core::A2IReport report) {
+  if (!merged) {
+    merged = std::move(report);
+    return;
+  }
+  merged->generated_at = std::max(merged->generated_at, report.generated_at);
+  merged->groups.insert(merged->groups.end(), report.groups.begin(),
+                        report.groups.end());
+  merged->forecasts.insert(merged->forecasts.end(), report.forecasts.begin(),
+                           report.forecasts.end());
+}
+
+}  // namespace
 
 InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
                                const net::Routing& routing,
@@ -45,7 +71,16 @@ InfPController::~InfPController() = default;
 void InfPController::subscribe_a2i(core::A2IEndpoint* endpoint,
                                    std::string token) {
   EONA_EXPECTS(endpoint != nullptr);
-  subscriptions_.push_back(A2ISubscription{endpoint, std::move(token)});
+  A2ISubscription sub{endpoint, std::move(token), nullptr};
+  std::uint64_t seed = splitmix64(
+      self_.value() ^ (subscriptions_.size() + 1) * 0x2545F4914F6CDD1Dull);
+  sub.fetcher = std::make_unique<core::RobustFetcher<core::A2IReport>>(
+      sched_,
+      [this, endpoint, token = sub.token](TimePoint now) {
+        return endpoint->query(self_, token, now);
+      },
+      config_.a2i_retry, seed, [this] { remerge_a2i(); });
+  subscriptions_.push_back(std::move(sub));
 }
 
 void InfPController::attach_cdn(const app::Cdn* cdn) {
@@ -73,23 +108,73 @@ void InfPController::tick() {
 }
 
 void InfPController::refresh_a2i() {
+  TimePoint now = sched_.now();
+  if (config_.robust_fetch) {
+    for (auto& sub : subscriptions_) sub.fetcher->poll();
+    remerge_a2i();
+  } else {
+    std::optional<core::A2IReport> merged;
+    for (const auto& sub : subscriptions_) {
+      ++naive_stats_.attempts;
+      auto report = sub.endpoint->query(self_, sub.token, now);
+      if (!report) {
+        ++naive_stats_.misses;
+        continue;
+      }
+      ++naive_stats_.fresh_hits;
+      merge_a2i(merged, std::move(*report));
+    }
+    latest_a2i_ = std::move(merged);
+  }
+
+  if (subscriptions_.empty()) return;
+  if (config_.robust_fetch) {
+    a2i_stale_ = true;
+    for (const auto& sub : subscriptions_)
+      if (!sub.fetcher->stale(now)) a2i_stale_ = false;
+  } else {
+    a2i_stale_ = !latest_a2i_ ||
+                 now - latest_a2i_->generated_at >
+                     config_.a2i_retry.freshness_deadline;
+  }
+  if (latest_a2i_)
+    a2i_delivery_.observe_serve(now - latest_a2i_->generated_at, a2i_stale_);
+  // Graceful degradation: stale forecasts slow every egress knob down.
+  // Gated on a finite freshness deadline so the default configuration is
+  // bit-identical to the pre-fault controller.
+  if (std::isfinite(config_.a2i_retry.freshness_deadline)) {
+    double widening = a2i_stale_ ? std::max(1.0, config_.stale_widening) : 1.0;
+    for (auto& [cdn, dwell] : egress_dwell_) dwell.set_widening(widening);
+  }
+}
+
+void InfPController::remerge_a2i() {
   std::optional<core::A2IReport> merged;
   for (const auto& sub : subscriptions_) {
-    auto report = sub.endpoint->query(self_, sub.token, sched_.now());
+    const auto& report = sub.fetcher->report();
     if (!report) continue;
-    if (!merged) {
-      merged = std::move(report);
-    } else {
-      merged->generated_at =
-          std::max(merged->generated_at, report->generated_at);
-      merged->groups.insert(merged->groups.end(), report->groups.begin(),
-                            report->groups.end());
-      merged->forecasts.insert(merged->forecasts.end(),
-                               report->forecasts.begin(),
-                               report->forecasts.end());
-    }
+    merge_a2i(merged, *report);
   }
   if (merged) latest_a2i_ = std::move(merged);
+}
+
+telemetry::DeliveryHealthSnapshot InfPController::a2i_health() const {
+  telemetry::DeliveryHealthSnapshot s = a2i_delivery_.snapshot();
+  core::FetchStats fetches = naive_stats_;
+  for (const auto& sub : subscriptions_) {
+    fetches += sub.fetcher->stats();
+    const core::ChannelStats& ch = sub.endpoint->peer_stats(self_);
+    s.publishes += ch.published;
+    s.deliveries += ch.delivered;
+    s.drops += ch.dropped;
+    s.duplicates += ch.duplicated;
+  }
+  s.fetch_attempts = fetches.attempts;
+  s.retries = fetches.retries;
+  s.fresh_hits = fetches.fresh_hits;
+  s.stale_hits = fetches.stale_hits;
+  s.misses = fetches.misses;
+  return s;
 }
 
 core::I2AReport InfPController::build_i2a_report() const {

@@ -27,10 +27,12 @@
 #include "control/oscillation.hpp"
 #include "eona/endpoint.hpp"
 #include "eona/messages.hpp"
+#include "eona/robust.hpp"
 #include "net/network.hpp"
 #include "net/peering.hpp"
 #include "net/routing.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/delivery_health.hpp"
 
 namespace eona::control {
 
@@ -54,6 +56,15 @@ struct InfPConfig {
   /// of its nominal capacity is hinted offline (an idle degraded box would
   /// otherwise advertise load ~0 and lure the fleet straight back).
   double server_health_fraction = 0.5;
+  // --- A2I robustness (§5 graceful degradation) ---
+  /// When false, a tick whose A2I fetches all miss clears the forecast view
+  /// (EONA TE then holds position for lack of information).
+  bool robust_fetch = true;
+  /// Retry/backoff + freshness policy for A2I fetches; default = naive.
+  core::RetryPolicy a2i_retry{};
+  /// Dwell multiplier on every egress knob while all A2I data is stale.
+  /// Only active when a2i_retry.freshness_deadline is finite.
+  double stale_widening = 2.0;
 };
 
 /// ISP control plane; see file header.
@@ -76,6 +87,13 @@ class InfPController {
   [[nodiscard]] const std::optional<core::A2IReport>& latest_a2i() const {
     return latest_a2i_;
   }
+
+  /// True while no A2I subscription holds data within the freshness
+  /// deadline (always false before the first tick).
+  [[nodiscard]] bool a2i_stale() const { return a2i_stale_; }
+
+  /// Combined delivery-health snapshot of the A2I consumption path.
+  [[nodiscard]] telemetry::DeliveryHealthSnapshot a2i_health() const;
 
   /// CDNs whose servers this InfP operates (emits server hints for them).
   void attach_cdn(const app::Cdn* cdn);
@@ -105,6 +123,8 @@ class InfPController {
 
  private:
   void refresh_a2i();
+  /// Rebuild latest_a2i_ from the robust fetchers' last-known-good reports.
+  void remerge_a2i();
   void run_traffic_engineering();
   void engineer_cdn(CdnId cdn, const std::vector<PeeringId>& candidates);
   /// Moves live flows from `from`'s ingress link onto paths via `to`.
@@ -127,9 +147,13 @@ class InfPController {
   struct A2ISubscription {
     core::A2IEndpoint* endpoint;
     std::string token;
+    std::unique_ptr<core::RobustFetcher<core::A2IReport>> fetcher;
   };
   std::vector<A2ISubscription> subscriptions_;
   std::optional<core::A2IReport> latest_a2i_;
+  bool a2i_stale_ = false;
+  telemetry::DeliveryHealth a2i_delivery_;
+  core::FetchStats naive_stats_;  ///< fetch counters in non-robust mode
 
   std::vector<const app::Cdn*> operated_cdns_;
   /// Nominal (healthy) capacity per operated server egress, snapshotted at

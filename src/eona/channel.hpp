@@ -2,6 +2,12 @@
 // EONA data (§5 "dealing with staleness"). A report published at time t
 // becomes visible to queries at t + delay; queries always see the newest
 // visible report. The staleness bench sweeps `delay` from zero to minutes.
+//
+// The channel may additionally carry a FaultProfile (fault.hpp): publishes
+// can be dropped or duplicated, deliveries gain jittered extra delay, and
+// scheduled outage windows take the whole channel down (publishes lost,
+// queries unanswered). An ideal profile leaves behaviour byte-identical to
+// the unfaulted channel.
 #pragma once
 
 #include <deque>
@@ -9,6 +15,7 @@
 
 #include "common/contracts.hpp"
 #include "common/units.hpp"
+#include "eona/fault.hpp"
 
 namespace eona::core {
 
@@ -16,8 +23,10 @@ namespace eona::core {
 template <typename T>
 class ReportChannel {
  public:
-  explicit ReportChannel(Duration delay = 0.0) : delay_(delay) {
+  explicit ReportChannel(Duration delay = 0.0, FaultProfile fault = {})
+      : delay_(delay), fault_(std::move(fault)), stream_(fault_.seed) {
     EONA_EXPECTS(delay >= 0.0);
+    fault_.validate();
   }
 
   [[nodiscard]] Duration delay() const { return delay_; }
@@ -26,49 +35,93 @@ class ReportChannel {
     delay_ = delay;
   }
 
-  /// Publish a report at time `now`.
+  [[nodiscard]] const FaultProfile& fault() const { return fault_; }
+  /// Replace the fault profile (validates; restarts the fault stream).
+  void set_fault(FaultProfile fault) {
+    fault.validate();
+    fault_ = std::move(fault);
+    stream_ = FaultStream(fault_.seed);
+  }
+
+  /// Publish a report at time `now`. Subject to the fault profile: the
+  /// delivery may be dropped (lost for good), duplicated, or delayed extra.
   void publish(T report, TimePoint now) {
     EONA_EXPECTS(history_.empty() || now >= history_.back().published_at);
-    history_.push_back(Entry{now, std::move(report)});
-    ++published_;
+    ++stats_.published;
+    if (fault_.in_outage(now)) {
+      ++stats_.dropped;  // the endpoint is down; the report is never queued
+      return;
+    }
+    if (fault_.drop_rate > 0.0 && stream_.chance(fault_.drop_rate)) {
+      ++stats_.dropped;
+      return;
+    }
+    bool duplicate = fault_.duplicate_rate > 0.0 &&
+                     stream_.chance(fault_.duplicate_rate);
+    deliver(report, now);
+    if (duplicate) {
+      deliver(std::move(report), now);  // independent jitter per copy
+      ++stats_.duplicated;
+    }
     // Keep only what queries can still distinguish: everything older than
     // the newest visible entry will never be returned again.
     trim(now);
   }
 
-  /// Newest report visible at `now` (i.e. published at or before
-  /// now - delay). nullopt when none is visible yet.
+  /// Newest report visible at `now` (i.e. whose delivery time, including any
+  /// jitter, is at or before now). nullopt when none is visible yet, or when
+  /// `now` falls inside an outage window (the endpoint does not answer).
   [[nodiscard]] std::optional<T> fetch(TimePoint now) const {
+    if (fault_.in_outage(now)) return std::nullopt;
     const Entry* best = nullptr;
     for (const Entry& e : history_)
-      if (e.published_at + delay_ <= now) best = &e;
+      if (visible_at(e) <= now) best = &e;
     if (!best) return std::nullopt;
     return best->report;
   }
 
   /// Age of the report `fetch(now)` would return; nullopt when none.
   [[nodiscard]] std::optional<Duration> staleness(TimePoint now) const {
+    if (fault_.in_outage(now)) return std::nullopt;
     const Entry* best = nullptr;
     for (const Entry& e : history_)
-      if (e.published_at + delay_ <= now) best = &e;
+      if (visible_at(e) <= now) best = &e;
     if (!best) return std::nullopt;
     return now - best->published_at;
   }
 
-  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+  [[nodiscard]] std::uint64_t published_count() const {
+    return stats_.published;
+  }
+  /// Delivery-health counters for this channel.
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     TimePoint published_at;
+    Duration extra_delay;  ///< fault-injected jitter on top of delay_
     T report;
   };
 
+  [[nodiscard]] TimePoint visible_at(const Entry& e) const {
+    return e.published_at + delay_ + e.extra_delay;
+  }
+
+  void deliver(T report, TimePoint now) {
+    Duration extra = fault_.max_extra_delay > 0.0
+                         ? stream_.uniform(fault_.max_extra_delay)
+                         : 0.0;
+    history_.push_back(Entry{now, extra, std::move(report)});
+    ++stats_.delivered;
+  }
+
   void trim(TimePoint now) {
     // Drop entries strictly older than the newest one that is already
-    // visible -- fetch() can never return them.
+    // visible -- fetch() can never return them. (Entries queued after the
+    // newest visible one may become visible later and survive.)
     std::size_t newest_visible = history_.size();
     for (std::size_t i = 0; i < history_.size(); ++i)
-      if (history_[i].published_at + delay_ <= now) newest_visible = i;
+      if (visible_at(history_[i]) <= now) newest_visible = i;
     if (newest_visible == history_.size()) return;
     while (newest_visible > 0) {
       history_.pop_front();
@@ -77,8 +130,10 @@ class ReportChannel {
   }
 
   Duration delay_;
+  FaultProfile fault_;
+  FaultStream stream_;
   std::deque<Entry> history_;
-  std::uint64_t published_ = 0;
+  ChannelStats stats_;
 };
 
 }  // namespace eona::core

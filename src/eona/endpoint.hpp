@@ -2,7 +2,8 @@
 // for the provider's current report. Opt-in is explicit (paper §3): the
 // owner authorises peers individually with bearer tokens, attaches a
 // per-peer export policy, and may set a per-peer propagation delay
-// (staleness). Everything a peer sees has passed policy + delay.
+// (staleness) and a per-peer FaultProfile (drop/duplicate/jitter/outages).
+// Everything a peer sees has passed policy + delay + faults.
 #pragma once
 
 #include <cstdint>
@@ -29,12 +30,13 @@ class LookingGlass {
   [[nodiscard]] ProviderId owner() const { return owner_; }
 
   /// Opt a peer in: it may query with `token` and sees reports through
-  /// `policy`, delayed by `delay`.
+  /// `policy`, delayed by `delay` and subject to `fault` (default: ideal).
   void authorize(ProviderId peer, std::string token, Policy policy = {},
-                 Duration delay = 0.0) {
+                 Duration delay = 0.0, FaultProfile fault = {}) {
     EONA_EXPECTS(!token.empty());
     peers_.insert_or_assign(
-        peer, PeerEntry{std::move(token), policy, ReportChannel<Report>(delay)});
+        peer, PeerEntry{std::move(token), policy,
+                        ReportChannel<Report>(delay, std::move(fault))});
   }
 
   /// Opt a peer out again.
@@ -47,6 +49,23 @@ class LookingGlass {
   /// Change the staleness injected on a peer's channel (benches sweep this).
   void set_peer_delay(ProviderId peer, Duration delay) {
     require(peer).channel.set_delay(delay);
+  }
+
+  /// Change the fault profile injected on a peer's channel.
+  void set_peer_fault(ProviderId peer, FaultProfile fault) {
+    require(peer).channel.set_fault(std::move(fault));
+  }
+
+  /// Delivery-health counters of one peer's channel.
+  [[nodiscard]] const ChannelStats& peer_stats(ProviderId peer) const {
+    return require(peer).channel.stats();
+  }
+
+  /// Delivery-health counters summed over every authorised peer.
+  [[nodiscard]] ChannelStats delivery_stats() const {
+    ChannelStats total;
+    for (const auto& [peer, entry] : peers_) total += entry.channel.stats();
+    return total;
   }
 
   /// Owner publishes its current report; every authorised peer's channel

@@ -530,4 +530,89 @@ I2AReport i2a_from_json(const std::string& text) {
   return report;
 }
 
+std::string to_json(const FaultProfile& fault, int indent) {
+  JsonValue root = JsonValue::object();
+  root.set("kind", JsonValue::string("fault_profile"));
+  root.set("drop_rate", JsonValue::number(fault.drop_rate));
+  root.set("duplicate_rate", JsonValue::number(fault.duplicate_rate));
+  root.set("max_extra_delay", JsonValue::number(fault.max_extra_delay));
+  root.set("seed", JsonValue::number(static_cast<double>(fault.seed)));
+  JsonValue outages = JsonValue::array();
+  for (const auto& w : fault.outages) {
+    JsonValue item = JsonValue::object();
+    item.set("start", JsonValue::number(w.start));
+    item.set("end", JsonValue::number(w.end));
+    outages.push_back(std::move(item));
+  }
+  root.set("outages", std::move(outages));
+  return root.dump(indent);
+}
+
+FaultProfile fault_profile_from_json(const std::string& text) {
+  JsonValue root = JsonValue::parse(text);
+  if (root.at("kind").as_string() != "fault_profile")
+    throw CodecError("json: not a fault profile");
+  FaultProfile fault;
+  fault.drop_rate = root.at("drop_rate").as_number();
+  fault.duplicate_rate = root.at("duplicate_rate").as_number();
+  fault.max_extra_delay = root.at("max_extra_delay").as_number();
+  double seed = root.at("seed").as_number();
+  if (seed < 0.0) throw CodecError("json: negative seed");
+  fault.seed = static_cast<std::uint64_t>(seed);
+  for (const auto& item : root.at("outages").as_array()) {
+    OutageWindow w;
+    w.start = item.at("start").as_number();
+    w.end = item.at("end").as_number();
+    fault.outages.push_back(w);
+  }
+  fault.validate();  // ConfigError on semantically invalid profiles
+  return fault;
+}
+
+std::string to_json(const telemetry::DeliveryHealthSnapshot& h, int indent) {
+  JsonValue root = JsonValue::object();
+  root.set("kind", JsonValue::string("delivery_health"));
+  auto count = [](std::uint64_t v) {
+    return JsonValue::number(static_cast<double>(v));
+  };
+  root.set("publishes", count(h.publishes));
+  root.set("deliveries", count(h.deliveries));
+  root.set("drops", count(h.drops));
+  root.set("duplicates", count(h.duplicates));
+  root.set("fetch_attempts", count(h.fetch_attempts));
+  root.set("retries", count(h.retries));
+  root.set("fresh_hits", count(h.fresh_hits));
+  root.set("stale_hits", count(h.stale_hits));
+  root.set("misses", count(h.misses));
+  root.set("stale_serves", count(h.stale_serves));
+  root.set("staleness_p90", JsonValue::number(h.staleness_p90));
+  return root.dump(indent);
+}
+
+telemetry::DeliveryHealthSnapshot delivery_health_from_json(
+    const std::string& text) {
+  JsonValue root = JsonValue::parse(text);
+  if (root.at("kind").as_string() != "delivery_health")
+    throw CodecError("json: not a delivery-health snapshot");
+  auto count = [&](const char* key) {
+    double v = root.at(key).as_number();
+    if (v < 0.0) throw CodecError(std::string("json: negative count ") + key);
+    return static_cast<std::uint64_t>(v);
+  };
+  telemetry::DeliveryHealthSnapshot h;
+  h.publishes = count("publishes");
+  h.deliveries = count("deliveries");
+  h.drops = count("drops");
+  h.duplicates = count("duplicates");
+  h.fetch_attempts = count("fetch_attempts");
+  h.retries = count("retries");
+  h.fresh_hits = count("fresh_hits");
+  h.stale_hits = count("stale_hits");
+  h.misses = count("misses");
+  h.stale_serves = count("stale_serves");
+  h.staleness_p90 = root.at("staleness_p90").as_number();
+  if (h.staleness_p90 < 0.0) throw CodecError("json: negative staleness_p90");
+  return h;
+}
+
 }  // namespace eona::core

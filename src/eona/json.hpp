@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "eona/fault.hpp"
 #include "eona/messages.hpp"
+#include "telemetry/delivery_health.hpp"
 
 namespace eona::core {
 
@@ -67,5 +69,18 @@ class JsonValue {
 [[nodiscard]] std::string to_json(const I2AReport& report, int indent = 2);
 [[nodiscard]] A2IReport a2i_from_json(const std::string& text);
 [[nodiscard]] I2AReport i2a_from_json(const std::string& text);
+
+/// Fault profile <-> JSON (lab configs). Decoding runs FaultProfile::
+/// validate(), so malformed input (negative drop rate, inverted or
+/// overlapping outage windows, ...) throws ConfigError; structurally bad
+/// JSON throws CodecError.
+[[nodiscard]] std::string to_json(const FaultProfile& fault, int indent = 2);
+[[nodiscard]] FaultProfile fault_profile_from_json(const std::string& text);
+
+/// Delivery-health snapshot <-> JSON (what the lab tool prints).
+[[nodiscard]] std::string to_json(const telemetry::DeliveryHealthSnapshot& h,
+                                  int indent = 2);
+[[nodiscard]] telemetry::DeliveryHealthSnapshot delivery_health_from_json(
+    const std::string& text);
 
 }  // namespace eona::core

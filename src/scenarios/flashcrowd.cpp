@@ -71,15 +71,28 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 5.0;
   appp_cfg.qoe_window = 30.0;
+  appp_cfg.robust_fetch = config.robust_fetch;
+  appp_cfg.i2a_retry = config.retry;
+  appp_cfg.stale_widening = config.stale_widening;
   control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
 
   control::InfPConfig infp_cfg;
   infp_cfg.control_period = 10.0;
+  infp_cfg.robust_fetch = config.robust_fetch;
+  infp_cfg.a2i_retry = config.retry;
+  infp_cfg.stale_widening = config.stale_widening;
   control::InfPController infp(sched, network, routing, peering, isp, infp_id,
                                {access}, infp_cfg);
 
+  // A fault profile with seed 0 gets a deterministic per-direction seed
+  // derived from the run seed (salted, so it never consumes workload RNG).
+  core::FaultProfile a2i_fault = config.a2i_fault;
+  core::FaultProfile i2a_fault = config.i2a_fault;
+  if (a2i_fault.seed == 0) a2i_fault.seed = rng.fork_salted(0xA21).seed();
+  if (i2a_fault.seed == 0) i2a_fault.seed = rng.fork_salted(0x12A).seed();
   wire_eona(registry, appp, infp, config.a2i_delay, config.i2a_delay,
-            config.a2i_policy, config.i2a_policy);
+            config.a2i_policy, config.i2a_policy, std::move(a2i_fault),
+            std::move(i2a_fault));
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).
@@ -182,6 +195,8 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   if (!util_series.empty() && config.crowd_end > config.crowd_start)
     result.mean_access_utilization = util_series.time_weighted_mean(
         config.crowd_start, config.crowd_end);
+  result.i2a_health = appp.i2a_health();
+  result.a2i_health = infp.a2i_health();
   return result;
 }
 

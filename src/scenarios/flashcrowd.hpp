@@ -11,8 +11,11 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "eona/fault.hpp"
+#include "eona/robust.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/delivery_health.hpp"
 
 namespace eona::scenarios {
 
@@ -37,6 +40,16 @@ struct FlashCrowdConfig {
   // --- export policies (E7 interface-width sweeps) ---
   core::A2IPolicy a2i_policy{};
   core::I2APolicy i2a_policy{};
+  // --- control-plane fault injection (E13 fault-tolerance bench) ---
+  /// Per-direction fault profiles. A profile whose seed is 0 gets a
+  /// deterministic seed derived from `seed`, so sweeps stay reproducible
+  /// without coupling fault draws to the workload stream.
+  core::FaultProfile a2i_fault{};
+  core::FaultProfile i2a_fault{};
+  // --- consumer robustness (both directions) ---
+  bool robust_fetch = true;
+  core::RetryPolicy retry{};
+  double stale_widening = 2.0;
 };
 
 struct FlashCrowdResult {
@@ -47,6 +60,10 @@ struct FlashCrowdResult {
   std::uint64_t arrivals = 0;
   sim::MetricSet metrics;  ///< series: stalled_fraction, active_sessions,
                            ///< mean_bitrate, access_util (2 s cadence)
+  /// Delivery health of each consumption direction (AppP reading I2A,
+  /// InfP reading A2I).
+  telemetry::DeliveryHealthSnapshot i2a_health;
+  telemetry::DeliveryHealthSnapshot a2i_health;
 };
 
 /// Build the world, run it, and summarise.

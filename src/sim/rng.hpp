@@ -16,11 +16,25 @@ namespace eona::sim {
 /// Seeded pseudo-random generator with the distributions the workloads need.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Derive an independent child stream; used to give each subsystem its own
   /// stream so adding draws in one place does not perturb another.
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Derive a child stream keyed by `salt` WITHOUT consuming state from this
+  /// stream. Fault injection uses this: a channel's fault stream must be
+  /// reproducible from (seed, salt) alone, and enabling faults must not
+  /// advance -- and thereby perturb -- the workload's entropy stream.
+  [[nodiscard]] Rng fork_salted(std::uint64_t salt) const {
+    std::uint64_t x = seed_ ^ (salt + 0x9E3779B97F4A7C15ull);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return Rng(x ^ (x >> 31));
+  }
+
+  /// The seed this stream was constructed with.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
@@ -86,6 +100,7 @@ class Rng {
   std::uint64_t next_u64() { return engine_(); }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -157,5 +157,110 @@ TEST_P(JsonFuzzTest, RandomReportsRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
                          ::testing::Range<std::uint64_t>(0, 15));
 
+// --- fault profiles -----------------------------------------------------------
+
+TEST(JsonFault, FaultProfileRoundTrip) {
+  FaultProfile fault;
+  fault.drop_rate = 0.25;
+  fault.duplicate_rate = 0.0625;
+  fault.max_extra_delay = 2.5;
+  fault.outages = {{30.0, 60.0}, {120.0, 180.0}};
+  fault.seed = 0xFEEDull;
+  EXPECT_EQ(fault_profile_from_json(to_json(fault)), fault);
+}
+
+TEST(JsonFault, IdealProfileRoundTripsToIdeal) {
+  FaultProfile decoded = fault_profile_from_json(to_json(FaultProfile{}));
+  EXPECT_TRUE(decoded.ideal());
+  EXPECT_EQ(decoded, FaultProfile{});
+}
+
+TEST(JsonFault, GoldenDumpIsStable) {
+  // The wire shape is a contract for lab configs: field names and order
+  // change only deliberately.
+  FaultProfile fault;
+  fault.drop_rate = 0.5;
+  fault.outages = {{10.0, 20.0}};
+  EXPECT_EQ(to_json(fault, 0),
+            "{\"drop_rate\":0.5,\"duplicate_rate\":0,"
+            "\"kind\":\"fault_profile\",\"max_extra_delay\":0,"
+            "\"outages\":[{\"end\":20,\"start\":10}],\"seed\":0}");
+}
+
+TEST(JsonFault, DecodingValidatesSemantics) {
+  // Structurally valid JSON, semantically invalid profile -> ConfigError.
+  FaultProfile negative;
+  negative.drop_rate = -0.1;
+  std::string negative_drop = to_json(negative);
+  EXPECT_THROW(fault_profile_from_json(negative_drop), ConfigError);
+
+  FaultProfile overlapping;
+  overlapping.outages = {{10.0, 30.0}, {20.0, 40.0}};
+  std::string bad_windows = to_json(overlapping);
+  EXPECT_THROW(fault_profile_from_json(bad_windows), ConfigError);
+}
+
+TEST(JsonFault, StructuralGarbageIsCodecError) {
+  EXPECT_THROW(fault_profile_from_json("{\"kind\":\"fault_profile\"}"),
+               CodecError);  // missing fields
+  EXPECT_THROW(fault_profile_from_json("{\"kind\":\"not_a_fault\"}"),
+               CodecError);  // wrong kind
+  EXPECT_THROW(fault_profile_from_json("[1,2,3]"), CodecError);
+  EXPECT_THROW(fault_profile_from_json("{"), CodecError);
+  FaultProfile fault;
+  fault.seed = 1;
+  std::string text = to_json(fault, 0);
+  auto pos = text.find("\"seed\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "\"seed\":-1");
+  EXPECT_THROW(fault_profile_from_json(text), CodecError);  // negative seed
+}
+
+// --- delivery health ----------------------------------------------------------
+
+TEST(JsonHealth, DeliveryHealthRoundTrip) {
+  telemetry::DeliveryHealthSnapshot h;
+  h.publishes = 1000;
+  h.deliveries = 870;
+  h.drops = 130;
+  h.duplicates = 42;
+  h.fetch_attempts = 512;
+  h.retries = 64;
+  h.fresh_hits = 400;
+  h.stale_hits = 48;
+  h.misses = 64;
+  h.stale_serves = 17;
+  h.staleness_p90 = 12.5;
+  EXPECT_EQ(delivery_health_from_json(to_json(h)), h);
+}
+
+TEST(JsonHealth, EmptySnapshotRoundTrips) {
+  telemetry::DeliveryHealthSnapshot empty;
+  EXPECT_EQ(delivery_health_from_json(to_json(empty)), empty);
+}
+
+TEST(JsonHealth, RejectsNegativeCountsAndStaleness) {
+  telemetry::DeliveryHealthSnapshot h;
+  h.drops = 5;
+  std::string text = to_json(h, 0);
+  auto pos = text.find("\"drops\":5");
+  ASSERT_NE(pos, std::string::npos);
+  std::string negative_count = text;
+  negative_count.replace(pos, 9, "\"drops\":-5");
+  EXPECT_THROW(delivery_health_from_json(negative_count), CodecError);
+
+  pos = text.find("\"staleness_p90\":0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "\"staleness_p90\":-1");
+  EXPECT_THROW(delivery_health_from_json(text), CodecError);
+}
+
+TEST(JsonHealth, WrongKindIsRejected) {
+  telemetry::DeliveryHealthSnapshot h;
+  std::string as_fault = to_json(h);
+  EXPECT_THROW(fault_profile_from_json(as_fault), CodecError);
+  EXPECT_THROW(delivery_health_from_json(to_json(FaultProfile{})), CodecError);
+}
+
 }  // namespace
 }  // namespace eona::core

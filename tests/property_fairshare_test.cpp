@@ -1,0 +1,178 @@
+// Property sweep for the max-min fair allocator over 200 seeded random
+// topologies. net_fairshare_test.cpp checks the bottleneck characterisation
+// on linear backbones; this sweep generates richer random graphs (backbone +
+// shortcut links, flows over arbitrary link subsets) and checks three
+// invariants the simulator's fluid model leans on:
+//
+//  * bottleneck fair share -- no unsatisfied flow is beaten on every one of
+//    its saturated links (equivalently: each has a link where it is maximal);
+//  * work conservation -- no unsatisfied flow has slack on every link it
+//    crosses; rates cannot be grown without violating a constraint;
+//  * permutation invariance -- shuffling the flow order permutes the rate
+//    vector and changes nothing else.
+#include "net/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace eona::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTol = 1e-6;
+
+struct Instance {
+  Topology topo;
+  std::vector<FlowSpec> flows;
+};
+
+/// Random topology: a router backbone plus random shortcut links, with flows
+/// over random (not necessarily contiguous) link subsets. Every flow has at
+/// least one link, so elastic demand is always legal.
+Instance random_instance(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Instance inst;
+  const int node_count = static_cast<int>(rng.uniform_int(3, 12));
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < node_count; ++i)
+    nodes.push_back(inst.topo.add_node(NodeKind::kRouter,
+                                       "n" + std::to_string(i)));
+
+  std::vector<LinkId> links;
+  for (int i = 0; i + 1 < node_count; ++i)
+    links.push_back(inst.topo.add_link(nodes[i], nodes[i + 1],
+                                       mbps(rng.uniform(1, 200)), 0.0));
+  const int shortcuts = static_cast<int>(rng.uniform_int(0, node_count / 2));
+  for (int s = 0; s < shortcuts; ++s) {
+    int a = static_cast<int>(rng.uniform_int(0, node_count - 1));
+    int b = static_cast<int>(rng.uniform_int(0, node_count - 1));
+    if (a == b) continue;
+    links.push_back(
+        inst.topo.add_link(nodes[a], nodes[b], mbps(rng.uniform(1, 200)), 0.0));
+  }
+
+  const int flow_count = static_cast<int>(rng.uniform_int(1, 30));
+  for (int f = 0; f < flow_count; ++f) {
+    Path path;
+    for (LinkId l : links)
+      if (rng.bernoulli(0.3)) path.push_back(l);
+    if (path.empty())
+      path.push_back(links[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1))]);
+    double demand = rng.bernoulli(0.4) ? kInf : mbps(rng.uniform(0.05, 80));
+    inst.flows.push_back(FlowSpec{std::move(path), demand});
+  }
+  return inst;
+}
+
+std::vector<double> link_loads(const Topology& topo,
+                               const std::vector<FlowSpec>& flows,
+                               const std::vector<BitsPerSecond>& rates) {
+  std::vector<double> load(topo.link_count(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f)
+    for (LinkId l : flows[f].path) load[l.value()] += rates[f];
+  return load;
+}
+
+class FairSharePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairSharePropertyTest, FeasibleAndBottleneckFair) {
+  Instance inst = random_instance(GetParam());
+  auto rates = max_min_allocation(inst.topo, inst.flows);
+  ASSERT_EQ(rates.size(), inst.flows.size());
+
+  std::vector<double> load = link_loads(inst.topo, inst.flows, rates);
+  for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+    EXPECT_GE(rates[f], -kTol) << "flow " << f;
+    EXPECT_LE(rates[f], inst.flows[f].demand + kTol) << "flow " << f;
+  }
+  for (std::size_t l = 0; l < inst.topo.link_count(); ++l) {
+    double cap =
+        inst.topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+    EXPECT_LE(load[l], cap * (1 + 1e-9) + kTol) << "link " << l;
+  }
+
+  // Bottleneck fair share: every demand-unsatisfied flow must cross some
+  // saturated link on which no co-located flow gets a strictly higher rate.
+  for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+    if (rates[f] >= inst.flows[f].demand - kTol) continue;
+    bool has_bottleneck = false;
+    for (LinkId l : inst.flows[f].path) {
+      double cap = inst.topo.link(l).capacity;
+      if (load[l.value()] < cap - std::max(kTol, 1e-9 * cap)) continue;
+      bool maximal = true;
+      for (std::size_t g = 0; g < inst.flows.size() && maximal; ++g) {
+        if (g == f || rates[g] <= rates[f] + kTol) continue;
+        for (LinkId gl : inst.flows[g].path)
+          if (gl == l) maximal = false;
+      }
+      if (maximal) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck)
+        << "seed " << GetParam() << ": flow " << f << " (rate " << rates[f]
+        << ") is unsatisfied yet maximal on none of its saturated links";
+  }
+}
+
+TEST_P(FairSharePropertyTest, WorkConserving) {
+  Instance inst = random_instance(GetParam());
+  auto rates = max_min_allocation(inst.topo, inst.flows);
+  std::vector<double> load = link_loads(inst.topo, inst.flows, rates);
+
+  // No unsatisfied flow can be grown: each must cross at least one link with
+  // (numerically) zero slack. Otherwise bumping that one flow by the minimum
+  // slack would be a strictly better feasible allocation.
+  for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+    if (rates[f] >= inst.flows[f].demand - kTol) continue;
+    double min_slack = kInf;
+    for (LinkId l : inst.flows[f].path) {
+      double cap = inst.topo.link(l).capacity;
+      min_slack = std::min(min_slack, cap - load[l.value()]);
+    }
+    EXPECT_LE(min_slack, std::max(kTol, 1e-9 * rates[f]))
+        << "seed " << GetParam() << ": flow " << f
+        << " is unsatisfied but has " << min_slack
+        << " bps of slack on every link it crosses";
+  }
+}
+
+TEST_P(FairSharePropertyTest, PermutationInvariant) {
+  Instance inst = random_instance(GetParam());
+  auto rates = max_min_allocation(inst.topo, inst.flows);
+
+  // Shuffle the flow order with an independent stream and re-solve: each
+  // flow's rate must ride along with it (up to summation rounding).
+  std::vector<std::size_t> perm(inst.flows.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  sim::Rng shuffle_rng(GetParam() ^ 0x5DEECE66Dull);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1],
+              perm[static_cast<std::size_t>(
+                  shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+
+  std::vector<FlowSpec> shuffled;
+  for (std::size_t i : perm) shuffled.push_back(inst.flows[i]);
+  auto shuffled_rates = max_min_allocation(inst.topo, shuffled);
+  ASSERT_EQ(shuffled_rates.size(), rates.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    EXPECT_NEAR(shuffled_rates[i], rates[perm[i]],
+                kTol + 1e-9 * rates[perm[i]])
+        << "seed " << GetParam() << ": flow " << perm[i]
+        << " changed rate when moved to position " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairSharePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 200));
+
+}  // namespace
+}  // namespace eona::net

@@ -1,0 +1,120 @@
+// End-to-end determinism of the simulator under control-plane fault
+// injection. The fault layer runs on its own seeded draw streams, so a full
+// flash-crowd run -- players, transfers, EONA control loops, drops,
+// duplicates, jitter, an outage, retries, stale serves -- must reproduce
+// bit-identically from the same seed, and must actually change when the seed
+// changes (i.e. the seed is truly load-bearing, not decorative).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "scenarios/flashcrowd.hpp"
+
+namespace eona::scenarios {
+namespace {
+
+/// A shortened, fault-ridden flash crowd: small enough to run in test time,
+/// rich enough to exercise drops, duplicates, jitter, an outage window,
+/// retries, and stale fallback in both report directions.
+FlashCrowdConfig faulted_config(std::uint64_t seed) {
+  FlashCrowdConfig config;
+  config.seed = seed;
+  config.mode = ControlMode::kEona;
+  config.crowd_start = 60.0;
+  config.crowd_end = 180.0;
+  config.run_duration = 260.0;
+  config.video_duration = 60.0;
+  config.crowd_flows = 80;
+
+  core::FaultProfile fault;
+  fault.drop_rate = 0.25;
+  fault.duplicate_rate = 0.15;
+  fault.max_extra_delay = 2.0;
+  fault.outages = {{90.0, 130.0}};
+  config.i2a_fault = fault;
+  config.a2i_fault = fault;  // seed 0: each direction derives its own
+
+  config.retry.max_retries = 3;
+  config.retry.base_backoff = 0.5;
+  config.retry.freshness_deadline = 20.0;
+  config.stale_widening = 2.0;
+  return config;
+}
+
+void expect_identical(const FlashCrowdResult& a, const FlashCrowdResult& b) {
+  // QoE summaries, exact -- no tolerance anywhere.
+  EXPECT_EQ(a.qoe.sessions, b.qoe.sessions);
+  EXPECT_EQ(a.qoe.mean_buffering, b.qoe.mean_buffering);
+  EXPECT_EQ(a.qoe.p90_buffering, b.qoe.p90_buffering);
+  EXPECT_EQ(a.qoe.mean_bitrate, b.qoe.mean_bitrate);
+  EXPECT_EQ(a.qoe.mean_join_time, b.qoe.mean_join_time);
+  EXPECT_EQ(a.qoe.mean_engagement, b.qoe.mean_engagement);
+  EXPECT_EQ(a.qoe.stalls, b.qoe.stalls);
+  EXPECT_EQ(a.qoe.cdn_switches, b.qoe.cdn_switches);
+  EXPECT_EQ(a.qoe.server_switches, b.qoe.server_switches);
+  EXPECT_EQ(a.crowd_qoe.sessions, b.crowd_qoe.sessions);
+  EXPECT_EQ(a.crowd_qoe.mean_engagement, b.crowd_qoe.mean_engagement);
+  EXPECT_EQ(a.peak_stalled_fraction, b.peak_stalled_fraction);
+  EXPECT_EQ(a.mean_access_utilization, b.mean_access_utilization);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+
+  // Every metric sample, exact.
+  ASSERT_EQ(a.metrics.all_series().size(), b.metrics.all_series().size());
+  for (const auto& [name, series] : a.metrics.all_series()) {
+    ASSERT_TRUE(b.metrics.has_series(name)) << name;
+    const auto& other = b.metrics.series(name);
+    ASSERT_EQ(series.size(), other.size()) << name;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      EXPECT_EQ(series.samples()[i].t, other.samples()[i].t) << name;
+      EXPECT_EQ(series.samples()[i].value, other.samples()[i].value)
+          << name << "[" << i << "]";
+    }
+  }
+
+  // Delivery-health counters, both directions.
+  EXPECT_EQ(a.i2a_health, b.i2a_health);
+  EXPECT_EQ(a.a2i_health, b.a2i_health);
+}
+
+TEST(SimDeterminism, SameSeedIsBitIdenticalUnderFaults) {
+  FlashCrowdResult first = run_flash_crowd(faulted_config(7));
+  FlashCrowdResult second = run_flash_crowd(faulted_config(7));
+  expect_identical(first, second);
+  // Sanity: the faults actually fired -- this config is not quietly ideal.
+  EXPECT_GT(first.i2a_health.drops, 0u);
+  EXPECT_GT(first.i2a_health.retries, 0u);
+  EXPECT_GT(first.qoe.sessions, 0u);
+}
+
+TEST(SimDeterminism, SameSeedIsBitIdenticalWithNaiveConsumer) {
+  FlashCrowdConfig config = faulted_config(7);
+  config.robust_fetch = false;
+  FlashCrowdResult first = run_flash_crowd(config);
+  FlashCrowdResult second = run_flash_crowd(config);
+  expect_identical(first, second);
+}
+
+TEST(SimDeterminism, DifferentSeedsDiffer) {
+  FlashCrowdResult a = run_flash_crowd(faulted_config(7));
+  FlashCrowdResult b = run_flash_crowd(faulted_config(8));
+  // The workload stream and both fault streams all derive from the seed; a
+  // one-off collision across every one of these would be astronomical.
+  EXPECT_FALSE(a.qoe.mean_engagement == b.qoe.mean_engagement &&
+               a.qoe.stalls == b.qoe.stalls &&
+               a.arrivals == b.arrivals &&
+               a.i2a_health == b.i2a_health);
+}
+
+TEST(SimDeterminism, ExplicitFaultSeedOverridesDerivation) {
+  // Pinning the fault seed while changing the run seed changes the workload
+  // but keeps the fault draw stream; pinning both reproduces everything.
+  FlashCrowdConfig config = faulted_config(7);
+  config.i2a_fault.seed = 0xFEEDFACEull;
+  config.a2i_fault.seed = 0xFEEDFACEull;
+  FlashCrowdResult first = run_flash_crowd(config);
+  FlashCrowdResult second = run_flash_crowd(config);
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace eona::scenarios

@@ -124,6 +124,10 @@ void dump_series_csv(const sim::MetricSet& metrics) {
   }
 }
 
+core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
+  return core::JsonValue::parse(core::to_json(h, 0));
+}
+
 int run_flashcrowd(Overrides& ov, bool csv) {
   scenarios::FlashCrowdConfig config;
   ov.mode("mode", config.mode);
@@ -131,13 +135,34 @@ int run_flashcrowd(Overrides& ov, bool csv) {
   double access_mbps = config.access_capacity / 1e6;
   ov.number("access_capacity_mbps", access_mbps);
   config.access_capacity = mbps(access_mbps);
+  double origin_mbps = config.origin_capacity / 1e6;
+  ov.number("origin_capacity_mbps", origin_mbps);
+  config.origin_capacity = mbps(origin_mbps);
   ov.number("arrival_rate", config.arrival_rate);
   ov.number("crowd_background_fraction", config.crowd_background_fraction);
+  ov.size("crowd_flows", config.crowd_flows);
   ov.number("crowd_start", config.crowd_start);
   ov.number("crowd_end", config.crowd_end);
   ov.number("run_duration", config.run_duration);
   ov.number("a2i_delay", config.a2i_delay);
   ov.number("i2a_delay", config.i2a_delay);
+  // Control-plane fault injection + consumer robustness (E13).
+  ov.number("i2a_drop", config.i2a_fault.drop_rate);
+  ov.number("i2a_duplicate", config.i2a_fault.duplicate_rate);
+  ov.number("i2a_jitter", config.i2a_fault.max_extra_delay);
+  ov.number("a2i_drop", config.a2i_fault.drop_rate);
+  double outage_start = 0.0, outage_end = 0.0;
+  ov.number("outage_start", outage_start);
+  ov.number("outage_end", outage_end);
+  if (outage_end > outage_start) {
+    config.i2a_fault.outages.push_back({outage_start, outage_end});
+    config.a2i_fault.outages.push_back({outage_start, outage_end});
+  }
+  ov.boolean("robust", config.robust_fetch);
+  ov.size("max_retries", config.retry.max_retries);
+  ov.number("base_backoff", config.retry.base_backoff);
+  ov.number("freshness_deadline", config.retry.freshness_deadline);
+  ov.number("stale_widening", config.stale_widening);
   ov.finish();
 
   scenarios::FlashCrowdResult r = scenarios::run_flash_crowd(config);
@@ -150,6 +175,8 @@ int run_flashcrowd(Overrides& ov, bool csv) {
           core::JsonValue::number(r.peak_stalled_fraction));
   out.set("mean_access_utilization",
           core::JsonValue::number(r.mean_access_utilization));
+  out.set("i2a_health", health_json(r.i2a_health));
+  out.set("a2i_health", health_json(r.a2i_health));
   std::printf("%s\n", out.dump(2).c_str());
   if (csv) dump_series_csv(r.metrics);
   return 0;
@@ -284,7 +311,10 @@ void usage() {
       "scenarios:\n"
       "  flashcrowd    Fig 3  (mode, seed, access_capacity_mbps, arrival_rate,\n"
       "                        crowd_background_fraction, crowd_start, crowd_end,\n"
-      "                        run_duration, a2i_delay, i2a_delay)\n"
+      "                        run_duration, a2i_delay, i2a_delay,\n"
+      "                        i2a_drop, i2a_duplicate, i2a_jitter, a2i_drop,\n"
+      "                        outage_start, outage_end, robust, max_retries,\n"
+      "                        base_backoff, freshness_deadline, stale_widening)\n"
       "  oscillation   Fig 5  (mode, seed, run_duration, arrival_rate,\n"
       "                        appp_period, infp_period, appp_dwell, infp_dwell,\n"
       "                        a2i_delay, i2a_delay)\n"
