@@ -6,6 +6,7 @@
 // report costs a provider pays per control epoch.
 #include <benchmark/benchmark.h>
 
+#include "json_main.hpp"
 #include "eona/endpoint.hpp"
 #include "eona/wire.hpp"
 #include "sim/rng.hpp"
@@ -129,3 +130,5 @@ void BM_PolicyApplication(benchmark::State& state) {
 BENCHMARK(BM_PolicyApplication)->Arg(256)->Arg(4096);
 
 }  // namespace
+
+EONA_BENCHMARK_JSON_MAIN("BENCH_fig2_interface_plane.json")

@@ -4,10 +4,14 @@
 //
 // Microbenches of every stage of the pipeline that volume flows through:
 // beacon ingest + group-by, windowed aggregation, quantile sketch updates,
-// the k-anonymity gate, the max-min rate solver, and the fluid transfer
-// plane. items/s here extrapolates directly to sessions/day.
+// the k-anonymity gate, the max-min rate solver, the incremental/batched
+// data plane under flash-crowd churn, and the fluid transfer plane. items/s
+// here extrapolates directly to sessions/day. Results are also written to
+// BENCH_sec5_scalability.json (see json_main.hpp) so the perf trajectory is
+// tracked run over run.
 #include <benchmark/benchmark.h>
 
+#include "json_main.hpp"
 #include "net/transfer.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/anonymity.hpp"
@@ -134,6 +138,110 @@ void BM_MaxMinRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinRecompute)->Arg(10)->Arg(100)->Arg(1000);
 
+/// Flash-crowd churn on the live data plane: a burst of K flow arrivals
+/// followed by K departures on a shared bottleneck, with a handful of
+/// long-lived elastic flows riding along. batched=1 is the production path
+/// (one Network::Batch per burst, incremental dirty-component re-solve);
+/// batched=0 is the per-mutation from-scratch baseline (every add/remove
+/// re-solves the whole network). items/s counts mutations absorbed by the
+/// data plane.
+void BM_FlashCrowdChurn(benchmark::State& state) {
+  const auto crowd = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) == 1;
+
+  net::Topology topo;
+  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
+  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  NodeId srv1 = topo.add_node(net::NodeKind::kCdnServer, "cdn1");
+  NodeId srv2 = topo.add_node(net::NodeKind::kCdnServer, "cdn2");
+  LinkId access = topo.add_link(edge, client, mbps(200), 0.005);
+  LinkId peer1 = topo.add_link(srv1, edge, gbps(1), 0.008);
+  LinkId peer2 = topo.add_link(srv2, edge, gbps(1), 0.008);
+
+  net::Network network(topo, batched
+                                 ? net::Network::RecomputeMode::kIncremental
+                                 : net::Network::RecomputeMode::kFullSolve);
+  // Long-lived sessions sharing the bottleneck with the crowd.
+  for (int i = 0; i < 16; ++i)
+    network.add_flow(i % 2 == 0 ? net::Path{peer1, access}
+                                : net::Path{peer2, access});
+  BitsPerSecond per_flow = mbps(150) / static_cast<double>(crowd);
+
+  std::vector<FlowId> ids;
+  ids.reserve(crowd);
+  for (auto _ : state) {
+    ids.clear();
+    if (batched) {
+      {
+        net::Network::Batch arrival(network);
+        for (std::size_t i = 0; i < crowd; ++i)
+          ids.push_back(network.add_flow({access}, per_flow));
+      }
+      {
+        net::Network::Batch departure(network);
+        for (FlowId f : ids) network.remove_flow(f);
+      }
+    } else {
+      for (std::size_t i = 0; i < crowd; ++i)
+        ids.push_back(network.add_flow({access}, per_flow));
+      for (FlowId f : ids) network.remove_flow(f);
+    }
+    benchmark::DoNotOptimize(network.link_allocated(access));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(crowd));
+  state.counters["recomputes"] =
+      static_cast<double>(network.recompute_count());
+}
+BENCHMARK(BM_FlashCrowdChurn)
+    ->ArgNames({"K", "batched"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Localized churn across many independent sectors: mutations touch one
+/// sector at a time, so the incremental path re-solves only that sector's
+/// component while the from-scratch baseline pays for all of them on every
+/// change. This isolates the dirty-component win from the batching win.
+void BM_SectorLocalChurn(benchmark::State& state) {
+  const bool incremental = state.range(0) == 1;
+  constexpr std::size_t kSectors = 64;
+  constexpr std::size_t kFlowsPerSector = 16;
+
+  net::Topology topo;
+  NodeId core = topo.add_node(net::NodeKind::kRouter, "core");
+  std::vector<LinkId> sectors;
+  for (std::size_t s = 0; s < kSectors; ++s) {
+    NodeId tower = topo.add_node(net::NodeKind::kClientPop, "sector");
+    sectors.push_back(topo.add_link(core, tower, mbps(50), 0.015));
+  }
+
+  net::Network network(topo, incremental
+                                 ? net::Network::RecomputeMode::kIncremental
+                                 : net::Network::RecomputeMode::kFullSolve);
+  for (std::size_t s = 0; s < kSectors; ++s)
+    for (std::size_t f = 0; f < kFlowsPerSector; ++f)
+      network.add_flow({sectors[s]});
+
+  sim::Rng rng(8);
+  std::size_t sector = 0;
+  for (auto _ : state) {
+    sector = (sector + 1) % kSectors;
+    FlowId f = network.add_flow({sectors[sector]},
+                                mbps(rng.uniform(0.5, 5)));
+    network.remove_flow(f);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SectorLocalChurn)
+    ->ArgNames({"incremental"})
+    ->Arg(0)
+    ->Arg(1);
+
 /// End-to-end fluid transfer plane: chunk-sized transfers arriving and
 /// completing on a shared bottleneck (events/s of the emulator itself).
 void BM_TransferPlane(benchmark::State& state) {
@@ -165,3 +273,5 @@ void BM_TransferPlane(benchmark::State& state) {
 BENCHMARK(BM_TransferPlane)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+EONA_BENCHMARK_JSON_MAIN("BENCH_sec5_scalability.json")

@@ -1,0 +1,54 @@
+// Shared main() for the google-benchmark targets: runs the registered
+// benches with the normal console output AND always writes a machine-
+// readable JSON result file (items/s per stage, counters, run context) so
+// the repo's perf trajectory can be tracked run over run.
+//
+// The output path defaults to the per-target name passed to
+// EONA_BENCHMARK_JSON_MAIN (written into the working directory); set
+// EONA_BENCH_OUT or pass --benchmark_out=... to override it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace eona::bench {
+
+inline int run_with_json_report(int argc, char** argv,
+                                const std::string& default_out) {
+  std::string path = default_out;
+  if (const char* env = std::getenv("EONA_BENCH_OUT")) path = env;
+
+  // Respect an explicit --benchmark_out; otherwise point it at our default
+  // so the library writes the JSON file alongside the console output.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  std::vector<std::string> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (auto& a : args) raw.push_back(a.data());
+  int raw_argc = static_cast<int>(raw.size());
+
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::cerr << "bench results written to " << path << "\n";
+  return 0;
+}
+
+}  // namespace eona::bench
+
+#define EONA_BENCHMARK_JSON_MAIN(default_out)                             \
+  int main(int argc, char** argv) {                                       \
+    return eona::bench::run_with_json_report(argc, argv, (default_out));  \
+  }

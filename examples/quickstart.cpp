@@ -73,7 +73,7 @@ int main() {
   infp.start();
 
   // --- 4. a few video sessions ----------------------------------------------
-  app::SessionPool pool(sched);
+  app::SessionPool pool(sched, &network);
   for (int i = 0; i < 6; ++i) {
     SessionId session(static_cast<SessionId::rep_type>(i));
     telemetry::Dimensions dims;

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,7 +33,11 @@ class SessionPool {
   using Factory = std::function<std::unique_ptr<VideoPlayer>(
       VideoPlayer::DoneCallback)>;
 
-  explicit SessionPool(sim::Scheduler& sched) : sched_(sched) {}
+  /// When `network` is given, bulk operations (abort_all) coalesce their
+  /// flow removals into a single Network batch: one rate recompute instead
+  /// of one per aborted session.
+  explicit SessionPool(sim::Scheduler& sched, net::Network* network = nullptr)
+      : sched_(sched), network_(network) {}
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
@@ -76,7 +81,11 @@ class SessionPool {
   }
 
   /// Abort every active session (end of experiment); final beacons fire.
+  /// With an attached network, the burst of transfer cancellations lands as
+  /// one batched recompute.
   void abort_all() {
+    std::optional<net::Network::Batch> batch;
+    if (network_ != nullptr) batch.emplace(*network_);
     // Collect ids first: abort() triggers on_session_done -> deferred erase.
     std::vector<SessionId> ids;
     ids.reserve(players_.size());
@@ -105,6 +114,7 @@ class SessionPool {
   }
 
   sim::Scheduler& sched_;
+  net::Network* network_;
   std::unordered_map<SessionId, std::unique_ptr<VideoPlayer>> players_;
   std::vector<telemetry::SessionRecord> finished_;
   std::vector<SessionSummary> summaries_;

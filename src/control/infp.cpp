@@ -355,6 +355,9 @@ void InfPController::select_egress(PeeringId point) {
 
 void InfPController::migrate_flows(const net::PeeringPoint& from,
                                    const net::PeeringPoint& to) {
+  // An egress shift moves every flow on the old ingress at once; batch the
+  // reroutes so the data plane re-solves rates a single time.
+  net::Network::Batch batch(network_);
   for (FlowId fid : network_.flows_on(from.ingress_link)) {
     NodeId src = network_.flow_src(fid);
     NodeId dst = network_.flow_dst(fid);

@@ -5,36 +5,87 @@
 
 namespace eona::net {
 
+// Re-solve rates for the dirty component: the flows whose spec changed plus
+// everything transitively sharing a link with them. The BFS alternates
+// between the two frontiers (flows -> their links, links -> flows on them)
+// until closed; because the closure absorbs every flow on every visited
+// link, the component can be re-solved against full link capacities and the
+// result is bit-identical to a from-scratch solve (fairshare.hpp solves
+// connected components independently in both cases).
 void Network::recompute() {
   ++recompute_count_;
 
-  // Deterministic order: sort flow ids. The max-min allocation is unique
-  // regardless of order, but fixed iteration keeps floating-point results
-  // bit-identical across runs.
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-
-  std::vector<FlowSpec> specs;
-  specs.reserve(ids.size());
-  for (FlowId id : ids) {
-    const FlowState& flow = flows_.at(id);
-    specs.push_back(FlowSpec{flow.path, flow.demand});
+  if (mode_ == RecomputeMode::kFullSolve) {
+    dirty_slots_.clear();
+    dirty_links_.clear();
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot)
+      if (slots_[slot].alive) dirty_slots_.push_back(slot);
   }
 
-  std::vector<BitsPerSecond> rates =
-      max_min_allocation(*topo_, specs, link_capacity_);
+  ++visit_epoch_;
+  affected_slots_.clear();
+  affected_links_.clear();
+  for (std::uint32_t slot : dirty_slots_) {
+    if (slot >= slots_.size() || !slots_[slot].alive) continue;
+    if (slot_visit_[slot] == visit_epoch_) continue;
+    slot_visit_[slot] = visit_epoch_;
+    affected_slots_.push_back(slot);
+  }
+  for (LinkId lid : dirty_links_) {
+    if (link_visit_[lid.value()] == visit_epoch_) continue;
+    link_visit_[lid.value()] = visit_epoch_;
+    affected_links_.push_back(lid);
+  }
+  dirty_slots_.clear();
+  dirty_links_.clear();
 
-  std::fill(link_allocated_.begin(), link_allocated_.end(), 0.0);
-  std::fill(link_flows_.begin(), link_flows_.end(), 0);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    FlowState& flow = flows_.at(ids[i]);
-    flow.rate = rates[i];
-    for (LinkId lid : flow.path) {
-      link_allocated_[lid.value()] += rates[i];
-      ++link_flows_[lid.value()];
+  std::size_t next_slot = 0;
+  std::size_t next_link = 0;
+  while (next_slot < affected_slots_.size() ||
+         next_link < affected_links_.size()) {
+    if (next_slot < affected_slots_.size()) {
+      std::uint32_t slot = affected_slots_[next_slot++];
+      for (LinkId lid : slots_[slot].path) {
+        if (link_visit_[lid.value()] == visit_epoch_) continue;
+        link_visit_[lid.value()] = visit_epoch_;
+        affected_links_.push_back(lid);
+      }
+    } else {
+      LinkId lid = affected_links_[next_link++];
+      for (std::uint32_t slot : link_slots_[lid.value()]) {
+        if (slot_visit_[slot] == visit_epoch_) continue;
+        slot_visit_[slot] = visit_epoch_;
+        affected_slots_.push_back(slot);
+      }
     }
+  }
+
+  // Every affected link's allocation is rebuilt below; links that lost all
+  // their flows (removals) must drop to zero even with nothing to solve.
+  for (LinkId lid : affected_links_) link_allocated_[lid.value()] = 0.0;
+  if (affected_slots_.empty()) return;
+
+  // Deterministic order: ascending flow id. The max-min allocation is
+  // unique regardless of order, but fixed iteration keeps floating-point
+  // results bit-identical between incremental and from-scratch solves.
+  std::sort(affected_slots_.begin(), affected_slots_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].id < slots_[b].id;
+            });
+
+  solve_views_.clear();
+  solve_views_.reserve(affected_slots_.size());
+  for (std::uint32_t slot : affected_slots_) {
+    const FlowState& flow = slots_[slot];
+    solve_views_.push_back(
+        FlowView{flow.path.data(), flow.path.size(), flow.demand});
+  }
+  solver_.solve(*topo_, solve_views_, link_capacity_, solve_rates_);
+
+  for (std::size_t i = 0; i < affected_slots_.size(); ++i) {
+    FlowState& flow = slots_[affected_slots_[i]];
+    flow.rate = solve_rates_[i];
+    for (LinkId lid : flow.path) link_allocated_[lid.value()] += flow.rate;
   }
 }
 
@@ -44,10 +95,9 @@ bool Network::link_congested(LinkId id, double threshold) const {
   if (link_utilization(id) < threshold) return false;
   // Saturated AND at least one flow on it is demand-starved: some flow
   // crossing this link got less than it wanted.
-  for (const auto& [fid, flow] : flows_) {
-    if (flow.rate >= flow.demand - 1e-9) continue;
-    for (LinkId lid : flow.path)
-      if (lid == id) return true;
+  for (std::uint32_t slot : link_slots_[id.value()]) {
+    const FlowState& flow = slots_[slot];
+    if (flow.rate < flow.demand - 1e-9) return true;
   }
   return false;
 }

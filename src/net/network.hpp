@@ -1,10 +1,24 @@
 // Dynamic flow-level network: live flows over a Topology with max-min fair
-// rate allocation recomputed on every change.
+// rate allocation kept current across changes.
 //
-// Mutations (add/remove/reroute/set_demand) trigger: before_change hook ->
-// apply mutation -> recompute rates -> after_change hook. The hooks let the
-// TransferManager integrate delivered bits under the old rate vector before
-// rates move (see transfer.hpp).
+// Mutations (add/remove/reroute/set_demand/set_link_capacity) trigger:
+// before_change hook -> apply mutation -> recompute rates -> after_change
+// hook. The hooks let the TransferManager integrate delivered bits under the
+// old rate vector before rates move (see transfer.hpp).
+//
+// Batching: any number of mutations can be coalesced into one recompute and
+// one before/after hook pair with begin_batch()/commit() or the RAII
+// Network::Batch. Inside a batch the before hook fires at the first mutation
+// (while the old rate vector is still live), structural state (flow table,
+// per-link indices) updates immediately, and rates stay stale until commit.
+// An empty batch fires no hooks and solves nothing.
+//
+// Recompute is incremental: the network maintains a per-link flow index, and
+// a commit re-solves only the dirty component -- the changed flows plus
+// everything transitively sharing a link with them (BFS over the conflict
+// graph, seeded with the links the mutations touched). Because the solver
+// water-fills each connected component independently (see fairshare.hpp),
+// the incremental result is bit-identical to a from-scratch solve.
 #pragma once
 
 #include <algorithm>
@@ -31,11 +45,20 @@ class Network {
  public:
   using Hook = std::function<void()>;
 
-  explicit Network(const Topology& topo)
+  /// How commits re-solve rates. kIncremental (default) solves only the
+  /// dirty component; kFullSolve re-solves every flow on every commit (the
+  /// pre-incremental behaviour, kept as a bench baseline and test oracle --
+  /// both modes produce bit-identical rate vectors).
+  enum class RecomputeMode { kIncremental, kFullSolve };
+
+  explicit Network(const Topology& topo,
+                   RecomputeMode mode = RecomputeMode::kIncremental)
       : topo_(&topo),
+        mode_(mode),
         link_capacity_(topo.link_count(), 0.0),
         link_allocated_(topo.link_count(), 0.0),
-        link_flows_(topo.link_count(), 0) {
+        link_slots_(topo.link_count()),
+        link_visit_(topo.link_count(), 0) {
     for (std::size_t l = 0; l < topo.link_count(); ++l)
       link_capacity_[l] =
           topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
@@ -49,64 +72,169 @@ class Network {
     after_change_ = std::move(after);
   }
 
+  // --- batching ------------------------------------------------------------
+
+  /// Open a batch: mutations apply immediately (structurally) but the rate
+  /// solve and the after hook are deferred to the matching commit(). Batches
+  /// nest; only the outermost commit recomputes.
+  void begin_batch() { ++batch_depth_; }
+
+  /// Close the innermost batch. Closing the outermost batch runs one rate
+  /// recompute and fires the after hook -- iff the batch mutated anything.
+  void commit() {
+    EONA_EXPECTS(batch_depth_ > 0);
+    if (--batch_depth_ > 0) return;
+    batch_before_fired_ = false;
+    if (!batch_mutated_) return;
+    batch_mutated_ = false;
+    recompute();
+    fire_after();
+  }
+
+  /// RAII batch guard: opens a batch on construction, commits on
+  /// destruction (also during unwinding, so mutations that succeeded before
+  /// an exception still land consistently).
+  class Batch {
+   public:
+    explicit Batch(Network& net) : net_(&net) { net_->begin_batch(); }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+    ~Batch() {
+      if (net_ == nullptr) return;
+      try {
+        net_->commit();
+      } catch (...) {
+        // Destructors must not throw; a hook failure during unwinding is
+        // dropped rather than terminating the process.
+      }
+    }
+    /// Commit early (e.g. to observe the new rates before scope exit).
+    void commit() {
+      Network* net = net_;
+      net_ = nullptr;
+      net->commit();
+    }
+
+   private:
+    Network* net_;
+  };
+
+  /// True while inside an open batch (rates may be stale).
+  [[nodiscard]] bool in_batch() const { return batch_depth_ > 0; }
+
+  // --- mutations -----------------------------------------------------------
+
   /// Admit a new flow on `path` with the given demand ceiling.
   FlowId add_flow(Path path, BitsPerSecond demand = kElasticDemand) {
     validate_path(path);
     EONA_EXPECTS(demand >= 0.0);
     EONA_EXPECTS(!path.empty() || std::isfinite(demand));
-    fire_before();
+    begin_mutation();
     FlowId id(next_flow_id_++);
-    flows_.emplace(id, FlowState{std::move(path), demand, 0.0});
-    recompute();
-    fire_after();
+    std::uint32_t slot = alloc_slot();
+    FlowState& flow = slots_[slot];
+    flow.path = std::move(path);
+    flow.demand = demand;
+    flow.rate = 0.0;
+    flow.id = id;
+    flow.alive = true;
+    slot_of_.emplace(id, slot);
+    index_add(slot);
+    dirty_slots_.push_back(slot);
+    end_mutation();
     return id;
   }
 
   void remove_flow(FlowId id) {
-    require(id);
-    fire_before();
-    flows_.erase(id);
-    recompute();
-    fire_after();
+    std::uint32_t slot = require_slot(id);
+    begin_mutation();
+    FlowState& flow = slots_[slot];
+    for (LinkId lid : flow.path) dirty_links_.push_back(lid);
+    index_remove(slot);
+    flow.alive = false;
+    flow.path.clear();
+    slot_of_.erase(id);
+    free_slots_.push_back(slot);
+    end_mutation();
   }
 
   /// Change a flow's demand ceiling (e.g. the player picked a new bitrate).
   void set_demand(FlowId id, BitsPerSecond demand) {
     EONA_EXPECTS(demand >= 0.0);
-    FlowState& flow = require(id);
+    std::uint32_t slot = require_slot(id);
+    FlowState& flow = slots_[slot];
     if (flow.demand == demand) return;
     EONA_EXPECTS(!flow.path.empty() || std::isfinite(demand));
-    fire_before();
+    begin_mutation();
     flow.demand = demand;
-    recompute();
-    fire_after();
+    dirty_slots_.push_back(slot);
+    end_mutation();
   }
 
   /// Move a flow to a new path (e.g. the ISP changed its egress point).
   void reroute(FlowId id, Path path) {
     validate_path(path);
-    FlowState& flow = require(id);
+    std::uint32_t slot = require_slot(id);
+    FlowState& flow = slots_[slot];
     EONA_EXPECTS(!path.empty() || std::isfinite(flow.demand));
-    fire_before();
+    begin_mutation();
+    for (LinkId lid : flow.path) dirty_links_.push_back(lid);
+    index_remove(slot);
     flow.path = std::move(path);
-    recompute();
-    fire_after();
+    index_add(slot);
+    dirty_slots_.push_back(slot);
+    end_mutation();
   }
 
-  [[nodiscard]] bool contains(FlowId id) const { return flows_.count(id) > 0; }
+  /// Change a link's effective capacity (degradation, server shutdown,
+  /// maintenance). Capacity 0 starves every flow crossing the link.
+  void set_link_capacity(LinkId id, BitsPerSecond capacity) {
+    EONA_EXPECTS(topo_->contains(id));
+    EONA_EXPECTS(capacity >= 0.0);
+    if (link_capacity_[id.value()] == capacity) return;
+    begin_mutation();
+    link_capacity_[id.value()] = capacity;
+    dirty_links_.push_back(id);
+    end_mutation();
+  }
 
-  /// Currently allocated max-min fair rate of the flow.
+  // --- flow accessors ------------------------------------------------------
+
+  [[nodiscard]] bool contains(FlowId id) const {
+    return slot_of_.count(id) > 0;
+  }
+
+  /// Currently allocated max-min fair rate of the flow. Stale inside an
+  /// open batch (rates move at commit).
   [[nodiscard]] BitsPerSecond rate(FlowId id) const {
-    return require(id).rate;
+    return slots_[require_slot(id)].rate;
   }
 
   [[nodiscard]] BitsPerSecond demand(FlowId id) const {
-    return require(id).demand;
+    return slots_[require_slot(id)].demand;
   }
 
-  [[nodiscard]] const Path& path(FlowId id) const { return require(id).path; }
+  [[nodiscard]] const Path& path(FlowId id) const {
+    return slots_[require_slot(id)].path;
+  }
 
-  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flow_count() const { return slot_of_.size(); }
+
+  /// Source node of a flow (src of its first link); invalid for local flows.
+  [[nodiscard]] NodeId flow_src(FlowId id) const {
+    const FlowState& flow = slots_[require_slot(id)];
+    if (flow.path.empty()) return NodeId{};
+    return topo_->link(flow.path.front()).src;
+  }
+
+  /// Destination node of a flow (dst of its last link); invalid for local.
+  [[nodiscard]] NodeId flow_dst(FlowId id) const {
+    const FlowState& flow = slots_[require_slot(id)];
+    if (flow.path.empty()) return NodeId{};
+    return topo_->link(flow.path.back()).dst;
+  }
+
+  // --- link accessors ------------------------------------------------------
 
   /// Sum of allocated flow rates on the link.
   [[nodiscard]] BitsPerSecond link_allocated(LinkId id) const {
@@ -120,18 +248,6 @@ class Network {
     return link_capacity_[id.value()];
   }
 
-  /// Change a link's effective capacity (degradation, server shutdown,
-  /// maintenance). Capacity 0 starves every flow crossing the link.
-  void set_link_capacity(LinkId id, BitsPerSecond capacity) {
-    EONA_EXPECTS(topo_->contains(id));
-    EONA_EXPECTS(capacity >= 0.0);
-    if (link_capacity_[id.value()] == capacity) return;
-    fire_before();
-    link_capacity_[id.value()] = capacity;
-    recompute();
-    fire_after();
-  }
-
   /// allocated / capacity, in [0, 1] modulo floating-point slack.
   /// A zero-capacity link reports utilisation 1 (unusable).
   [[nodiscard]] double link_utilization(LinkId id) const {
@@ -141,10 +257,12 @@ class Network {
     return link_allocated_[id.value()] / cap;
   }
 
-  /// Number of flows currently crossing the link.
+  /// Number of flows currently crossing the link (kept incrementally by the
+  /// per-link flow index; a flow whose path repeats a link counts once per
+  /// occurrence, matching load accounting).
   [[nodiscard]] int link_flow_count(LinkId id) const {
     EONA_EXPECTS(topo_->contains(id));
-    return link_flows_[id.value()];
+    return static_cast<int>(link_slots_[id.value()].size());
   }
 
   /// A link is congested when it is nearly fully allocated and some flow on
@@ -152,38 +270,24 @@ class Network {
   /// would derive from queue buildup / loss in a real network.
   [[nodiscard]] bool link_congested(LinkId id, double threshold = 0.98) const;
 
-  /// Number of rate recomputations so far (for perf accounting in benches).
+  /// Number of rate recomputations so far (for perf accounting in benches):
+  /// one per unbatched mutation, one per non-empty batch commit.
   [[nodiscard]] std::uint64_t recompute_count() const {
     return recompute_count_;
   }
 
   /// Flows currently crossing a link, in ascending flow-id order
-  /// (deterministic). O(F * path length).
+  /// (deterministic). Reads the per-link flow index: O(k log k) in the
+  /// number of flows on the link, independent of total flow count.
   [[nodiscard]] std::vector<FlowId> flows_on(LinkId id) const {
     EONA_EXPECTS(topo_->contains(id));
     std::vector<FlowId> result;
-    for (const auto& [fid, flow] : flows_)
-      for (LinkId lid : flow.path)
-        if (lid == id) {
-          result.push_back(fid);
-          break;
-        }
+    result.reserve(link_slots_[id.value()].size());
+    for (std::uint32_t slot : link_slots_[id.value()])
+      result.push_back(slots_[slot].id);
     std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
     return result;
-  }
-
-  /// Source node of a flow (src of its first link); invalid for local flows.
-  [[nodiscard]] NodeId flow_src(FlowId id) const {
-    const FlowState& flow = require(id);
-    if (flow.path.empty()) return NodeId{};
-    return topo_->link(flow.path.front()).src;
-  }
-
-  /// Destination node of a flow (dst of its last link); invalid for local.
-  [[nodiscard]] NodeId flow_dst(FlowId id) const {
-    const FlowState& flow = require(id);
-    if (flow.path.empty()) return NodeId{};
-    return topo_->link(flow.path.back()).dst;
   }
 
   /// Rough fair share a hypothetical new flow would get on `path`: the
@@ -195,7 +299,8 @@ class Network {
       EONA_EXPECTS(topo_->contains(lid));
       BitsPerSecond cap = link_capacity_[lid.value()];
       share = std::min(
-          share, cap / static_cast<double>(link_flows_[lid.value()] + 1));
+          share,
+          cap / static_cast<double>(link_slots_[lid.value()].size() + 1));
     }
     return share;
   }
@@ -203,8 +308,10 @@ class Network {
  private:
   struct FlowState {
     Path path;
-    BitsPerSecond demand;
-    BitsPerSecond rate;
+    BitsPerSecond demand = 0.0;
+    BitsPerSecond rate = 0.0;
+    FlowId id;
+    bool alive = false;
   };
 
   void validate_path(const Path& path) const {
@@ -212,17 +319,67 @@ class Network {
       if (!topo_->contains(lid)) throw NotFoundError("link in path");
   }
 
-  FlowState& require(FlowId id) {
-    auto it = flows_.find(id);
-    if (it == flows_.end())
+  [[nodiscard]] std::uint32_t require_slot(FlowId id) const {
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end())
       throw NotFoundError("flow " + std::to_string(id.value()));
     return it->second;
   }
-  const FlowState& require(FlowId id) const {
-    auto it = flows_.find(id);
-    if (it == flows_.end())
-      throw NotFoundError("flow " + std::to_string(id.value()));
-    return it->second;
+
+  std::uint32_t alloc_slot() {
+    if (!free_slots_.empty()) {
+      std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    slot_visit_.push_back(0);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void index_add(std::uint32_t slot) {
+    for (LinkId lid : slots_[slot].path)
+      link_slots_[lid.value()].push_back(slot);
+  }
+
+  /// Remove one index entry per path occurrence (swap-pop; order is not
+  /// meaningful, flows_on() sorts).
+  void index_remove(std::uint32_t slot) {
+    for (LinkId lid : slots_[slot].path) {
+      auto& entries = link_slots_[lid.value()];
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i] == slot) {
+          entries[i] = entries.back();
+          entries.pop_back();
+          break;
+        }
+      }
+    }
+  }
+
+  /// First half of every mutation: fire the before hook while the old rate
+  /// vector is still live -- on every mutation when unbatched, on the first
+  /// mutation of the outermost batch otherwise.
+  void begin_mutation() {
+    if (batch_depth_ == 0) {
+      fire_before();
+      return;
+    }
+    if (!batch_before_fired_) {
+      fire_before();
+      batch_before_fired_ = true;
+    }
+  }
+
+  /// Second half: recompute + after hook immediately when unbatched,
+  /// deferred to commit() inside a batch.
+  void end_mutation() {
+    if (batch_depth_ > 0) {
+      batch_mutated_ = true;
+      return;
+    }
+    recompute();
+    fire_after();
   }
 
   void fire_before() {
@@ -243,13 +400,41 @@ class Network {
   void recompute();
 
   const Topology* topo_;
-  std::unordered_map<FlowId, FlowState> flows_;
+  RecomputeMode mode_;
+
+  // Flow storage: a stable flat vector of slots (freed slots are recycled)
+  // plus an id -> slot index. Flow ids are never reused.
+  std::vector<FlowState> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+
   std::vector<BitsPerSecond> link_capacity_;
   std::vector<BitsPerSecond> link_allocated_;
-  std::vector<int> link_flows_;
+  // Per-link flow index: slots of the flows crossing each link, one entry
+  // per path occurrence. Kept current structurally even mid-batch.
+  std::vector<std::vector<std::uint32_t>> link_slots_;
+
+  // Dirty state accumulated since the last recompute: flows whose spec
+  // changed, and links whose capacity or flow set changed.
+  std::vector<std::uint32_t> dirty_slots_;
+  std::vector<LinkId> dirty_links_;
+
+  // Scratch for the dirty-component BFS and the solver (see network.cpp).
+  std::vector<std::uint64_t> link_visit_;
+  std::vector<std::uint64_t> slot_visit_;
+  std::uint64_t visit_epoch_ = 0;
+  std::vector<std::uint32_t> affected_slots_;
+  std::vector<LinkId> affected_links_;
+  std::vector<FlowView> solve_views_;
+  std::vector<BitsPerSecond> solve_rates_;
+  MaxMinSolver solver_;
+
   Hook before_change_;
   Hook after_change_;
   bool in_hook_ = false;
+  int batch_depth_ = 0;
+  bool batch_before_fired_ = false;
+  bool batch_mutated_ = false;
   FlowId::rep_type next_flow_id_ = 0;
   std::uint64_t recompute_count_ = 0;
 };

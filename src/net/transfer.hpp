@@ -6,6 +6,14 @@
 // before-change/after-change events, banks progress under the outgoing rate
 // vector, then re-predicts every transfer's completion time under the new
 // one. Applications (video chunk fetches, page loads) are built on this.
+//
+// Batching (Network::Batch): the before hook fires once at the first
+// mutation of a batch -- while every flow is still present and the old rate
+// vector is live -- so progress banks exactly once; the after hook fires
+// once at commit, re-predicting completions under the post-batch rates. A
+// transfer started inside a batch sees rate 0 until commit (it is
+// rescheduled by the commit's after hook), so coalescing a burst of starts,
+// cancels, or demand changes costs one bank + one reschedule total.
 #pragma once
 
 #include <functional>

@@ -62,15 +62,19 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
   net::TransferManager transfers(sched, network);
   net::Routing routing(topo);
 
-  // Static background load per sector (other subscribers' traffic).
+  // Static background load per sector (other subscribers' traffic), admitted
+  // as one batch: a single rate solve for the whole setup burst.
   sim::Rng bg_rng = rng.fork();
-  for (std::size_t s = 0; s < config.sectors; ++s) {
-    auto flows = static_cast<std::size_t>(
-        bg_rng.poisson(config.background_flows_per_sector));
-    for (std::size_t f = 0; f < flows; ++f) {
-      double share = bg_rng.uniform(0.10, 0.30);
-      network.add_flow({sector_links[s]},
-                       network.link_capacity(sector_links[s]) * share);
+  {
+    net::Network::Batch setup(network);
+    for (std::size_t s = 0; s < config.sectors; ++s) {
+      auto flows = static_cast<std::size_t>(
+          bg_rng.poisson(config.background_flows_per_sector));
+      for (std::size_t f = 0; f < flows; ++f) {
+        double share = bg_rng.uniform(0.10, 0.30);
+        network.add_flow({sector_links[s]},
+                         network.link_capacity(sector_links[s]) * share);
+      }
     }
   }
 

@@ -110,7 +110,7 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   });
 
   // --- workload ------------------------------------------------------------------
-  app::SessionPool pool(sched);
+  app::SessionPool pool(sched, &network);
   SessionId::rep_type next_session = 0;
   sim::Rng content_rng = rng.fork();
   auto spawn = [&] {

@@ -84,7 +84,7 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   }
   TimePoint run_duration = t0;
 
-  app::SessionPool pool(sched);
+  app::SessionPool pool(sched, &network);
   SessionId::rep_type next_session = 0;
   sim::Rng content_rng = rng.fork();
   auto spawn = [&] {

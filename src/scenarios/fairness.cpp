@@ -96,8 +96,8 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   infp.start();
 
   // --- per-tenant workloads ------------------------------------------------------
-  app::SessionPool pool1(sched);
-  app::SessionPool pool2(sched);
+  app::SessionPool pool1(sched, &network);
+  app::SessionPool pool2(sched, &network);
   app::PlayerConfig player_cfg;
   player_cfg.ladder = ladder;
   SessionId::rep_type next_session = 0;

@@ -107,7 +107,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
                                 : appp.brain();
 
   // --- workload ----------------------------------------------------------------
-  app::SessionPool pool(sched);
+  app::SessionPool pool(sched, &network);
   SessionId::rep_type next_session = 0;
   sim::Rng content_rng = rng.fork();
   app::PlayerConfig player_cfg;
@@ -141,6 +141,8 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   for (std::size_t batch = 0; batch < 10; ++batch) {
     sched.schedule_at(config.crowd_start + 2.0 * static_cast<double>(batch),
                       [&, batch] {
+                        // One rate recompute per arrival wave, not per flow.
+                        net::Network::Batch burst(network);
                         std::size_t per_batch = config.crowd_flows / 10;
                         for (std::size_t i = 0; i < per_batch; ++i)
                           crowd_flows.push_back(
@@ -148,6 +150,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
                       });
   }
   sched.schedule_at(config.crowd_end, [&] {
+    net::Network::Batch departure(network);
     for (FlowId f : crowd_flows) network.remove_flow(f);
     crowd_flows.clear();
   });

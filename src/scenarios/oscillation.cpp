@@ -105,7 +105,7 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
                                 : appp.brain();
 
   // --- workload ---------------------------------------------------------------
-  app::SessionPool pool(sched);
+  app::SessionPool pool(sched, &network);
   SessionId::rep_type next_session = 0;
   sim::Rng content_rng = rng.fork();
   app::PlayerConfig player_cfg;

@@ -1,0 +1,185 @@
+// Property sweep for the incremental data-plane solver over 200 seeded
+// random mutation sequences. Each sequence drives three views of the same
+// history on a random topology:
+//
+//  * an incremental Network (the default: dirty-component re-solve),
+//  * a from-scratch twin (RecomputeMode::kFullSolve, every commit re-solves
+//    every flow),
+//  * a mirror of plain FlowSpecs solved by max_min_allocation directly.
+//
+// After every commit the three rate vectors must agree EXACTLY (==, not
+// within a tolerance): the solver water-fills connected components
+// independently, so the dirty component's arithmetic is identical no matter
+// how much of the network is handed to it. Mutations cover flow arrival,
+// departure, demand changes, reroutes, capacity changes (including to zero),
+// and randomly sized batches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fairshare.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+
+namespace eona::net {
+namespace {
+
+struct Arena {
+  Topology topo;
+  std::vector<LinkId> links;
+};
+
+Arena random_arena(sim::Rng& rng) {
+  Arena arena;
+  const int node_count = static_cast<int>(rng.uniform_int(3, 10));
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < node_count; ++i)
+    nodes.push_back(
+        arena.topo.add_node(NodeKind::kRouter, "n" + std::to_string(i)));
+  for (int i = 0; i + 1 < node_count; ++i)
+    arena.links.push_back(arena.topo.add_link(nodes[i], nodes[i + 1],
+                                              mbps(rng.uniform(1, 200)), 0.0));
+  const int shortcuts = static_cast<int>(rng.uniform_int(0, node_count / 2));
+  for (int s = 0; s < shortcuts; ++s) {
+    int i = static_cast<int>(rng.uniform_int(0, node_count - 1));
+    int j = static_cast<int>(rng.uniform_int(0, node_count - 1));
+    if (i == j) continue;
+    arena.links.push_back(arena.topo.add_link(nodes[i], nodes[j],
+                                              mbps(rng.uniform(1, 200)), 0.0));
+  }
+  return arena;
+}
+
+Path random_path(sim::Rng& rng, const std::vector<LinkId>& links) {
+  Path path;
+  for (LinkId l : links)
+    if (rng.bernoulli(0.3)) path.push_back(l);
+  if (path.empty())
+    path.push_back(links[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1))]);
+  return path;
+}
+
+BitsPerSecond random_demand(sim::Rng& rng) {
+  return rng.bernoulli(0.4) ? kElasticDemand : mbps(rng.uniform(0.05, 80));
+}
+
+class IncrementalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalPropertyTest, MatchesFromScratchAfterEveryCommit) {
+  sim::Rng rng(GetParam() ^ 0x1C0DEull);
+  Arena arena = random_arena(rng);
+
+  Network inc(arena.topo);  // incremental (default)
+  Network full(arena.topo, Network::RecomputeMode::kFullSolve);
+  std::map<FlowId, FlowSpec> mirror;  // ordered: ascending-id solve order
+  std::vector<BitsPerSecond> caps(arena.topo.link_count());
+  for (std::size_t l = 0; l < arena.topo.link_count(); ++l)
+    caps[l] =
+        arena.topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+  std::vector<FlowId> live;
+
+  auto check = [&] {
+    std::vector<FlowSpec> specs;
+    std::vector<FlowId> ids;
+    specs.reserve(mirror.size());
+    for (const auto& [id, spec] : mirror) {
+      ids.push_back(id);
+      specs.push_back(spec);
+    }
+    std::vector<BitsPerSecond> oracle =
+        max_min_allocation(arena.topo, specs, caps);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(inc.rate(ids[i]), oracle[i])
+          << "seed " << GetParam() << ": incremental vs from-scratch oracle "
+          << "diverged on flow " << ids[i].value();
+      ASSERT_EQ(inc.rate(ids[i]), full.rate(ids[i]))
+          << "seed " << GetParam() << ": incremental vs kFullSolve twin "
+          << "diverged on flow " << ids[i].value();
+    }
+  };
+
+  // One mutation applied identically to the incremental network, the
+  // from-scratch twin, and the spec mirror.
+  auto mutate = [&] {
+    int op = static_cast<int>(rng.uniform_int(0, 4));
+    if (live.empty() && (op == 1 || op == 2 || op == 3)) op = 0;
+    switch (op) {
+      case 0: {  // arrival
+        Path path = random_path(rng, arena.links);
+        BitsPerSecond demand = random_demand(rng);
+        FlowId id = inc.add_flow(path, demand);
+        FlowId twin = full.add_flow(path, demand);
+        ASSERT_EQ(id, twin);
+        mirror.emplace(id, FlowSpec{std::move(path), demand});
+        live.push_back(id);
+        break;
+      }
+      case 1: {  // departure
+        std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        FlowId id = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        inc.remove_flow(id);
+        full.remove_flow(id);
+        mirror.erase(id);
+        break;
+      }
+      case 2: {  // demand change
+        FlowId id = live[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1))];
+        BitsPerSecond demand = random_demand(rng);
+        inc.set_demand(id, demand);
+        full.set_demand(id, demand);
+        mirror.at(id).demand = demand;
+        break;
+      }
+      case 3: {  // reroute
+        FlowId id = live[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1))];
+        Path path = random_path(rng, arena.links);
+        inc.reroute(id, path);
+        full.reroute(id, path);
+        mirror.at(id).path = std::move(path);
+        break;
+      }
+      case 4: {  // capacity change (occasionally a dead link)
+        LinkId link = arena.links[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(arena.links.size()) - 1))];
+        BitsPerSecond cap =
+            rng.bernoulli(0.1) ? 0.0 : mbps(rng.uniform(0.5, 200));
+        inc.set_link_capacity(link, cap);
+        full.set_link_capacity(link, cap);
+        caps[link.value()] = cap;
+        break;
+      }
+    }
+  };
+
+  const int steps = 40;
+  for (int step = 0; step < steps; ++step) {
+    if (rng.bernoulli(0.3)) {
+      // A batch: several mutations, one commit on both networks.
+      auto burst = rng.uniform_int(2, 6);
+      {
+        Network::Batch inc_batch(inc);
+        Network::Batch full_batch(full);
+        for (std::int64_t i = 0; i < burst; ++i) mutate();
+      }
+    } else {
+      mutate();
+    }
+    check();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 200));
+
+}  // namespace
+}  // namespace eona::net
