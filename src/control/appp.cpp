@@ -332,9 +332,11 @@ void AppPController::stop() { task_.reset(); }
 
 void AppPController::tick() {
   ++tick_count_;
-  a2i_.publish(build_a2i_report(), sched_.now());
+  // Build the report once per epoch; publish and steering both consume it.
+  core::A2IReport report = build_a2i_report();
+  a2i_.publish(report, sched_.now());
   refresh_i2a();
-  steer_primary_cdn();
+  steer_primary_cdn(report);
 }
 
 void AppPController::refresh_i2a() {
@@ -495,7 +497,7 @@ void AppPController::set_primary_cdn(CdnId cdn) {
   primary_dwell_.record_change(sched_.now());
 }
 
-void AppPController::steer_primary_cdn() {
+void AppPController::steer_primary_cdn(const core::A2IReport& report) {
   if (cdns_.size() < 2) return;
   if (!primary_qoe_bad()) return;
   if (!primary_dwell_.may_change(sched_.now())) return;
@@ -517,7 +519,7 @@ void AppPController::steer_primary_cdn() {
     // point with headroom for us: hold position and let the InfP act --
     // this is exactly the information that breaks the Fig 5 cycle.
     BitsPerSecond our_rate = 0.0;
-    for (const auto& f : build_a2i_report().forecasts)
+    for (const auto& f : report.forecasts)
       if (f.cdn == primary_cdn_) our_rate += f.expected_rate;
     for (const auto& p : latest_i2a_->peerings) {
       if (p.cdn != primary_cdn_) continue;

@@ -169,7 +169,9 @@ class AppPController {
   void refresh_i2a();
   /// Rebuild latest_i2a_ from the robust fetchers' last-known-good reports.
   void remerge_i2a();
-  void steer_primary_cdn();
+  /// Consumes the tick's already-built A2I report (forecast headroom check)
+  /// instead of rebuilding it.
+  void steer_primary_cdn(const core::A2IReport& report);
   /// Window-mean buffering ratio of sessions on `cdn`; nullopt if no data.
   [[nodiscard]] std::optional<double> cdn_buffering(CdnId cdn) const;
   /// Is the primary CDN's windowed QoE below the acceptability bar?

@@ -3,6 +3,9 @@
 #include <bit>
 #include <cstring>
 
+#include "telemetry/interner.hpp"
+#include "telemetry/session_record.hpp"
+
 namespace eona::core {
 
 namespace {
@@ -131,16 +134,51 @@ MessageKind peek_kind(const WireBytes& bytes) {
   return kind;
 }
 
+namespace {
+
+constexpr telemetry::Dim kTupleMask =
+    telemetry::Dim::kIsp | telemetry::Dim::kCdn | telemetry::Dim::kServer;
+
+telemetry::Dimensions tuple_of(IspId isp, CdnId cdn, ServerId server) {
+  telemetry::Dimensions d;
+  d.isp = isp;
+  d.cdn = cdn;
+  d.server = server;
+  return d;
+}
+
+}  // namespace
+
 WireBytes encode(const A2IReport& report) {
+  // Intern every (ISP, CDN, server) tuple the frame mentions; groups and
+  // forecasts then carry 4-byte dictionary indexes. Forecast tuples are
+  // interned with an invalid server so they coincide with the CDN-level
+  // group tuples they mirror.
+  telemetry::DimensionInterner interner(kTupleMask);
+  std::vector<telemetry::GroupId> group_ids;
+  group_ids.reserve(report.groups.size());
+  for (const auto& g : report.groups)
+    group_ids.push_back(interner.intern(tuple_of(g.isp, g.cdn, g.server)));
+  std::vector<telemetry::GroupId> forecast_ids;
+  forecast_ids.reserve(report.forecasts.size());
+  for (const auto& f : report.forecasts)
+    forecast_ids.push_back(interner.intern(tuple_of(f.isp, f.cdn, ServerId())));
+
   WireWriter w;
   write_header(w, MessageKind::kA2I);
   put_id(w, report.from);
   w.f64(report.generated_at);
+  w.u32(static_cast<std::uint32_t>(interner.size()));
+  for (telemetry::GroupId id = 0; id < interner.size(); ++id) {
+    const telemetry::Dimensions& d = interner.dims_of(id);
+    put_id(w, d.isp);
+    put_id(w, d.cdn);
+    put_id(w, d.server);
+  }
   w.u32(static_cast<std::uint32_t>(report.groups.size()));
-  for (const auto& g : report.groups) {
-    put_id(w, g.isp);
-    put_id(w, g.cdn);
-    put_id(w, g.server);
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const auto& g = report.groups[i];
+    w.u32(group_ids[i]);
     w.f64(g.mean_buffering_ratio);
     w.f64(g.p90_buffering_ratio);
     w.f64(g.mean_bitrate);
@@ -149,10 +187,9 @@ WireBytes encode(const A2IReport& report) {
     w.u64(g.sessions);
   }
   w.u32(static_cast<std::uint32_t>(report.forecasts.size()));
-  for (const auto& f : report.forecasts) {
-    put_id(w, f.isp);
-    put_id(w, f.cdn);
-    w.f64(f.expected_rate);
+  for (std::size_t i = 0; i < report.forecasts.size(); ++i) {
+    w.u32(forecast_ids[i]);
+    w.f64(report.forecasts[i].expected_rate);
   }
   return seal(std::move(w));
 }
@@ -162,13 +199,27 @@ A2IReport decode_a2i(const WireBytes& bytes) {
   A2IReport report;
   report.from = get_id32<ProviderId>(r);
   report.generated_at = r.f64();
+  std::uint32_t tuple_count = r.u32();
+  std::vector<telemetry::Dimensions> tuples;
+  tuples.reserve(tuple_count);
+  for (std::uint32_t i = 0; i < tuple_count; ++i) {
+    IspId isp = get_id32<IspId>(r);
+    CdnId cdn = get_id32<CdnId>(r);
+    ServerId server = get_id32<ServerId>(r);
+    tuples.push_back(tuple_of(isp, cdn, server));
+  }
+  auto tuple_at = [&](std::uint32_t index) -> const telemetry::Dimensions& {
+    if (index >= tuples.size()) throw CodecError("dict index out of range");
+    return tuples[index];
+  };
   std::uint32_t group_count = r.u32();
   report.groups.reserve(group_count);
   for (std::uint32_t i = 0; i < group_count; ++i) {
     QoeGroupReport g;
-    g.isp = get_id32<IspId>(r);
-    g.cdn = get_id32<CdnId>(r);
-    g.server = get_id32<ServerId>(r);
+    const telemetry::Dimensions& d = tuple_at(r.u32());
+    g.isp = d.isp;
+    g.cdn = d.cdn;
+    g.server = d.server;
     g.mean_buffering_ratio = r.f64();
     g.p90_buffering_ratio = r.f64();
     g.mean_bitrate = r.f64();
@@ -181,8 +232,9 @@ A2IReport decode_a2i(const WireBytes& bytes) {
   report.forecasts.reserve(forecast_count);
   for (std::uint32_t i = 0; i < forecast_count; ++i) {
     TrafficForecast f;
-    f.isp = get_id32<IspId>(r);
-    f.cdn = get_id32<CdnId>(r);
+    const telemetry::Dimensions& d = tuple_at(r.u32());
+    f.isp = d.isp;
+    f.cdn = d.cdn;
     f.expected_rate = r.f64();
     report.forecasts.push_back(f);
   }

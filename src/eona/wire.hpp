@@ -4,6 +4,13 @@
 // a message-kind byte, and a trailing FNV-1a checksum. All integers are
 // little-endian fixed width; doubles are IEEE-754 bit patterns. Round-trip
 // fidelity is property-tested in tests/eona_wire_test.cpp.
+//
+// Version 2: A2I frames carry a dictionary of distinct (ISP, CDN, server)
+// tuples -- built by interning each tuple once, exactly like the telemetry
+// pipeline keys its group tables -- and groups/forecasts reference dict
+// indexes instead of re-encoding their ids. Tuples shared between the QoE
+// groups and the traffic forecasts (and any future per-tuple section) are
+// emitted once.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +29,7 @@ using WireBytes = std::vector<std::uint8_t>;
 enum class MessageKind : std::uint8_t { kA2I = 1, kI2A = 2 };
 
 /// Current format version; decoders reject other versions.
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Low-level append-only byte writer.
 class WireWriter {

@@ -1,0 +1,275 @@
+#include "scenarios/lab.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "scenarios/cellular_web.hpp"
+#include "scenarios/coarse_control.hpp"
+#include "scenarios/energy.hpp"
+#include "scenarios/fairness.hpp"
+#include "scenarios/flashcrowd.hpp"
+#include "scenarios/oscillation.hpp"
+
+namespace eona::scenarios {
+
+void Overrides::number(const char* key, double& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  out = std::stod(it->second);
+  kv_.erase(it);
+}
+
+void Overrides::integer(const char* key, std::uint64_t& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  out = std::stoull(it->second);
+  kv_.erase(it);
+}
+
+void Overrides::size(const char* key, std::size_t& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  out = static_cast<std::size_t>(std::stoull(it->second));
+  kv_.erase(it);
+}
+
+void Overrides::boolean(const char* key, bool& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  out = it->second == "1" || it->second == "true" || it->second == "yes";
+  kv_.erase(it);
+}
+
+void Overrides::mode(const char* key, ControlMode& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  if (it->second == "baseline") out = ControlMode::kBaseline;
+  else if (it->second == "eona") out = ControlMode::kEona;
+  else if (it->second == "oracle") out = ControlMode::kOracle;
+  else throw ConfigError("mode must be baseline|eona|oracle");
+  kv_.erase(it);
+}
+
+void Overrides::finish() const {
+  if (kv_.empty()) return;
+  std::string unknown;
+  for (const auto& [k, v] : kv_) unknown += " " + k;
+  throw ConfigError("unknown keys:" + unknown);
+}
+
+namespace {
+
+core::JsonValue qoe_json(const QoeSummary& qoe) {
+  core::JsonValue obj = core::JsonValue::object();
+  obj.set("sessions", core::JsonValue::number(static_cast<double>(qoe.sessions)));
+  obj.set("mean_buffering", core::JsonValue::number(qoe.mean_buffering));
+  obj.set("p90_buffering", core::JsonValue::number(qoe.p90_buffering));
+  obj.set("mean_bitrate", core::JsonValue::number(qoe.mean_bitrate));
+  obj.set("mean_join_time", core::JsonValue::number(qoe.mean_join_time));
+  obj.set("mean_engagement", core::JsonValue::number(qoe.mean_engagement));
+  obj.set("stalls", core::JsonValue::number(static_cast<double>(qoe.stalls)));
+  obj.set("cdn_switches",
+          core::JsonValue::number(static_cast<double>(qoe.cdn_switches)));
+  obj.set("server_switches",
+          core::JsonValue::number(static_cast<double>(qoe.server_switches)));
+  return obj;
+}
+
+core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
+  return core::JsonValue::parse(core::to_json(h, 0));
+}
+
+core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out) {
+  FlashCrowdConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  double origin_mbps = config.origin_capacity / 1e6;
+  ov.number("origin_capacity_mbps", origin_mbps);
+  config.origin_capacity = mbps(origin_mbps);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("crowd_background_fraction", config.crowd_background_fraction);
+  ov.size("crowd_flows", config.crowd_flows);
+  ov.number("crowd_start", config.crowd_start);
+  ov.number("crowd_end", config.crowd_end);
+  ov.number("run_duration", config.run_duration);
+  ov.number("a2i_delay", config.a2i_delay);
+  ov.number("i2a_delay", config.i2a_delay);
+  // Control-plane fault injection + consumer robustness (E13).
+  ov.number("i2a_drop", config.i2a_fault.drop_rate);
+  ov.number("i2a_duplicate", config.i2a_fault.duplicate_rate);
+  ov.number("i2a_jitter", config.i2a_fault.max_extra_delay);
+  ov.number("a2i_drop", config.a2i_fault.drop_rate);
+  double outage_start = 0.0, outage_end = 0.0;
+  ov.number("outage_start", outage_start);
+  ov.number("outage_end", outage_end);
+  if (outage_end > outage_start) {
+    config.i2a_fault.outages.push_back({outage_start, outage_end});
+    config.a2i_fault.outages.push_back({outage_start, outage_end});
+  }
+  ov.boolean("robust", config.robust_fetch);
+  ov.size("max_retries", config.retry.max_retries);
+  ov.number("base_backoff", config.retry.base_backoff);
+  ov.number("freshness_deadline", config.retry.freshness_deadline);
+  ov.number("stale_widening", config.stale_widening);
+  ov.finish();
+
+  FlashCrowdResult r = run_flash_crowd(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("flashcrowd"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("crowd_qoe", qoe_json(r.crowd_qoe));
+  out.set("peak_stalled_fraction",
+          core::JsonValue::number(r.peak_stalled_fraction));
+  out.set("mean_access_utilization",
+          core::JsonValue::number(r.mean_access_utilization));
+  out.set("i2a_health", health_json(r.i2a_health));
+  out.set("a2i_health", health_json(r.a2i_health));
+  if (series_out != nullptr) *series_out = std::move(r.metrics);
+  return out;
+}
+
+core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out) {
+  OscillationConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("run_duration", config.run_duration);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("appp_period", config.appp_period);
+  ov.number("infp_period", config.infp_period);
+  ov.number("appp_dwell", config.appp_dwell);
+  ov.number("infp_dwell", config.infp_dwell);
+  ov.number("a2i_delay", config.a2i_delay);
+  ov.number("i2a_delay", config.i2a_delay);
+  ov.finish();
+
+  OscillationResult r = run_oscillation(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("oscillation"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("appp_switches",
+          core::JsonValue::number(static_cast<double>(r.appp_switches)));
+  out.set("infp_switches",
+          core::JsonValue::number(static_cast<double>(r.infp_switches)));
+  out.set("cycling", core::JsonValue::boolean(r.cycling));
+  out.set("converged", core::JsonValue::boolean(r.converged));
+  out.set("green_path", core::JsonValue::boolean(r.green_path));
+  if (series_out != nullptr) *series_out = std::move(r.metrics);
+  return out;
+}
+
+core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out) {
+  CoarseControlConfig config;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("incident_at", config.incident_at);
+  ov.number("run_duration", config.run_duration);
+  ov.number("degraded_factor", config.degraded_factor);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.finish();
+
+  CoarseControlResult r = run_coarse_control(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("coarse_control"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("post_incident", qoe_json(r.post_incident));
+  out.set("cdn1_traffic_share", core::JsonValue::number(r.cdn1_traffic_share));
+  out.set("cdn2_hit_ratio", core::JsonValue::number(r.cdn2_hit_ratio));
+  if (series_out != nullptr) *series_out = std::move(r.metrics);
+  return out;
+}
+
+core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out) {
+  EnergyScenarioConfig config;
+  ov.integer("seed", config.seed);
+  ov.boolean("eona", config.eona);
+  ov.number("scale_down_load", config.scale_down_load);
+  ov.number("scale_up_load", config.scale_up_load);
+  ov.number("day_rate", config.day_rate);
+  ov.number("night_rate", config.night_rate);
+  ov.size("cycles", config.cycles);
+  ov.finish();
+
+  EnergyScenarioResult r = run_energy(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("energy"));
+  out.set("eona", core::JsonValue::boolean(config.eona));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("night_qoe", qoe_json(r.night_qoe));
+  out.set("saved_fraction", core::JsonValue::number(r.saved_fraction));
+  out.set("mean_online", core::JsonValue::number(r.mean_online));
+  if (series_out != nullptr) *series_out = std::move(r.metrics);
+  return out;
+}
+
+core::JsonValue run_cellular(Overrides& ov) {
+  CellularWebConfig config;
+  ov.integer("seed", config.seed);
+  ov.size("sessions", config.sessions);
+  ov.size("sectors", config.sectors);
+  ov.number("feature_noise", config.feature_noise);
+  ov.number("labeled_fraction", config.labeled_fraction);
+  ov.integer("k_anonymity", config.k_anonymity);
+  ov.finish();
+
+  CellularWebResult r = run_cellular_web(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("cellular_web"));
+  out.set("evaluated",
+          core::JsonValue::number(static_cast<double>(r.evaluated)));
+  out.set("inference_mae", core::JsonValue::number(r.inference_mae));
+  out.set("a2i_mae", core::JsonValue::number(r.a2i_mae));
+  out.set("inference_group_mae",
+          core::JsonValue::number(r.inference_group_mae));
+  out.set("a2i_group_mae", core::JsonValue::number(r.a2i_group_mae));
+  return out;
+}
+
+core::JsonValue run_fairness_lab(Overrides& ov) {
+  FairnessConfig config;
+  ov.integer("seed", config.seed);
+  ov.boolean("appp1_eona", config.appp1_eona);
+  ov.boolean("appp2_eona", config.appp2_eona);
+  ov.number("rate1", config.rate1);
+  ov.number("rate2", config.rate2);
+  ov.number("run_duration", config.run_duration);
+  ov.finish();
+
+  FairnessResult r = run_fairness(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("fairness"));
+  out.set("appp1", qoe_json(r.appp1));
+  out.set("appp2", qoe_json(r.appp2));
+  out.set("engagement_gap", core::JsonValue::number(r.engagement_gap));
+  out.set("green_path", core::JsonValue::boolean(r.green_path));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "flashcrowd", "oscillation", "coarse", "energy", "cellular", "fairness"};
+  return names;
+}
+
+core::JsonValue run_scenario_json(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& overrides,
+    sim::MetricSet* series_out) {
+  Overrides ov(overrides);
+  if (scenario == "flashcrowd") return run_flashcrowd(ov, series_out);
+  if (scenario == "oscillation") return run_oscillation_lab(ov, series_out);
+  if (scenario == "coarse") return run_coarse(ov, series_out);
+  if (scenario == "energy") return run_energy_lab(ov, series_out);
+  if (scenario == "cellular") return run_cellular(ov);
+  if (scenario == "fairness") return run_fairness_lab(ov);
+  throw ConfigError("unknown scenario '" + scenario + "'");
+}
+
+}  // namespace eona::scenarios

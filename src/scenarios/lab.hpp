@@ -1,0 +1,53 @@
+// Run-scenario-by-name: the shared layer under the eona_lab CLI and the
+// sweep runner.
+//
+// Every scenario harness (flashcrowd, oscillation, ...) has a config
+// struct, a run function, and a result struct; this file maps a scenario
+// *name* plus string key=value overrides onto that triple and renders the
+// result as the stable JSON object eona_lab has always printed. Keeping the
+// mapping here means a sweep job and a CLI invocation with the same
+// overrides produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eona/json.hpp"
+#include "scenarios/common.hpp"
+#include "sim/timeseries.hpp"
+
+namespace eona::scenarios {
+
+/// Typed override helpers: consume recognised keys, complain about leftovers.
+class Overrides {
+ public:
+  explicit Overrides(std::map<std::string, std::string> kv)
+      : kv_(std::move(kv)) {}
+
+  void number(const char* key, double& out);
+  void integer(const char* key, std::uint64_t& out);
+  void size(const char* key, std::size_t& out);
+  void boolean(const char* key, bool& out);
+  void mode(const char* key, ControlMode& out);
+  /// Throws ConfigError when unconsumed keys remain.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Scenario names run_scenario_json accepts (usage/help text order).
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+/// Run `scenario` with the given overrides and return its result JSON
+/// (exactly what eona_lab prints). Unknown scenarios or override keys throw
+/// ConfigError. When `series_out` is non-null, scenarios that record time
+/// series copy them there (for CSV dumps); others leave it empty.
+[[nodiscard]] core::JsonValue run_scenario_json(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& overrides,
+    sim::MetricSet* series_out = nullptr);
+
+}  // namespace eona::scenarios

@@ -1,0 +1,52 @@
+#include "scenarios/sweep.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "scenarios/lab.hpp"
+#include "sim/sweep.hpp"
+
+namespace eona::scenarios {
+
+core::JsonValue run_sweep(const SweepSpec& spec) {
+  if (spec.scenario.empty()) throw ConfigError("sweep: scenario required");
+  if (spec.seeds.empty()) throw ConfigError("sweep: at least one seed");
+
+  struct Job {
+    std::uint64_t seed;
+    const std::string* mode;  ///< nullptr = scenario default
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(spec.seeds.size() *
+               (spec.modes.empty() ? 1 : spec.modes.size()));
+  for (std::uint64_t seed : spec.seeds) {
+    if (spec.modes.empty()) {
+      jobs.push_back({seed, nullptr});
+    } else {
+      for (const std::string& mode : spec.modes) jobs.push_back({seed, &mode});
+    }
+  }
+
+  sim::SweepRunner runner(spec.threads);
+  std::vector<core::JsonValue> results =
+      runner.run(jobs.size(), [&](std::size_t i) {
+        const Job& job = jobs[i];
+        std::map<std::string, std::string> overrides = spec.overrides;
+        overrides["seed"] = std::to_string(job.seed);
+        if (job.mode != nullptr) overrides[spec.mode_key] = *job.mode;
+        core::JsonValue run = run_scenario_json(spec.scenario, overrides);
+        run.set("seed", core::JsonValue::number(static_cast<double>(job.seed)));
+        return run;
+      });
+
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string(spec.scenario));
+  out.set("run_count",
+          core::JsonValue::number(static_cast<double>(results.size())));
+  core::JsonValue runs = core::JsonValue::array();
+  for (core::JsonValue& run : results) runs.push_back(std::move(run));
+  out.set("runs", std::move(runs));
+  return out;
+}
+
+}  // namespace eona::scenarios

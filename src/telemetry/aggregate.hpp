@@ -36,13 +36,21 @@ struct MetricAggregate {
   }
 
   void merge(const MetricAggregate& other) {
-    buffering_ratio.merge(other.buffering_ratio);
-    avg_bitrate.merge(other.avg_bitrate);
-    join_time.merge(other.join_time);
-    rebuffer_rate.merge(other.rebuffer_rate);
-    page_load_time.merge(other.page_load_time);
-    ttfb.merge(other.ttfb);
-    engagement.merge(other.engagement);
+    // add() feeds every field, so all seven Welfords share `records` as
+    // their count: one aggregate-level emptiness check replaces seven
+    // per-field guard pairs on the merge-heavy window refold path.
+    if (other.records == 0) return;
+    if (records == 0) {
+      *this = other;
+      return;
+    }
+    buffering_ratio.merge_nonempty(other.buffering_ratio);
+    avg_bitrate.merge_nonempty(other.avg_bitrate);
+    join_time.merge_nonempty(other.join_time);
+    rebuffer_rate.merge_nonempty(other.rebuffer_rate);
+    page_load_time.merge_nonempty(other.page_load_time);
+    ttfb.merge_nonempty(other.ttfb);
+    engagement.merge_nonempty(other.engagement);
     total_bits += other.total_bits;
     records += other.records;
   }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <tuple>
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
@@ -54,6 +55,32 @@ inline Dimensions project(const Dimensions& dims, Dim mask) {
   if (has_dim(mask, Dim::kServer)) key.server = dims.server;
   if (has_dim(mask, Dim::kRegion)) key.region = dims.region;
   return key;
+}
+
+/// Canonical (isp, cdn, server, region) ordering used everywhere a snapshot
+/// or export must be deterministically sorted.
+[[nodiscard]] inline auto dim_tuple(const Dimensions& d) {
+  return std::make_tuple(d.isp.value(), d.cdn.value(), d.server.value(),
+                         d.region);
+}
+[[nodiscard]] inline bool dim_order(const Dimensions& a, const Dimensions& b) {
+  return dim_tuple(a) < dim_tuple(b);
+}
+
+/// The four id columns packed into two words: the exact-equality key the
+/// interner hashes and probes on (16 bytes, no padding ambiguity).
+struct PackedDimensions {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const PackedDimensions&,
+                         const PackedDimensions&) = default;
+};
+
+[[nodiscard]] inline PackedDimensions pack(const Dimensions& d) {
+  PackedDimensions p;
+  p.lo = (static_cast<std::uint64_t>(d.isp.value()) << 32) | d.cdn.value();
+  p.hi = (static_cast<std::uint64_t>(d.server.value()) << 32) | d.region;
+  return p;
 }
 
 /// Experience metrics carried by one beacon. Video sessions fill the video

@@ -31,6 +31,12 @@ class Welford {
       *this = other;
       return;
     }
+    merge_nonempty(other);
+  }
+
+  /// Chan merge with both sides known non-empty; branch-free caller fast
+  /// path. Bit-identical to merge() in that case.
+  void merge_nonempty(const Welford& other) {
     std::uint64_t n = count_ + other.count_;
     double delta = other.mean_ - mean_;
     double na = static_cast<double>(count_);

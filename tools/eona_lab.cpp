@@ -2,27 +2,24 @@
 //
 // Run any scenario by name with key=value overrides; results print as JSON
 // (machine-readable) and recorded time series can be dumped as CSV --
-// the surface a downstream user scripts against.
+// the surface a downstream user scripts against. The heavy lifting lives in
+// scenarios/lab.hpp (single runs) and scenarios/sweep.hpp (multi-run
+// sweeps), so sweeps and single runs share one code path per scenario.
 //
 //   $ eona_lab flashcrowd mode=eona access_capacity_mbps=80 seed=7
 //   $ eona_lab oscillation mode=baseline run_duration=1800 --series=csv
-//   $ eona_lab fairness appp1_eona=1 appp2_eona=0
+//   $ eona_lab sweep flashcrowd seeds=1..8 modes=baseline,eona threads=4
 //   $ eona_lab list
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "eona/json.hpp"
-#include "scenarios/cellular_web.hpp"
-#include "scenarios/coarse_control.hpp"
-#include "scenarios/energy.hpp"
-#include "scenarios/fairness.hpp"
-#include "scenarios/flashcrowd.hpp"
-#include "scenarios/oscillation.hpp"
+#include "scenarios/lab.hpp"
+#include "scenarios/sweep.hpp"
 
 using namespace eona;
-using scenarios::ControlMode;
 
 namespace {
 
@@ -32,10 +29,10 @@ struct Args {
   bool csv_series = false;
 };
 
-Args parse_args(int argc, char** argv) {
+Args parse_args(int argc, char** argv, int first) {
   Args args;
-  if (argc >= 2) args.scenario = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  if (argc > first) args.scenario = argv[first];
+  for (int i = first + 1; i < argc; ++i) {
     std::string token = argv[i];
     if (token == "--series=csv") {
       args.csv_series = true;
@@ -49,72 +46,6 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Typed override helpers: consume recognised keys, complain about leftovers.
-class Overrides {
- public:
-  explicit Overrides(std::map<std::string, std::string> kv)
-      : kv_(std::move(kv)) {}
-
-  void number(const char* key, double& out) {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    out = std::stod(it->second);
-    kv_.erase(it);
-  }
-  void integer(const char* key, std::uint64_t& out) {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    out = std::stoull(it->second);
-    kv_.erase(it);
-  }
-  void size(const char* key, std::size_t& out) {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    out = static_cast<std::size_t>(std::stoull(it->second));
-    kv_.erase(it);
-  }
-  void boolean(const char* key, bool& out) {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    out = it->second == "1" || it->second == "true" || it->second == "yes";
-    kv_.erase(it);
-  }
-  void mode(const char* key, ControlMode& out) {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    if (it->second == "baseline") out = ControlMode::kBaseline;
-    else if (it->second == "eona") out = ControlMode::kEona;
-    else if (it->second == "oracle") out = ControlMode::kOracle;
-    else throw ConfigError("mode must be baseline|eona|oracle");
-    kv_.erase(it);
-  }
-  void finish() const {
-    if (kv_.empty()) return;
-    std::string unknown;
-    for (const auto& [k, v] : kv_) unknown += " " + k;
-    throw ConfigError("unknown keys:" + unknown);
-  }
-
- private:
-  std::map<std::string, std::string> kv_;
-};
-
-core::JsonValue qoe_json(const scenarios::QoeSummary& qoe) {
-  core::JsonValue obj = core::JsonValue::object();
-  obj.set("sessions", core::JsonValue::number(static_cast<double>(qoe.sessions)));
-  obj.set("mean_buffering", core::JsonValue::number(qoe.mean_buffering));
-  obj.set("p90_buffering", core::JsonValue::number(qoe.p90_buffering));
-  obj.set("mean_bitrate", core::JsonValue::number(qoe.mean_bitrate));
-  obj.set("mean_join_time", core::JsonValue::number(qoe.mean_join_time));
-  obj.set("mean_engagement", core::JsonValue::number(qoe.mean_engagement));
-  obj.set("stalls", core::JsonValue::number(static_cast<double>(qoe.stalls)));
-  obj.set("cdn_switches",
-          core::JsonValue::number(static_cast<double>(qoe.cdn_switches)));
-  obj.set("server_switches",
-          core::JsonValue::number(static_cast<double>(qoe.server_switches)));
-  return obj;
-}
-
 void dump_series_csv(const sim::MetricSet& metrics) {
   for (const auto& [name, series] : metrics.all_series()) {
     std::printf("# series,%s\n", name.c_str());
@@ -124,190 +55,82 @@ void dump_series_csv(const sim::MetricSet& metrics) {
   }
 }
 
-core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
-  return core::JsonValue::parse(core::to_json(h, 0));
-}
-
-int run_flashcrowd(Overrides& ov, bool csv) {
-  scenarios::FlashCrowdConfig config;
-  ov.mode("mode", config.mode);
-  ov.integer("seed", config.seed);
-  double access_mbps = config.access_capacity / 1e6;
-  ov.number("access_capacity_mbps", access_mbps);
-  config.access_capacity = mbps(access_mbps);
-  double origin_mbps = config.origin_capacity / 1e6;
-  ov.number("origin_capacity_mbps", origin_mbps);
-  config.origin_capacity = mbps(origin_mbps);
-  ov.number("arrival_rate", config.arrival_rate);
-  ov.number("crowd_background_fraction", config.crowd_background_fraction);
-  ov.size("crowd_flows", config.crowd_flows);
-  ov.number("crowd_start", config.crowd_start);
-  ov.number("crowd_end", config.crowd_end);
-  ov.number("run_duration", config.run_duration);
-  ov.number("a2i_delay", config.a2i_delay);
-  ov.number("i2a_delay", config.i2a_delay);
-  // Control-plane fault injection + consumer robustness (E13).
-  ov.number("i2a_drop", config.i2a_fault.drop_rate);
-  ov.number("i2a_duplicate", config.i2a_fault.duplicate_rate);
-  ov.number("i2a_jitter", config.i2a_fault.max_extra_delay);
-  ov.number("a2i_drop", config.a2i_fault.drop_rate);
-  double outage_start = 0.0, outage_end = 0.0;
-  ov.number("outage_start", outage_start);
-  ov.number("outage_end", outage_end);
-  if (outage_end > outage_start) {
-    config.i2a_fault.outages.push_back({outage_start, outage_end});
-    config.a2i_fault.outages.push_back({outage_start, outage_end});
+/// "a..b" (inclusive) or "a,b,c" -> seed list.
+std::vector<std::uint64_t> parse_seeds(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  auto range = text.find("..");
+  if (range != std::string::npos) {
+    std::uint64_t lo = std::stoull(text.substr(0, range));
+    std::uint64_t hi = std::stoull(text.substr(range + 2));
+    if (hi < lo) throw ConfigError("seeds range is empty: " + text);
+    for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+    return seeds;
   }
-  ov.boolean("robust", config.robust_fetch);
-  ov.size("max_retries", config.retry.max_retries);
-  ov.number("base_backoff", config.retry.base_backoff);
-  ov.number("freshness_deadline", config.retry.freshness_deadline);
-  ov.number("stale_widening", config.stale_widening);
-  ov.finish();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    seeds.push_back(std::stoull(text.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return seeds;
+}
 
-  scenarios::FlashCrowdResult r = scenarios::run_flash_crowd(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("flashcrowd"));
-  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
-  out.set("qoe", qoe_json(r.qoe));
-  out.set("crowd_qoe", qoe_json(r.crowd_qoe));
-  out.set("peak_stalled_fraction",
-          core::JsonValue::number(r.peak_stalled_fraction));
-  out.set("mean_access_utilization",
-          core::JsonValue::number(r.mean_access_utilization));
-  out.set("i2a_health", health_json(r.i2a_health));
-  out.set("a2i_health", health_json(r.a2i_health));
+std::vector<std::string> parse_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    items.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+int run_single(const Args& args) {
+  sim::MetricSet series;
+  core::JsonValue out = scenarios::run_scenario_json(
+      args.scenario, args.overrides, args.csv_series ? &series : nullptr);
   std::printf("%s\n", out.dump(2).c_str());
-  if (csv) dump_series_csv(r.metrics);
+  if (args.csv_series) dump_series_csv(series);
   return 0;
 }
 
-int run_oscillation(Overrides& ov, bool csv) {
-  scenarios::OscillationConfig config;
-  ov.mode("mode", config.mode);
-  ov.integer("seed", config.seed);
-  ov.number("run_duration", config.run_duration);
-  ov.number("arrival_rate", config.arrival_rate);
-  ov.number("appp_period", config.appp_period);
-  ov.number("infp_period", config.infp_period);
-  ov.number("appp_dwell", config.appp_dwell);
-  ov.number("infp_dwell", config.infp_dwell);
-  ov.number("a2i_delay", config.a2i_delay);
-  ov.number("i2a_delay", config.i2a_delay);
-  ov.finish();
-
-  scenarios::OscillationResult r = scenarios::run_oscillation(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("oscillation"));
-  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
-  out.set("qoe", qoe_json(r.qoe));
-  out.set("appp_switches",
-          core::JsonValue::number(static_cast<double>(r.appp_switches)));
-  out.set("infp_switches",
-          core::JsonValue::number(static_cast<double>(r.infp_switches)));
-  out.set("cycling", core::JsonValue::boolean(r.cycling));
-  out.set("converged", core::JsonValue::boolean(r.converged));
-  out.set("green_path", core::JsonValue::boolean(r.green_path));
-  std::printf("%s\n", out.dump(2).c_str());
-  if (csv) dump_series_csv(r.metrics);
-  return 0;
-}
-
-int run_coarse(Overrides& ov, bool csv) {
-  scenarios::CoarseControlConfig config;
-  ov.mode("mode", config.mode);
-  ov.integer("seed", config.seed);
-  ov.number("incident_at", config.incident_at);
-  ov.number("run_duration", config.run_duration);
-  ov.number("degraded_factor", config.degraded_factor);
-  ov.number("arrival_rate", config.arrival_rate);
-  ov.finish();
-
-  scenarios::CoarseControlResult r = scenarios::run_coarse_control(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("coarse_control"));
-  out.set("mode", core::JsonValue::string(scenarios::to_string(config.mode)));
-  out.set("qoe", qoe_json(r.qoe));
-  out.set("post_incident", qoe_json(r.post_incident));
-  out.set("cdn1_traffic_share", core::JsonValue::number(r.cdn1_traffic_share));
-  out.set("cdn2_hit_ratio", core::JsonValue::number(r.cdn2_hit_ratio));
-  std::printf("%s\n", out.dump(2).c_str());
-  if (csv) dump_series_csv(r.metrics);
-  return 0;
-}
-
-int run_energy(Overrides& ov, bool csv) {
-  scenarios::EnergyScenarioConfig config;
-  ov.integer("seed", config.seed);
-  ov.boolean("eona", config.eona);
-  ov.number("scale_down_load", config.scale_down_load);
-  ov.number("scale_up_load", config.scale_up_load);
-  ov.number("day_rate", config.day_rate);
-  ov.number("night_rate", config.night_rate);
-  ov.size("cycles", config.cycles);
-  ov.finish();
-
-  scenarios::EnergyScenarioResult r = scenarios::run_energy(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("energy"));
-  out.set("eona", core::JsonValue::boolean(config.eona));
-  out.set("qoe", qoe_json(r.qoe));
-  out.set("night_qoe", qoe_json(r.night_qoe));
-  out.set("saved_fraction", core::JsonValue::number(r.saved_fraction));
-  out.set("mean_online", core::JsonValue::number(r.mean_online));
-  std::printf("%s\n", out.dump(2).c_str());
-  if (csv) dump_series_csv(r.metrics);
-  return 0;
-}
-
-int run_cellular(Overrides& ov) {
-  scenarios::CellularWebConfig config;
-  ov.integer("seed", config.seed);
-  ov.size("sessions", config.sessions);
-  ov.size("sectors", config.sectors);
-  ov.number("feature_noise", config.feature_noise);
-  ov.number("labeled_fraction", config.labeled_fraction);
-  ov.integer("k_anonymity", config.k_anonymity);
-  ov.finish();
-
-  scenarios::CellularWebResult r = scenarios::run_cellular_web(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("cellular_web"));
-  out.set("evaluated",
-          core::JsonValue::number(static_cast<double>(r.evaluated)));
-  out.set("inference_mae", core::JsonValue::number(r.inference_mae));
-  out.set("a2i_mae", core::JsonValue::number(r.a2i_mae));
-  out.set("inference_group_mae",
-          core::JsonValue::number(r.inference_group_mae));
-  out.set("a2i_group_mae", core::JsonValue::number(r.a2i_group_mae));
-  std::printf("%s\n", out.dump(2).c_str());
-  return 0;
-}
-
-int run_fairness(Overrides& ov) {
-  scenarios::FairnessConfig config;
-  ov.integer("seed", config.seed);
-  ov.boolean("appp1_eona", config.appp1_eona);
-  ov.boolean("appp2_eona", config.appp2_eona);
-  ov.number("rate1", config.rate1);
-  ov.number("rate2", config.rate2);
-  ov.number("run_duration", config.run_duration);
-  ov.finish();
-
-  scenarios::FairnessResult r = scenarios::run_fairness(config);
-  core::JsonValue out = core::JsonValue::object();
-  out.set("scenario", core::JsonValue::string("fairness"));
-  out.set("appp1", qoe_json(r.appp1));
-  out.set("appp2", qoe_json(r.appp2));
-  out.set("engagement_gap", core::JsonValue::number(r.engagement_gap));
-  out.set("green_path", core::JsonValue::boolean(r.green_path));
-  std::printf("%s\n", out.dump(2).c_str());
+int run_sweep_cmd(int argc, char** argv) {
+  Args args = parse_args(argc, argv, 2);
+  if (args.scenario.empty())
+    throw ConfigError("sweep: scenario name required");
+  scenarios::SweepSpec spec;
+  spec.scenario = args.scenario;
+  spec.seeds = {1};
+  auto& ov = args.overrides;
+  if (auto it = ov.find("seeds"); it != ov.end()) {
+    spec.seeds = parse_seeds(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("modes"); it != ov.end()) {
+    spec.modes = parse_list(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("mode_key"); it != ov.end()) {
+    spec.mode_key = it->second;
+    ov.erase(it);
+  }
+  if (auto it = ov.find("threads"); it != ov.end()) {
+    spec.threads = static_cast<std::size_t>(std::stoull(it->second));
+    ov.erase(it);
+  }
+  spec.overrides = ov;
+  std::printf("%s\n", scenarios::run_sweep(spec).dump(2).c_str());
   return 0;
 }
 
 void usage() {
   std::printf(
       "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
+      "       eona_lab sweep <scenario> [seeds=a..b|a,b,c] [modes=m1,m2]\n"
+      "                [mode_key=k] [threads=N] [key=value ...]\n"
       "scenarios:\n"
       "  flashcrowd    Fig 3  (mode, seed, access_capacity_mbps, arrival_rate,\n"
       "                        crowd_background_fraction, crowd_start, crowd_end,\n"
@@ -326,23 +149,24 @@ void usage() {
       "                        labeled_fraction, k_anonymity)\n"
       "  fairness      Sec 5  (seed, appp1_eona, appp2_eona, rate1, rate2,\n"
       "                        run_duration)\n"
-      "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n");
+      "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
+      "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
+      "cores) and prints one collated JSON document; the output is identical\n"
+      "for any thread count.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    Args args = parse_args(argc, argv);
-    Overrides ov(args.overrides);
-    if (args.scenario == "flashcrowd") return run_flashcrowd(ov, args.csv_series);
-    if (args.scenario == "oscillation") return run_oscillation(ov, args.csv_series);
-    if (args.scenario == "coarse") return run_coarse(ov, args.csv_series);
-    if (args.scenario == "energy") return run_energy(ov, args.csv_series);
-    if (args.scenario == "cellular") return run_cellular(ov);
-    if (args.scenario == "fairness") return run_fairness(ov);
-    usage();
-    return args.scenario.empty() || args.scenario == "list" ? 0 : 2;
+    if (argc >= 2 && std::string(argv[1]) == "sweep")
+      return run_sweep_cmd(argc, argv);
+    Args args = parse_args(argc, argv, 1);
+    if (args.scenario.empty() || args.scenario == "list") {
+      usage();
+      return 0;
+    }
+    return run_single(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eona_lab: %s\n", e.what());
     return 1;
