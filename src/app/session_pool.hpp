@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "app/video_player.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 
 namespace eona::app {
@@ -37,10 +39,16 @@ class SessionPool {
   /// flow removals into a single Network batch: one rate recompute instead
   /// of one per aborted session.
   explicit SessionPool(sim::Scheduler& sched, net::Network* network = nullptr)
-      : sched_(sched), network_(network) {}
+      : sched_(sched), network_(network), gate_(sched.open_gate()) {}
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
+
+  ~SessionPool() { sched_.close_gate(gate_); }
+
+  /// Emit session lifecycle events (start/stall/finish) on `bus`; spawned
+  /// players inherit it for stall events.
+  void set_event_bus(sim::EventBus* bus) { bus_ = bus; }
 
   /// Create, register, and start a player.
   SessionId spawn(const Factory& make) {
@@ -51,6 +59,10 @@ class SessionPool {
     SessionId id = player->session();
     VideoPlayer& ref = *player;
     players_.emplace(id, std::move(player));
+    if (bus_ != nullptr) {
+      ref.set_event_bus(bus_);
+      bus_->publish(sim::SessionStartedEvent{sched_.now(), id});
+    }
     ref.start();
     return id;
   }
@@ -109,12 +121,18 @@ class SessionPool {
       summary.server_switches = it->second->server_switches();
     }
     summaries_.push_back(summary);
-    // Deferred destruction: the player is still on the call stack.
-    sched_.schedule_after(0.0, [this, id] { players_.erase(id); });
+    if (bus_ != nullptr)
+      bus_->publish(sim::SessionFinishedEvent{
+          sched_.now(), id, summary.stalls, summary.cdn_switches});
+    // Deferred destruction: the player is still on the call stack. Gated on
+    // the pool's lifetime so a post never outlives the pool.
+    sched_.post_after(0.0, gate_, [this, id] { players_.erase(id); });
   }
 
   sim::Scheduler& sched_;
   net::Network* network_;
+  sim::EventBus* bus_ = nullptr;
+  sim::Gate gate_;  ///< revokes deferred erases if the pool dies first
   std::unordered_map<SessionId, std::unique_ptr<VideoPlayer>> players_;
   std::vector<telemetry::SessionRecord> finished_;
   std::vector<SessionSummary> summaries_;

@@ -223,6 +223,9 @@ void VideoPlayer::on_buffer_underrun() {
   ++stall_count_;
   ++stalls_since_switch_;
   qoe_.on_stall_start(sched_.now());
+  if (bus_ != nullptr)
+    bus_->publish(
+        sim::SessionStalledEvent{sched_.now(), session_, stall_count_});
 
   // Stall-time abandonment: ask the brain whether to give up on the current
   // endpoint right now. A switch cancels the in-flight chunk -- its partial

@@ -19,6 +19,8 @@
 #include "common/units.hpp"
 #include "net/transfer.hpp"
 #include "qoe/video_qoe.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/session_record.hpp"
@@ -109,6 +111,9 @@ class VideoPlayer {
   /// Begin the session (request the first chunk).
   void start();
 
+  /// Emit lifecycle events (stalls) on `bus`; usually set by SessionPool.
+  void set_event_bus(sim::EventBus* bus) { bus_ = bus; }
+
   /// Tear down mid-session: cancels transfers, emits a final beacon.
   void abort();
 
@@ -181,6 +186,8 @@ class VideoPlayer {
   std::uint64_t server_switches_ = 0;
 
   Bits reported_bits_ = 0.0;  ///< volume already beaconed (delta encoding)
+
+  sim::EventBus* bus_ = nullptr;
 
   sim::EventHandle underrun_event_;
   sim::EventHandle fetch_resume_event_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace eona::control {
@@ -315,6 +316,31 @@ void AppPController::subscribe_i2a(core::I2AEndpoint* endpoint,
   subscriptions_.push_back(std::move(sub));
 }
 
+void AppPController::set_event_bus(sim::EventBus* bus) {
+  bus_ = bus;
+  a2i_.set_event_bus(bus, "a2i");
+  if (bus_ != nullptr) {
+    // The delivery-health accumulator becomes a subscriber: the controller
+    // publishes ReportServedEvent each epoch and consumes its own event.
+    // Synchronous dispatch keeps the accumulator's update sequence (and so
+    // the health snapshot) identical to the direct call it replaces.
+    bus_->subscribe<sim::ReportServedEvent>(
+        [this](const sim::ReportServedEvent& e) {
+          if (e.consumer == self_ && std::strcmp(e.kind, "i2a") == 0)
+            i2a_delivery_.observe_serve(e.age, e.stale);
+        });
+  }
+}
+
+void AppPController::observe_i2a_serve(Duration age, bool stale) {
+  if (bus_ != nullptr) {
+    bus_->publish(
+        sim::ReportServedEvent{sched_.now(), self_, "i2a", age, stale});
+  } else {
+    i2a_delivery_.observe_serve(age, stale);
+  }
+}
+
 app::PlayerBrain& AppPController::brain() {
   return eona_enabled_ ? static_cast<app::PlayerBrain&>(*eona_brain_)
                        : static_cast<app::PlayerBrain&>(*baseline_brain_);
@@ -372,7 +398,7 @@ void AppPController::refresh_i2a() {
                      config_.i2a_retry.freshness_deadline;
   }
   if (latest_i2a_)
-    i2a_delivery_.observe_serve(now - latest_i2a_->generated_at, i2a_stale_);
+    observe_i2a_serve(now - latest_i2a_->generated_at, i2a_stale_);
   // Graceful degradation: on stale data the primary-CDN knob moves at most
   // half as often (stale_widening). Gated on a finite freshness deadline so
   // the default configuration is bit-identical to the pre-fault controller.
@@ -490,11 +516,21 @@ CdnId AppPController::next_cdn_after(CdnId current) const {
   return all.front()->id();
 }
 
-void AppPController::set_primary_cdn(CdnId cdn) {
+void AppPController::set_primary_cdn(CdnId cdn, const char* reason) {
   if (cdn == primary_cdn_) return;
+  CdnId from = primary_cdn_;
   primary_cdn_ = cdn;
   primary_trace_.record(sched_.now(), static_cast<int>(cdn.value()));
   primary_dwell_.record_change(sched_.now());
+  if (bus_ != nullptr)
+    bus_->publish(
+        sim::SteeringEvent{sched_.now(), self_, from, cdn, false, reason});
+}
+
+void AppPController::hold_primary_cdn(const char* reason) {
+  if (bus_ != nullptr)
+    bus_->publish(sim::SteeringEvent{sched_.now(), self_, primary_cdn_,
+                                     primary_cdn_, true, reason});
 }
 
 void AppPController::steer_primary_cdn(const core::A2IReport& report) {
@@ -507,14 +543,14 @@ void AppPController::steer_primary_cdn(const core::A2IReport& report) {
     for (const auto& c : latest_i2a_->congestion)
       if (c.scope == core::CongestionScope::kAccess &&
           c.severity >= config_.congestion_severity_threshold)
-        return;
+        return hold_primary_cdn("access-congestion");
     // The primary CDN still has healthy capacity behind it (hinted online,
     // unloaded servers): players will move servers inside the CDN; a
     // wholesale primary switch would only cold-start the rival (§2).
     for (const auto& h : latest_i2a_->server_hints)
       if (h.cdn == primary_cdn_ && h.online &&
           h.load < config_.server_overload_threshold)
-        return;
+        return hold_primary_cdn("healthy-primary-servers");
     // Interconnect trouble, but the ISP has (or can move to) a peering
     // point with headroom for us: hold position and let the InfP act --
     // this is exactly the information that breaks the Fig 5 cycle.
@@ -524,11 +560,13 @@ void AppPController::steer_primary_cdn(const core::A2IReport& report) {
     for (const auto& p : latest_i2a_->peerings) {
       if (p.cdn != primary_cdn_) continue;
       BitsPerSecond headroom = p.capacity * (1.0 - p.utilization);
-      if (!p.congested && (p.selected || headroom >= our_rate)) return;
-      if (p.capacity >= our_rate && !p.selected) return;  // ISP can shift
+      if (!p.congested && (p.selected || headroom >= our_rate))
+        return hold_primary_cdn("peering-healthy");
+      if (p.capacity >= our_rate && !p.selected)
+        return hold_primary_cdn("isp-can-shift-egress");
     }
   }
-  set_primary_cdn(next_cdn_after(primary_cdn_));
+  set_primary_cdn(next_cdn_after(primary_cdn_), "bad-qoe-trial-switch");
 }
 
 }  // namespace eona::control

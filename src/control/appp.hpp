@@ -29,6 +29,8 @@
 #include "eona/messages.hpp"
 #include "eona/robust.hpp"
 #include "net/network.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/collector.hpp"
@@ -112,6 +114,12 @@ class AppPController {
   [[nodiscard]] core::A2IEndpoint& a2i_endpoint() { return a2i_; }
   /// Subscribe to an InfP's looking glass with the given bearer token.
   void subscribe_i2a(core::I2AEndpoint* endpoint, std::string token);
+
+  /// Attach the world's event bus: the A2I glass emits channel events,
+  /// steering decisions are published with attributed reasons, and the
+  /// i2a delivery-health accumulator is rewired as a ReportServedEvent
+  /// subscriber (identical update sequence to the direct call it replaces).
+  void set_event_bus(sim::EventBus* bus);
   void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
 
@@ -144,7 +152,8 @@ class AppPController {
 
   /// The CDN new sessions are steered to.
   [[nodiscard]] CdnId primary_cdn() const { return primary_cdn_; }
-  void set_primary_cdn(CdnId cdn);
+  /// `reason` labels the SteeringEvent emitted on the bus (if attached).
+  void set_primary_cdn(CdnId cdn, const char* reason = "operator");
 
   /// Round-robin successor in directory order (baseline switching order).
   [[nodiscard]] CdnId next_cdn_after(CdnId current) const;
@@ -169,6 +178,11 @@ class AppPController {
   void refresh_i2a();
   /// Rebuild latest_i2a_ from the robust fetchers' last-known-good reports.
   void remerge_i2a();
+  /// Record the report age served to control logic this epoch: published on
+  /// the bus (accumulator subscribed) or fed directly when no bus attached.
+  void observe_i2a_serve(Duration age, bool stale);
+  /// Publish a held (suppressed) steering decision.
+  void hold_primary_cdn(const char* reason);
   /// Consumes the tick's already-built A2I report (forecast headroom check)
   /// instead of rebuilding it.
   void steer_primary_cdn(const core::A2IReport& report);
@@ -198,6 +212,7 @@ class AppPController {
   bool i2a_stale_ = false;
   telemetry::DeliveryHealth i2a_delivery_;
   core::FetchStats naive_stats_;  ///< fetch counters in non-robust mode
+  sim::EventBus* bus_ = nullptr;
 
   bool eona_enabled_ = false;
   CdnId primary_cdn_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace eona::control {
@@ -98,6 +99,30 @@ void InfPController::start() {
                                               [this] { tick(); });
 }
 
+void InfPController::set_event_bus(sim::EventBus* bus) {
+  bus_ = bus;
+  i2a_.set_event_bus(bus, "i2a");
+  if (bus_ != nullptr) {
+    // Delivery health as a subscriber: the controller publishes its own
+    // ReportServedEvent and the accumulator consumes it synchronously, so
+    // the health snapshot matches the direct-call wiring bit-for-bit.
+    bus_->subscribe<sim::ReportServedEvent>(
+        [this](const sim::ReportServedEvent& e) {
+          if (e.consumer == self_ && std::strcmp(e.kind, "a2i") == 0)
+            a2i_delivery_.observe_serve(e.age, e.stale);
+        });
+  }
+}
+
+void InfPController::observe_a2i_serve(Duration age, bool stale) {
+  if (bus_ != nullptr) {
+    bus_->publish(
+        sim::ReportServedEvent{sched_.now(), self_, "a2i", age, stale});
+  } else {
+    a2i_delivery_.observe_serve(age, stale);
+  }
+}
+
 void InfPController::stop() { task_.reset(); }
 
 void InfPController::tick() {
@@ -138,7 +163,7 @@ void InfPController::refresh_a2i() {
                      config_.a2i_retry.freshness_deadline;
   }
   if (latest_a2i_)
-    a2i_delivery_.observe_serve(now - latest_a2i_->generated_at, a2i_stale_);
+    observe_a2i_serve(now - latest_a2i_->generated_at, a2i_stale_);
   // Graceful degradation: stale forecasts slow every egress knob down.
   // Gated on a finite freshness deadline so the default configuration is
   // bit-identical to the pre-fault controller.
@@ -280,6 +305,7 @@ void InfPController::engineer_cdn(CdnId cdn,
   PeeringId current = peering_.selected(isp_, cdn);
   PeeringId preferred = preferred_.at(cdn);
   PeeringId target = current;
+  const char* reason = "forecast-fit";
 
   if (eona_enabled_) {
     // EONA TE: place the CDN's *forecast* volume, not its momentary load.
@@ -325,10 +351,14 @@ void InfPController::engineer_cdn(CdnId cdn,
           coolest_util = util;
         }
       }
-      if (coolest.valid()) target = coolest;
+      if (coolest.valid()) {
+        target = coolest;
+        reason = "flee-hot-peering";
+      }
     } else if (current != preferred &&
                utilization(preferred) <= config_.return_utilization) {
       target = preferred;
+      reason = "return-to-preferred";
     }
   }
 
@@ -338,32 +368,38 @@ void InfPController::engineer_cdn(CdnId cdn,
   auto dwell = egress_dwell_.find(cdn);
   if (dwell != egress_dwell_.end() && !dwell->second.may_change(sched_.now()))
     return;
-  select_egress(target);
+  select_egress(target, reason);
 }
 
-void InfPController::select_egress(PeeringId point) {
+void InfPController::select_egress(PeeringId point, const char* reason) {
   const net::PeeringPoint& to = peering_.point(point);
   PeeringId current = peering_.selected(isp_, to.cdn);
   if (current == point) return;
   const net::PeeringPoint& from = peering_.point(current);
   peering_.select(point);
-  migrate_flows(from, to);
+  std::size_t moved = migrate_flows(from, to);
   egress_traces_[to.cdn].record(sched_.now(), static_cast<int>(point.value()));
   auto dwell = egress_dwell_.find(to.cdn);
   if (dwell != egress_dwell_.end()) dwell->second.record_change(sched_.now());
+  if (bus_ != nullptr)
+    bus_->publish(sim::MigrationEvent{sched_.now(), self_, to.cdn, current,
+                                      point, moved, reason});
 }
 
-void InfPController::migrate_flows(const net::PeeringPoint& from,
-                                   const net::PeeringPoint& to) {
+std::size_t InfPController::migrate_flows(const net::PeeringPoint& from,
+                                          const net::PeeringPoint& to) {
   // An egress shift moves every flow on the old ingress at once; batch the
   // reroutes so the data plane re-solves rates a single time.
   net::Network::Batch batch(network_);
+  std::size_t moved = 0;
   for (FlowId fid : network_.flows_on(from.ingress_link)) {
     NodeId src = network_.flow_src(fid);
     NodeId dst = network_.flow_dst(fid);
     network_.reroute(fid, routing_.path_via_link(src, to.ingress_link, dst));
     ++reroute_count_;
+    ++moved;
   }
+  return moved;
 }
 
 const DecisionTrace& InfPController::egress_trace(CdnId cdn) const {

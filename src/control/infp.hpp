@@ -31,6 +31,8 @@
 #include "net/network.hpp"
 #include "net/peering.hpp"
 #include "net/routing.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/delivery_health.hpp"
 
@@ -82,6 +84,12 @@ class InfPController {
   // --- EONA wiring ---
   [[nodiscard]] core::I2AEndpoint& i2a_endpoint() { return i2a_; }
   void subscribe_a2i(core::A2IEndpoint* endpoint, std::string token);
+
+  /// Attach the world's event bus: the I2A glass emits channel events,
+  /// egress migrations are published with attributed reasons, and the a2i
+  /// delivery-health accumulator is rewired as a ReportServedEvent
+  /// subscriber (identical update sequence to the direct call it replaces).
+  void set_event_bus(sim::EventBus* bus);
   void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
   [[nodiscard]] const std::optional<core::A2IReport>& latest_a2i() const {
@@ -106,8 +114,9 @@ class InfPController {
   /// Current I2A report contents (exposed for tests / benches).
   [[nodiscard]] core::I2AReport build_i2a_report() const;
 
-  /// Force a specific egress selection (scenario setup); reroutes live flows.
-  void select_egress(PeeringId point);
+  /// Force a specific egress selection (scenario setup); reroutes live
+  /// flows. `reason` labels the MigrationEvent emitted on the bus.
+  void select_egress(PeeringId point, const char* reason = "operator");
 
   /// Decision history of the egress knob for a CDN.
   [[nodiscard]] const DecisionTrace& egress_trace(CdnId cdn) const;
@@ -127,8 +136,13 @@ class InfPController {
   void remerge_a2i();
   void run_traffic_engineering();
   void engineer_cdn(CdnId cdn, const std::vector<PeeringId>& candidates);
-  /// Moves live flows from `from`'s ingress link onto paths via `to`.
-  void migrate_flows(const net::PeeringPoint& from, const net::PeeringPoint& to);
+  /// Moves live flows from `from`'s ingress link onto paths via `to`;
+  /// returns how many flows moved.
+  std::size_t migrate_flows(const net::PeeringPoint& from,
+                            const net::PeeringPoint& to);
+  /// Record the report age served to control logic this epoch: published on
+  /// the bus (accumulator subscribed) or fed directly when no bus attached.
+  void observe_a2i_serve(Duration age, bool stale);
   [[nodiscard]] double utilization(PeeringId point) const;
   /// Forecast rate the AppPs intend to send us from `cdn` (A2I); nullopt
   /// when no forecast is available.
@@ -154,6 +168,7 @@ class InfPController {
   bool a2i_stale_ = false;
   telemetry::DeliveryHealth a2i_delivery_;
   core::FetchStats naive_stats_;  ///< fetch counters in non-robust mode
+  sim::EventBus* bus_ = nullptr;
 
   std::vector<const app::Cdn*> operated_cdns_;
   /// Nominal (healthy) capacity per operated server egress, snapshotted at

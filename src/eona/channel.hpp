@@ -14,8 +14,11 @@
 #include <optional>
 
 #include "common/contracts.hpp"
+#include "common/ids.hpp"
 #include "common/units.hpp"
 #include "eona/fault.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 
 namespace eona::core {
 
@@ -43,17 +46,35 @@ class ReportChannel {
     stream_ = FaultStream(fault_.seed);
   }
 
+  /// Emit publish/drop/delivery events on `bus`, labelled with the channel's
+  /// producer/consumer pair and report kind ("a2i"/"i2a"). Observational
+  /// only; delivery behaviour is identical with or without a bus.
+  void set_event_bus(sim::EventBus* bus, ProviderId from, ProviderId to,
+                     const char* kind) {
+    bus_ = bus;
+    from_ = from;
+    to_ = to;
+    kind_ = kind;
+  }
+
   /// Publish a report at time `now`. Subject to the fault profile: the
   /// delivery may be dropped (lost for good), duplicated, or delayed extra.
   void publish(T report, TimePoint now) {
     EONA_EXPECTS(history_.empty() || now >= history_.back().published_at);
     ++stats_.published;
+    if (bus_ != nullptr)
+      bus_->publish(sim::ReportPublishedEvent{now, from_, to_, kind_,
+                                              stats_.published});
     if (fault_.in_outage(now)) {
       ++stats_.dropped;  // the endpoint is down; the report is never queued
+      if (bus_ != nullptr)
+        bus_->publish(sim::ReportDroppedEvent{now, from_, to_, kind_, true});
       return;
     }
     if (fault_.drop_rate > 0.0 && stream_.chance(fault_.drop_rate)) {
       ++stats_.dropped;
+      if (bus_ != nullptr)
+        bus_->publish(sim::ReportDroppedEvent{now, from_, to_, kind_, false});
       return;
     }
     bool duplicate = fault_.duplicate_rate > 0.0 &&
@@ -113,6 +134,9 @@ class ReportChannel {
                          : 0.0;
     history_.push_back(Entry{now, extra, std::move(report)});
     ++stats_.delivered;
+    if (bus_ != nullptr)
+      bus_->publish(
+          sim::ReportDeliveredEvent{now, from_, to_, kind_, delay_ + extra});
   }
 
   void trim(TimePoint now) {
@@ -134,6 +158,11 @@ class ReportChannel {
   FaultStream stream_;
   std::deque<Entry> history_;
   ChannelStats stats_;
+
+  sim::EventBus* bus_ = nullptr;
+  ProviderId from_;
+  ProviderId to_;
+  const char* kind_ = "";
 };
 
 }  // namespace eona::core

@@ -29,14 +29,26 @@ class LookingGlass {
 
   [[nodiscard]] ProviderId owner() const { return owner_; }
 
+  /// Emit channel events for every peer (current and future) on `bus`,
+  /// labelled with this glass's report kind ("a2i"/"i2a").
+  void set_event_bus(sim::EventBus* bus, const char* kind) {
+    bus_ = bus;
+    kind_ = kind;
+    for (auto& [peer, entry] : peers_)
+      entry.channel.set_event_bus(bus_, owner_, peer, kind_);
+  }
+
   /// Opt a peer in: it may query with `token` and sees reports through
   /// `policy`, delayed by `delay` and subject to `fault` (default: ideal).
   void authorize(ProviderId peer, std::string token, Policy policy = {},
                  Duration delay = 0.0, FaultProfile fault = {}) {
     EONA_EXPECTS(!token.empty());
-    peers_.insert_or_assign(
+    auto [it, inserted] = peers_.insert_or_assign(
         peer, PeerEntry{std::move(token), policy,
                         ReportChannel<Report>(delay, std::move(fault))});
+    (void)inserted;
+    if (bus_ != nullptr)
+      it->second.channel.set_event_bus(bus_, owner_, peer, kind_);
   }
 
   /// Opt a peer out again.
@@ -125,6 +137,8 @@ class LookingGlass {
   std::unordered_map<ProviderId, PeerEntry> peers_;
   std::uint64_t publishes_ = 0;
   mutable std::uint64_t queries_ = 0;
+  sim::EventBus* bus_ = nullptr;
+  const char* kind_ = "";
 };
 
 /// An AppP's A2I looking glass (InfPs query it).

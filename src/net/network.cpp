@@ -63,7 +63,10 @@ void Network::recompute() {
   // Every affected link's allocation is rebuilt below; links that lost all
   // their flows (removals) must drop to zero even with nothing to solve.
   for (LinkId lid : affected_links_) link_allocated_[lid.value()] = 0.0;
-  if (affected_slots_.empty()) return;
+  if (affected_slots_.empty()) {
+    emit_recompute_events();
+    return;
+  }
 
   // Deterministic order: ascending flow id. The max-min allocation is
   // unique regardless of order, but fixed iteration keeps floating-point
@@ -86,6 +89,26 @@ void Network::recompute() {
     FlowState& flow = slots_[affected_slots_[i]];
     flow.rate = solve_rates_[i];
     for (LinkId lid : flow.path) link_allocated_[lid.value()] += flow.rate;
+  }
+
+  emit_recompute_events();
+}
+
+// Observational only; fires after the rate vector is final. Saturation is
+// edge-triggered per link (one event per threshold crossing), checked over
+// the affected links -- an unaffected link's utilization cannot have moved.
+void Network::emit_recompute_events() {
+  if (bus_ == nullptr) return;
+  TimePoint now = clock_->now();
+  bus_->publish(sim::RateRecomputeEvent{now, recompute_count_,
+                                        affected_slots_.size(),
+                                        affected_links_.size()});
+  for (LinkId lid : affected_links_) {
+    bool saturated = link_utilization(lid) >= kSaturationThreshold;
+    if (saturated == static_cast<bool>(link_saturated_[lid.value()])) continue;
+    link_saturated_[lid.value()] = saturated ? 1 : 0;
+    bus_->publish(sim::LinkSaturationEvent{now, lid, saturated,
+                                           link_utilization(lid)});
   }
 }
 

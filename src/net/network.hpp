@@ -33,6 +33,9 @@
 #include "common/ids.hpp"
 #include "net/fairshare.hpp"
 #include "net/topology.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
+#include "sim/scheduler.hpp"
 
 namespace eona::net {
 
@@ -71,6 +74,20 @@ class Network {
     before_change_ = std::move(before);
     after_change_ = std::move(after);
   }
+
+  /// Emit RateRecomputeEvent and LinkSaturationEvent transitions on `bus`,
+  /// timestamped from `clock`. Pass nullptrs to detach. Purely
+  /// observational: rate allocation is identical with or without a bus.
+  void set_event_bus(sim::EventBus* bus, const sim::Scheduler* clock) {
+    EONA_EXPECTS((bus == nullptr) == (clock == nullptr));
+    bus_ = bus;
+    clock_ = clock;
+    if (bus_ != nullptr && link_saturated_.empty())
+      link_saturated_.assign(topo_->link_count(), 0);
+  }
+
+  /// Utilization at or above this is reported as saturated on the bus.
+  static constexpr double kSaturationThreshold = 0.98;
 
   // --- batching ------------------------------------------------------------
 
@@ -398,9 +415,15 @@ class Network {
   }
 
   void recompute();
+  /// Publish recompute + saturation-transition events (bus attached only).
+  void emit_recompute_events();
 
   const Topology* topo_;
   RecomputeMode mode_;
+
+  sim::EventBus* bus_ = nullptr;
+  const sim::Scheduler* clock_ = nullptr;
+  std::vector<char> link_saturated_;  ///< last reported saturation state
 
   // Flow storage: a stable flat vector of slots (freed slots are recycled)
   // plus an id -> slot index. Flow ids are never reused.

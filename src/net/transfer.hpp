@@ -68,7 +68,7 @@ class TransferManager {
     TransferId id(next_id_++);
     transfers_.emplace(
         id, State{flow, volume, volume, sched_->now(), sched_->now(),
-                  std::move(on_complete), sim::EventHandle{}});
+                  std::move(on_complete), sim::Gate{}});
     reschedule(id);
     return id;
   }
@@ -79,7 +79,7 @@ class TransferManager {
   void cancel(TransferId id) {
     auto it = transfers_.find(id);
     if (it == transfers_.end()) return;
-    sched_->cancel(it->second.completion);
+    sched_->close_gate(it->second.completion_gate);
     FlowId flow = it->second.flow;
     transfers_.erase(it);
     network_->remove_flow(flow);  // triggers hooks; transfer already gone
@@ -123,7 +123,7 @@ class TransferManager {
     TimePoint started_at;
     TimePoint last_update;
     CompletionCallback on_complete;
-    sim::EventHandle completion;
+    sim::Gate completion_gate;  ///< revokes the pending completion post
   };
 
   /// Bank progress for every transfer at the current rates (called just
@@ -147,17 +147,22 @@ class TransferManager {
 
   void reschedule(TransferId id) {
     State& state = transfers_.at(id);
-    sched_->cancel(state.completion);
+    // Revoke the stale completion (predicted under the old rate vector) and
+    // post a fresh one; the gate swap allocates nothing (hot path: every
+    // transfer re-predicts on every rate change).
+    sched_->close_gate(state.completion_gate);
     BitsPerSecond current = network_->rate(state.flow);
     if (current <= 0.0) return;  // starved; rescheduled on next rate change
     Duration eta = state.remaining / current;
-    state.completion =
-        sched_->schedule_after(eta, [this, id] { complete(id); });
+    state.completion_gate = sched_->open_gate();
+    sched_->post_after(eta, state.completion_gate,
+                       [this, id] { complete(id); });
   }
 
   void complete(TransferId id) {
     auto it = transfers_.find(id);
     if (it == transfers_.end()) return;  // raced with cancel
+    sched_->close_gate(it->second.completion_gate);
     // Bank final progress, detach, then notify (callback may start new
     // transfers or mutate the network freely).
     CompletionCallback callback = std::move(it->second.on_complete);

@@ -7,9 +7,8 @@
 
 #include "app/web_session.hpp"
 #include "app/workload.hpp"
-#include "net/transfer.hpp"
 #include "qoe/inference.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
@@ -35,16 +34,16 @@ double mean_of(const std::vector<double>& v) {
 }  // namespace
 
 CellularWebResult run_cellular_web(const CellularWebConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- topology: web server -> cellular core -> sectors ----------------------
-  net::Topology topo;
+  net::Topology& topo = b.topology();
   NodeId server = topo.add_node(net::NodeKind::kOrigin, "web-server");
   NodeId core = topo.add_node(net::NodeKind::kRouter, "cell-core");
   topo.add_link(server, core, gbps(1), milliseconds(12));
 
-  sim::Rng topo_rng = rng.fork();
+  sim::Rng topo_rng = b.rng().fork();
   std::vector<NodeId> sector_nodes;
   std::vector<LinkId> sector_links;
   for (std::size_t s = 0; s < config.sectors; ++s) {
@@ -58,13 +57,14 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
         topo.add_link(core, node, cap, milliseconds(15)));
   }
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
+  b.build_network();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+  net::Network& network = world->network();
 
   // Static background load per sector (other subscribers' traffic), admitted
   // as one batch: a single rate solve for the whole setup burst.
-  sim::Rng bg_rng = rng.fork();
+  sim::Rng bg_rng = world->rng().fork();
   {
     net::Network::Batch setup(network);
     for (std::size_t s = 0; s < config.sectors; ++s) {
@@ -81,7 +81,7 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
   // --- sessions ----------------------------------------------------------------
   std::vector<app::WebSessionOutcome> outcomes;
   std::vector<std::unique_ptr<app::WebSession>> sessions;
-  sim::Rng session_rng = rng.fork();
+  sim::Rng session_rng = world->rng().fork();
   SessionId::rep_type next_session = 0;
 
   auto spawn = [&] {
@@ -97,8 +97,9 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
     dims.isp = IspId(0);
     dims.region = static_cast<std::uint32_t>(sector);
     auto session = std::make_unique<app::WebSession>(
-        sched, transfers, routing, web_cfg, SessionId(next_session++), dims,
-        sector_nodes[sector], server, page_bits, nullptr,
+        sched, world->transfers(), world->routing(), web_cfg,
+        SessionId(next_session++), dims, sector_nodes[sector], server,
+        page_bits, nullptr,
         [&](const app::WebSessionOutcome& o) { outcomes.push_back(o); });
     session->start();
     sessions.push_back(std::move(session));
@@ -106,8 +107,9 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
 
   TimePoint arrival_end =
       static_cast<double>(config.sessions) / config.arrival_rate;
-  app::PoissonArrivals arrivals(sched, rng.fork(), {{0.0, config.arrival_rate}},
-                                arrival_end, spawn);
+  app::PoissonArrivals arrivals(sched, world->rng().fork(),
+                                {{0.0, config.arrival_rate}}, arrival_end,
+                                spawn);
 
   sched.run_until(arrival_end + 120.0);
   sched.run_all();  // drain remaining transfers
@@ -117,8 +119,8 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
   if (outcomes.size() < 20) return result;
 
   // Label split: the InfP has ground truth for a small instrumented panel.
-  sim::Rng split_rng = rng.fork();
-  sim::Rng feature_rng = rng.fork();
+  sim::Rng split_rng = world->rng().fork();
+  sim::Rng feature_rng = world->rng().fork();
   std::vector<bool> labeled(outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i)
     labeled[i] = split_rng.bernoulli(config.labeled_fraction);

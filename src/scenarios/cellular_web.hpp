@@ -31,6 +31,8 @@ struct CellularWebConfig {
   /// reassembly error, sampling, radio-counter quantisation). The paper's
   /// point: the InfP's view is indirect and noisy.
   double feature_noise = 0.25;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct CellularWebResult {

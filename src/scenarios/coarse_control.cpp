@@ -3,28 +3,25 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
-#include "control/oracle.hpp"
-#include "net/peering.hpp"
-#include "net/transfer.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
 CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- topology ---------------------------------------------------------------
-  net::Topology topo;
-  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
-  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  b.add_isp_bottleneck(gbps(1));
+  net::Topology& topo = b.topology();
+  NodeId client = b.client();
+  NodeId edge = b.edge();
   NodeId srv1a = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srvA");
   NodeId srv1b = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srvB");
   NodeId srv2 = topo.add_node(net::NodeKind::kCdnServer, "cdn2-srv");
   NodeId origin1 = topo.add_node(net::NodeKind::kOrigin, "cdn1-origin");
   NodeId origin2 = topo.add_node(net::NodeKind::kOrigin, "cdn2-origin");
 
-  topo.add_link(edge, client, gbps(1), milliseconds(5));
   LinkId egress_1a =
       topo.add_link(srv1a, edge, config.server_capacity, milliseconds(8));
   LinkId egress_1b =
@@ -35,17 +32,16 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   topo.add_link(origin1, srv1b, config.origin_capacity, milliseconds(30));
   topo.add_link(origin2, srv2, config.origin_capacity, milliseconds(30));
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
   IspId isp(0);
+  b.build_network(isp);
+  net::Network& network = b.world().network();
 
   // --- CDNs: 1 has two servers (A about to degrade, B healthy + warm);
   //           2 is the rival with cold caches. --------------------------------
-  app::ContentCatalog catalog = app::ContentCatalog::videos(
-      config.catalog_size, config.video_duration, 0.8);
-  app::Cdn cdn1(CdnId(0), "cdn-1", origin1);
-  app::Cdn cdn2(CdnId(1), "cdn-2", origin2);
+  b.with_catalog(config.catalog_size, config.video_duration, 0.8);
+  app::ContentCatalog& catalog = b.world().catalog();
+  app::Cdn& cdn1 = b.add_cdn_at("cdn-1", origin1);
+  app::Cdn& cdn2 = b.add_cdn_at("cdn-2", origin2);
   ServerId s1a = cdn1.add_server(srv1a, egress_1a, config.catalog_size);
   ServerId s1b = cdn1.add_server(srv1b, egress_1b, config.catalog_size);
   cdn2.add_server(srv2, egress_2, config.catalog_size);
@@ -57,31 +53,21 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
     cdn1.warm_cache(s1b, all);
     // cdn2 deliberately cold.
   }
-  app::CdnDirectory directory;
-  directory.add(&cdn1);
-  directory.add(&cdn2);
 
   // --- control planes ----------------------------------------------------------
-  core::ProviderRegistry registry;
-  ProviderId appp_id =
-      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
-  ProviderId infp_id =
-      registry.register_provider(core::ProviderKind::kInfP, "cdn-operator");
-
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 5.0;
   appp_cfg.qoe_window = 30.0;
-  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+  control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
-  net::PeeringBook peering(topo);  // no alternative interconnects here
   control::InfPConfig infp_cfg;
   infp_cfg.control_period = 10.0;
-  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
-                               {}, infp_cfg);
+  control::InfPController& infp =
+      b.add_infp("cdn-operator", isp, {}, infp_cfg);
   infp.attach_cdn(&cdn1);  // the CDN operator publishes server hints
   infp.attach_cdn(&cdn2);
 
-  wire_eona(registry, appp, infp);
+  b.wire_eona();
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).
@@ -90,13 +76,13 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   appp.start();
   infp.start();
 
-  control::OracleBrain oracle(network, routing, directory);
+  control::OracleBrain& oracle = b.add_oracle();
   app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
                                 ? static_cast<app::PlayerBrain&>(oracle)
                                 : appp.brain();
 
   // --- the incident ---------------------------------------------------------------
-  sched.schedule_at(config.incident_at, [&] {
+  b.sched().schedule_at(config.incident_at, [&network, &config, egress_1a] {
     network.set_link_capacity(egress_1a,
                               config.server_capacity * config.degraded_factor);
   });
@@ -110,9 +96,12 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   });
 
   // --- workload ------------------------------------------------------------------
-  app::SessionPool pool(sched, &network);
+  app::SessionPool& pool = b.add_session_pool();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+
   SessionId::rep_type next_session = 0;
-  sim::Rng content_rng = rng.fork();
+  sim::Rng content_rng = world->rng().fork();
   auto spawn = [&] {
     SessionId session(next_session++);
     telemetry::Dimensions dims;
@@ -121,13 +110,14 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
     pool.spawn([&, session, dims,
                 content](app::VideoPlayer::DoneCallback done) {
       return std::make_unique<app::VideoPlayer>(
-          sched, transfers, network, routing, directory, brain,
-          &appp.collector(), app::PlayerConfig{}, session, dims, client,
-          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+          sched, world->transfers(), network, world->routing(),
+          world->directory(), brain, &appp.collector(), app::PlayerConfig{},
+          session, dims, client, catalog.item(content), qoe::EngagementModel{},
+          std::move(done));
     });
   };
   app::PoissonArrivals arrivals(
-      sched, rng.fork(), {{0.0, config.arrival_rate}},
+      sched, world->rng().fork(), {{0.0, config.arrival_rate}},
       config.run_duration - config.video_duration, spawn);
 
   CoarseControlResult result;

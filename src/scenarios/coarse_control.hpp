@@ -27,6 +27,8 @@ struct CoarseControlConfig {
   BitsPerSecond origin_capacity = mbps(30);  ///< the cold-cache penalty
   double degraded_factor = 0.05;  ///< bad server keeps this capacity share
   std::size_t catalog_size = 40;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct CoarseControlResult {

@@ -3,43 +3,38 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
-#include "net/peering.hpp"
-#include "net/transfer.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
 EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- topology: one CDN, `servers` clusters --------------------------------
-  net::Topology topo;
-  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
-  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  b.add_isp_bottleneck(gbps(2));
+  net::Topology& topo = b.topology();
+  NodeId client = b.client();
+  NodeId edge = b.edge();
   NodeId origin = topo.add_node(net::NodeKind::kOrigin, "origin");
-  topo.add_link(edge, client, gbps(2), milliseconds(5));
 
-  net::Topology* t = &topo;
   std::vector<NodeId> server_nodes;
   std::vector<LinkId> server_links;
   for (std::size_t i = 0; i < config.servers; ++i) {
-    NodeId node = t->add_node(net::NodeKind::kCdnServer,
-                              "srv-" + std::to_string(i));
+    NodeId node = topo.add_node(net::NodeKind::kCdnServer,
+                                "srv-" + std::to_string(i));
     server_nodes.push_back(node);
     server_links.push_back(
-        t->add_link(node, edge, config.server_capacity, milliseconds(8)));
-    t->add_link(origin, node, mbps(40), milliseconds(25));
+        topo.add_link(node, edge, config.server_capacity, milliseconds(8)));
+    topo.add_link(origin, node, mbps(40), milliseconds(25));
   }
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
   IspId isp(0);
+  b.build_network(isp);
 
-  app::ContentCatalog catalog =
-      app::ContentCatalog::videos(60, config.video_duration, 0.8);
-  app::Cdn cdn(CdnId(0), "cdn", origin);
+  b.with_catalog(60, config.video_duration, 0.8);
+  app::ContentCatalog& catalog = b.world().catalog();
+  app::Cdn& cdn = b.add_cdn_at("cdn", origin);
   for (std::size_t i = 0; i < config.servers; ++i) {
     ServerId sid = cdn.add_server(server_nodes[i], server_links[i], 20);
     // Warm each cache with the head of the popularity curve (cache capacity
@@ -49,28 +44,20 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
       head.push_back(ContentId(static_cast<ContentId::rep_type>(c)));
     cdn.warm_cache(sid, head);
   }
-  app::CdnDirectory directory;
-  directory.add(&cdn);
 
   // --- control ---------------------------------------------------------------
-  core::ProviderRegistry registry;
-  ProviderId appp_id =
-      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
-  ProviderId energy_id =
-      registry.register_provider(core::ProviderKind::kInfP, "cdn-energy");
-
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 10.0;
   appp_cfg.qoe_window = 60.0;
-  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+  control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
   appp.start();
 
   control::EnergyConfig energy_cfg;
   energy_cfg.control_period = config.energy_period;
   energy_cfg.scale_down_load = config.scale_down_load;
   energy_cfg.scale_up_load = config.scale_up_load;
-  control::EnergyManager energy(sched, network, cdn, energy_id, energy_cfg);
-  wire_energy_a2i(registry, appp, energy);
+  control::EnergyManager& energy = b.add_energy("cdn-energy", cdn, energy_cfg);
+  b.wire_energy_a2i();
   energy.set_eona_enabled(config.eona);
   energy.start();
 
@@ -84,9 +71,12 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   }
   TimePoint run_duration = t0;
 
-  app::SessionPool pool(sched, &network);
+  app::SessionPool& pool = b.add_session_pool();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+
   SessionId::rep_type next_session = 0;
-  sim::Rng content_rng = rng.fork();
+  sim::Rng content_rng = world->rng().fork();
   auto spawn = [&] {
     SessionId session(next_session++);
     telemetry::Dimensions dims;
@@ -95,12 +85,13 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
     pool.spawn([&, session, dims,
                 content](app::VideoPlayer::DoneCallback done) {
       return std::make_unique<app::VideoPlayer>(
-          sched, transfers, network, routing, directory, appp.brain(),
-          &appp.collector(), app::PlayerConfig{}, session, dims, client,
-          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+          sched, world->transfers(), world->network(), world->routing(),
+          world->directory(), appp.brain(), &appp.collector(),
+          app::PlayerConfig{}, session, dims, client, catalog.item(content),
+          qoe::EngagementModel{}, std::move(done));
     });
   };
-  app::PoissonArrivals arrivals(sched, rng.fork(), phases,
+  app::PoissonArrivals arrivals(sched, world->rng().fork(), phases,
                                 run_duration - config.video_duration, spawn);
 
   EnergyScenarioResult result;

@@ -30,6 +30,8 @@ struct EnergyScenarioConfig {
   std::size_t cycles = 2;         ///< day/night pairs
   Duration video_duration = 120.0;
   Duration energy_period = 30.0;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct EnergyScenarioResult {

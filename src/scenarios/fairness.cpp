@@ -3,26 +3,24 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
-#include "net/peering.hpp"
-#include "net/transfer.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
 FairnessResult run_fairness(const FairnessConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- Fig 5 topology shared by both tenants ---------------------------------
-  net::Topology topo;
-  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
-  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  b.add_isp_bottleneck(gbps(1));
+  net::Topology& topo = b.topology();
+  NodeId client = b.client();
+  NodeId edge = b.edge();
   NodeId srv_x = topo.add_node(net::NodeKind::kCdnServer, "cdnX-srv");
   NodeId srv_y = topo.add_node(net::NodeKind::kCdnServer, "cdnY-srv");
   NodeId origin_x = topo.add_node(net::NodeKind::kOrigin, "cdnX-origin");
   NodeId origin_y = topo.add_node(net::NodeKind::kOrigin, "cdnY-origin");
 
-  topo.add_link(edge, client, gbps(1), milliseconds(5));
   LinkId x_at_b =
       topo.add_link(srv_x, edge, config.capacity_b, milliseconds(3), "X@B");
   LinkId x_at_c =
@@ -32,16 +30,14 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   topo.add_link(origin_x, srv_x, mbps(500), milliseconds(15));
   topo.add_link(origin_y, srv_y, mbps(500), milliseconds(15));
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
   IspId isp(0);
-  net::PeeringBook peering(topo);
+  b.build_network(isp);
+  net::PeeringBook& peering = b.world().peering();
 
-  app::ContentCatalog catalog =
-      app::ContentCatalog::videos(24, config.video_duration, 0.8);
-  app::Cdn cdn_x(CdnId(0), "cdn-X", origin_x);
-  app::Cdn cdn_y(CdnId(1), "cdn-Y", origin_y);
+  b.with_catalog(24, config.video_duration, 0.8);
+  app::ContentCatalog& catalog = b.world().catalog();
+  app::Cdn& cdn_x = b.add_cdn_at("cdn-X", origin_x);
+  app::Cdn& cdn_y = b.add_cdn_at("cdn-Y", origin_y);
   ServerId sx = cdn_x.add_server(srv_x, x_at_b, 32);
   ServerId sy = cdn_y.add_server(srv_y, y_at_c, 32);
   peering.add(isp, cdn_x.id(), x_at_b, "X@B");
@@ -56,19 +52,8 @@ FairnessResult run_fairness(const FairnessConfig& config) {
     cdn_x.warm_cache(sx, all);
     cdn_y.warm_cache(sy, all);
   }
-  app::CdnDirectory directory;
-  directory.add(&cdn_x);
-  directory.add(&cdn_y);
 
   // --- two AppP control planes, one InfP --------------------------------------
-  core::ProviderRegistry registry;
-  ProviderId appp1_id =
-      registry.register_provider(core::ProviderKind::kAppP, "appp-large");
-  ProviderId appp2_id =
-      registry.register_provider(core::ProviderKind::kAppP, "appp-small");
-  ProviderId infp_id =
-      registry.register_provider(core::ProviderKind::kInfP, "access-isp");
-
   const std::vector<BitsPerSecond> ladder{kbps(300), kbps(700), mbps(1.5),
                                           mbps(3)};
   control::AppPConfig appp_cfg;
@@ -77,17 +62,16 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   appp_cfg.bad_qoe_buffering = 0.03;
   appp_cfg.bad_qoe_bitrate = mbps(1.2);
   appp_cfg.intended_bitrate = ladder.back();
-  control::AppPController appp1(sched, network, directory, appp1_id, appp_cfg);
-  control::AppPController appp2(sched, network, directory, appp2_id, appp_cfg);
+  control::AppPController& appp1 = b.add_appp("appp-large", appp_cfg);
+  control::AppPController& appp2 = b.add_appp("appp-small", appp_cfg);
 
   control::InfPConfig infp_cfg;
   infp_cfg.control_period = 120.0;
-  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
-                               {}, infp_cfg);
+  control::InfPController& infp = b.add_infp("access-isp", isp, {}, infp_cfg);
 
   // Wire each participating AppP; the ISP merges all subscribed A2I feeds.
-  if (config.appp1_eona) wire_eona(registry, appp1, infp);
-  if (config.appp2_eona) wire_eona(registry, appp2, infp);
+  if (config.appp1_eona) b.wire_eona(0.0, 0.0, {}, {}, {}, {}, 0);
+  if (config.appp2_eona) b.wire_eona(0.0, 0.0, {}, {}, {}, {}, 1);
   appp1.set_eona_enabled(config.appp1_eona);
   appp2.set_eona_enabled(config.appp2_eona);
   infp.set_eona_enabled(config.appp1_eona || config.appp2_eona);
@@ -96,12 +80,15 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   infp.start();
 
   // --- per-tenant workloads ------------------------------------------------------
-  app::SessionPool pool1(sched, &network);
-  app::SessionPool pool2(sched, &network);
+  app::SessionPool& pool1 = b.add_session_pool();
+  app::SessionPool& pool2 = b.add_session_pool();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+
   app::PlayerConfig player_cfg;
   player_cfg.ladder = ladder;
   SessionId::rep_type next_session = 0;
-  sim::Rng content_rng = rng.fork();
+  sim::Rng content_rng = world->rng().fork();
 
   auto spawner = [&](control::AppPController& appp, app::SessionPool& pool) {
     return [&] {
@@ -112,17 +99,20 @@ FairnessResult run_fairness(const FairnessConfig& config) {
       pool.spawn([&, session, dims,
                   content](app::VideoPlayer::DoneCallback done) {
         return std::make_unique<app::VideoPlayer>(
-            sched, transfers, network, routing, directory, appp.brain(),
-            &appp.collector(), player_cfg, session, dims, client,
-            catalog.item(content), qoe::EngagementModel{}, std::move(done));
+            sched, world->transfers(), world->network(), world->routing(),
+            world->directory(), appp.brain(), &appp.collector(), player_cfg,
+            session, dims, client, catalog.item(content),
+            qoe::EngagementModel{}, std::move(done));
       });
     };
   };
   TimePoint arrivals_end = config.run_duration - config.video_duration;
-  app::PoissonArrivals arrivals1(sched, rng.fork(), {{0.0, config.rate1}},
-                                 arrivals_end, spawner(appp1, pool1));
-  app::PoissonArrivals arrivals2(sched, rng.fork(), {{0.0, config.rate2}},
-                                 arrivals_end, spawner(appp2, pool2));
+  app::PoissonArrivals arrivals1(sched, world->rng().fork(),
+                                 {{0.0, config.rate1}}, arrivals_end,
+                                 spawner(appp1, pool1));
+  app::PoissonArrivals arrivals2(sched, world->rng().fork(),
+                                 {{0.0, config.rate2}}, arrivals_end,
+                                 spawner(appp2, pool2));
 
   // --- run --------------------------------------------------------------------------
   sched.run_until(config.run_duration);

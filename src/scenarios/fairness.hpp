@@ -30,6 +30,8 @@ struct FairnessConfig {
   Duration video_duration = 180.0;
   TimePoint run_duration = 1200.0;
   TimePoint measure_from = 300.0;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct FairnessResult {

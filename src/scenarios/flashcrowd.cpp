@@ -3,45 +3,39 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
-#include "control/oracle.hpp"
-#include "net/peering.hpp"
-#include "net/transfer.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
 FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- topology: two CDNs behind one access-ISP bottleneck -----------------
-  net::Topology topo;
-  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
-  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  b.add_isp_bottleneck(config.access_capacity);
+  net::Topology& topo = b.topology();
+  NodeId client = b.client();
   NodeId srv1 = topo.add_node(net::NodeKind::kCdnServer, "cdn1-srv");
   NodeId srv2 = topo.add_node(net::NodeKind::kCdnServer, "cdn2-srv");
   NodeId origin1 = topo.add_node(net::NodeKind::kOrigin, "cdn1-origin");
   NodeId origin2 = topo.add_node(net::NodeKind::kOrigin, "cdn2-origin");
 
-  LinkId access =
-      topo.add_link(edge, client, config.access_capacity, milliseconds(5));
-  LinkId peer1 = topo.add_link(srv1, edge, gbps(1), milliseconds(8));
-  LinkId peer2 = topo.add_link(srv2, edge, gbps(1), milliseconds(8));
+  LinkId access = b.access_link();
+  LinkId peer1 = topo.add_link(srv1, b.edge(), gbps(1), milliseconds(8));
+  LinkId peer2 = topo.add_link(srv2, b.edge(), gbps(1), milliseconds(8));
   topo.add_link(origin1, srv1, config.origin_capacity, milliseconds(20));
   topo.add_link(origin2, srv2, config.origin_capacity, milliseconds(20));
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
-
   IspId isp(0);
-  net::PeeringBook peering(topo);
+  b.build_network(isp);
+  net::Network& network = b.world().network();
+  net::PeeringBook& peering = b.world().peering();
 
   // --- delivery ecosystem ---------------------------------------------------
-  app::ContentCatalog catalog =
-      app::ContentCatalog::videos(20, config.video_duration, 0.8);
-  app::Cdn cdn1(CdnId(0), "cdn-1", origin1);
-  app::Cdn cdn2(CdnId(1), "cdn-2", origin2);
+  b.with_catalog(20, config.video_duration, 0.8);
+  app::ContentCatalog& catalog = b.world().catalog();
+  app::Cdn& cdn1 = b.add_cdn_at("cdn-1", origin1);
+  app::Cdn& cdn2 = b.add_cdn_at("cdn-2", origin2);
   ServerId s1 = cdn1.add_server(srv1, peer1, 32);
   ServerId s2 = cdn2.add_server(srv2, peer2, 32);
   peering.add(isp, cdn1.id(), peer1, "cdn1@edge");
@@ -57,42 +51,32 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
     cdn1.warm_cache(s1, all);
     (void)s2;
   }
-  app::CdnDirectory directory;
-  directory.add(&cdn1);
-  directory.add(&cdn2);
 
   // --- control planes ---------------------------------------------------------
-  core::ProviderRegistry registry;
-  ProviderId appp_id = registry.register_provider(core::ProviderKind::kAppP,
-                                                  "video-appp");
-  ProviderId infp_id =
-      registry.register_provider(core::ProviderKind::kInfP, "access-isp");
-
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 5.0;
   appp_cfg.qoe_window = 30.0;
   appp_cfg.robust_fetch = config.robust_fetch;
   appp_cfg.i2a_retry = config.retry;
   appp_cfg.stale_widening = config.stale_widening;
-  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+  control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
   infp_cfg.control_period = 10.0;
   infp_cfg.robust_fetch = config.robust_fetch;
   infp_cfg.a2i_retry = config.retry;
   infp_cfg.stale_widening = config.stale_widening;
-  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
-                               {access}, infp_cfg);
+  control::InfPController& infp =
+      b.add_infp("access-isp", isp, {access}, infp_cfg);
 
   // A fault profile with seed 0 gets a deterministic per-direction seed
   // derived from the run seed (salted, so it never consumes workload RNG).
   core::FaultProfile a2i_fault = config.a2i_fault;
   core::FaultProfile i2a_fault = config.i2a_fault;
-  if (a2i_fault.seed == 0) a2i_fault.seed = rng.fork_salted(0xA21).seed();
-  if (i2a_fault.seed == 0) i2a_fault.seed = rng.fork_salted(0x12A).seed();
-  wire_eona(registry, appp, infp, config.a2i_delay, config.i2a_delay,
-            config.a2i_policy, config.i2a_policy, std::move(a2i_fault),
-            std::move(i2a_fault));
+  if (a2i_fault.seed == 0) a2i_fault.seed = b.rng().fork_salted(0xA21).seed();
+  if (i2a_fault.seed == 0) i2a_fault.seed = b.rng().fork_salted(0x12A).seed();
+  b.wire_eona(config.a2i_delay, config.i2a_delay, config.a2i_policy,
+              config.i2a_policy, std::move(a2i_fault), std::move(i2a_fault));
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).
@@ -101,15 +85,21 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   appp.start();
   infp.start();
 
-  control::OracleBrain oracle(network, routing, directory);
+  control::OracleBrain& oracle = b.add_oracle();
   app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
                                 ? static_cast<app::PlayerBrain&>(oracle)
                                 : appp.brain();
 
   // --- workload ----------------------------------------------------------------
-  app::SessionPool pool(sched, &network);
+  app::SessionPool& pool = b.add_session_pool();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+  net::TransferManager& transfers = world->transfers();
+  const net::Routing& routing = world->routing();
+  app::CdnDirectory& directory = world->directory();
+
   SessionId::rep_type next_session = 0;
-  sim::Rng content_rng = rng.fork();
+  sim::Rng content_rng = world->rng().fork();
   app::PlayerConfig player_cfg;
   // A low floor so the crowd can squeeze renditions hard before starving.
   player_cfg.ladder = {kbps(200), kbps(450), mbps(1), mbps(2.5), mbps(6)};
@@ -127,7 +117,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
     });
   };
 
-  app::PoissonArrivals arrivals(sched, rng.fork(),
+  app::PoissonArrivals arrivals(sched, world->rng().fork(),
                                 {{0.0, config.arrival_rate}},
                                 config.run_duration - 60.0, spawn);
 

@@ -50,6 +50,9 @@ struct FlashCrowdConfig {
   bool robust_fetch = true;
   core::RetryPolicy retry{};
   double stale_widening = 2.0;
+  /// When set, subscribed to the world's event bus before anything else is
+  /// wired: the run appends its full JSONL event trace to this writer.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct FlashCrowdResult {

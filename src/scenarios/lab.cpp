@@ -9,6 +9,8 @@
 #include "scenarios/fairness.hpp"
 #include "scenarios/flashcrowd.hpp"
 #include "scenarios/oscillation.hpp"
+#include "scenarios/quickstart.hpp"
+#include "sim/trace.hpp"
 
 namespace eona::scenarios {
 
@@ -79,8 +81,10 @@ core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
   return core::JsonValue::parse(core::to_json(h, 0));
 }
 
-core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out) {
+core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
+                               sim::TraceWriter* trace) {
   FlashCrowdConfig config;
+  config.trace = trace;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   double access_mbps = config.access_capacity / 1e6;
@@ -132,8 +136,10 @@ core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out) {
   return out;
 }
 
-core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out) {
+core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
+                                    sim::TraceWriter* trace) {
   OscillationConfig config;
+  config.trace = trace;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("run_duration", config.run_duration);
@@ -162,8 +168,10 @@ core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out) {
   return out;
 }
 
-core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out) {
+core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
+                           sim::TraceWriter* trace) {
   CoarseControlConfig config;
+  config.trace = trace;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("incident_at", config.incident_at);
@@ -184,8 +192,10 @@ core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out) {
   return out;
 }
 
-core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out) {
+core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
+                               sim::TraceWriter* trace) {
   EnergyScenarioConfig config;
+  config.trace = trace;
   ov.integer("seed", config.seed);
   ov.boolean("eona", config.eona);
   ov.number("scale_down_load", config.scale_down_load);
@@ -207,8 +217,9 @@ core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out) {
   return out;
 }
 
-core::JsonValue run_cellular(Overrides& ov) {
+core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace) {
   CellularWebConfig config;
+  config.trace = trace;
   ov.integer("seed", config.seed);
   ov.size("sessions", config.sessions);
   ov.size("sectors", config.sectors);
@@ -230,8 +241,9 @@ core::JsonValue run_cellular(Overrides& ov) {
   return out;
 }
 
-core::JsonValue run_fairness_lab(Overrides& ov) {
+core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace) {
   FairnessConfig config;
+  config.trace = trace;
   ov.integer("seed", config.seed);
   ov.boolean("appp1_eona", config.appp1_eona);
   ov.boolean("appp2_eona", config.appp2_eona);
@@ -250,25 +262,48 @@ core::JsonValue run_fairness_lab(Overrides& ov) {
   return out;
 }
 
+core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace) {
+  QuickstartConfig config;
+  config.trace = trace;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("arrival_rate", config.arrival_rate);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  ov.number("run_duration", config.run_duration);
+  ov.finish();
+
+  QuickstartResult r = run_quickstart(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("quickstart"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "flashcrowd", "oscillation", "coarse", "energy", "cellular", "fairness"};
+      "flashcrowd", "oscillation", "coarse",   "energy",
+      "cellular",   "fairness",    "quickstart"};
   return names;
 }
 
 core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
-    sim::MetricSet* series_out) {
+    sim::MetricSet* series_out, sim::TraceWriter* trace) {
   Overrides ov(overrides);
-  if (scenario == "flashcrowd") return run_flashcrowd(ov, series_out);
-  if (scenario == "oscillation") return run_oscillation_lab(ov, series_out);
-  if (scenario == "coarse") return run_coarse(ov, series_out);
-  if (scenario == "energy") return run_energy_lab(ov, series_out);
-  if (scenario == "cellular") return run_cellular(ov);
-  if (scenario == "fairness") return run_fairness_lab(ov);
+  if (scenario == "flashcrowd") return run_flashcrowd(ov, series_out, trace);
+  if (scenario == "oscillation")
+    return run_oscillation_lab(ov, series_out, trace);
+  if (scenario == "coarse") return run_coarse(ov, series_out, trace);
+  if (scenario == "energy") return run_energy_lab(ov, series_out, trace);
+  if (scenario == "cellular") return run_cellular(ov, trace);
+  if (scenario == "fairness") return run_fairness_lab(ov, trace);
+  if (scenario == "quickstart") return run_quickstart_lab(ov, trace);
   throw ConfigError("unknown scenario '" + scenario + "'");
 }
 

@@ -44,10 +44,13 @@ class Overrides {
 /// Run `scenario` with the given overrides and return its result JSON
 /// (exactly what eona_lab prints). Unknown scenarios or override keys throw
 /// ConfigError. When `series_out` is non-null, scenarios that record time
-/// series copy them there (for CSV dumps); others leave it empty.
+/// series copy them there (for CSV dumps); others leave it empty. When
+/// `trace` is non-null it is attached to the run's event bus and accumulates
+/// the JSONL event trace (eona_lab --trace=FILE).
 [[nodiscard]] core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
-    sim::MetricSet* series_out = nullptr);
+    sim::MetricSet* series_out = nullptr,
+    sim::TraceWriter* trace = nullptr);
 
 }  // namespace eona::scenarios

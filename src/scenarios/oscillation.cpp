@@ -3,28 +3,25 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
-#include "control/oracle.hpp"
 #include "control/oscillation.hpp"
-#include "net/peering.hpp"
-#include "net/transfer.hpp"
-#include "sim/rng.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::scenarios {
 
 OscillationResult run_oscillation(const OscillationConfig& config) {
-  sim::Scheduler sched;
-  sim::Rng rng(config.seed);
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
 
   // --- topology: Fig 5 -------------------------------------------------------
-  net::Topology topo;
-  NodeId client = topo.add_node(net::NodeKind::kClientPop, "clients");
-  NodeId edge = topo.add_node(net::NodeKind::kRouter, "isp-edge");
+  b.add_isp_bottleneck(gbps(1));
+  net::Topology& topo = b.topology();
+  NodeId client = b.client();
+  NodeId edge = b.edge();
   NodeId srv_x = topo.add_node(net::NodeKind::kCdnServer, "cdnX-srv");
   NodeId srv_y = topo.add_node(net::NodeKind::kCdnServer, "cdnY-srv");
   NodeId origin_x = topo.add_node(net::NodeKind::kOrigin, "cdnX-origin");
   NodeId origin_y = topo.add_node(net::NodeKind::kOrigin, "cdnY-origin");
 
-  topo.add_link(edge, client, gbps(1), milliseconds(5));
   // Two parallel interconnects for X: local B (cheap, small) and IXP C.
   LinkId x_at_b =
       topo.add_link(srv_x, edge, config.capacity_b, milliseconds(3), "X@B");
@@ -35,17 +32,14 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   topo.add_link(origin_x, srv_x, mbps(500), milliseconds(15));
   topo.add_link(origin_y, srv_y, mbps(500), milliseconds(15));
 
-  net::Network network(topo);
-  net::TransferManager transfers(sched, network);
-  net::Routing routing(topo);
-
   IspId isp(0);
-  net::PeeringBook peering(topo);
+  b.build_network(isp);
+  net::PeeringBook& peering = b.world().peering();
 
-  app::ContentCatalog catalog =
-      app::ContentCatalog::videos(24, config.video_duration, 0.8);
-  app::Cdn cdn_x(CdnId(0), "cdn-X", origin_x);
-  app::Cdn cdn_y(CdnId(1), "cdn-Y", origin_y);
+  b.with_catalog(24, config.video_duration, 0.8);
+  app::ContentCatalog& catalog = b.world().catalog();
+  app::Cdn& cdn_x = b.add_cdn_at("cdn-X", origin_x);
+  app::Cdn& cdn_y = b.add_cdn_at("cdn-Y", origin_y);
   ServerId sx = cdn_x.add_server(srv_x, x_at_b, 32);  // egress tracked at B
   ServerId sy = cdn_y.add_server(srv_y, y_at_c, 32);
   // Registration order defines the ISP's preference: B first (cheap).
@@ -61,17 +55,8 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
     cdn_x.warm_cache(sx, all);
     cdn_y.warm_cache(sy, all);
   }
-  app::CdnDirectory directory;
-  directory.add(&cdn_x);
-  directory.add(&cdn_y);
 
   // --- control planes ---------------------------------------------------------
-  core::ProviderRegistry registry;
-  ProviderId appp_id =
-      registry.register_provider(core::ProviderKind::kAppP, "video-appp");
-  ProviderId infp_id =
-      registry.register_provider(core::ProviderKind::kInfP, "access-isp");
-
   const std::vector<BitsPerSecond> ladder{kbps(300), kbps(700), mbps(1.5),
                                           mbps(3)};
   control::AppPConfig appp_cfg;
@@ -81,16 +66,15 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   appp_cfg.bad_qoe_bitrate = mbps(1.2);  // below this the AppP acts
   appp_cfg.primary_dwell = config.appp_dwell;
   appp_cfg.intended_bitrate = ladder.back();
-  control::AppPController appp(sched, network, directory, appp_id, appp_cfg);
+  control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
   infp_cfg.control_period = config.infp_period;
   infp_cfg.egress_dwell = config.infp_dwell;
-  control::InfPController infp(sched, network, routing, peering, isp, infp_id,
-                               {}, infp_cfg);
+  control::InfPController& infp = b.add_infp("access-isp", isp, {}, infp_cfg);
 
-  wire_eona(registry, appp, infp, config.a2i_delay, config.i2a_delay,
-            config.a2i_policy, config.i2a_policy);
+  b.wire_eona(config.a2i_delay, config.i2a_delay, config.a2i_policy,
+              config.i2a_policy);
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).
@@ -99,15 +83,18 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   appp.start();
   infp.start();
 
-  control::OracleBrain oracle(network, routing, directory);
+  control::OracleBrain& oracle = b.add_oracle();
   app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
                                 ? static_cast<app::PlayerBrain&>(oracle)
                                 : appp.brain();
 
   // --- workload ---------------------------------------------------------------
-  app::SessionPool pool(sched, &network);
+  app::SessionPool& pool = b.add_session_pool();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+
   SessionId::rep_type next_session = 0;
-  sim::Rng content_rng = rng.fork();
+  sim::Rng content_rng = world->rng().fork();
   app::PlayerConfig player_cfg;
   player_cfg.ladder = ladder;
   auto spawn = [&] {
@@ -118,13 +105,14 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
     pool.spawn([&, session, dims,
                 content](app::VideoPlayer::DoneCallback done) {
       return std::make_unique<app::VideoPlayer>(
-          sched, transfers, network, routing, directory, brain,
-          &appp.collector(), player_cfg, session, dims, client,
-          catalog.item(content), qoe::EngagementModel{}, std::move(done));
+          sched, world->transfers(), world->network(), world->routing(),
+          world->directory(), brain, &appp.collector(), player_cfg, session,
+          dims, client, catalog.item(content), qoe::EngagementModel{},
+          std::move(done));
     });
   };
   app::PoissonArrivals arrivals(
-      sched, rng.fork(), {{0.0, config.arrival_rate}},
+      sched, world->rng().fork(), {{0.0, config.arrival_rate}},
       config.run_duration - config.video_duration, spawn);
 
   // --- joint-state sampling ------------------------------------------------------

@@ -47,6 +47,8 @@ struct OscillationConfig {
   core::I2APolicy i2a_policy{};
   /// Warmup before oscillation statistics are counted.
   TimePoint measure_from = 300.0;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
 };
 
 struct OscillationResult {

@@ -1,0 +1,74 @@
+#include "scenarios/quickstart.hpp"
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "scenarios/world.hpp"
+
+namespace eona::scenarios {
+
+QuickstartResult run_quickstart(const QuickstartConfig& config) {
+  // World assembly: every line below is a Builder convenience; compare with
+  // flashcrowd.cpp for the raw-topology version of the same wiring.
+  sim::World::Builder b(config.seed);
+  b.attach_trace(config.trace);
+  b.add_isp_bottleneck(config.access_capacity);
+  b.with_catalog(16, config.video_duration);
+  sim::World::Builder::CdnSpec cdn_spec;
+  cdn_spec.warm = true;
+  b.add_cdn("cdn", cdn_spec);
+  IspId isp(0);
+  b.build_network(isp);
+
+  control::AppPController& appp = b.add_appp("video-appp");
+  control::InfPController& infp =
+      b.add_infp("access-isp", isp, {b.access_link()});
+  b.wire_eona();
+  const bool eona = config.mode != ControlMode::kBaseline;
+  appp.set_eona_enabled(eona);
+  infp.set_eona_enabled(eona);
+  appp.start();
+  infp.start();
+  control::OracleBrain& oracle = b.add_oracle();
+  app::PlayerBrain& brain = (config.mode == ControlMode::kOracle)
+                                ? static_cast<app::PlayerBrain&>(oracle)
+                                : appp.brain();
+
+  app::SessionPool& pool = b.add_session_pool();
+  NodeId client = b.client();
+  std::unique_ptr<sim::World> world = b.build();
+  sim::Scheduler& sched = world->sched();
+
+  // Workload: Poisson video sessions until the tail can still finish.
+  app::ContentCatalog& catalog = world->catalog();
+  sim::Rng content_rng = world->rng().fork();
+  SessionId::rep_type next_session = 0;
+  auto spawn = [&] {
+    SessionId session(next_session++);
+    telemetry::Dimensions dims;
+    dims.isp = isp;
+    ContentId content = catalog.sample(content_rng);
+    pool.spawn([&, session, dims,
+                content](app::VideoPlayer::DoneCallback done) {
+      return std::make_unique<app::VideoPlayer>(
+          sched, world->transfers(), world->network(), world->routing(),
+          world->directory(), brain, &appp.collector(), app::PlayerConfig{},
+          session, dims, client, catalog.item(content),
+          qoe::EngagementModel{}, std::move(done));
+    });
+  };
+  app::PoissonArrivals arrivals(
+      sched, world->rng().fork(), {{0.0, config.arrival_rate}},
+      config.run_duration - config.video_duration, spawn);
+
+  sched.run_until(config.run_duration);
+  arrivals.stop();
+  pool.abort_all();
+  sched.run_until(config.run_duration + 1.0);
+
+  QuickstartResult result;
+  result.qoe = QoeSummary::from(pool.summaries());
+  return result;
+}
+
+}  // namespace eona::scenarios

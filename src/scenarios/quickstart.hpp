@@ -1,0 +1,34 @@
+// The ~30-line starter scenario: one access bottleneck, one warm CDN, one
+// AppP/InfP pair -- everything assembled through the sim::World::Builder
+// conveniences (no direct Scheduler/Network/TransferManager construction).
+//
+// This is the template to copy when adding a new experiment, and the
+// README's quick-start example; it stays deliberately boring so the Builder
+// surface, not the scenario, is what a reader learns from it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "scenarios/common.hpp"
+
+namespace eona::scenarios {
+
+struct QuickstartConfig {
+  std::uint64_t seed = 1;
+  ControlMode mode = ControlMode::kBaseline;
+  double arrival_rate = 0.3;  ///< sessions/s through the bottleneck
+  BitsPerSecond access_capacity = mbps(60);
+  Duration video_duration = 120.0;
+  TimePoint run_duration = 600.0;
+  /// When set, receives the run's JSONL event trace.
+  sim::TraceWriter* trace = nullptr;
+};
+
+struct QuickstartResult {
+  QoeSummary qoe;
+};
+
+[[nodiscard]] QuickstartResult run_quickstart(const QuickstartConfig& config);
+
+}  // namespace eona::scenarios

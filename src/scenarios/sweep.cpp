@@ -5,10 +5,11 @@
 #include "common/error.hpp"
 #include "scenarios/lab.hpp"
 #include "sim/sweep.hpp"
+#include "sim/trace.hpp"
 
 namespace eona::scenarios {
 
-core::JsonValue run_sweep(const SweepSpec& spec) {
+core::JsonValue run_sweep(const SweepSpec& spec, std::string* trace_out) {
   if (spec.scenario.empty()) throw ConfigError("sweep: scenario required");
   if (spec.seeds.empty()) throw ConfigError("sweep: at least one seed");
 
@@ -27,6 +28,10 @@ core::JsonValue run_sweep(const SweepSpec& spec) {
     }
   }
 
+  // Per-job trace buffers: each job writes only its own slot, so tracing
+  // needs no locks and collation below is a simple job-order concat.
+  std::vector<std::string> traces(trace_out != nullptr ? jobs.size() : 0);
+
   sim::SweepRunner runner(spec.threads);
   std::vector<core::JsonValue> results =
       runner.run(jobs.size(), [&](std::size_t i) {
@@ -34,10 +39,19 @@ core::JsonValue run_sweep(const SweepSpec& spec) {
         std::map<std::string, std::string> overrides = spec.overrides;
         overrides["seed"] = std::to_string(job.seed);
         if (job.mode != nullptr) overrides[spec.mode_key] = *job.mode;
-        core::JsonValue run = run_scenario_json(spec.scenario, overrides);
+        sim::TraceWriter trace;
+        sim::TraceWriter* trace_ptr = trace_out != nullptr ? &trace : nullptr;
+        core::JsonValue run =
+            run_scenario_json(spec.scenario, overrides, nullptr, trace_ptr);
         run.set("seed", core::JsonValue::number(static_cast<double>(job.seed)));
+        if (trace_out != nullptr) traces[i] = trace.buffer();
         return run;
       });
+
+  if (trace_out != nullptr) {
+    trace_out->clear();
+    for (const std::string& t : traces) *trace_out += t;
+  }
 
   core::JsonValue out = core::JsonValue::object();
   out.set("scenario", core::JsonValue::string(spec.scenario));

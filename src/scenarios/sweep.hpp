@@ -33,6 +33,12 @@ struct SweepSpec {
 /// The runs array is ordered seed-major, mode-minor -- independent of
 /// thread count and completion order. Throws ConfigError on bad specs and
 /// rethrows the first failing run's error.
-[[nodiscard]] core::JsonValue run_sweep(const SweepSpec& spec);
+///
+/// When `trace_out` is non-null every job records its own JSONL event
+/// trace (each into a private buffer, so jobs stay lock-free), and the
+/// buffers are concatenated into `*trace_out` in job order -- like the
+/// runs array, byte-identical for any thread count.
+[[nodiscard]] core::JsonValue run_sweep(const SweepSpec& spec,
+                                        std::string* trace_out = nullptr);
 
 }  // namespace eona::scenarios

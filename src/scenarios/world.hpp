@@ -1,0 +1,375 @@
+// sim::World -- the composition root every scenario builds its ecosystem
+// through. One World owns the full vertical slice of a wired simulation:
+// the deterministic spine (Scheduler, Rng, EventBus with its always-on
+// MetricsRegistry and console LogSink), the data plane (Topology, Network,
+// TransferManager, Routing, PeeringBook), the delivery ecosystem (content
+// catalog, CDNs, directory), the control planes (ProviderRegistry, AppP /
+// InfP / EnergyManager controllers, the oracle brain), and the workload's
+// SessionPools. Members are declared in dependency order, so destruction
+// runs leaf-first (pools before controllers before the network before the
+// scheduler) without any scenario-side ceremony.
+//
+// Construction goes through World::Builder, whose methods EXECUTE
+// IMMEDIATELY in call order -- the builder is a fluent veneer, not a
+// deferred plan. That is the determinism contract: a scenario's sequence of
+// rng forks and scheduler posts is exactly the textual order of its builder
+// calls, so the refactored scenarios reproduce their pre-World output
+// byte-for-byte and the JSONL trace is bit-identical run-to-run (pinned by
+// tests/trace_determinism_test.cpp).
+//
+// Everything the builder creates is wired to the World's EventBus at birth:
+// the network emits saturation/recompute events, controllers emit steering
+// and migration decisions with attributed reasons and route their
+// delivery-health accumulators through ReportServedEvents, report channels
+// emit publish/drop/delivery, session pools emit lifecycle events. A
+// TraceWriter attached via attach_trace() sees all of it as JSONL.
+//
+// The class lives in namespace eona::sim (it completes the simulation
+// spine's vocabulary) but is compiled in the scenarios layer -- the one
+// place allowed to depend on every subsystem it composes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/cdn.hpp"
+#include "app/content_catalog.hpp"
+#include "app/session_pool.hpp"
+#include "common/contracts.hpp"
+#include "control/appp.hpp"
+#include "control/energy.hpp"
+#include "control/infp.hpp"
+#include "control/oracle.hpp"
+#include "eona/registry.hpp"
+#include "net/network.hpp"
+#include "net/peering.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "scenarios/common.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/logging.hpp"
+#include "sim/metrics_registry.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace eona::sim {
+
+/// Composition root of one wired simulation; see file header.
+class World {
+ public:
+  class Builder;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- simulation spine ---
+  [[nodiscard]] Scheduler& sched() { return sched_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  // --- data plane (valid after Builder::build_network()) ---
+  [[nodiscard]] net::Topology& topology() { return topo_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::TransferManager& transfers() { return *transfers_; }
+  [[nodiscard]] const net::Routing& routing() const { return *routing_; }
+  [[nodiscard]] net::PeeringBook& peering() { return *peering_; }
+
+  // --- delivery ecosystem ---
+  [[nodiscard]] app::ContentCatalog& catalog() { return *catalog_; }
+  [[nodiscard]] app::Cdn& cdn(std::size_t i = 0) { return *cdns_.at(i); }
+  [[nodiscard]] std::size_t cdn_count() const { return cdns_.size(); }
+  [[nodiscard]] app::CdnDirectory& directory() { return directory_; }
+
+  // --- control planes ---
+  [[nodiscard]] core::ProviderRegistry& registry() { return registry_; }
+  [[nodiscard]] control::AppPController& appp(std::size_t i = 0) {
+    return *appps_.at(i);
+  }
+  [[nodiscard]] std::size_t appp_count() const { return appps_.size(); }
+  [[nodiscard]] bool has_infp() const { return infp_ != nullptr; }
+  [[nodiscard]] control::InfPController& infp() { return *infp_; }
+  [[nodiscard]] control::EnergyManager& energy() { return *energy_; }
+  [[nodiscard]] control::OracleBrain& oracle() { return *oracle_; }
+
+  // --- workload ---
+  [[nodiscard]] app::SessionPool& pool(std::size_t i = 0) {
+    return *pools_.at(i);
+  }
+
+ private:
+  friend class Builder;
+  explicit World(std::uint64_t seed) : rng_(seed) {
+    metrics_.subscribe_all(bus_);
+    log_sink_.subscribe_all(bus_);
+  }
+
+  Scheduler sched_;
+  Rng rng_;
+  EventBus bus_;
+  MetricsRegistry metrics_;
+  LogSink log_sink_;
+  net::Topology topo_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::TransferManager> transfers_;
+  std::unique_ptr<net::Routing> routing_;
+  std::unique_ptr<net::PeeringBook> peering_;
+  std::optional<app::ContentCatalog> catalog_;
+  std::vector<std::unique_ptr<app::Cdn>> cdns_;
+  app::CdnDirectory directory_;
+  core::ProviderRegistry registry_;
+  std::vector<std::unique_ptr<control::AppPController>> appps_;
+  std::unique_ptr<control::InfPController> infp_;
+  std::unique_ptr<control::EnergyManager> energy_;
+  std::unique_ptr<control::OracleBrain> oracle_;
+  std::vector<std::unique_ptr<app::SessionPool>> pools_;
+};
+
+/// Fluent, immediate-mode builder; see the file header for the determinism
+/// contract. Bespoke scenarios mix the conveniences below with raw access
+/// (topology(), rng(), sched()) -- both execute in call order. build()
+/// releases the World; the builder must not be touched afterwards.
+class World::Builder {
+ public:
+  explicit Builder(std::uint64_t seed) : world_(new World(seed)) {}
+
+  // --- raw access during building ---
+  [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] Scheduler& sched() { return world_->sched_; }
+  [[nodiscard]] Rng& rng() { return world_->rng_; }
+  [[nodiscard]] EventBus& bus() { return world_->bus_; }
+  [[nodiscard]] net::Topology& topology() { return world_->topo_; }
+
+  /// Subscribe `trace` (may be null: no-op) to the world's bus. Call before
+  /// the topology is frozen so the trace sees every event.
+  Builder& attach_trace(TraceWriter* trace) {
+    if (trace != nullptr) trace->subscribe_all(world_->bus_);
+    return *this;
+  }
+
+  // --- topology conveniences (before build_network) ---
+
+  /// Client POP and ISP edge router joined by the shared access link -- the
+  /// bottleneck every EONA story starts from.
+  Builder& add_isp_bottleneck(BitsPerSecond capacity,
+                              Duration delay = milliseconds(5)) {
+    EONA_EXPECTS(!has_access_);
+    client_ = world_->topo_.add_node(net::NodeKind::kClientPop, "clients");
+    edge_ = world_->topo_.add_node(net::NodeKind::kRouter, "isp-edge");
+    access_ = world_->topo_.add_link(edge_, client_, capacity, delay);
+    has_access_ = true;
+    return *this;
+  }
+
+  [[nodiscard]] NodeId client() const {
+    EONA_EXPECTS(has_access_);
+    return client_;
+  }
+  [[nodiscard]] NodeId edge() const {
+    EONA_EXPECTS(has_access_);
+    return edge_;
+  }
+  [[nodiscard]] LinkId access_link() const {
+    EONA_EXPECTS(has_access_);
+    return access_;
+  }
+
+  /// Zipf-popularity video catalog shared by every CDN.
+  Builder& with_catalog(std::size_t items, Duration video_duration,
+                        double skew = 0.8) {
+    world_->catalog_.emplace(
+        app::ContentCatalog::videos(items, video_duration, skew));
+    return *this;
+  }
+
+  /// One-server CDN behind the edge: server + origin nodes, a peering link
+  /// registered with the ISP, and (optionally) the whole catalog warmed.
+  /// Topology edits happen now; the app::Cdn object and its PeeringBook
+  /// entry materialise inside build_network() once those layers exist.
+  struct CdnSpec {
+    BitsPerSecond peer_capacity = gbps(1);
+    Duration peer_delay = milliseconds(8);
+    BitsPerSecond origin_capacity = mbps(100);
+    Duration origin_delay = milliseconds(20);
+    std::size_t cache_capacity = 32;
+    bool warm = false;  ///< pre-seed the server cache with the full catalog
+  };
+  Builder& add_cdn(const std::string& name) { return add_cdn(name, CdnSpec{}); }
+  Builder& add_cdn(const std::string& name, CdnSpec spec) {
+    EONA_EXPECTS(has_access_);
+    EONA_EXPECTS(world_->network_ == nullptr);
+    PendingCdn pending;
+    pending.name = name;
+    pending.spec = spec;
+    pending.server = world_->topo_.add_node(net::NodeKind::kCdnServer,
+                                            name + "-srv");
+    pending.origin = world_->topo_.add_node(net::NodeKind::kOrigin,
+                                            name + "-origin");
+    pending.peer_link = world_->topo_.add_link(
+        pending.server, edge_, spec.peer_capacity, spec.peer_delay,
+        name + "@edge");
+    world_->topo_.add_link(pending.origin, pending.server,
+                           spec.origin_capacity, spec.origin_delay);
+    pending_cdns_.push_back(std::move(pending));
+    return *this;
+  }
+
+  // --- networking ---
+
+  /// Freeze the topology: construct Network / TransferManager / Routing /
+  /// PeeringBook, wire the network to the event bus, and materialise any
+  /// CDNs declared with the add_cdn(name, spec) convenience.
+  Builder& build_network(IspId isp = IspId(0)) {
+    EONA_EXPECTS(world_->network_ == nullptr);
+    World& w = *world_;
+    w.network_ = std::make_unique<net::Network>(w.topo_);
+    w.transfers_ =
+        std::make_unique<net::TransferManager>(w.sched_, *w.network_);
+    w.routing_ = std::make_unique<net::Routing>(w.topo_);
+    w.peering_ = std::make_unique<net::PeeringBook>(w.topo_);
+    w.network_->set_event_bus(&w.bus_, &w.sched_);
+    for (PendingCdn& pending : pending_cdns_) {
+      app::Cdn& cdn = add_cdn_at(pending.name, pending.origin);
+      ServerId server = cdn.add_server(pending.server, pending.peer_link,
+                                       pending.spec.cache_capacity);
+      w.peering_->add(isp, cdn.id(), pending.peer_link,
+                      pending.name + "@edge");
+      cdn.set_peering_book(w.peering_.get());
+      if (pending.spec.warm) {
+        EONA_EXPECTS(w.catalog_.has_value());
+        std::vector<ContentId> all;
+        for (std::size_t i = 0; i < w.catalog_->size(); ++i)
+          all.push_back(ContentId(static_cast<ContentId::rep_type>(i)));
+        cdn.warm_cache(server, all);
+      }
+    }
+    pending_cdns_.clear();
+    return *this;
+  }
+
+  /// Low-level CDN: the scenario owns server placement, peering entries and
+  /// cache warming through the returned reference. Ids are assigned in
+  /// declaration order; the directory registers them in the same order.
+  app::Cdn& add_cdn_at(const std::string& name, NodeId origin) {
+    World& w = *world_;
+    CdnId id(static_cast<CdnId::rep_type>(w.cdns_.size()));
+    w.cdns_.push_back(std::make_unique<app::Cdn>(id, name, origin));
+    w.directory_.add(w.cdns_.back().get());
+    return *w.cdns_.back();
+  }
+
+  // --- control planes (register + construct + wire to the bus, in call
+  // order, so provider ids follow declaration order exactly) ---
+
+  control::AppPController& add_appp(const std::string& name,
+                                    control::AppPConfig config = {}) {
+    World& w = *world_;
+    ProviderId id = w.registry_.register_provider(core::ProviderKind::kAppP,
+                                                  name);
+    w.appps_.push_back(std::make_unique<control::AppPController>(
+        w.sched_, *w.network_, w.directory_, id, config));
+    w.appps_.back()->set_event_bus(&w.bus_);
+    return *w.appps_.back();
+  }
+
+  control::InfPController& add_infp(const std::string& name, IspId isp,
+                                    std::vector<LinkId> access_links,
+                                    control::InfPConfig config = {}) {
+    World& w = *world_;
+    EONA_EXPECTS(w.infp_ == nullptr);
+    ProviderId id = w.registry_.register_provider(core::ProviderKind::kInfP,
+                                                  name);
+    w.infp_ = std::make_unique<control::InfPController>(
+        w.sched_, *w.network_, *w.routing_, *w.peering_, isp, id,
+        std::move(access_links), config);
+    w.infp_->set_event_bus(&w.bus_);
+    return *w.infp_;
+  }
+
+  control::EnergyManager& add_energy(const std::string& name, app::Cdn& cdn,
+                                     control::EnergyConfig config = {}) {
+    World& w = *world_;
+    EONA_EXPECTS(w.energy_ == nullptr);
+    ProviderId id = w.registry_.register_provider(core::ProviderKind::kInfP,
+                                                  name);
+    w.energy_ = std::make_unique<control::EnergyManager>(
+        w.sched_, *w.network_, cdn, id, config);
+    return *w.energy_;
+  }
+
+  /// The hypothetical fully-informed global controller's player brain.
+  control::OracleBrain& add_oracle() {
+    World& w = *world_;
+    EONA_EXPECTS(w.oracle_ == nullptr);
+    w.oracle_ = std::make_unique<control::OracleBrain>(
+        *w.network_, *w.routing_, w.directory_);
+    return *w.oracle_;
+  }
+
+  /// Authorise + subscribe both EONA directions between one AppP (appp(0)
+  /// unless `which` says otherwise) and the InfP.
+  Builder& wire_eona(Duration a2i_delay = 0.0, Duration i2a_delay = 0.0,
+                     core::A2IPolicy a2i_policy = {},
+                     core::I2APolicy i2a_policy = {},
+                     core::FaultProfile a2i_fault = {},
+                     core::FaultProfile i2a_fault = {},
+                     std::size_t which = 0) {
+    World& w = *world_;
+    scenarios::wire_eona(w.registry_, *w.appps_.at(which), *w.infp_,
+                         a2i_delay, i2a_delay, a2i_policy, i2a_policy,
+                         std::move(a2i_fault), std::move(i2a_fault));
+    return *this;
+  }
+
+  /// Authorise the energy manager on an AppP's A2I looking glass.
+  Builder& wire_energy_a2i(Duration a2i_delay = 0.0,
+                           core::A2IPolicy policy = {},
+                           std::size_t which = 0) {
+    World& w = *world_;
+    scenarios::wire_energy_a2i(w.registry_, *w.appps_.at(which), *w.energy_,
+                               a2i_delay, policy);
+    return *this;
+  }
+
+  // --- workload ---
+
+  /// A session pool wired to the bus (start/stall/finish events).
+  app::SessionPool& add_session_pool() {
+    World& w = *world_;
+    w.pools_.push_back(
+        std::make_unique<app::SessionPool>(w.sched_, w.network_.get()));
+    w.pools_.back()->set_event_bus(&w.bus_);
+    return *w.pools_.back();
+  }
+
+  /// Release the finished World. The builder is spent afterwards.
+  [[nodiscard]] std::unique_ptr<World> build() {
+    EONA_EXPECTS(world_ != nullptr);
+    EONA_EXPECTS(pending_cdns_.empty());  // declared CDNs need build_network
+    return std::move(world_);
+  }
+
+ private:
+  struct PendingCdn {
+    std::string name;
+    CdnSpec spec;
+    NodeId server;
+    NodeId origin;
+    LinkId peer_link;
+  };
+
+  std::unique_ptr<World> world_;
+  std::vector<PendingCdn> pending_cdns_;
+  NodeId client_{};
+  NodeId edge_{};
+  LinkId access_{};
+  bool has_access_ = false;
+};
+
+}  // namespace eona::sim

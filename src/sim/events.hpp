@@ -1,0 +1,144 @@
+// The event taxonomy carried by sim::EventBus: one struct per observable
+// fact, each stamped with the simulated time it happened. Payloads use only
+// common-layer vocabulary (strong ids, units) so every layer can emit and
+// every layer can subscribe without new dependencies.
+//
+// Reason strings are static string literals (`const char*`) -- attribution
+// labels, not prose -- which keeps publish() allocation-free. LogEvent is
+// the one exception (free-form message, cold path by construction).
+//
+// Taxonomy:
+//   net      LinkSaturationEvent, RateRecomputeEvent
+//   eona     ReportPublishedEvent, ReportDroppedEvent, ReportDeliveredEvent,
+//            ReportServedEvent
+//   control  SteeringEvent, MigrationEvent
+//   app      SessionStartedEvent, SessionStalledEvent, SessionFinishedEvent
+//   logging  LogEvent
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace eona::sim {
+
+// --- data plane (emitted by net::Network) ----------------------------------
+
+/// A link crossed the saturation threshold in either direction after a rate
+/// recompute. `saturated` is the new state.
+struct LinkSaturationEvent {
+  TimePoint t = 0.0;
+  LinkId link;
+  bool saturated = false;
+  double utilization = 0.0;
+};
+
+/// One max-min rate recompute finished (one per unbatched mutation, one per
+/// non-empty batch commit).
+struct RateRecomputeEvent {
+  TimePoint t = 0.0;
+  std::uint64_t recompute = 0;      ///< running recompute count
+  std::size_t affected_flows = 0;   ///< size of the re-solved dirty component
+  std::size_t affected_links = 0;
+};
+
+// --- EONA report plane (emitted by core::ReportChannel) --------------------
+
+/// A report was published into one peer's channel (before faults).
+struct ReportPublishedEvent {
+  TimePoint t = 0.0;
+  ProviderId from;
+  ProviderId to;
+  const char* kind = "";  ///< "a2i" | "i2a"
+  std::uint64_t seq = 0;  ///< per-channel running publish count
+};
+
+/// A published report was lost: channel outage or injected drop.
+struct ReportDroppedEvent {
+  TimePoint t = 0.0;
+  ProviderId from;
+  ProviderId to;
+  const char* kind = "";
+  bool outage = false;  ///< true = outage window, false = random drop
+};
+
+/// A report was queued for delivery (becomes visible after delay + jitter).
+struct ReportDeliveredEvent {
+  TimePoint t = 0.0;
+  ProviderId from;
+  ProviderId to;
+  const char* kind = "";
+  Duration visible_in = 0.0;  ///< channel delay + fault jitter
+};
+
+/// A controller served a report to its control logic this epoch (the signal
+/// the delivery-health accumulators consume).
+struct ReportServedEvent {
+  TimePoint t = 0.0;
+  ProviderId consumer;
+  const char* kind = "";
+  Duration age = 0.0;
+  bool stale = false;
+};
+
+// --- control plane ---------------------------------------------------------
+
+/// AppP primary-CDN steering decision. `held` = true records a considered
+/// switch that EONA attribution suppressed (from == to in that case).
+struct SteeringEvent {
+  TimePoint t = 0.0;
+  ProviderId appp;
+  CdnId from;
+  CdnId to;
+  bool held = false;
+  const char* reason = "";
+};
+
+/// InfP egress migration: the peering point serving `cdn` moved and `flows`
+/// live flows were rerouted.
+struct MigrationEvent {
+  TimePoint t = 0.0;
+  ProviderId infp;
+  CdnId cdn;
+  PeeringId from;
+  PeeringId to;
+  std::size_t flows = 0;
+  const char* reason = "";
+};
+
+// --- application sessions (emitted by app::SessionPool / VideoPlayer) ------
+
+struct SessionStartedEvent {
+  TimePoint t = 0.0;
+  SessionId session;
+};
+
+/// A player entered a buffering stall.
+struct SessionStalledEvent {
+  TimePoint t = 0.0;
+  SessionId session;
+  std::uint64_t stall_count = 0;  ///< including this one
+};
+
+struct SessionFinishedEvent {
+  TimePoint t = 0.0;
+  SessionId session;
+  std::uint64_t stalls = 0;
+  std::uint64_t cdn_switches = 0;
+};
+
+// --- logging ---------------------------------------------------------------
+
+/// A leveled, human-oriented message routed through the bus so it reaches
+/// structured outputs (traces) as well as the console Log sink. Levels
+/// mirror sim::LogLevel numerically.
+struct LogEvent {
+  TimePoint t = 0.0;
+  int level = 0;
+  const char* component = "";
+  std::string message;
+};
+
+}  // namespace eona::sim

@@ -1,0 +1,75 @@
+// Counter-based bus subscriber: one monotone counter per event type (plus a
+// few derived splits such as held vs. acted steering decisions). The cheap,
+// always-on complement to the TraceWriter -- scenarios surface the counters
+// in their JSON results without paying for a full trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
+
+namespace eona::sim {
+
+/// Subscribes to every event type and counts occurrences. Deterministic:
+/// counters are keyed by fixed names in a sorted map.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Subscribe the registry to all event types on `bus`. The subscriptions
+  /// live as long as the bus; call once per bus.
+  void subscribe_all(EventBus& bus) {
+    bus.subscribe<LinkSaturationEvent>([this](const LinkSaturationEvent& e) {
+      bump("link_saturation");
+      bump(e.saturated ? "link_saturation.onset" : "link_saturation.clear");
+    });
+    bus.subscribe<RateRecomputeEvent>(
+        [this](const RateRecomputeEvent&) { bump("rate_recompute"); });
+    bus.subscribe<ReportPublishedEvent>(
+        [this](const ReportPublishedEvent&) { bump("report_published"); });
+    bus.subscribe<ReportDroppedEvent>([this](const ReportDroppedEvent& e) {
+      bump("report_dropped");
+      if (e.outage) bump("report_dropped.outage");
+    });
+    bus.subscribe<ReportDeliveredEvent>(
+        [this](const ReportDeliveredEvent&) { bump("report_delivered"); });
+    bus.subscribe<ReportServedEvent>([this](const ReportServedEvent& e) {
+      bump("report_served");
+      if (e.stale) bump("report_served.stale");
+    });
+    bus.subscribe<SteeringEvent>([this](const SteeringEvent& e) {
+      bump(e.held ? "steering.held" : "steering.switched");
+    });
+    bus.subscribe<MigrationEvent>(
+        [this](const MigrationEvent&) { bump("migration"); });
+    bus.subscribe<SessionStartedEvent>(
+        [this](const SessionStartedEvent&) { bump("session_started"); });
+    bus.subscribe<SessionStalledEvent>(
+        [this](const SessionStalledEvent&) { bump("session_stalled"); });
+    bus.subscribe<SessionFinishedEvent>(
+        [this](const SessionFinishedEvent&) { bump("session_finished"); });
+    bus.subscribe<LogEvent>([this](const LogEvent&) { bump("log"); });
+  }
+
+  [[nodiscard]] std::uint64_t count(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// All counters, sorted by name (deterministic iteration).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+ private:
+  void bump(const char* name) { ++counters_[name]; }
+
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace eona::sim

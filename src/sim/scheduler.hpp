@@ -34,6 +34,26 @@ class EventHandle {
   std::shared_ptr<bool> state_;
 };
 
+/// Allocation-free revocation token for handle-free posts (see
+/// Scheduler::post_at). A Gate is a {slot, generation} pair into a
+/// scheduler-owned arena: closing the gate bumps the slot's generation, so
+/// every event posted through the old generation is skipped without firing
+/// -- the exact semantics of cancelling an EventHandle, minus the per-event
+/// shared_ptr. Value type; copying copies the token, not the gate.
+class Gate {
+ public:
+  Gate() = default;
+  /// True if this token was obtained from open_gate() (says nothing about
+  /// whether the gate has since been closed -- ask Scheduler::gate_open).
+  [[nodiscard]] bool valid() const { return slot_ != kNone; }
+
+ private:
+  friend class Scheduler;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  std::uint32_t slot_ = kNone;
+  std::uint32_t gen_ = 0;
+};
+
 /// Priority-queue based event scheduler with a virtual clock.
 ///
 /// Not thread-safe by design: the whole emulation is single-threaded and
@@ -66,6 +86,69 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(action));
   }
 
+  // --- handle-free posts ---------------------------------------------------
+  // Fire-and-forget events (transfer completions, periodic ticks) dominate
+  // the event stream; posting them skips the per-event shared_ptr<bool> the
+  // schedule_* path allocates. Ordering and tie-breaking are identical to
+  // schedule_at (same sequence counter), pinned by
+  // tests/sim_scheduler_post_test.cpp.
+
+  /// Post `action` at absolute time `when` with no cancellation handle.
+  void post_at(TimePoint when, Action action) {
+    EONA_EXPECTS(when >= now_);
+    EONA_EXPECTS(action != nullptr);
+    queue_.push(Entry{when, next_seq_++, std::move(action), nullptr, Gate{}});
+  }
+
+  /// Post `action` after `delay` seconds with no cancellation handle.
+  void post_after(Duration delay, Action action) {
+    post_at(now_ + delay, std::move(action));
+  }
+
+  /// Post `action` at `when`, revocable in bulk through `gate`: if the gate
+  /// is closed before the event's turn, the event is skipped without firing.
+  void post_at(TimePoint when, const Gate& gate, Action action) {
+    EONA_EXPECTS(when >= now_);
+    EONA_EXPECTS(action != nullptr);
+    EONA_EXPECTS(gate_open(gate));
+    queue_.push(Entry{when, next_seq_++, std::move(action), nullptr, gate});
+  }
+
+  void post_after(Duration delay, const Gate& gate, Action action) {
+    post_at(now_ + delay, gate, std::move(action));
+  }
+
+  /// Open a revocation gate. Gates are slots in a scheduler-owned arena;
+  /// opening reuses closed slots, so steady-state churn allocates nothing.
+  [[nodiscard]] Gate open_gate() {
+    Gate gate;
+    if (!gate_free_.empty()) {
+      gate.slot_ = gate_free_.back();
+      gate_free_.pop_back();
+    } else {
+      gate.slot_ = static_cast<std::uint32_t>(gate_gen_.size());
+      gate_gen_.push_back(0);
+    }
+    gate.gen_ = gate_gen_[gate.slot_];
+    return gate;
+  }
+
+  /// Close a gate: every event posted through it is skipped (idempotent;
+  /// closing an already-closed or default token is a no-op). Resets `gate`
+  /// to the default (invalid) token.
+  void close_gate(Gate& gate) {
+    if (gate.slot_ != Gate::kNone && gate_gen_[gate.slot_] == gate.gen_) {
+      ++gate_gen_[gate.slot_];
+      gate_free_.push_back(gate.slot_);
+    }
+    gate = Gate{};
+  }
+
+  /// True while `gate` is open (events posted through it will fire).
+  [[nodiscard]] bool gate_open(const Gate& gate) const {
+    return gate.slot_ != Gate::kNone && gate_gen_[gate.slot_] == gate.gen_;
+  }
+
   /// Cancel a pending event. Cancelling an already-fired or already-cancelled
   /// event is a harmless no-op (idempotent).
   void cancel(const EventHandle& handle) {
@@ -80,8 +163,8 @@ class Scheduler {
       // itself schedule or cancel events.
       Entry entry = queue_.top();
       queue_.pop();
-      if (*entry.done) continue;  // cancelled
-      *entry.done = true;
+      if (!live(entry)) continue;  // cancelled handle or closed gate
+      if (entry.done) *entry.done = true;
       EONA_ASSERT(entry.when >= now_);
       now_ = entry.when;
       ++fired_;
@@ -129,7 +212,8 @@ class Scheduler {
     TimePoint when;
     std::uint64_t seq;
     Action action;
-    std::shared_ptr<bool> done;
+    std::shared_ptr<bool> done;  ///< null for handle-free posts
+    Gate gate;                   ///< invalid for ungated events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -138,11 +222,21 @@ class Scheduler {
     }
   };
 
+  [[nodiscard]] bool live(const Entry& entry) const {
+    if (entry.done && *entry.done) return false;
+    if (entry.gate.slot_ != Gate::kNone &&
+        gate_gen_[entry.gate.slot_] != entry.gate.gen_)
+      return false;
+    return true;
+  }
+
   void drop_cancelled() {
-    while (!queue_.empty() && *queue_.top().done) queue_.pop();
+    while (!queue_.empty() && !live(queue_.top())) queue_.pop();
   }
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::uint32_t> gate_gen_;   ///< generation per gate slot
+  std::vector<std::uint32_t> gate_free_;  ///< recyclable (closed) slots
   TimePoint now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
@@ -160,8 +254,9 @@ class PeriodicTask {
       : sched_(sched), period_(period), action_(std::move(action)) {
     EONA_EXPECTS(period > 0.0);
     EONA_EXPECTS(start_offset >= 0.0);
+    gate_ = sched_.open_gate();
     Duration first = fire_immediately ? start_offset : start_offset + period_;
-    handle_ = sched_.schedule_after(first, [this] { tick(); });
+    sched_.post_after(first, gate_, [this] { tick(); });
   }
 
   PeriodicTask(const PeriodicTask&) = delete;
@@ -169,10 +264,11 @@ class PeriodicTask {
 
   ~PeriodicTask() { stop(); }
 
-  /// Stop ticking; idempotent.
+  /// Stop ticking; idempotent. Closing the gate revokes the pending tick,
+  /// so the scheduler never calls back into a destroyed task.
   void stop() {
     stopped_ = true;
-    sched_.cancel(handle_);
+    sched_.close_gate(gate_);
   }
 
   /// Change the period for subsequent ticks (takes effect after the next
@@ -190,13 +286,13 @@ class PeriodicTask {
     if (stopped_) return;
     ++ticks_;
     action_();
-    if (!stopped_) handle_ = sched_.schedule_after(period_, [this] { tick(); });
+    if (!stopped_) sched_.post_after(period_, gate_, [this] { tick(); });
   }
 
   Scheduler& sched_;
   Duration period_;
   Scheduler::Action action_;
-  EventHandle handle_;
+  Gate gate_;
   bool stopped_ = false;
   std::uint64_t ticks_ = 0;
 };

@@ -1,0 +1,195 @@
+// Deterministic JSONL trace of the event stream: one line per bus event,
+// appended to an in-memory buffer (never directly to a file, so sweep jobs
+// can run concurrently and collate buffers in job order). Field order is
+// fixed per event type and doubles are printed with the same "%.17g"
+// round-trip format as the JSON codec, so for a fixed seed the buffer is
+// bit-identical run-to-run and across sweep thread counts (pinned by
+// tests/trace_determinism_test.cpp).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
+
+namespace eona::sim {
+
+/// Subscribes to every event type in events.hpp and renders each to one
+/// JSONL line. Keep alive at least as long as the bus dispatches.
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Subscribe this writer to all event types on `bus`. The subscriptions
+  /// live as long as the bus; call once per bus.
+  void subscribe_all(EventBus& bus) {
+    bus.subscribe<LinkSaturationEvent>([this](const LinkSaturationEvent& e) {
+      begin("link_saturation", e.t);
+      field_id("link", e.link.value());
+      field_bool("saturated", e.saturated);
+      field_num("utilization", e.utilization);
+      end();
+    });
+    bus.subscribe<RateRecomputeEvent>([this](const RateRecomputeEvent& e) {
+      begin("rate_recompute", e.t);
+      field_u64("recompute", e.recompute);
+      field_u64("affected_flows", e.affected_flows);
+      field_u64("affected_links", e.affected_links);
+      end();
+    });
+    bus.subscribe<ReportPublishedEvent>([this](const ReportPublishedEvent& e) {
+      begin("report_published", e.t);
+      field_id("from", e.from.value());
+      field_id("to", e.to.value());
+      field_str("kind", e.kind);
+      field_u64("seq", e.seq);
+      end();
+    });
+    bus.subscribe<ReportDroppedEvent>([this](const ReportDroppedEvent& e) {
+      begin("report_dropped", e.t);
+      field_id("from", e.from.value());
+      field_id("to", e.to.value());
+      field_str("kind", e.kind);
+      field_bool("outage", e.outage);
+      end();
+    });
+    bus.subscribe<ReportDeliveredEvent>([this](const ReportDeliveredEvent& e) {
+      begin("report_delivered", e.t);
+      field_id("from", e.from.value());
+      field_id("to", e.to.value());
+      field_str("kind", e.kind);
+      field_num("visible_in", e.visible_in);
+      end();
+    });
+    bus.subscribe<ReportServedEvent>([this](const ReportServedEvent& e) {
+      begin("report_served", e.t);
+      field_id("consumer", e.consumer.value());
+      field_str("kind", e.kind);
+      field_num("age", e.age);
+      field_bool("stale", e.stale);
+      end();
+    });
+    bus.subscribe<SteeringEvent>([this](const SteeringEvent& e) {
+      begin("steering", e.t);
+      field_id("appp", e.appp.value());
+      field_id("from", e.from.value());
+      field_id("to", e.to.value());
+      field_bool("held", e.held);
+      field_str("reason", e.reason);
+      end();
+    });
+    bus.subscribe<MigrationEvent>([this](const MigrationEvent& e) {
+      begin("migration", e.t);
+      field_id("infp", e.infp.value());
+      field_id("cdn", e.cdn.value());
+      field_id("from", e.from.value());
+      field_id("to", e.to.value());
+      field_u64("flows", e.flows);
+      field_str("reason", e.reason);
+      end();
+    });
+    bus.subscribe<SessionStartedEvent>([this](const SessionStartedEvent& e) {
+      begin("session_started", e.t);
+      field_u64("session", e.session.value());
+      end();
+    });
+    bus.subscribe<SessionStalledEvent>([this](const SessionStalledEvent& e) {
+      begin("session_stalled", e.t);
+      field_u64("session", e.session.value());
+      field_u64("stall_count", e.stall_count);
+      end();
+    });
+    bus.subscribe<SessionFinishedEvent>([this](const SessionFinishedEvent& e) {
+      begin("session_finished", e.t);
+      field_u64("session", e.session.value());
+      field_u64("stalls", e.stalls);
+      field_u64("cdn_switches", e.cdn_switches);
+      end();
+    });
+    bus.subscribe<LogEvent>([this](const LogEvent& e) {
+      begin("log", e.t);
+      field_u64("level", static_cast<std::uint64_t>(e.level));
+      field_str("component", e.component);
+      field_escaped("message", e.message);
+      end();
+    });
+  }
+
+  /// The JSONL buffer accumulated so far ('\n'-terminated lines).
+  [[nodiscard]] const std::string& buffer() const { return out_; }
+  [[nodiscard]] std::size_t line_count() const { return lines_; }
+
+ private:
+  void begin(const char* type, TimePoint t) {
+    out_ += "{\"t\":";
+    append_num(t);
+    out_ += ",\"type\":\"";
+    out_ += type;
+    out_ += '"';
+  }
+  void end() {
+    out_ += "}\n";
+    ++lines_;
+  }
+  void field_str(const char* key, const char* value) {
+    key_(key);
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+  }
+  void field_escaped(const char* key, const std::string& value) {
+    key_(key);
+    out_ += '"';
+    for (char c : value) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+  void field_num(const char* key, double value) {
+    key_(key);
+    append_num(value);
+  }
+  void field_u64(const char* key, std::uint64_t value) {
+    key_(key);
+    out_ += std::to_string(value);
+  }
+  void field_id(const char* key, std::uint64_t value) { field_u64(key, value); }
+  void field_bool(const char* key, bool value) {
+    key_(key);
+    out_ += value ? "true" : "false";
+  }
+  void key_(const char* key) {
+    out_ += ",\"";
+    out_ += key;
+    out_ += "\":";
+  }
+  /// Shortest round-trip double format; matches the JSON codec so numbers
+  /// in traces and results agree byte-for-byte.
+  void append_num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+
+  std::string out_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace eona::sim

@@ -1,0 +1,149 @@
+// Unit tests for the typed event bus: subscription-order dispatch,
+// reentrancy (nested publish, subscribe/unsubscribe mid-dispatch), and
+// slot compaction semantics the world's subscribers rely on.
+#include "sim/event_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eona::sim {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+struct Pong {
+  int value = 0;
+};
+
+TEST(EventBus, PublishWithNoSubscribersIsANoOp) {
+  EventBus bus;
+  bus.publish(Ping{1});  // must not throw or allocate a channel entry
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 0u);
+}
+
+TEST(EventBus, DispatchesInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe<Ping>([&](const Ping&) { order.push_back(1); });
+  bus.subscribe<Ping>([&](const Ping&) { order.push_back(2); });
+  bus.subscribe<Ping>([&](const Ping&) { order.push_back(3); });
+  bus.publish(Ping{});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventBus, ChannelsAreIndependentPerEventType) {
+  EventBus bus;
+  int pings = 0, pongs = 0;
+  bus.subscribe<Ping>([&](const Ping&) { ++pings; });
+  bus.subscribe<Pong>([&](const Pong&) { ++pongs; });
+  bus.publish(Ping{});
+  bus.publish(Ping{});
+  bus.publish(Pong{});
+  EXPECT_EQ(pings, 2);
+  EXPECT_EQ(pongs, 1);
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 1u);
+  EXPECT_EQ(bus.subscriber_count<Pong>(), 1u);
+}
+
+TEST(EventBus, UnsubscribeStopsDeliveryAndIsIdempotent) {
+  EventBus bus;
+  int count = 0;
+  auto sub = bus.subscribe<Ping>([&](const Ping&) { ++count; });
+  bus.publish(Ping{});
+  bus.unsubscribe(sub);
+  bus.unsubscribe(sub);  // idempotent on the reset token
+  bus.publish(Ping{});
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(sub.active());
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 0u);
+}
+
+TEST(EventBus, HandlerMayPublishNestedEvents) {
+  EventBus bus;
+  std::vector<std::string> log;
+  bus.subscribe<Ping>([&](const Ping& e) {
+    log.push_back("ping" + std::to_string(e.value));
+    if (e.value == 0) bus.publish(Pong{7});
+  });
+  bus.subscribe<Pong>([&](const Pong& e) {
+    log.push_back("pong" + std::to_string(e.value));
+  });
+  bus.publish(Ping{0});
+  EXPECT_EQ(log, (std::vector<std::string>{"ping0", "pong7"}));
+}
+
+TEST(EventBus, HandlerMayPublishSameTypeReentrantly) {
+  EventBus bus;
+  std::vector<int> seen;
+  bus.subscribe<Ping>([&](const Ping& e) {
+    seen.push_back(e.value);
+    if (e.value < 3) bus.publish(Ping{e.value + 1});
+  });
+  bus.publish(Ping{0});
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventBus, SubscriberAddedDuringDispatchMissesCurrentEvent) {
+  EventBus bus;
+  int late_calls = 0;
+  bus.subscribe<Ping>([&](const Ping&) {
+    bus.subscribe<Ping>([&](const Ping&) { ++late_calls; });
+  });
+  bus.publish(Ping{});
+  EXPECT_EQ(late_calls, 0);  // missed the event that created it
+  bus.publish(Ping{});
+  EXPECT_EQ(late_calls, 1);  // sees the next one (one more was added too)
+}
+
+TEST(EventBus, HandlerMayUnsubscribeItselfMidDispatch) {
+  EventBus bus;
+  int first = 0, second = 0;
+  EventBus::Subscription sub;
+  sub = bus.subscribe<Ping>([&](const Ping&) {
+    ++first;
+    bus.unsubscribe(sub);  // removes the handler currently running
+  });
+  bus.subscribe<Ping>([&](const Ping&) { ++second; });
+  bus.publish(Ping{});
+  bus.publish(Ping{});
+  EXPECT_EQ(first, 1);   // fired once, then removed itself
+  EXPECT_EQ(second, 2);  // later subscriber unaffected by the removal
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 1u);
+}
+
+TEST(EventBus, HandlerMayUnsubscribeALaterHandlerMidDispatch) {
+  EventBus bus;
+  int removed_calls = 0;
+  EventBus::Subscription victim;
+  bus.subscribe<Ping>([&](const Ping&) { bus.unsubscribe(victim); });
+  victim = bus.subscribe<Ping>([&](const Ping&) { ++removed_calls; });
+  bus.publish(Ping{});
+  // The victim slot went dead before its turn in the same dispatch.
+  EXPECT_EQ(removed_calls, 0);
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 1u);
+}
+
+TEST(EventBus, UnsubscribeDuringNestedDispatchCompactsAfterUnwind) {
+  EventBus bus;
+  EventBus::Subscription victim;
+  std::vector<int> seen;
+  bus.subscribe<Ping>([&](const Ping& e) {
+    seen.push_back(e.value);
+    if (e.value == 1) bus.publish(Ping{0});  // nested same-type dispatch
+    if (e.value == 0) bus.unsubscribe(victim);  // two dispatches in flight
+  });
+  victim = bus.subscribe<Ping>([&](const Ping& e) { seen.push_back(100 + e.value); });
+  bus.publish(Ping{1});
+  // Outer event reached handler 1; the nested publish killed the victim
+  // before either dispatch got to it.
+  EXPECT_EQ(seen, (std::vector<int>{1, 0}));
+  bus.publish(Ping{2});
+  EXPECT_EQ(seen, (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(bus.subscriber_count<Ping>(), 1u);
+}
+
+}  // namespace
+}  // namespace eona::sim

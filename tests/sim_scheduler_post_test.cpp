@@ -1,0 +1,130 @@
+// Pins the handle-free post path to the schedule path: identical ordering
+// and tie-breaking (one shared sequence counter), gate revocation
+// equivalent to EventHandle cancellation, and PeriodicTask riding on gated
+// posts without leaking ticks past stop().
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eona::sim {
+namespace {
+
+TEST(SchedulerPost, PostAndScheduleShareOneSequenceCounter) {
+  Scheduler sched;
+  std::vector<std::string> order;
+  // Interleave both APIs at one timestamp: ties must fire in call order
+  // regardless of which API queued the event.
+  sched.post_at(1.0, [&] { order.push_back("post0"); });
+  sched.schedule_at(1.0, [&] { order.push_back("sched1"); });
+  sched.post_at(1.0, [&] { order.push_back("post2"); });
+  sched.schedule_at(1.0, [&] { order.push_back("sched3"); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<std::string>{"post0", "sched1", "post2",
+                                             "sched3"}));
+}
+
+TEST(SchedulerPost, PostAfterMatchesScheduleAfterTiming) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.post_after(2.0, [&] { order.push_back(2); });
+  sched.schedule_after(1.0, [&] { order.push_back(1); });
+  sched.post_after(3.0, [&] { order.push_back(3); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+TEST(SchedulerPost, ClosedGateSkipsEventsLikeCancel) {
+  Scheduler sched;
+  std::vector<std::string> fired;
+  // Same cancellation story told twice: once per mechanism.
+  EventHandle handle =
+      sched.schedule_at(1.0, [&] { fired.push_back("handle"); });
+  Gate gate = sched.open_gate();
+  sched.post_at(1.0, gate, [&] { fired.push_back("gate"); });
+  sched.post_at(2.0, gate, [&] { fired.push_back("gate-late"); });
+  sched.cancel(handle);
+  sched.close_gate(gate);
+  sched.post_at(3.0, [&] { fired.push_back("ungated"); });
+  sched.run_all();
+  EXPECT_EQ(fired, (std::vector<std::string>{"ungated"}));
+  EXPECT_EQ(sched.events_fired(), 1u);
+}
+
+TEST(SchedulerPost, CloseGateIsIdempotentAndResetsTheToken) {
+  Scheduler sched;
+  Gate gate = sched.open_gate();
+  EXPECT_TRUE(gate.valid());
+  EXPECT_TRUE(sched.gate_open(gate));
+  Gate copy = gate;
+  sched.close_gate(gate);
+  EXPECT_FALSE(gate.valid());        // reset to the default token
+  EXPECT_FALSE(sched.gate_open(copy));  // the gate itself is closed
+  sched.close_gate(copy);            // closing again is a no-op
+  sched.close_gate(gate);            // closing the default token too
+}
+
+TEST(SchedulerPost, ReopenedGateSlotDoesNotReviveOldEvents) {
+  Scheduler sched;
+  int old_fired = 0, new_fired = 0;
+  Gate first = sched.open_gate();
+  sched.post_at(1.0, first, [&] { ++old_fired; });
+  sched.close_gate(first);
+  // The arena recycles the slot; the generation bump must keep the old
+  // event dead even though the new gate reuses its storage.
+  Gate second = sched.open_gate();
+  sched.post_at(1.0, second, [&] { ++new_fired; });
+  sched.run_all();
+  EXPECT_EQ(old_fired, 0);
+  EXPECT_EQ(new_fired, 1);
+}
+
+TEST(SchedulerPost, GateClosedMidRunSkipsRemainingEvents) {
+  Scheduler sched;
+  std::vector<int> fired;
+  Gate gate = sched.open_gate();
+  sched.post_at(1.0, gate, [&] {
+    fired.push_back(1);
+    sched.close_gate(gate);  // revoke everything still queued below
+  });
+  sched.post_at(2.0, gate, [&] { fired.push_back(2); });
+  sched.post_at(3.0, gate, [&] { fired.push_back(3); });
+  sched.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+}
+
+TEST(SchedulerPost, PeriodicTaskTicksOnGatedPostsAndStopsCleanly) {
+  Scheduler sched;
+  int ticks = 0;
+  {
+    PeriodicTask task(sched, 1.0, [&] { ++ticks; });
+    sched.run_until(3.5);
+    EXPECT_EQ(ticks, 3);
+    EXPECT_EQ(task.ticks(), 3u);
+    task.stop();
+    task.stop();  // idempotent
+    sched.run_until(10.0);
+    EXPECT_EQ(ticks, 3);  // the revoked tick never fired
+  }
+  // Destruction after stop() must not double-close or fire anything.
+  sched.run_all();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(SchedulerPost, PeriodicTaskDestructionRevokesPendingTick) {
+  Scheduler sched;
+  int ticks = 0;
+  {
+    PeriodicTask task(sched, 1.0, [&] { ++ticks; });
+    sched.run_until(1.5);
+    EXPECT_EQ(ticks, 1);
+  }  // ~PeriodicTask closes the gate with a tick still queued
+  sched.run_all();
+  EXPECT_EQ(ticks, 1);
+}
+
+}  // namespace
+}  // namespace eona::sim

@@ -1,0 +1,87 @@
+// Golden-trace determinism: for a fixed seed the JSONL event trace is
+// bit-identical across repeated runs, and a sweep's collated trace is
+// bit-identical for any thread count (per-job buffers concatenated in job
+// order). Guards the sim/trace.hpp + sweep collation contract the
+// eona_lab --trace flag exposes.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "scenarios/lab.hpp"
+#include "scenarios/sweep.hpp"
+
+namespace eona::scenarios {
+namespace {
+
+/// One scenario run with a fresh TraceWriter; returns the JSONL buffer.
+std::string trace_of(const std::string& scenario,
+                     const std::map<std::string, std::string>& overrides) {
+  sim::TraceWriter trace;
+  (void)run_scenario_json(scenario, overrides, nullptr, &trace);
+  return trace.buffer();
+}
+
+TEST(TraceDeterminism, FlashcrowdTraceIsBitIdenticalAcrossRuns) {
+  const std::map<std::string, std::string> overrides = {
+      {"mode", "eona"}, {"seed", "11"}, {"run_duration", "300"}};
+  std::string first = trace_of("flashcrowd", overrides);
+  std::string second = trace_of("flashcrowd", overrides);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.back(), '\n');
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(std::memcmp(first.data(), second.data(), first.size()), 0);
+}
+
+TEST(TraceDeterminism, CellularTraceIsBitIdenticalAcrossRuns) {
+  const std::map<std::string, std::string> overrides = {{"seed", "5"},
+                                                        {"sessions", "300"}};
+  std::string first = trace_of("cellular", overrides);
+  std::string second = trace_of("cellular", overrides);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(std::memcmp(first.data(), second.data(), first.size()), 0);
+}
+
+TEST(TraceDeterminism, QuickstartTraceRecordsSessionLifecycle) {
+  std::string trace = trace_of("quickstart", {{"seed", "3"}});
+  EXPECT_NE(trace.find("\"type\":\"session_started\""), std::string::npos);
+  EXPECT_NE(trace.find("\"type\":\"session_finished\""), std::string::npos);
+  EXPECT_NE(trace.find("\"type\":\"rate_recompute\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, SweepTraceIsIdenticalForAnyThreadCount) {
+  SweepSpec spec;
+  spec.scenario = "quickstart";
+  spec.seeds = {1, 2, 3, 4};
+  spec.modes = {"baseline", "eona"};
+  spec.overrides = {{"run_duration", "240"}};
+
+  spec.threads = 1;
+  std::string serial;
+  core::JsonValue serial_json = run_sweep(spec, &serial);
+
+  spec.threads = 4;
+  std::string threaded;
+  core::JsonValue threaded_json = run_sweep(spec, &threaded);
+
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), threaded.size());
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(), serial.size()), 0);
+  EXPECT_EQ(serial_json.dump(2), threaded_json.dump(2));
+}
+
+TEST(TraceDeterminism, SweepWithoutTraceOutStillRuns) {
+  SweepSpec spec;
+  spec.scenario = "quickstart";
+  spec.seeds = {1};
+  spec.overrides = {{"run_duration", "240"}};
+  core::JsonValue out = run_sweep(spec);
+  EXPECT_EQ(out.at("run_count").as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace eona::scenarios

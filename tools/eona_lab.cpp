@@ -8,9 +8,11 @@
 //
 //   $ eona_lab flashcrowd mode=eona access_capacity_mbps=80 seed=7
 //   $ eona_lab oscillation mode=baseline run_duration=1800 --series=csv
+//   $ eona_lab quickstart mode=eona --trace=events.jsonl
 //   $ eona_lab sweep flashcrowd seeds=1..8 modes=baseline,eona threads=4
 //   $ eona_lab list
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "eona/json.hpp"
 #include "scenarios/lab.hpp"
 #include "scenarios/sweep.hpp"
+#include "sim/trace.hpp"
 
 using namespace eona;
 
@@ -27,6 +30,7 @@ struct Args {
   std::string scenario;
   std::map<std::string, std::string> overrides;
   bool csv_series = false;
+  std::string trace_path;  ///< --trace=FILE; empty = no trace
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -36,6 +40,12 @@ Args parse_args(int argc, char** argv, int first) {
     std::string token = argv[i];
     if (token == "--series=csv") {
       args.csv_series = true;
+      continue;
+    }
+    if (token.rfind("--trace=", 0) == 0) {
+      args.trace_path = token.substr(8);
+      if (args.trace_path.empty())
+        throw ConfigError("--trace needs a file path");
       continue;
     }
     auto eq = token.find('=');
@@ -88,12 +98,23 @@ std::vector<std::string> parse_list(const std::string& text) {
   return items;
 }
 
+void write_trace_file(const std::string& path, const std::string& buffer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ConfigError("cannot open trace file '" + path + "'");
+  out.write(buffer.data(),
+            static_cast<std::streamsize>(buffer.size()));
+}
+
 int run_single(const Args& args) {
   sim::MetricSet series;
+  sim::TraceWriter trace;
   core::JsonValue out = scenarios::run_scenario_json(
-      args.scenario, args.overrides, args.csv_series ? &series : nullptr);
+      args.scenario, args.overrides, args.csv_series ? &series : nullptr,
+      args.trace_path.empty() ? nullptr : &trace);
   std::printf("%s\n", out.dump(2).c_str());
   if (args.csv_series) dump_series_csv(series);
+  if (!args.trace_path.empty())
+    write_trace_file(args.trace_path, trace.buffer());
   return 0;
 }
 
@@ -122,15 +143,20 @@ int run_sweep_cmd(int argc, char** argv) {
     ov.erase(it);
   }
   spec.overrides = ov;
-  std::printf("%s\n", scenarios::run_sweep(spec).dump(2).c_str());
+  std::string trace;
+  core::JsonValue out = scenarios::run_sweep(
+      spec, args.trace_path.empty() ? nullptr : &trace);
+  std::printf("%s\n", out.dump(2).c_str());
+  if (!args.trace_path.empty()) write_trace_file(args.trace_path, trace);
   return 0;
 }
 
 void usage() {
   std::printf(
       "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
+      "                [--trace=FILE]\n"
       "       eona_lab sweep <scenario> [seeds=a..b|a,b,c] [modes=m1,m2]\n"
-      "                [mode_key=k] [threads=N] [key=value ...]\n"
+      "                [mode_key=k] [threads=N] [--trace=FILE] [key=value ...]\n"
       "scenarios:\n"
       "  flashcrowd    Fig 3  (mode, seed, access_capacity_mbps, arrival_rate,\n"
       "                        crowd_background_fraction, crowd_start, crowd_end,\n"
@@ -149,7 +175,12 @@ void usage() {
       "                        labeled_fraction, k_anonymity)\n"
       "  fairness      Sec 5  (seed, appp1_eona, appp2_eona, rate1, rate2,\n"
       "                        run_duration)\n"
+      "  quickstart    the ~30-line World::Builder starter world\n"
+      "                        (mode, seed, arrival_rate,\n"
+      "                        access_capacity_mbps, run_duration)\n"
       "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
+      "--trace=FILE writes the run's JSONL event trace (bit-identical for a\n"
+      "fixed seed, for any sweep thread count).\n"
       "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
       "cores) and prints one collated JSON document; the output is identical\n"
       "for any thread count.\n");
