@@ -1,0 +1,195 @@
+// E15 (§4 peering failure): when the preferred interconnect dies mid-run,
+// how fast does each control world get its viewers back to smooth playback?
+//
+// The paper's §4 claim is that an experience-oriented control plane turns a
+// peering outage from "every player rediscovers the failure by stalling"
+// into a coordinated re-steer: the InfP migrates the affected sector to the
+// surviving interconnect the moment the fault lands, and the I2A update lets
+// players re-select with information instead of retry roulette.
+//
+// Sweep: seeds x {baseline, eona} on the failover scenario (X@B dies at
+// t=120 s and stays down). Reported per run: time-to-QoE-recovery (when the
+// last stalled player resumed) and rebuffer-seconds (the integral of the
+// stalled-player count after the outage), plus the failure-accounting
+// counters.
+//
+// Verdicts (acceptance thresholds):
+//  * EONA's mean time-to-recovery is strictly lower than baseline's;
+//  * EONA's mean rebuffer-seconds is strictly lower than baseline's;
+//  * same seed + mode reproduces bit-identical recovery numbers.
+//
+// Always writes a machine-readable JSON summary (per-run rows, per-mode
+// means, verdicts) for the CI bench artifact; path defaults to
+// BENCH_sec4_failover.json, overridden by argv[1] or EONA_BENCH_OUT.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eona/json.hpp"
+#include "scenarios/failover.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+scenarios::FailoverResult run(std::uint64_t seed, ControlMode mode) {
+  scenarios::FailoverConfig config;
+  config.seed = seed;
+  config.mode = mode;
+  return scenarios::run_failover(config);
+}
+
+void print_row(const char* mode, std::uint64_t seed,
+               const scenarios::FailoverResult& r) {
+  std::printf(
+      "%8s %4llu | %8.1f %9.1f | %7.3f %6llu | %6llu %6llu %6llu %6llu\n",
+      mode, static_cast<unsigned long long>(seed), r.time_to_recovery,
+      r.rebuffer_seconds, r.qoe.mean_engagement,
+      static_cast<unsigned long long>(r.qoe.stalls),
+      static_cast<unsigned long long>(r.aborted_transfers),
+      static_cast<unsigned long long>(r.stranded_sessions),
+      static_cast<unsigned long long>(r.resumed_sessions),
+      static_cast<unsigned long long>(r.infp_failovers));
+}
+
+core::JsonValue row_json(std::uint64_t seed, ControlMode mode,
+                         const scenarios::FailoverResult& r) {
+  core::JsonValue row = core::JsonValue::object();
+  row.set("seed", core::JsonValue::number(static_cast<double>(seed)));
+  row.set("mode", core::JsonValue::string(scenarios::to_string(mode)));
+  row.set("time_to_recovery", core::JsonValue::number(r.time_to_recovery));
+  row.set("rebuffer_seconds", core::JsonValue::number(r.rebuffer_seconds));
+  row.set("mean_engagement", core::JsonValue::number(r.qoe.mean_engagement));
+  row.set("stalls",
+          core::JsonValue::number(static_cast<double>(r.qoe.stalls)));
+  row.set("aborted_transfers",
+          core::JsonValue::number(static_cast<double>(r.aborted_transfers)));
+  row.set("stranded_sessions",
+          core::JsonValue::number(static_cast<double>(r.stranded_sessions)));
+  row.set("resumed_sessions",
+          core::JsonValue::number(static_cast<double>(r.resumed_sessions)));
+  row.set("infp_failovers",
+          core::JsonValue::number(static_cast<double>(r.infp_failovers)));
+  row.set("auditor_checks",
+          core::JsonValue::number(static_cast<double>(r.auditor_checks)));
+  return row;
+}
+
+struct Means {
+  double ttr = 0.0;
+  double rebuffer = 0.0;
+  double engagement = 0.0;
+};
+
+Means mean_of(const std::vector<scenarios::FailoverResult>& runs) {
+  Means m;
+  for (const auto& r : runs) {
+    m.ttr += r.time_to_recovery;
+    m.rebuffer += r.rebuffer_seconds;
+    m.engagement += r.qoe.mean_engagement;
+  }
+  auto n = static_cast<double>(runs.size());
+  m.ttr /= n;
+  m.rebuffer /= n;
+  m.engagement /= n;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sec4_failover.json";
+  if (const char* env = std::getenv("EONA_BENCH_OUT")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  std::printf("=== E15 / Sec 4: peering-failure recovery, "
+              "coordinated vs siloed ===\n\n");
+  std::printf("%8s %4s | %8s %9s | %7s %6s | %6s %6s %6s %6s\n", "mode",
+              "seed", "ttr[s]", "rebuf[s]", "engage", "stalls", "abort",
+              "strand", "resume", "f-over");
+
+  core::JsonValue rows = core::JsonValue::array();
+  std::vector<scenarios::FailoverResult> base_runs, eona_runs;
+  for (std::uint64_t seed : kSeeds) {
+    scenarios::FailoverResult base = run(seed, ControlMode::kBaseline);
+    scenarios::FailoverResult eona = run(seed, ControlMode::kEona);
+    print_row("baseline", seed, base);
+    print_row("eona", seed, eona);
+    rows.push_back(row_json(seed, ControlMode::kBaseline, base));
+    rows.push_back(row_json(seed, ControlMode::kEona, eona));
+    base_runs.push_back(std::move(base));
+    eona_runs.push_back(std::move(eona));
+  }
+
+  Means base_mean = mean_of(base_runs);
+  Means eona_mean = mean_of(eona_runs);
+  std::printf("\n%8s mean | %8.1f %9.1f | %7.3f\n", "baseline", base_mean.ttr,
+              base_mean.rebuffer, base_mean.engagement);
+  std::printf("%8s mean | %8.1f %9.1f | %7.3f\n", "eona", eona_mean.ttr,
+              eona_mean.rebuffer, eona_mean.engagement);
+
+  std::printf("\n--- reproducibility: seed 1, eona, same config twice ---\n");
+  scenarios::FailoverResult again = run(kSeeds[0], ControlMode::kEona);
+  const scenarios::FailoverResult& first = eona_runs.front();
+  bool reproducible =
+      again.time_to_recovery == first.time_to_recovery &&
+      again.rebuffer_seconds == first.rebuffer_seconds &&
+      again.qoe.mean_engagement == first.qoe.mean_engagement &&
+      again.qoe.stalls == first.qoe.stalls &&
+      again.aborted_transfers == first.aborted_transfers &&
+      again.stranded_sessions == first.stranded_sessions &&
+      again.resumed_sessions == first.resumed_sessions &&
+      again.infp_failovers == first.infp_failovers &&
+      again.auditor_checks == first.auditor_checks;
+  std::printf("run1 ttr=%.3f rebuf=%.3f engage=%.6f | "
+              "run2 ttr=%.3f rebuf=%.3f engage=%.6f\n",
+              first.time_to_recovery, first.rebuffer_seconds,
+              first.qoe.mean_engagement, again.time_to_recovery,
+              again.rebuffer_seconds, again.qoe.mean_engagement);
+
+  bool faster = eona_mean.ttr < base_mean.ttr;
+  bool smoother = eona_mean.rebuffer < base_mean.rebuffer;
+  std::printf("\n--- verdicts ---\n");
+  std::printf("eona mean ttr %.1f s vs baseline %.1f s (need lower): %s\n",
+              eona_mean.ttr, base_mean.ttr, faster ? "PASS" : "FAIL");
+  std::printf(
+      "eona mean rebuffer %.1f s vs baseline %.1f s (need lower): %s\n",
+      eona_mean.rebuffer, base_mean.rebuffer, smoother ? "PASS" : "FAIL");
+  std::printf("same seed reproduces identical numbers: %s\n",
+              reproducible ? "PASS" : "FAIL");
+
+  core::JsonValue doc = core::JsonValue::object();
+  doc.set("experiment", core::JsonValue::string("E15_sec4_failover"));
+  doc.set("runs", std::move(rows));
+  core::JsonValue means = core::JsonValue::object();
+  for (const auto& [label, m] :
+       {std::pair<const char*, Means>{"baseline", base_mean},
+        std::pair<const char*, Means>{"eona", eona_mean}}) {
+    core::JsonValue entry = core::JsonValue::object();
+    entry.set("time_to_recovery", core::JsonValue::number(m.ttr));
+    entry.set("rebuffer_seconds", core::JsonValue::number(m.rebuffer));
+    entry.set("mean_engagement", core::JsonValue::number(m.engagement));
+    means.set(label, std::move(entry));
+  }
+  doc.set("means", std::move(means));
+  core::JsonValue verdicts = core::JsonValue::object();
+  verdicts.set("eona_faster_recovery", core::JsonValue::boolean(faster));
+  verdicts.set("eona_fewer_rebuffer_seconds",
+               core::JsonValue::boolean(smoother));
+  verdicts.set("reproducible", core::JsonValue::boolean(reproducible));
+  doc.set("verdicts", std::move(verdicts));
+  std::ofstream out(out_path, std::ios::binary);
+  if (out) {
+    std::string text = doc.dump(2);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out << "\n";
+    std::fprintf(stderr, "bench results written to %s\n", out_path.c_str());
+  }
+
+  return (faster && smoother && reproducible) ? 0 : 1;
+}

@@ -68,6 +68,23 @@ class SessionPool {
   }
 
   [[nodiscard]] std::size_t active_count() const { return players_.size(); }
+
+  /// Active players currently in a buffering stall.
+  [[nodiscard]] std::size_t stalled_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, player] : players_)
+      if (player->stalled()) ++n;
+    return n;
+  }
+
+  /// Active players stranded by a data-plane fetch abort and not yet
+  /// resumed on a live path (see VideoPlayer::stranded()).
+  [[nodiscard]] std::size_t stranded_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, player] : players_)
+      if (player->stranded()) ++n;
+    return n;
+  }
   [[nodiscard]] const std::vector<telemetry::SessionRecord>& finished()
       const {
     return finished_;

@@ -157,14 +157,62 @@ void VideoPlayer::request_next_chunk() {
                                   dims_.isp, routing_);
   inflight_bits_ = config_.ladder[bitrate_index_] * config_.chunk_duration;
   fetch_started_ = sched_.now();
-  inflight_ = transfers_.start(plan.path, inflight_bits_,
-                               [this](net::TransferId) { on_chunk_complete(); });
+  inflight_ = transfers_.start(
+      plan.path, inflight_bits_,
+      [this](net::TransferId) { on_chunk_complete(); }, net::kElasticDemand,
+      [this](net::TransferId, const char* reason) { on_fetch_failed(reason); });
+}
+
+void VideoPlayer::on_fetch_failed(const char* reason) {
+  inflight_.reset();
+  sync_buffer();
+  TimePoint now = sched_.now();
+  if (!stranded_) {
+    stranded_ = true;
+    stranded_since_ = now;
+    if (bus_ != nullptr)
+      bus_->publish(sim::SessionStrandedEvent{now, session_, reason});
+  }
+
+  // Let a health-tracking brain remember the dead endpoint, then re-select.
+  // A hard failure bypasses the switch cooldown: the connection is gone and
+  // a reconnect is due either way, so pinning to the dead endpoint only
+  // guarantees another failure.
+  PlayerView v = view();
+  v.endpoint_failed = true;
+  brain_.note_transfer_failure(v);
+  Endpoint next = brain_.choose_endpoint(v);
+  if (!(next == endpoint_)) {
+    if (next.cdn != endpoint_.cdn)
+      ++cdn_switches_;
+    else
+      ++server_switches_;
+    endpoint_ = next;
+    stalls_since_switch_ = 0;
+    dims_.cdn = endpoint_.cdn;
+    dims_.server = endpoint_.server;
+    switch_block_until_ =
+        now + std::max(config_.switch_delay, config_.min_switch_interval);
+  }
+  // Re-request after the retry pacing delay (never same-timestamp: a still-
+  // dead path would abort the refetch immediately and spin the scheduler).
+  sched_.cancel(fetch_resume_event_);
+  fetch_resume_event_ = sched_.schedule_after(
+      std::max(config_.retry_backoff, config_.switch_delay),
+      [this] { request_next_chunk(); });
 }
 
 void VideoPlayer::on_chunk_complete() {
   inflight_.reset();
   sync_buffer();
   TimePoint now = sched_.now();
+  if (stranded_) {
+    stranded_ = false;
+    brain_.note_transfer_success(view());
+    if (bus_ != nullptr)
+      bus_->publish(
+          sim::SessionResumedEvent{now, session_, now - stranded_since_});
+  }
 
   Duration fetch_time = now - fetch_started_;
   if (fetch_time > 0.0) {

@@ -41,6 +41,9 @@ struct PlayerConfig {
   Duration switch_delay = 0.3;
   /// Cooldown before the brain is consulted about switching again.
   Duration min_switch_interval = 8.0;
+  /// Delay before re-requesting after the data plane aborted the in-flight
+  /// chunk (dead path); models client-side connection-error retry pacing.
+  Duration retry_backoff = 1.0;
 };
 
 /// Read-only player state handed to the brain at each decision point.
@@ -62,6 +65,10 @@ struct PlayerView {
   NodeId client_node;
   const std::vector<BitsPerSecond>* ladder = nullptr;
   Duration max_buffer = 0.0;  ///< the player's buffer ceiling
+  /// True only for the choose_endpoint consult right after the data plane
+  /// aborted a fetch on the current endpoint (hard failure, not QoE drift):
+  /// hold/dwell logic should not pin the player to a dead endpoint.
+  bool endpoint_failed = false;
 };
 
 /// Where the player is (or should be) fetching from.
@@ -87,6 +94,19 @@ class PlayerBrain {
 
   /// Index into the ladder for the next chunk.
   virtual std::size_t choose_bitrate(const PlayerView& view) = 0;
+
+  /// The data plane aborted a fetch on view's endpoint (view.endpoint_failed
+  /// is set). Default: ignore. Health-tracking brains record the failure so
+  /// subsequent choose_endpoint calls back off from the endpoint.
+  virtual void note_transfer_failure(const PlayerView& view) {
+    (void)view;
+  }
+
+  /// A chunk landed on view's endpoint after a failure episode; the brain
+  /// may forgive any failure hold-down it held for it. Default: ignore.
+  virtual void note_transfer_success(const PlayerView& view) {
+    (void)view;
+  }
 };
 
 /// One adaptive video session. Create, then call start(); the player runs
@@ -119,6 +139,8 @@ class VideoPlayer {
 
   [[nodiscard]] bool finished() const { return state_ == State::kDone; }
   [[nodiscard]] bool stalled() const { return state_ == State::kStalled; }
+  /// True from a data-plane fetch abort until the next delivered chunk.
+  [[nodiscard]] bool stranded() const { return stranded_; }
   [[nodiscard]] SessionId session() const { return session_; }
   [[nodiscard]] Endpoint endpoint() const { return endpoint_; }
   [[nodiscard]] std::size_t bitrate_index() const { return bitrate_index_; }
@@ -141,6 +163,8 @@ class VideoPlayer {
   [[nodiscard]] PlayerView view() const;
   void request_next_chunk();
   void on_chunk_complete();
+  /// The data plane aborted the in-flight fetch (e.g. "link-down").
+  void on_fetch_failed(const char* reason);
   void on_buffer_underrun();
   void reschedule_underrun();
   void maybe_schedule_finish();
@@ -178,6 +202,9 @@ class VideoPlayer {
   std::optional<net::TransferId> inflight_;
   TimePoint fetch_started_ = 0.0;
   Bits inflight_bits_ = 0.0;
+
+  bool stranded_ = false;
+  TimePoint stranded_since_ = 0.0;
 
   std::uint64_t stall_count_ = 0;
   std::uint64_t stalls_since_switch_ = 0;

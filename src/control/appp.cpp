@@ -83,8 +83,15 @@ ServerId hashed_server(const app::Cdn& cdn, SessionId session,
   std::vector<ServerId> online;
   for (const auto& s : cdn.servers())
     if (s.online) online.push_back(s.id);
+  if (online.empty()) {
+    // The whole fleet is dark (e.g. a chaos-injected crash of a
+    // single-server CDN). DNS keeps resolving rather than erroring the
+    // player out: hash over all servers; the fetch fails fast on the dead
+    // egress and the player's failure path retries elsewhere.
+    for (const auto& s : cdn.servers()) online.push_back(s.id);
+  }
   if (online.empty())
-    throw NotFoundError("no online server in cdn " + cdn.name());
+    throw NotFoundError("no server in cdn " + cdn.name());
   std::uint64_t h = splitmix64(session.value() ^ (salt * 0x517CC1B727220A95ull));
   return online[h % online.size()];
 }
@@ -131,7 +138,8 @@ class AppPController::BaselineBrain final : public app::PlayerBrain {
 
 class AppPController::EonaBrain final : public app::PlayerBrain {
  public:
-  explicit EonaBrain(AppPController& ctl) : ctl_(ctl) {}
+  explicit EonaBrain(AppPController& ctl)
+      : ctl_(ctl), health_(ctl.config_.endpoint_health) {}
 
   app::Endpoint choose_endpoint(const app::PlayerView& v) override {
     const auto& i2a = ctl_.latest_i2a_;
@@ -141,14 +149,18 @@ class AppPController::EonaBrain final : public app::PlayerBrain {
     }
     if (i2a) {
       // Problem attributed to the access network: switching cannot help;
-      // stay put (bitrate logic reacts instead).
-      if (access_severity(v.isp) >=
-          ctl_.config_.congestion_severity_threshold)
+      // stay put (bitrate logic reacts instead). A hard fetch failure
+      // trumps the attribution -- the current endpoint is unreachable, so
+      // staying put means staying dead.
+      if (!v.endpoint_failed &&
+          access_severity(v.isp) >=
+              ctl_.config_.congestion_severity_threshold)
         return {v.cdn, v.server};
       // Prefer an intra-CDN server switch (cache locality, §2) when the
       // current CDN's interconnect is healthy and a better server is hinted.
       if (peering_healthy(v.isp, v.cdn)) {
-        ServerId sibling = best_hinted_server(v.cdn, v.server, v.session);
+        ServerId sibling = best_hinted_server(v.cdn, v.server, v.session,
+                                              v.now);
         if (sibling.valid()) return {v.cdn, sibling};
       }
       // Otherwise move to a CDN whose interconnect is healthy.
@@ -162,6 +174,16 @@ class AppPController::EonaBrain final : public app::PlayerBrain {
     CdnId cdn = ctl_.next_cdn_after(v.cdn);
     return {cdn, pick_server(cdn, v, ServerId{})};
   }
+
+  void note_transfer_failure(const app::PlayerView& v) override {
+    health_.record_failure(endpoint_key(v.cdn, v.server), v.now);
+  }
+
+  void note_transfer_success(const app::PlayerView& v) override {
+    health_.record_success(endpoint_key(v.cdn, v.server));
+  }
+
+  [[nodiscard]] const core::EndpointHealth& health() const { return health_; }
 
   bool should_switch_endpoint(const app::PlayerView& v) override {
     const auto& i2a = ctl_.latest_i2a_;
@@ -180,7 +202,8 @@ class AppPController::EonaBrain final : public app::PlayerBrain {
       for (const auto& h : i2a->server_hints) {
         if (h.cdn != v.cdn || h.server != v.server) continue;
         if (h.load > ctl_.config_.server_overload_threshold)
-          return best_hinted_server(v.cdn, v.server, v.session).valid();
+          return best_hinted_server(v.cdn, v.server, v.session, v.now)
+              .valid();
         return false;  // hinted healthy: hold
       }
     }
@@ -214,6 +237,14 @@ class AppPController::EonaBrain final : public app::PlayerBrain {
   }
 
  private:
+  /// Endpoint-health key: one player's aborted fetch on (cdn, server) backs
+  /// the whole fleet off that endpoint until the hold expires or a chunk
+  /// lands there again.
+  [[nodiscard]] static std::uint64_t endpoint_key(CdnId cdn,
+                                                  ServerId server) {
+    return (static_cast<std::uint64_t>(cdn.value()) << 32) | server.value();
+  }
+
   /// Max hinted severity of access-scope congestion for this ISP; 0 if none.
   [[nodiscard]] double access_severity(IspId isp) const {
     const auto& i2a = ctl_.latest_i2a_;
@@ -241,30 +272,46 @@ class AppPController::EonaBrain final : public app::PlayerBrain {
   /// A healthy hinted server of `cdn` other than `exclude`; invalid when no
   /// hint qualifies. Chosen by session hash across all under-threshold
   /// servers rather than argmin-load: a fleet of players all chasing the
-  /// same "least loaded" server would simply move the hot spot.
+  /// same "least loaded" server would simply move the hot spot. Endpoints
+  /// inside a failure hold-down are skipped unless every qualifying server
+  /// is held down (a maybe-dead server beats certain failure).
   [[nodiscard]] ServerId best_hinted_server(CdnId cdn, ServerId exclude,
-                                            SessionId session = SessionId{0}) const {
+                                            SessionId session,
+                                            TimePoint now) const {
     const auto& i2a = ctl_.latest_i2a_;
     if (!i2a) return ServerId{};
     std::vector<ServerId> healthy;
+    std::vector<ServerId> held;
     for (const auto& h : i2a->server_hints) {
       if (h.cdn != cdn || !h.online || h.server == exclude) continue;
       if (h.load >= ctl_.config_.server_overload_threshold) continue;
-      healthy.push_back(h.server);
+      if (health_.available(endpoint_key(cdn, h.server), now))
+        healthy.push_back(h.server);
+      else
+        held.push_back(h.server);
     }
+    if (healthy.empty()) healthy.swap(held);
     if (healthy.empty()) return ServerId{};
     return healthy[splitmix64(session.value()) % healthy.size()];
   }
 
   /// Hinted least-loaded pick; falls back to the hashed pick when no hints.
+  /// The hashed fallback re-salts a few times to step around endpoints in a
+  /// failure hold-down before giving in and using one anyway.
   [[nodiscard]] ServerId pick_server(CdnId cdn, const app::PlayerView& v,
                                      ServerId exclude) const {
-    ServerId hinted = best_hinted_server(cdn, exclude, v.session);
+    ServerId hinted = best_hinted_server(cdn, exclude, v.session, v.now);
     if (hinted.valid()) return hinted;
-    return hashed_server(ctl_.cdns_.at(cdn), v.session, v.stall_count);
+    const app::Cdn& directory = ctl_.cdns_.at(cdn);
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      ServerId s = hashed_server(directory, v.session, v.stall_count + salt);
+      if (health_.available(endpoint_key(cdn, s), v.now)) return s;
+    }
+    return hashed_server(directory, v.session, v.stall_count);
   }
 
   AppPController& ctl_;
+  core::EndpointHealth health_;
 };
 
 // ---------------------------------------------------------------------------
@@ -347,6 +394,10 @@ app::PlayerBrain& AppPController::brain() {
 }
 app::PlayerBrain& AppPController::baseline_brain() { return *baseline_brain_; }
 app::PlayerBrain& AppPController::eona_brain() { return *eona_brain_; }
+
+std::uint64_t AppPController::endpoint_failures() const {
+  return eona_brain_->health().total_failures();
+}
 
 void AppPController::start() {
   EONA_EXPECTS(task_ == nullptr);

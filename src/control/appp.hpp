@@ -94,6 +94,11 @@ struct AppPConfig {
   /// information the controller acts more conservatively. Only active when
   /// i2a_retry.freshness_deadline is finite.
   double stale_widening = 2.0;
+  // --- endpoint health (data-plane fetch failures) ---
+  /// Hold-down policy the EONA brain applies to endpoints whose fetches the
+  /// data plane aborted (dead path / crashed server): consecutive failures
+  /// back the fleet off exponentially; one delivered chunk forgives.
+  core::EndpointHealth::Policy endpoint_health{};
 };
 
 /// AppP control plane; see file header.
@@ -170,6 +175,10 @@ class AppPController {
   [[nodiscard]] const AppPConfig& config() const { return config_; }
   [[nodiscard]] ProviderId id() const { return self_; }
   [[nodiscard]] std::uint64_t ticks() const { return tick_count_; }
+
+  /// Data-plane fetch failures the EONA brain has recorded (fleet-wide: one
+  /// player's aborted fetch holds the endpoint down for every player).
+  [[nodiscard]] std::uint64_t endpoint_failures() const;
 
  private:
   class BaselineBrain;

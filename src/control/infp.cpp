@@ -111,7 +111,51 @@ void InfPController::set_event_bus(sim::EventBus* bus) {
           if (e.consumer == self_ && std::strcmp(e.kind, "a2i") == 0)
             a2i_delivery_.observe_serve(e.age, e.stale);
         });
+    bus_->subscribe<sim::FaultEvent>(
+        [this](const sim::FaultEvent& e) { on_fault(e); });
   }
+}
+
+void InfPController::on_fault(const sim::FaultEvent& e) {
+  // Detection hygiene (both modes): every sample taken before the event
+  // describes a link that no longer exists in that form; a window that
+  // straddles the fault reports stale utilisation.
+  if (monitor_->tracks(e.link)) monitor_->clear(e.link);
+  bool dead = std::strcmp(e.kind, "link_down") == 0 ||
+              std::strcmp(e.kind, "server_crash") == 0;
+  if (!eona_enabled_ || !dead) return;
+  // Self-healing: when the dead link is a *selected* peering ingress, steer
+  // the affected CDN's sector onto the best surviving point right now --
+  // select_egress reroutes its live flows before the data plane's stranded
+  // sweep can abort them.
+  bool affected = false;
+  for (PeeringId pid : peering_.points_of_isp(isp_)) {
+    const net::PeeringPoint& point = peering_.point(pid);
+    if (point.ingress_link != e.link) continue;
+    affected = true;
+    if (peering_.selected(isp_, point.cdn) != pid) continue;
+    PeeringId target = pick_failover_target(point.cdn);
+    if (!target.valid() || target == pid) continue;
+    select_egress(target, "failover");
+    ++failover_count_;
+  }
+  // Reflect the outage in the looking glass immediately: zero capacity,
+  // congested peering, offline server hints reach subscribed AppPs without
+  // waiting out the control period.
+  if ((affected || nominal_capacity_.count(e.link) > 0))
+    i2a_.publish(build_i2a_report(), sched_.now());
+}
+
+PeeringId InfPController::pick_failover_target(CdnId cdn) const {
+  auto up = [this](PeeringId pid) {
+    return network_.link_up(peering_.point(pid).ingress_link);
+  };
+  auto preferred = preferred_.find(cdn);
+  if (preferred != preferred_.end() && up(preferred->second))
+    return preferred->second;
+  for (PeeringId pid : peering_.points_of_isp(isp_))
+    if (peering_.point(pid).cdn == cdn && up(pid)) return pid;
+  return PeeringId{};
 }
 
 void InfPController::observe_a2i_serve(Duration age, bool stale) {
@@ -217,7 +261,8 @@ core::I2AReport InfPController::build_i2a_report() const {
     status.utilization = monitor_->mean_utilization(point.ingress_link);
     status.congested = monitor_->congested(point.ingress_link,
                                            config_.congested_utilization,
-                                           config_.starved_fraction);
+                                           config_.starved_fraction) ||
+                       !network_.link_up(point.ingress_link);
     status.selected = peering_.selected(isp_, point.cdn) == pid;
     report.peerings.push_back(status);
 

@@ -126,6 +126,8 @@ class InfPController {
   [[nodiscard]] const InfPConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t ticks() const { return tick_count_; }
   [[nodiscard]] std::uint64_t reroutes() const { return reroute_count_; }
+  /// Immediate fault-driven egress re-steers (EONA self-healing path).
+  [[nodiscard]] std::uint64_t failovers() const { return failover_count_; }
 
   /// The windowed link statistics the ISP sees (tests introspect it).
   [[nodiscard]] const LinkMonitor& monitor() const { return *monitor_; }
@@ -140,6 +142,14 @@ class InfPController {
   /// returns how many flows moved.
   std::size_t migrate_flows(const net::PeeringPoint& from,
                             const net::PeeringPoint& to);
+  /// Bus-delivered infrastructure fault: clear the affected monitor window
+  /// (both modes), and in EONA mode re-steer sectors off a dead selected
+  /// peering point immediately instead of waiting for the next tick.
+  void on_fault(const sim::FaultEvent& e);
+  /// Best surviving peering point for `cdn`: the preferred point when its
+  /// ingress is up, else the first-registered live candidate; invalid id
+  /// when every point is dark.
+  [[nodiscard]] PeeringId pick_failover_target(CdnId cdn) const;
   /// Record the report age served to control logic this epoch: published on
   /// the bus (accumulator subscribed) or fed directly when no bus attached.
   void observe_a2i_serve(Duration age, bool stale);
@@ -180,6 +190,7 @@ class InfPController {
   std::map<CdnId, PeeringId> preferred_;  ///< first-registered = cheapest
   std::uint64_t tick_count_ = 0;
   std::uint64_t reroute_count_ = 0;
+  std::uint64_t failover_count_ = 0;
   std::unique_ptr<LinkMonitor> monitor_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };

@@ -83,6 +83,21 @@ class LinkMonitor {
   /// Add a link to the tracked set (starts empty).
   void track(LinkId link) { rings_.emplace(link, Ring{}); }
 
+  /// Drop a link's window (no-op when untracked). Called on link up/down
+  /// transitions so post-outage queries never blend samples from before the
+  /// event -- a ring that straddles an outage reports stale utilisation.
+  void clear(LinkId link) {
+    auto it = rings_.find(link);
+    if (it == rings_.end()) return;
+    it->second.samples.clear();
+    it->second.next = 0;
+  }
+
+  /// Number of samples currently held for a link (tests / diagnostics).
+  [[nodiscard]] std::size_t window_fill(LinkId link) const {
+    return require(link).samples.size();
+  }
+
   [[nodiscard]] std::uint64_t sample_count() const { return samples_taken_; }
 
  private:

@@ -14,11 +14,17 @@
 //
 // The default RetryPolicy (no retries, infinite freshness) reproduces the
 // naive single-fetch-per-tick behaviour exactly.
+//
+// EndpointHealth extends the same philosophy to *delivery* endpoints: a
+// consumer that just watched a fetch die on some endpoint should back off
+// from it (exponentially in the consecutive-failure count) instead of
+// hammering a dead server, and should forgive it after one success.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <optional>
 #include <utility>
 
@@ -163,6 +169,73 @@ class RobustFetcher {
   FetchStats stats_;
   sim::EventHandle pending_;
   std::size_t attempt_ = 0;
+};
+
+/// Per-endpoint failure/backoff tracker for health-checked re-selection.
+///
+/// Endpoints are caller-packed keys (the AppP uses cdn << 32 | server). A
+/// failure opens a hold-down window of base_backoff * factor^(n-1) for n
+/// consecutive failures (capped); while held down, available() is false and
+/// selection logic should prefer another endpoint -- but MAY still use a
+/// held-down one when nothing else is live (better a maybe-dead server than
+/// certain failure). One success fully forgives the endpoint.
+class EndpointHealth {
+ public:
+  struct Policy {
+    Duration base_backoff = 2.0;  ///< hold-down after the first failure
+    double backoff_factor = 2.0;  ///< growth per consecutive failure
+    Duration max_backoff = 60.0;  ///< hold-down ceiling
+  };
+
+  // Two constructors rather than `Policy policy = {}`: a brace default
+  // argument cannot name a nested aggregate whose member initializers are
+  // still deferred at this point in the class body (GCC rejects it).
+  EndpointHealth() : EndpointHealth(Policy{}) {}
+  explicit EndpointHealth(Policy policy) : policy_(policy) {
+    EONA_EXPECTS(policy_.base_backoff > 0.0);
+    EONA_EXPECTS(policy_.backoff_factor >= 1.0);
+    EONA_EXPECTS(policy_.max_backoff >= policy_.base_backoff);
+  }
+
+  void record_failure(std::uint64_t endpoint, TimePoint now) {
+    Entry& e = entries_[endpoint];
+    ++e.consecutive_failures;
+    ++total_failures_;
+    Duration hold = policy_.base_backoff;
+    for (std::uint64_t i = 1;
+         i < e.consecutive_failures && hold < policy_.max_backoff; ++i)
+      hold *= policy_.backoff_factor;
+    e.held_until = now + std::min(hold, policy_.max_backoff);
+  }
+
+  /// A delivered fetch on the endpoint: forgiven entirely.
+  void record_success(std::uint64_t endpoint) { entries_.erase(endpoint); }
+
+  /// False while the endpoint is inside its failure hold-down window.
+  [[nodiscard]] bool available(std::uint64_t endpoint, TimePoint now) const {
+    auto it = entries_.find(endpoint);
+    return it == entries_.end() || now >= it->second.held_until;
+  }
+
+  [[nodiscard]] std::uint64_t consecutive_failures(
+      std::uint64_t endpoint) const {
+    auto it = entries_.find(endpoint);
+    return it == entries_.end() ? 0 : it->second.consecutive_failures;
+  }
+
+  [[nodiscard]] std::uint64_t total_failures() const {
+    return total_failures_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t consecutive_failures = 0;
+    TimePoint held_until = 0.0;
+  };
+
+  Policy policy_;
+  std::map<std::uint64_t, Entry> entries_;  // ordered: deterministic
+  std::uint64_t total_failures_ = 0;
 };
 
 }  // namespace eona::core

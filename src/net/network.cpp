@@ -83,7 +83,7 @@ void Network::recompute() {
     solve_views_.push_back(
         FlowView{flow.path.data(), flow.path.size(), flow.demand});
   }
-  solver_.solve(*topo_, solve_views_, link_capacity_, solve_rates_);
+  solver_.solve(*topo_, solve_views_, effective_capacity_, solve_rates_);
 
   for (std::size_t i = 0; i < affected_slots_.size(); ++i) {
     FlowState& flow = slots_[affected_slots_[i]];

@@ -19,6 +19,13 @@
 // graph, seeded with the links the mutations touched). Because the solver
 // water-fills each connected component independently (see fairshare.hpp),
 // the incremental result is bit-identical to a from-scratch solve.
+//
+// Link up/down: the Topology stays immutable; the Network overlays a dynamic
+// up/down mask. A down link has effective capacity 0 (its flows' shares
+// collapse to exactly 0 -- stranded, see transfer.hpp), while its configured
+// capacity survives the outage and is restored on link up. Each up/down
+// transition bumps the topology epoch, the signal Routing uses to invalidate
+// its fallback-path cache (the Network implements LinkStateView).
 #pragma once
 
 #include <algorithm>
@@ -44,7 +51,7 @@ inline constexpr BitsPerSecond kElasticDemand =
     std::numeric_limits<BitsPerSecond>::infinity();
 
 /// Live flow-level network state.
-class Network {
+class Network : public LinkStateView {
  public:
   using Hook = std::function<void()>;
 
@@ -59,12 +66,14 @@ class Network {
       : topo_(&topo),
         mode_(mode),
         link_capacity_(topo.link_count(), 0.0),
+        link_up_(topo.link_count(), 1),
         link_allocated_(topo.link_count(), 0.0),
         link_slots_(topo.link_count()),
         link_visit_(topo.link_count(), 0) {
     for (std::size_t l = 0; l < topo.link_count(); ++l)
       link_capacity_[l] =
           topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+    effective_capacity_ = link_capacity_;
   }
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
@@ -203,14 +212,31 @@ class Network {
     end_mutation();
   }
 
-  /// Change a link's effective capacity (degradation, server shutdown,
-  /// maintenance). Capacity 0 starves every flow crossing the link.
+  /// Change a link's configured capacity (degradation, server shutdown,
+  /// maintenance). Capacity 0 starves every flow crossing the link with
+  /// exactly-zero shares. A down link keeps effective capacity 0; the new
+  /// configured value takes effect when the link comes back up.
   void set_link_capacity(LinkId id, BitsPerSecond capacity) {
     EONA_EXPECTS(topo_->contains(id));
     EONA_EXPECTS(capacity >= 0.0);
     if (link_capacity_[id.value()] == capacity) return;
     begin_mutation();
     link_capacity_[id.value()] = capacity;
+    if (link_up_[id.value()]) effective_capacity_[id.value()] = capacity;
+    dirty_links_.push_back(id);
+    end_mutation();
+  }
+
+  /// Take a link down (its flows strand at rate exactly 0, routing stops
+  /// using it) or bring it back up at its configured capacity. Each
+  /// transition bumps the topology epoch. Idempotent per state.
+  void set_link_up(LinkId id, bool up) {
+    EONA_EXPECTS(topo_->contains(id));
+    if (static_cast<bool>(link_up_[id.value()]) == up) return;
+    begin_mutation();
+    link_up_[id.value()] = up ? 1 : 0;
+    effective_capacity_[id.value()] = up ? link_capacity_[id.value()] : 0.0;
+    ++topology_epoch_;
     dirty_links_.push_back(id);
     end_mutation();
   }
@@ -259,17 +285,45 @@ class Network {
     return link_allocated_[id.value()];
   }
 
-  /// Current (dynamic) capacity of the link. Starts at the topology value.
+  /// Current effective capacity of the link: the configured value while the
+  /// link is up, 0 while it is down. Starts at the topology value. This is
+  /// what controllers see -- an outage reads as capacity 0.
   [[nodiscard]] BitsPerSecond link_capacity(LinkId id) const {
+    EONA_EXPECTS(topo_->contains(id));
+    return effective_capacity_[id.value()];
+  }
+
+  /// Configured capacity, independent of the up/down state (what the link
+  /// returns to on link up).
+  [[nodiscard]] BitsPerSecond configured_link_capacity(LinkId id) const {
     EONA_EXPECTS(topo_->contains(id));
     return link_capacity_[id.value()];
   }
 
-  /// allocated / capacity, in [0, 1] modulo floating-point slack.
-  /// A zero-capacity link reports utilisation 1 (unusable).
+  /// Dynamic link health (LinkStateView). All links start up.
+  [[nodiscard]] bool link_up(LinkId id) const override {
+    EONA_EXPECTS(topo_->contains(id));
+    return link_up_[id.value()] != 0;
+  }
+
+  /// Monotone up/down transition counter (LinkStateView); Routing's
+  /// fallback-path cache is valid for exactly one epoch.
+  [[nodiscard]] std::uint64_t topology_epoch() const override {
+    return topology_epoch_;
+  }
+
+  /// True when every link on `path` is up (an empty path is trivially up).
+  [[nodiscard]] bool path_up(const Path& path) const {
+    for (LinkId lid : path)
+      if (!link_up_[lid.value()]) return false;
+    return true;
+  }
+
+  /// allocated / effective capacity, in [0, 1] modulo floating-point slack.
+  /// A zero-capacity (or down) link reports utilisation 1 (unusable).
   [[nodiscard]] double link_utilization(LinkId id) const {
     EONA_EXPECTS(topo_->contains(id));
-    BitsPerSecond cap = link_capacity_[id.value()];
+    BitsPerSecond cap = effective_capacity_[id.value()];
     if (cap <= 0.0) return 1.0;
     return link_allocated_[id.value()] / cap;
   }
@@ -314,7 +368,7 @@ class Network {
     BitsPerSecond share = std::numeric_limits<BitsPerSecond>::infinity();
     for (LinkId lid : path) {
       EONA_EXPECTS(topo_->contains(lid));
-      BitsPerSecond cap = link_capacity_[lid.value()];
+      BitsPerSecond cap = effective_capacity_[lid.value()];
       share = std::min(
           share,
           cap / static_cast<double>(link_slots_[lid.value()].size() + 1));
@@ -431,7 +485,10 @@ class Network {
   std::vector<std::uint32_t> free_slots_;
   std::unordered_map<FlowId, std::uint32_t> slot_of_;
 
-  std::vector<BitsPerSecond> link_capacity_;
+  std::vector<BitsPerSecond> link_capacity_;   ///< configured
+  std::vector<BitsPerSecond> effective_capacity_;  ///< configured gated by up
+  std::vector<char> link_up_;
+  std::uint64_t topology_epoch_ = 0;
   std::vector<BitsPerSecond> link_allocated_;
   // Per-link flow index: slots of the flows crossing each link, one entry
   // per path occurrence. Kept current structurally even mid-batch.

@@ -36,7 +36,8 @@ struct DijkstraResult {
   }
 };
 
-DijkstraResult dijkstra(const Topology& topo, NodeId src) {
+DijkstraResult dijkstra(const Topology& topo, NodeId src,
+                        const LinkStateView* state) {
   constexpr Duration kInf = std::numeric_limits<Duration>::infinity();
   DijkstraResult result{std::vector<Duration>(topo.node_count(), kInf),
                         std::vector<LinkId>(topo.node_count())};
@@ -53,6 +54,7 @@ DijkstraResult dijkstra(const Topology& topo, NodeId src) {
     frontier.pop();
     if (d > result.dist[u]) continue;  // stale entry
     for (LinkId lid : topo.out_links(NodeId(u))) {
+      if (state != nullptr && !state->link_up(lid)) continue;  // dead link
       const Link& link = topo.link(lid);
       Duration nd = d + link.delay;
       auto v = link.dst.value();
@@ -86,20 +88,35 @@ Path extract_path(const Topology& topo, const DijkstraResult& result,
 
 }  // namespace
 
-Path Routing::shortest_path(NodeId src, NodeId dst) const {
-  EONA_EXPECTS(topo_->contains(src) && topo_->contains(dst));
-  if (src == dst) return {};
-  DijkstraResult result = dijkstra(*topo_, src);
+const Path& Routing::cached_shortest(NodeId src, NodeId dst) const {
+  std::uint64_t epoch = link_state_ != nullptr
+                            ? link_state_->topology_epoch()
+                            : 0;
+  if (epoch != cache_epoch_) {
+    cache_.clear();
+    cache_epoch_ = epoch;
+  }
+  std::uint64_t key = (static_cast<std::uint64_t>(src.value()) << 32) |
+                      static_cast<std::uint64_t>(dst.value());
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  DijkstraResult result = dijkstra(*topo_, src, link_state_);
   if (!result.reached(dst))
     throw NotFoundError("no route " + topo_->node(src).name + " -> " +
                         topo_->node(dst).name);
-  return extract_path(*topo_, result, src, dst);
+  return cache_.emplace(key, extract_path(*topo_, result, src, dst))
+      .first->second;
+}
+
+Path Routing::shortest_path(NodeId src, NodeId dst) const {
+  EONA_EXPECTS(topo_->contains(src) && topo_->contains(dst));
+  if (src == dst) return {};
+  return cached_shortest(src, dst);
 }
 
 bool Routing::has_route(NodeId src, NodeId dst) const {
   EONA_EXPECTS(topo_->contains(src) && topo_->contains(dst));
   if (src == dst) return true;
-  return dijkstra(*topo_, src).reached(dst);
+  return dijkstra(*topo_, src, link_state_).reached(dst);
 }
 
 Path Routing::path_via(NodeId src, NodeId via, NodeId dst) const {

@@ -14,15 +14,30 @@
 // transfer started inside a batch sees rate 0 until commit (it is
 // rescheduled by the commit's after hook), so coalescing a burst of starts,
 // cancels, or demand changes costs one bank + one reschedule total.
+//
+// Stranding: a transfer whose path crosses a down link cannot make progress
+// (its share is exactly 0) and, unlike a merely congested flow, no rate
+// change will revive it while the link stays dead. Such transfers ABORT
+// with a distinct failure reason instead of silently starving: the manager
+// collects them during rescheduling and tears them down in one zero-delay
+// sweep (re-entrancy: rescheduling runs inside network change hooks, where
+// the flow table must not be mutated). A stranded transfer whose flow was
+// rerouted onto a live path before the sweep runs (e.g. by an InfP egress
+// migration) survives untouched.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/ids.hpp"
 #include "net/network.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 
 namespace eona::net {
@@ -47,6 +62,12 @@ struct TransferStatus {
 class TransferManager {
  public:
   using CompletionCallback = std::function<void(TransferId)>;
+  /// Fired (once, instead of the completion callback) when the data plane
+  /// aborts a transfer; `reason` is a static literal such as "link-down".
+  using FailureCallback = std::function<void(TransferId, const char* reason)>;
+
+  /// Failure reason for transfers stranded by a dead link on their path.
+  static constexpr const char* kLinkDownReason = "link-down";
 
   TransferManager(sim::Scheduler& sched, Network& network)
       : sched_(&sched), network_(&network) {
@@ -57,18 +78,28 @@ class TransferManager {
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
 
-  ~TransferManager() { network_->set_change_hooks(nullptr, nullptr); }
+  ~TransferManager() {
+    network_->set_change_hooks(nullptr, nullptr);
+    sched_->close_gate(sweep_gate_);
+  }
+
+  /// Emit TransferAbortedEvent on `bus` when transfers strand and abort.
+  /// Pass nullptr to detach. Purely observational.
+  void set_event_bus(sim::EventBus* bus) { bus_ = bus; }
 
   /// Start delivering `volume` bits along `path`, at most `demand` bps.
-  /// `on_complete` fires (once) when the last bit lands.
+  /// `on_complete` fires (once) when the last bit lands; `on_fail` fires
+  /// (once, instead) if the data plane aborts the transfer -- a transfer
+  /// started over an already-dead link fails on the next scheduler step.
   TransferId start(Path path, Bits volume, CompletionCallback on_complete,
-                   BitsPerSecond demand = kElasticDemand) {
+                   BitsPerSecond demand = kElasticDemand,
+                   FailureCallback on_fail = nullptr) {
     EONA_EXPECTS(volume > 0.0);
     FlowId flow = network_->add_flow(std::move(path), demand);
     TransferId id(next_id_++);
     transfers_.emplace(
         id, State{flow, volume, volume, sched_->now(), sched_->now(),
-                  std::move(on_complete), sim::Gate{}});
+                  std::move(on_complete), std::move(on_fail), sim::Gate{}});
     reschedule(id);
     return id;
   }
@@ -123,6 +154,7 @@ class TransferManager {
     TimePoint started_at;
     TimePoint last_update;
     CompletionCallback on_complete;
+    FailureCallback on_fail;
     sim::Gate completion_gate;  ///< revokes the pending completion post
   };
 
@@ -152,11 +184,62 @@ class TransferManager {
     // transfer re-predicts on every rate change).
     sched_->close_gate(state.completion_gate);
     BitsPerSecond current = network_->rate(state.flow);
-    if (current <= 0.0) return;  // starved; rescheduled on next rate change
+    if (current <= 0.0) {
+      // Congestion-starved transfers revive on the next rate change, but a
+      // dead link on the path strands the flow for good: queue it for the
+      // abort sweep. No teardown here -- rescheduling runs inside network
+      // change hooks where the flow table must stay intact.
+      if (!network_->path_up(network_->path(state.flow))) mark_stranded(id);
+      return;
+    }
     Duration eta = state.remaining / current;
     state.completion_gate = sched_->open_gate();
     sched_->post_after(eta, state.completion_gate,
                        [this, id] { complete(id); });
+  }
+
+  void mark_stranded(TransferId id) {
+    stranded_pending_.push_back(id);
+    if (sweep_scheduled_) return;
+    sweep_scheduled_ = true;
+    sweep_gate_ = sched_->open_gate();
+    sched_->post_after(0.0, sweep_gate_, [this] { fail_stranded(); });
+  }
+
+  /// Abort every still-stranded queued transfer: tear the flows down in one
+  /// batch, publish TransferAbortedEvent per abort, then run the failure
+  /// callbacks (which may freely start replacement transfers). Ascending
+  /// transfer-id order -- deterministic.
+  void fail_stranded() {
+    sweep_scheduled_ = false;
+    sched_->close_gate(sweep_gate_);
+    std::vector<TransferId> pending;
+    pending.swap(stranded_pending_);
+    std::sort(pending.begin(), pending.end());
+    pending.erase(std::unique(pending.begin(), pending.end()),
+                  pending.end());
+    std::vector<std::pair<TransferId, FailureCallback>> failed;
+    {
+      Network::Batch batch(*network_);
+      for (TransferId id : pending) {
+        auto it = transfers_.find(id);
+        if (it == transfers_.end()) continue;  // completed or cancelled
+        State& state = it->second;
+        // Healed or rerouted onto a live path since queueing: lives on.
+        if (network_->path_up(network_->path(state.flow))) continue;
+        sched_->close_gate(state.completion_gate);
+        FailureCallback on_fail = std::move(state.on_fail);
+        FlowId flow = state.flow;
+        transfers_.erase(it);
+        network_->remove_flow(flow);
+        if (bus_ != nullptr)
+          bus_->publish(sim::TransferAbortedEvent{
+              sched_->now(), id.value(), flow, kLinkDownReason});
+        failed.emplace_back(id, std::move(on_fail));
+      }
+    }
+    for (auto& [id, on_fail] : failed)
+      if (on_fail) on_fail(id, kLinkDownReason);
   }
 
   void complete(TransferId id) {
@@ -174,7 +257,11 @@ class TransferManager {
 
   sim::Scheduler* sched_;
   Network* network_;
+  sim::EventBus* bus_ = nullptr;
   std::map<TransferId, State> transfers_;  // ordered: deterministic iteration
+  std::vector<TransferId> stranded_pending_;
+  sim::Gate sweep_gate_;
+  bool sweep_scheduled_ = false;
   TransferId::rep_type next_id_ = 0;
 };
 

@@ -112,6 +112,7 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
                                 spawn);
 
   sched.run_until(arrival_end + 120.0);
+  world->auditor().finalize();
   sched.run_all();  // drain remaining transfers
 
   // --- evaluation -----------------------------------------------------------------

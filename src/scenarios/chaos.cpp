@@ -1,0 +1,195 @@
+#include "scenarios/chaos.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace eona::sim {
+
+namespace {
+
+FaultAction::Kind parse_kind(const std::string& word,
+                             const std::string& clause) {
+  if (word == "down") return FaultAction::Kind::kLinkDown;
+  if (word == "up") return FaultAction::Kind::kLinkUp;
+  if (word == "brownout") return FaultAction::Kind::kBrownout;
+  if (word == "crash") return FaultAction::Kind::kServerCrash;
+  if (word == "restart") return FaultAction::Kind::kServerRestart;
+  throw ConfigError("fault plan: unknown kind '" + word + "' in '" + clause +
+                    "'");
+}
+
+const char* kind_name(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::kLinkDown: return "link_down";
+    case FaultAction::Kind::kLinkUp: return "link_up";
+    case FaultAction::Kind::kBrownout: return "brownout";
+    case FaultAction::Kind::kServerCrash: return "server_crash";
+    case FaultAction::Kind::kServerRestart: return "server_restart";
+  }
+  return "unknown";
+}
+
+double parse_number(const std::string& text, const std::string& clause) {
+  try {
+    std::size_t used = 0;
+    double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError("fault plan: bad number '" + text + "' in '" + clause +
+                      "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+
+    FaultAction action;
+    std::size_t colon = clause.find(':');
+    if (colon == std::string::npos)
+      throw ConfigError("fault plan: missing ':' in '" + clause + "'");
+    action.kind = parse_kind(clause.substr(0, colon), clause);
+
+    // Targets (link names) legitimately contain '@' ("X@B"), so the time
+    // separator is the LAST '@' of the clause.
+    std::string rest = clause.substr(colon + 1);
+    std::size_t at = rest.rfind('@');
+    if (at == std::string::npos || at == 0)
+      throw ConfigError("fault plan: missing '@time' in '" + clause + "'");
+    action.target = rest.substr(0, at);
+
+    std::string tail = rest.substr(at + 1);
+    std::size_t factor_sep = tail.find(':');
+    if (factor_sep != std::string::npos) {
+      if (action.kind != FaultAction::Kind::kBrownout)
+        throw ConfigError("fault plan: factor only valid for brownout in '" +
+                          clause + "'");
+      action.factor = parse_number(tail.substr(factor_sep + 1), clause);
+      tail = tail.substr(0, factor_sep);
+    }
+    action.at = parse_number(tail, clause);
+
+    if (action.at < 0.0)
+      throw ConfigError("fault plan: negative time in '" + clause + "'");
+    if (action.kind == FaultAction::Kind::kBrownout &&
+        (action.factor <= 0.0 || action.factor > 1.0))
+      throw ConfigError("fault plan: brownout factor must be in (0, 1] in '" +
+                        clause + "'");
+    plan.actions.push_back(std::move(action));
+  }
+  return plan;
+}
+
+ChaosEngine::ChaosEngine(Scheduler& sched, EventBus& bus,
+                         net::Network& network,
+                         const app::CdnDirectory* cdns)
+    : sched_(sched),
+      bus_(bus),
+      network_(network),
+      cdns_(cdns),
+      gate_(sched.open_gate()) {}
+
+ChaosEngine::~ChaosEngine() { sched_.close_gate(gate_); }
+
+ChaosEngine::Resolved ChaosEngine::resolve(const FaultAction& action) const {
+  Resolved r;
+  r.kind = action.kind;
+  r.factor = action.factor;
+  if (action.kind == FaultAction::Kind::kServerCrash ||
+      action.kind == FaultAction::Kind::kServerRestart) {
+    std::size_t slash = action.target.find('/');
+    if (slash == std::string::npos)
+      throw ConfigError("fault plan: server target must be 'cdn/index', got '" +
+                        action.target + "'");
+    std::string cdn_name = action.target.substr(0, slash);
+    std::size_t index = static_cast<std::size_t>(
+        parse_number(action.target.substr(slash + 1), action.target));
+    if (cdns_ == nullptr)
+      throw ConfigError("fault plan: server fault but no CDN directory");
+    for (app::Cdn* cdn : cdns_->all()) {
+      if (cdn->name() != cdn_name) continue;
+      const auto& servers = cdn->servers();
+      if (index >= servers.size())
+        throw ConfigError("fault plan: cdn '" + cdn_name + "' has no server " +
+                          std::to_string(index));
+      r.cdn = cdn;
+      r.server = servers[index].id;
+      r.link = servers[index].egress;
+      return r;
+    }
+    throw ConfigError("fault plan: unknown cdn '" + cdn_name + "'");
+  }
+  // Link kinds: resolve by topology link name (exact match).
+  for (const net::Link& link : network_.topology().links()) {
+    if (link.name == action.target) {
+      r.link = link.id;
+      return r;
+    }
+  }
+  throw ConfigError("fault plan: unknown link '" + action.target + "'");
+}
+
+void ChaosEngine::schedule(const FaultPlan& plan) {
+  // Group same-time actions (plan order preserved within a group): one
+  // scheduler event and one Network batch per instant, so e.g. a scheduled
+  // partition lands as a single consistent topology mutation.
+  std::map<TimePoint, std::vector<Resolved>> groups;
+  for (const FaultAction& action : plan.actions)
+    groups[action.at].push_back(resolve(action));
+  for (auto& [at, group] : groups)
+    sched_.post_at(at, gate_,
+                   [this, group = std::move(group)] { execute(group); });
+}
+
+void ChaosEngine::execute(const std::vector<Resolved>& group) {
+  {
+    // All mutations of the instant land as one batch: one rate recompute,
+    // one consistent dirty set for the incremental solver.
+    net::Network::Batch batch(network_);
+    for (const Resolved& r : group) {
+      switch (r.kind) {
+        case FaultAction::Kind::kLinkDown:
+          network_.set_link_up(r.link, false);
+          break;
+        case FaultAction::Kind::kLinkUp:
+          network_.set_link_up(r.link, true);
+          break;
+        case FaultAction::Kind::kBrownout:
+          network_.set_link_capacity(
+              r.link, r.factor * network_.configured_link_capacity(r.link));
+          break;
+        case FaultAction::Kind::kServerCrash:
+          r.cdn->set_online(r.server, false);
+          network_.set_link_up(r.link, false);
+          break;
+        case FaultAction::Kind::kServerRestart:
+          r.cdn->set_online(r.server, true);
+          network_.set_link_up(r.link, true);
+          break;
+      }
+    }
+  }
+  // Publish after the batch committed: subscribers (EONA InfP failover,
+  // monitors, the trace) observe the post-fault data plane, and any reroutes
+  // they issue run before the stranded-transfer sweep fires.
+  for (const Resolved& r : group) {
+    ++fault_count_;
+    bus_.publish(FaultEvent{sched_.now(), kind_name(r.kind), r.link,
+                            r.factor});
+  }
+}
+
+}  // namespace eona::sim

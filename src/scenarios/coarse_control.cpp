@@ -137,6 +137,7 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   arrivals.stop();
   pool.abort_all();
   sched.run_until(config.run_duration + 1.0);
+  world->auditor().finalize();
 
   // --- summarise -------------------------------------------------------------------
   result.qoe = QoeSummary::from(pool.summaries());

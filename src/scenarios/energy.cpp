@@ -113,6 +113,7 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   arrivals.stop();
   pool.abort_all();
   sched.run_until(run_duration + 1.0);
+  world->auditor().finalize();
 
   // --- summarise --------------------------------------------------------------------
   result.qoe = QoeSummary::from(pool.summaries());

@@ -121,6 +121,7 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   pool1.abort_all();
   pool2.abort_all();
   sched.run_until(config.run_duration + 1.0);
+  world->auditor().finalize();
 
   // --- summarise -----------------------------------------------------------------------
   FairnessResult result;

@@ -172,6 +172,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   arrivals.stop();
   pool.abort_all();
   sched.run_until(config.run_duration + 1.0);
+  world->auditor().finalize();
 
   // --- summarise ----------------------------------------------------------------------
   result.arrivals = arrivals.arrivals();

@@ -6,6 +6,7 @@
 #include "scenarios/cellular_web.hpp"
 #include "scenarios/coarse_control.hpp"
 #include "scenarios/energy.hpp"
+#include "scenarios/failover.hpp"
 #include "scenarios/fairness.hpp"
 #include "scenarios/flashcrowd.hpp"
 #include "scenarios/oscillation.hpp"
@@ -49,6 +50,13 @@ void Overrides::mode(const char* key, ControlMode& out) {
   else if (it->second == "eona") out = ControlMode::kEona;
   else if (it->second == "oracle") out = ControlMode::kOracle;
   else throw ConfigError("mode must be baseline|eona|oracle");
+  kv_.erase(it);
+}
+
+void Overrides::text(const char* key, std::string& out) {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return;
+  out = it->second;
   kv_.erase(it);
 }
 
@@ -262,6 +270,52 @@ core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace) {
   return out;
 }
 
+core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
+                                 sim::TraceWriter* trace) {
+  FailoverConfig config;
+  config.trace = trace;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.number("run_duration", config.run_duration);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("outage_start", config.outage_start);
+  ov.number("outage_duration", config.outage_duration);
+  ov.number("appp_period", config.appp_period);
+  ov.number("infp_period", config.infp_period);
+  double cap_b_mbps = config.capacity_b / 1e6;
+  ov.number("capacity_b_mbps", cap_b_mbps);
+  config.capacity_b = mbps(cap_b_mbps);
+  double cap_cx_mbps = config.capacity_cx / 1e6;
+  ov.number("capacity_cx_mbps", cap_cx_mbps);
+  config.capacity_cx = mbps(cap_cx_mbps);
+  double cap_cy_mbps = config.capacity_cy / 1e6;
+  ov.number("capacity_cy_mbps", cap_cy_mbps);
+  config.capacity_cy = mbps(cap_cy_mbps);
+  ov.text("faults", config.faults);
+  ov.finish();
+
+  FailoverResult r = run_failover(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("failover"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("rebuffer_seconds", core::JsonValue::number(r.rebuffer_seconds));
+  out.set("time_to_recovery", core::JsonValue::number(r.time_to_recovery));
+  out.set("faults", core::JsonValue::number(static_cast<double>(r.faults)));
+  out.set("aborted_transfers",
+          core::JsonValue::number(static_cast<double>(r.aborted_transfers)));
+  out.set("stranded_sessions",
+          core::JsonValue::number(static_cast<double>(r.stranded_sessions)));
+  out.set("resumed_sessions",
+          core::JsonValue::number(static_cast<double>(r.resumed_sessions)));
+  out.set("infp_failovers",
+          core::JsonValue::number(static_cast<double>(r.infp_failovers)));
+  out.set("auditor_checks",
+          core::JsonValue::number(static_cast<double>(r.auditor_checks)));
+  if (series_out != nullptr) *series_out = std::move(r.metrics);
+  return out;
+}
+
 core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace) {
   QuickstartConfig config;
   config.trace = trace;
@@ -286,8 +340,8 @@ core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace) {
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "flashcrowd", "oscillation", "coarse",   "energy",
-      "cellular",   "fairness",    "quickstart"};
+      "flashcrowd", "oscillation", "coarse",     "energy",
+      "cellular",   "fairness",    "quickstart", "failover"};
   return names;
 }
 
@@ -304,6 +358,7 @@ core::JsonValue run_scenario_json(
   if (scenario == "cellular") return run_cellular(ov, trace);
   if (scenario == "fairness") return run_fairness_lab(ov, trace);
   if (scenario == "quickstart") return run_quickstart_lab(ov, trace);
+  if (scenario == "failover") return run_failover_lab(ov, series_out, trace);
   throw ConfigError("unknown scenario '" + scenario + "'");
 }
 

@@ -31,6 +31,7 @@ class Overrides {
   void size(const char* key, std::size_t& out);
   void boolean(const char* key, bool& out);
   void mode(const char* key, ControlMode& out);
+  void text(const char* key, std::string& out);
   /// Throws ConfigError when unconsumed keys remain.
   void finish() const;
 

@@ -145,6 +145,7 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   arrivals.stop();
   pool.abort_all();
   sched.run_until(config.run_duration + 1.0);
+  world->auditor().finalize();
 
   // --- summarise ------------------------------------------------------------------
   result.qoe = QoeSummary::from(pool.summaries());

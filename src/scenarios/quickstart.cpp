@@ -65,6 +65,7 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   arrivals.stop();
   pool.abort_all();
   sched.run_until(config.run_duration + 1.0);
+  world->auditor().finalize();
 
   QuickstartResult result;
   result.qoe = QoeSummary::from(pool.summaries());

@@ -50,6 +50,7 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "net/transfer.hpp"
+#include "scenarios/auditor.hpp"
 #include "scenarios/common.hpp"
 #include "sim/event_bus.hpp"
 #include "sim/logging.hpp"
@@ -80,6 +81,10 @@ class World {
   [[nodiscard]] net::TransferManager& transfers() { return *transfers_; }
   [[nodiscard]] const net::Routing& routing() const { return *routing_; }
   [[nodiscard]] net::PeeringBook& peering() { return *peering_; }
+
+  /// Always-on conservation checker (valid after build_network()); scenario
+  /// runners call auditor().finalize() once their scheduler drains.
+  [[nodiscard]] InvariantAuditor& auditor() { return *auditor_; }
 
   // --- delivery ecosystem ---
   [[nodiscard]] app::ContentCatalog& catalog() { return *catalog_; }
@@ -120,6 +125,7 @@ class World {
   std::unique_ptr<net::TransferManager> transfers_;
   std::unique_ptr<net::Routing> routing_;
   std::unique_ptr<net::PeeringBook> peering_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   std::optional<app::ContentCatalog> catalog_;
   std::vector<std::unique_ptr<app::Cdn>> cdns_;
   app::CdnDirectory directory_;
@@ -234,6 +240,13 @@ class World::Builder {
     w.routing_ = std::make_unique<net::Routing>(w.topo_);
     w.peering_ = std::make_unique<net::PeeringBook>(w.topo_);
     w.network_->set_event_bus(&w.bus_, &w.sched_);
+    // Failure semantics wiring: routing answers failure-aware queries
+    // against the network's live link-state overlay, aborted transfers are
+    // published on the bus, and the always-on auditor checks conservation
+    // invariants on every rate recompute.
+    w.routing_->attach_link_state(w.network_.get());
+    w.transfers_->set_event_bus(&w.bus_);
+    w.auditor_ = std::make_unique<InvariantAuditor>(w.bus_, *w.network_);
     for (PendingCdn& pending : pending_cdns_) {
       app::Cdn& cdn = add_cdn_at(pending.name, pending.origin);
       ServerId server = cdn.add_server(pending.server, pending.peer_link,

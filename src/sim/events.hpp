@@ -8,11 +8,13 @@
 // the one exception (free-form message, cold path by construction).
 //
 // Taxonomy:
-//   net      LinkSaturationEvent, RateRecomputeEvent
+//   net      LinkSaturationEvent, RateRecomputeEvent, TransferAbortedEvent
+//   chaos    FaultEvent
 //   eona     ReportPublishedEvent, ReportDroppedEvent, ReportDeliveredEvent,
 //            ReportServedEvent
 //   control  SteeringEvent, MigrationEvent
-//   app      SessionStartedEvent, SessionStalledEvent, SessionFinishedEvent
+//   app      SessionStartedEvent, SessionStalledEvent, SessionFinishedEvent,
+//            SessionStrandedEvent, SessionResumedEvent
 //   logging  LogEvent
 #pragma once
 
@@ -42,6 +44,29 @@ struct RateRecomputeEvent {
   std::uint64_t recompute = 0;      ///< running recompute count
   std::size_t affected_flows = 0;   ///< size of the re-solved dirty component
   std::size_t affected_links = 0;
+};
+
+/// A volume transfer was aborted by the data plane instead of completing --
+/// today always because its path crossed a dead link and the flow stranded
+/// (distinct from cancel(): the application did not ask for this).
+struct TransferAbortedEvent {
+  TimePoint t = 0.0;
+  std::uint64_t transfer = 0;  ///< net::TransferId value
+  FlowId flow;                 ///< the stranded flow that was torn down
+  const char* reason = "";     ///< e.g. "link-down"
+};
+
+// --- chaos plane (emitted by sim::ChaosEngine) -----------------------------
+
+/// One fault-plan action was applied to the infrastructure. `link` is the
+/// affected link (the egress link for server faults); `factor` is the
+/// capacity scale for brown-outs (1 = restored, 0 otherwise unused).
+struct FaultEvent {
+  TimePoint t = 0.0;
+  const char* kind = "";  ///< "link_down" | "link_up" | "brownout" |
+                          ///< "server_crash" | "server_restart"
+  LinkId link;
+  double factor = 0.0;
 };
 
 // --- EONA report plane (emitted by core::ReportChannel) --------------------
@@ -127,6 +152,22 @@ struct SessionFinishedEvent {
   SessionId session;
   std::uint64_t stalls = 0;
   std::uint64_t cdn_switches = 0;
+};
+
+/// A session's in-flight fetch was aborted by the network (dead path); the
+/// player is holding no transfer and must re-plan. Every stranded session
+/// must eventually resume or finish (checked by the InvariantAuditor).
+struct SessionStrandedEvent {
+  TimePoint t = 0.0;
+  SessionId session;
+  const char* reason = "";
+};
+
+/// A previously stranded session delivered a chunk again on a new path.
+struct SessionResumedEvent {
+  TimePoint t = 0.0;
+  SessionId session;
+  Duration outage = 0.0;  ///< stranded-to-resumed wall time
 };
 
 // --- logging ---------------------------------------------------------------

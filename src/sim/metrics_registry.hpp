@@ -30,6 +30,12 @@ class MetricsRegistry {
     });
     bus.subscribe<RateRecomputeEvent>(
         [this](const RateRecomputeEvent&) { bump("rate_recompute"); });
+    bus.subscribe<TransferAbortedEvent>(
+        [this](const TransferAbortedEvent&) { bump("transfer_aborted"); });
+    bus.subscribe<FaultEvent>([this](const FaultEvent& e) {
+      bump("fault");
+      bump_prefixed("fault.", e.kind);
+    });
     bus.subscribe<ReportPublishedEvent>(
         [this](const ReportPublishedEvent&) { bump("report_published"); });
     bus.subscribe<ReportDroppedEvent>([this](const ReportDroppedEvent& e) {
@@ -53,6 +59,10 @@ class MetricsRegistry {
         [this](const SessionStalledEvent&) { bump("session_stalled"); });
     bus.subscribe<SessionFinishedEvent>(
         [this](const SessionFinishedEvent&) { bump("session_finished"); });
+    bus.subscribe<SessionStrandedEvent>(
+        [this](const SessionStrandedEvent&) { bump("session_stranded"); });
+    bus.subscribe<SessionResumedEvent>(
+        [this](const SessionResumedEvent&) { bump("session_resumed"); });
     bus.subscribe<LogEvent>([this](const LogEvent&) { bump("log"); });
   }
 
@@ -68,6 +78,9 @@ class MetricsRegistry {
 
  private:
   void bump(const char* name) { ++counters_[name]; }
+  void bump_prefixed(const char* prefix, const char* name) {
+    ++counters_[std::string(prefix) + name];
+  }
 
   std::map<std::string, std::uint64_t> counters_;
 };

@@ -40,6 +40,20 @@ class TraceWriter {
       field_u64("affected_links", e.affected_links);
       end();
     });
+    bus.subscribe<TransferAbortedEvent>([this](const TransferAbortedEvent& e) {
+      begin("transfer_aborted", e.t);
+      field_u64("transfer", e.transfer);
+      field_u64("flow", e.flow.value());
+      field_str("reason", e.reason);
+      end();
+    });
+    bus.subscribe<FaultEvent>([this](const FaultEvent& e) {
+      begin("fault", e.t);
+      field_str("kind", e.kind);
+      field_id("link", e.link.value());
+      field_num("factor", e.factor);
+      end();
+    });
     bus.subscribe<ReportPublishedEvent>([this](const ReportPublishedEvent& e) {
       begin("report_published", e.t);
       field_id("from", e.from.value());
@@ -107,6 +121,18 @@ class TraceWriter {
       field_u64("session", e.session.value());
       field_u64("stalls", e.stalls);
       field_u64("cdn_switches", e.cdn_switches);
+      end();
+    });
+    bus.subscribe<SessionStrandedEvent>([this](const SessionStrandedEvent& e) {
+      begin("session_stranded", e.t);
+      field_u64("session", e.session.value());
+      field_str("reason", e.reason);
+      end();
+    });
+    bus.subscribe<SessionResumedEvent>([this](const SessionResumedEvent& e) {
+      begin("session_resumed", e.t);
+      field_u64("session", e.session.value());
+      field_num("outage", e.outage);
       end();
     });
     bus.subscribe<LogEvent>([this](const LogEvent& e) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "net/transfer.hpp"
 
 namespace eona::control {
@@ -73,6 +75,73 @@ TEST_F(LinkMonitorTest, MeanFlowsTracksConcurrency) {
   network->add_flow({ab});
   sched.run_until(15.0);
   EXPECT_NEAR(monitor.mean_flows(ab), 2.0, 0.01);
+}
+
+TEST_F(LinkMonitorTest, CapacityFlapReadsAsFullUtilization) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 10);
+  network->add_flow({ab}, mbps(5));  // 50% of nominal
+  sched.run_until(12.0);
+  EXPECT_NEAR(monitor.mean_utilization(ab), 0.5, 0.05);
+  // Brown the link out under the demand: utilisation pegs at 1 (and a
+  // zero-capacity flap must not divide by zero).
+  sched.schedule_at(12.5, [&] { network->set_link_capacity(ab, 0.0); });
+  sched.run_until(25.0);
+  EXPECT_DOUBLE_EQ(monitor.mean_utilization(ab), 1.0);
+  EXPECT_FALSE(std::isnan(monitor.mean_utilization(ab)));
+  // Restore: the window recovers to the true 50% once the flap ages out.
+  sched.schedule_at(25.5, [&] { network->set_link_capacity(ab, mbps(10)); });
+  sched.run_until(40.0);
+  EXPECT_NEAR(monitor.mean_utilization(ab), 0.5, 0.05);
+}
+
+TEST_F(LinkMonitorTest, DownUpCycleWithClearDropsStaleSamples) {
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 20);
+  network->add_flow({ab});  // elastic: saturates the link
+  sched.run_until(10.0);
+  EXPECT_GT(monitor.mean_utilization(ab), 0.9);
+  EXPECT_GT(monitor.window_fill(ab), 5u);
+  // Outage. Down samples read utilisation 1 (unusable), so the ring keeps a
+  // high mean -- which is stale the instant the link is back up. clear() on
+  // each transition (what InfP::on_fault does) drops the straddle.
+  sched.schedule_at(10.5, [&] {
+    network->set_link_up(ab, false);
+    monitor.clear(ab);
+  });
+  sched.run_until(12.0);
+  sched.schedule_at(12.5, [&] {
+    network->set_link_up(ab, true);
+    network->remove_flow(FlowId(0));  // the viewer left during the outage
+    monitor.clear(ab);
+  });
+  sched.run_until(12.9);  // before the t=13 sample refills the ring
+  EXPECT_EQ(monitor.window_fill(ab), 0u);
+  // Post-outage the link is idle; without clear() the ring would still be
+  // reporting ~1.0 from the pre-outage and down-time samples.
+  sched.run_until(17.0);
+  EXPECT_DOUBLE_EQ(monitor.mean_utilization(ab), 0.0);
+  EXPECT_FALSE(monitor.congested(ab, 0.8));
+}
+
+TEST_F(LinkMonitorTest, WithoutClearTheRingStraddlesTheOutage) {
+  // Negative control for the clear() contract: the ring alone does NOT
+  // forget the outage until the window ages it out.
+  LinkMonitor monitor(sched, *network, {ab}, 1.0, 20);
+  network->add_flow({ab});
+  sched.run_until(10.0);
+  sched.schedule_at(10.5, [&] {
+    network->set_link_up(ab, false);
+    network->remove_flow(FlowId(0));
+  });
+  sched.schedule_at(12.5, [&] { network->set_link_up(ab, true); });
+  sched.run_until(14.0);
+  // Stale: the idle, healthy link still reads as hot.
+  EXPECT_GT(monitor.mean_utilization(ab), 0.5);
+}
+
+TEST_F(LinkMonitorTest, ClearUntrackedLinkIsNoop) {
+  LinkMonitor monitor(sched, *network, {}, 1.0, 10);
+  EXPECT_NO_THROW(monitor.clear(ab));
+  EXPECT_FALSE(monitor.tracks(ab));
 }
 
 TEST_F(LinkMonitorTest, TrackAddsLinksLazily) {

@@ -12,7 +12,8 @@
 // independently, so the dirty component's arithmetic is identical no matter
 // how much of the network is handed to it. Mutations cover flow arrival,
 // departure, demand changes, reroutes, capacity changes (including to zero),
-// and randomly sized batches.
+// topology-epoch link down/up flips (the oracle mirrors a down link as
+// effective capacity 0), and randomly sized batches.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -77,10 +78,11 @@ TEST_P(IncrementalPropertyTest, MatchesFromScratchAfterEveryCommit) {
   Network inc(arena.topo);  // incremental (default)
   Network full(arena.topo, Network::RecomputeMode::kFullSolve);
   std::map<FlowId, FlowSpec> mirror;  // ordered: ascending-id solve order
-  std::vector<BitsPerSecond> caps(arena.topo.link_count());
+  std::vector<BitsPerSecond> caps(arena.topo.link_count());  // configured
   for (std::size_t l = 0; l < arena.topo.link_count(); ++l)
     caps[l] =
         arena.topo.link(LinkId(static_cast<LinkId::rep_type>(l))).capacity;
+  std::vector<char> up(arena.topo.link_count(), 1);
   std::vector<FlowId> live;
 
   auto check = [&] {
@@ -91,8 +93,12 @@ TEST_P(IncrementalPropertyTest, MatchesFromScratchAfterEveryCommit) {
       ids.push_back(id);
       specs.push_back(spec);
     }
+    // The oracle sees effective capacity: a down link is a zero-cap link.
+    std::vector<BitsPerSecond> effective(caps.size());
+    for (std::size_t l = 0; l < caps.size(); ++l)
+      effective[l] = up[l] ? caps[l] : 0.0;
     std::vector<BitsPerSecond> oracle =
-        max_min_allocation(arena.topo, specs, caps);
+        max_min_allocation(arena.topo, specs, effective);
     for (std::size_t i = 0; i < ids.size(); ++i) {
       ASSERT_EQ(inc.rate(ids[i]), oracle[i])
           << "seed " << GetParam() << ": incremental vs from-scratch oracle "
@@ -106,7 +112,7 @@ TEST_P(IncrementalPropertyTest, MatchesFromScratchAfterEveryCommit) {
   // One mutation applied identically to the incremental network, the
   // from-scratch twin, and the spec mirror.
   auto mutate = [&] {
-    int op = static_cast<int>(rng.uniform_int(0, 4));
+    int op = static_cast<int>(rng.uniform_int(0, 5));
     if (live.empty() && (op == 1 || op == 2 || op == 3)) op = 0;
     switch (op) {
       case 0: {  // arrival
@@ -156,6 +162,16 @@ TEST_P(IncrementalPropertyTest, MatchesFromScratchAfterEveryCommit) {
         inc.set_link_capacity(link, cap);
         full.set_link_capacity(link, cap);
         caps[link.value()] = cap;
+        break;
+      }
+      case 5: {  // link down/up flip (bumps the topology epoch)
+        LinkId link = arena.links[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(arena.links.size()) - 1))];
+        bool new_up = !up[link.value()];
+        inc.set_link_up(link, new_up);
+        full.set_link_up(link, new_up);
+        up[link.value()] = new_up ? 1 : 0;
+        ASSERT_EQ(inc.topology_epoch(), full.topology_epoch());
         break;
       }
     }

@@ -48,6 +48,12 @@ Args parse_args(int argc, char** argv, int first) {
         throw ConfigError("--trace needs a file path");
       continue;
     }
+    if (token.rfind("--faults=", 0) == 0) {
+      // Sugar for the chaos-plan override (see scenarios/chaos.hpp for the
+      // kind:target@t[:factor];... grammar).
+      args.overrides["faults"] = token.substr(9);
+      continue;
+    }
     auto eq = token.find('=');
     if (eq == std::string::npos)
       throw ConfigError("expected key=value, got '" + token + "'");
@@ -178,7 +184,16 @@ void usage() {
       "  quickstart    the ~30-line World::Builder starter world\n"
       "                        (mode, seed, arrival_rate,\n"
       "                        access_capacity_mbps, run_duration)\n"
+      "  failover      Sec 4  (mode, seed, run_duration, arrival_rate,\n"
+      "                        outage_start, outage_duration, appp_period,\n"
+      "                        infp_period, capacity_b_mbps, capacity_cx_mbps,\n"
+      "                        capacity_cy_mbps, faults)\n"
       "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
+      "--faults=PLAN injects a chaos plan (failover scenario), e.g.\n"
+      "  eona_lab failover mode=eona --faults='down:X@B@120;up:X@B@180'\n"
+      "plan grammar: kind:target@t[:factor] clauses joined by ';', where kind\n"
+      "is down|up|brownout|crash|restart, target is a topology link name or\n"
+      "cdn/serverindex, and factor is the brownout's remaining fraction.\n"
       "--trace=FILE writes the run's JSONL event trace (bit-identical for a\n"
       "fixed seed, for any sweep thread count).\n"
       "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
