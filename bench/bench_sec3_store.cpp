@@ -1,0 +1,315 @@
+// E16 (§3 measurement plane): the columnar telemetry store at scale, and
+// what forecasting on top of it buys the InfP.
+//
+// Two halves:
+//
+//  1. Store mechanics. Ingest 10M synthetic narrow rows (the shape the
+//     StoreRecorder produces from the A2I stream) and time representative
+//     query plans -- full-metric mean, grouped p90, narrow filtered window.
+//     The claim is that "measurement as a service" is cheap enough to sit
+//     inside the control loop: ingest is millions of rows per second and a
+//     full 10M-row scan answers in well under a second.
+//
+//  2. Forecast-driven provisioning. Sweep the flash-crowd scenario
+//     (seeds x {off, reactive, forecast}) with elastic access-capacity
+//     provisioning. Reactive ordering waits for the utilization window to
+//     cross its threshold; forecast ordering trends the store's link_rate
+//     rows (Holt linear trend) and orders while the wave is still ramping.
+//     Reported per run: seconds with stalled_fraction over the QoE bar,
+//     orders placed, final capacity.
+//
+// Verdicts (acceptance thresholds):
+//  * ingest sustains >= 1M rows/s; the full-scan mean query answers 10M
+//    rows in < 1 s;
+//  * forecast's mean time-over-QoE-threshold is strictly lower than
+//    reactive's, and no seed has forecast worse than reactive;
+//  * same seed + forecast config reproduces bit-identical numbers.
+//
+// Always writes a machine-readable JSON summary (per-run rows, means,
+// verdicts) for the CI bench artifact; path defaults to
+// BENCH_sec3_store.json, overridden by argv[1] or EONA_BENCH_OUT.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eona/json.hpp"
+#include "scenarios/flashcrowd.hpp"
+#include "telemetry/column_store.hpp"
+
+using namespace eona;
+using scenarios::ControlMode;
+
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+constexpr std::uint64_t kRows = 10'000'000;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// --- half 1: store mechanics ---------------------------------------------
+
+/// Deterministic splitmix64 -- the synthetic rows must be identical across
+/// runs so query timings compare like with like.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct StoreBench {
+  double ingest_seconds = 0.0;
+  double ingest_rows_per_sec = 0.0;
+  std::uint64_t rows = 0;
+  std::size_t groups = 0;
+  std::size_t segments = 0;
+  double scan_mean_ms = 0.0;     ///< full-metric mean, no filters
+  double grouped_p90_ms = 0.0;   ///< per-(isp,cdn) p90
+  double window_mean_ms = 0.0;   ///< one isp, 60 s window, mean
+  double scan_rows_per_sec = 0.0;
+};
+
+StoreBench run_store_bench() {
+  StoreBench b;
+  telemetry::ColumnStore store(60.0);
+  const char* metrics[] = {"a2i_mean_buffering", "a2i_mean_bitrate",
+                           "a2i_sessions",       "link_rate",
+                           "link_util",          "a2i_mean_engagement"};
+  telemetry::MetricId ids[6];
+  for (int i = 0; i < 6; ++i) ids[i] = store.intern_metric(metrics[i]);
+
+  std::uint64_t rng = 42;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kRows; ++i) {
+    std::uint64_t r = mix(rng);
+    telemetry::Dimensions dims;
+    dims.isp = IspId(static_cast<std::uint32_t>(r & 3));
+    dims.cdn = CdnId(static_cast<std::uint32_t>((r >> 2) & 3));
+    dims.server = ServerId(static_cast<std::uint32_t>((r >> 4) & 7));
+    dims.region = static_cast<std::uint32_t>((r >> 7) & 15);
+    // Rows arrive roughly time-ordered, like a live event stream.
+    double t = static_cast<double>(i) * 3600.0 / static_cast<double>(kRows);
+    double value = static_cast<double>((r >> 16) & 0xFFFF) / 65536.0;
+    // Metric drawn from the high bits: `r % 6` would correlate with the
+    // low dimension bits (r even <=> r % 6 even) and skew the group mix.
+    store.append(t, dims, ids[(r >> 32) % 6], (r >> 11) & 31, value);
+  }
+  b.ingest_seconds = seconds_since(start);
+  b.ingest_rows_per_sec = static_cast<double>(kRows) / b.ingest_seconds;
+  b.rows = store.row_count();
+  b.groups = store.group_count();
+  b.segments = store.segment_count();
+
+  telemetry::StoreQuery scan;
+  scan.metric = "link_rate";
+  scan.agg = telemetry::Agg::kMean;
+  start = std::chrono::steady_clock::now();
+  auto scan_out = store.run(scan);
+  b.scan_mean_ms = seconds_since(start) * 1e3;
+  b.scan_rows_per_sec =
+      static_cast<double>(kRows) / (b.scan_mean_ms / 1e3);
+  if (scan_out.empty()) std::abort();  // the plan must match rows
+
+  telemetry::StoreQuery grouped;
+  grouped.metric = "a2i_mean_buffering";
+  grouped.group_by = telemetry::Dim::kIsp | telemetry::Dim::kCdn;
+  grouped.agg = telemetry::Agg::kP90;
+  start = std::chrono::steady_clock::now();
+  auto grouped_out = store.run(grouped);
+  b.grouped_p90_ms = seconds_since(start) * 1e3;
+  if (grouped_out.size() != 16) std::abort();  // 4 isps x 4 cdns
+
+  telemetry::StoreQuery window;
+  window.metric = "link_util";
+  window.isp = IspId(1);
+  window.t0 = 1800.0;
+  window.t1 = 1860.0;
+  window.agg = telemetry::Agg::kMean;
+  start = std::chrono::steady_clock::now();
+  auto window_out = store.run(window);
+  b.window_mean_ms = seconds_since(start) * 1e3;
+  if (window_out.empty()) std::abort();
+  return b;
+}
+
+// --- half 2: forecast vs reactive provisioning ---------------------------
+
+/// The flash crowd that exposes the reactive lag: low steady load (so the
+/// utilization window sits under the reactive trigger before the wave) and
+/// a crowd of many small flows whose fair share squeezes the players below
+/// their lowest rung until capacity arrives.
+scenarios::FlashCrowdConfig provisioning_config(std::uint64_t seed,
+                                                const char* provision) {
+  scenarios::FlashCrowdConfig config;
+  config.seed = seed;
+  config.mode = ControlMode::kBaseline;
+  config.arrival_rate = 0.03;
+  config.crowd_flows = 400;
+  config.crowd_background_fraction = 0.99;
+  if (std::string(provision) != "off") {
+    config.provision.enabled = true;
+    config.provision.forecast_driven = std::string(provision) == "forecast";
+    config.provision.step = mbps(20);
+    config.provision.max_capacity = mbps(160);
+    config.provision.order_utilization = 0.9;
+  }
+  return config;
+}
+
+core::JsonValue provision_row_json(std::uint64_t seed, const char* provision,
+                                   const scenarios::FlashCrowdResult& r) {
+  core::JsonValue row = core::JsonValue::object();
+  row.set("seed", core::JsonValue::number(static_cast<double>(seed)));
+  row.set("provision", core::JsonValue::string(provision));
+  row.set("time_over_qoe_threshold",
+          core::JsonValue::number(r.time_over_qoe_threshold));
+  row.set("peak_stalled_fraction",
+          core::JsonValue::number(r.peak_stalled_fraction));
+  row.set("provision_orders",
+          core::JsonValue::number(static_cast<double>(r.provision_orders)));
+  row.set("final_access_capacity_mbps",
+          core::JsonValue::number(r.final_access_capacity / 1e6));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sec3_store.json";
+  if (const char* env = std::getenv("EONA_BENCH_OUT")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  std::printf("=== E16 / Sec 3: columnar telemetry store + "
+              "forecast-driven provisioning ===\n\n");
+
+  std::printf("--- store mechanics: %llu rows ---\n",
+              static_cast<unsigned long long>(kRows));
+  StoreBench sb = run_store_bench();
+  std::printf("ingest        %7.2f s   %10.0f rows/s   "
+              "(%zu groups, %zu segments)\n",
+              sb.ingest_seconds, sb.ingest_rows_per_sec, sb.groups,
+              sb.segments);
+  std::printf("scan mean     %7.2f ms  %10.0f rows/s\n", sb.scan_mean_ms,
+              sb.scan_rows_per_sec);
+  std::printf("grouped p90   %7.2f ms  (group_by isp,cdn)\n",
+              sb.grouped_p90_ms);
+  std::printf("window mean   %7.2f ms  (isp=1, 60 s window)\n",
+              sb.window_mean_ms);
+
+  std::printf("\n--- provisioning: flash crowd, seeds x "
+              "{off, reactive, forecast} ---\n");
+  std::printf("%4s %9s | %8s %10s %7s %9s\n", "seed", "mode", "toq[s]",
+              "peakstall", "orders", "cap[Mbps]");
+  core::JsonValue rows = core::JsonValue::array();
+  double reactive_total = 0.0, forecast_total = 0.0;
+  bool none_worse = true;
+  scenarios::FlashCrowdResult forecast_seed1{};
+  for (std::uint64_t seed : kSeeds) {
+    double reactive_toq = 0.0, forecast_toq = 0.0;
+    for (const char* provision : {"off", "reactive", "forecast"}) {
+      scenarios::FlashCrowdResult r =
+          scenarios::run_flash_crowd(provisioning_config(seed, provision));
+      std::printf("%4llu %9s | %8.1f %10.3f %7llu %9.0f\n",
+                  static_cast<unsigned long long>(seed), provision,
+                  r.time_over_qoe_threshold, r.peak_stalled_fraction,
+                  static_cast<unsigned long long>(r.provision_orders),
+                  r.final_access_capacity / 1e6);
+      rows.push_back(provision_row_json(seed, provision, r));
+      std::string mode = provision;
+      if (mode == "reactive") reactive_toq = r.time_over_qoe_threshold;
+      if (mode == "forecast") {
+        forecast_toq = r.time_over_qoe_threshold;
+        if (seed == kSeeds[0]) forecast_seed1 = std::move(r);
+      }
+    }
+    reactive_total += reactive_toq;
+    forecast_total += forecast_toq;
+    if (forecast_toq > reactive_toq) none_worse = false;
+  }
+  const double n = static_cast<double>(std::size(kSeeds));
+  double reactive_mean = reactive_total / n;
+  double forecast_mean = forecast_total / n;
+  std::printf("%4s %9s | %8.1f\n", "mean", "reactive", reactive_mean);
+  std::printf("%4s %9s | %8.1f\n", "mean", "forecast", forecast_mean);
+
+  std::printf("\n--- reproducibility: seed 1, forecast, same config "
+              "twice ---\n");
+  scenarios::FlashCrowdResult again =
+      scenarios::run_flash_crowd(provisioning_config(kSeeds[0], "forecast"));
+  bool reproducible =
+      again.time_over_qoe_threshold ==
+          forecast_seed1.time_over_qoe_threshold &&
+      again.provision_orders == forecast_seed1.provision_orders &&
+      again.final_access_capacity == forecast_seed1.final_access_capacity &&
+      again.qoe.mean_engagement == forecast_seed1.qoe.mean_engagement;
+  std::printf("run1 toq=%.3f orders=%llu | run2 toq=%.3f orders=%llu\n",
+              forecast_seed1.time_over_qoe_threshold,
+              static_cast<unsigned long long>(forecast_seed1.provision_orders),
+              again.time_over_qoe_threshold,
+              static_cast<unsigned long long>(again.provision_orders));
+
+  bool ingest_fast = sb.ingest_rows_per_sec >= 1e6;
+  bool scan_fast = sb.scan_mean_ms < 1000.0;
+  bool forecast_wins = forecast_mean < reactive_mean && none_worse;
+  std::printf("\n--- verdicts ---\n");
+  std::printf("ingest %.0f rows/s (need >= 1M): %s\n", sb.ingest_rows_per_sec,
+              ingest_fast ? "PASS" : "FAIL");
+  std::printf("10M-row scan %.1f ms (need < 1000 ms): %s\n", sb.scan_mean_ms,
+              scan_fast ? "PASS" : "FAIL");
+  std::printf("forecast mean toq %.1f s vs reactive %.1f s "
+              "(need strictly lower, no seed worse): %s\n",
+              forecast_mean, reactive_mean, forecast_wins ? "PASS" : "FAIL");
+  std::printf("same seed reproduces identical numbers: %s\n",
+              reproducible ? "PASS" : "FAIL");
+
+  core::JsonValue doc = core::JsonValue::object();
+  doc.set("experiment", core::JsonValue::string("E16_sec3_store"));
+  core::JsonValue store_json = core::JsonValue::object();
+  store_json.set("rows", core::JsonValue::number(static_cast<double>(sb.rows)));
+  store_json.set("groups",
+                 core::JsonValue::number(static_cast<double>(sb.groups)));
+  store_json.set("segments",
+                 core::JsonValue::number(static_cast<double>(sb.segments)));
+  store_json.set("ingest_rows_per_sec",
+                 core::JsonValue::number(sb.ingest_rows_per_sec));
+  store_json.set("scan_mean_ms", core::JsonValue::number(sb.scan_mean_ms));
+  store_json.set("scan_rows_per_sec",
+                 core::JsonValue::number(sb.scan_rows_per_sec));
+  store_json.set("grouped_p90_ms",
+                 core::JsonValue::number(sb.grouped_p90_ms));
+  store_json.set("window_mean_ms",
+                 core::JsonValue::number(sb.window_mean_ms));
+  doc.set("store", std::move(store_json));
+  doc.set("provisioning_runs", std::move(rows));
+  core::JsonValue means = core::JsonValue::object();
+  means.set("reactive_time_over_qoe_threshold",
+            core::JsonValue::number(reactive_mean));
+  means.set("forecast_time_over_qoe_threshold",
+            core::JsonValue::number(forecast_mean));
+  doc.set("means", std::move(means));
+  core::JsonValue verdicts = core::JsonValue::object();
+  verdicts.set("ingest_over_1m_rows_per_sec",
+               core::JsonValue::boolean(ingest_fast));
+  verdicts.set("scan_under_1s", core::JsonValue::boolean(scan_fast));
+  verdicts.set("forecast_beats_reactive",
+               core::JsonValue::boolean(forecast_wins));
+  verdicts.set("reproducible", core::JsonValue::boolean(reproducible));
+  doc.set("verdicts", std::move(verdicts));
+  std::ofstream out(out_path, std::ios::binary);
+  if (out) {
+    std::string text = doc.dump(2);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out << "\n";
+    std::fprintf(stderr, "bench results written to %s\n", out_path.c_str());
+  }
+
+  return (ingest_fast && scan_fast && forecast_wins && reproducible) ? 0 : 1;
+}

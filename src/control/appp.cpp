@@ -412,8 +412,27 @@ void AppPController::tick() {
   // Build the report once per epoch; publish and steering both consume it.
   core::A2IReport report = build_a2i_report();
   a2i_.publish(report, sched_.now());
+  publish_a2i_samples(report);
   refresh_i2a();
   steer_primary_cdn(report);
+}
+
+void AppPController::publish_a2i_samples(const core::A2IReport& report) {
+  // Mirror every exported v2 tuple onto the bus, one event per tuple, so
+  // the trace and the columnar telemetry store carry the full A2I stream
+  // (report order, which is already deterministically sorted).
+  if (bus_ == nullptr) return;
+  const TimePoint now = sched_.now();
+  for (const auto& g : report.groups) {
+    bus_->publish(sim::A2IQoeSampleEvent{
+        now, self_, g.isp, g.cdn, g.server, g.mean_buffering_ratio,
+        g.p90_buffering_ratio, g.mean_bitrate, g.mean_engagement,
+        g.sessions});
+  }
+  for (const auto& f : report.forecasts) {
+    bus_->publish(sim::A2IForecastSampleEvent{now, self_, f.isp, f.cdn,
+                                              f.expected_rate});
+  }
 }
 
 void AppPController::refresh_i2a() {

@@ -187,6 +187,9 @@ class AppPController {
   void refresh_i2a();
   /// Rebuild latest_i2a_ from the robust fetchers' last-known-good reports.
   void remerge_i2a();
+  /// Mirror this tick's exported A2I tuples onto the bus (one event per
+  /// QoE group / forecast tuple) for traces and the telemetry store.
+  void publish_a2i_samples(const core::A2IReport& report);
   /// Record the report age served to control logic this epoch: published on
   /// the bus (accumulator subscribed) or fed directly when no bus attached.
   void observe_i2a_serve(Duration age, bool stale);

@@ -65,6 +65,7 @@ InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
                                            std::move(monitored),
                                            config_.sample_period,
                                            config_.window_samples);
+  forecaster_ = Forecaster(config_.forecast);
 }
 
 InfPController::~InfPController() = default;
@@ -102,6 +103,7 @@ void InfPController::start() {
 void InfPController::set_event_bus(sim::EventBus* bus) {
   bus_ = bus;
   i2a_.set_event_bus(bus, "i2a");
+  monitor_->set_event_bus(bus);
   if (bus_ != nullptr) {
     // Delivery health as a subscriber: the controller publishes its own
     // ReportServedEvent and the accumulator consumes it synchronously, so
@@ -173,7 +175,73 @@ void InfPController::tick() {
   ++tick_count_;
   refresh_a2i();
   run_traffic_engineering();
+  run_provisioning();
   i2a_.publish(build_i2a_report(), sched_.now());
+}
+
+void InfPController::run_provisioning() {
+  const ProvisionConfig& pc = config_.provision;
+  if (!pc.enabled || pc.step <= 0.0 || pc.max_capacity <= 0.0) return;
+  const TimePoint now = sched_.now();
+  for (LinkId link : access_links_) {
+    if (!network_.link_up(link)) continue;
+    const BitsPerSecond capacity = network_.link_capacity(link);
+    auto pending = pending_orders_.find(link);
+    // Capacity already committed: the live link plus any in-flight order.
+    const BitsPerSecond provisioned =
+        pending != pending_orders_.end() ? pending->second : capacity;
+    const double windowed_util = monitor_->mean_utilization(link);
+    double demand = windowed_util * capacity;
+
+    if (pc.forecast_driven) {
+      // Feed the smoother the freshest demand estimate available: the
+      // store's mean carried rate over the trailing control period when a
+      // store is attached, the instantaneous rate otherwise -- then order
+      // against the projected demand, not just the current one.
+      double sample = network_.link_utilization(link) * capacity;
+      if (store_ != nullptr) {
+        telemetry::StoreQuery q;
+        q.metric = "link_rate";
+        q.entity = link.value();
+        q.t0 = now - config_.control_period;
+        q.t1 = now;
+        q.agg = telemetry::Agg::kMean;
+        auto rows = store_->run(q);
+        if (!rows.empty()) sample = rows.front().value;
+      }
+      forecaster_.observe(link.value(), now, sample);
+      auto projected = forecaster_.forecast(link.value(), pc.horizon);
+      demand = std::max(demand, sample);
+      if (projected) demand = std::max(demand, *projected);
+    } else if (windowed_util < pc.order_utilization) {
+      continue;  // reactive: not sustained-hot yet, hold
+    }
+
+    const BitsPerSecond needed = demand * pc.headroom;
+    if (needed <= provisioned) continue;
+    const double steps = std::ceil((needed - provisioned) / pc.step);
+    const BitsPerSecond target =
+        std::min(pc.max_capacity, provisioned + steps * pc.step);
+    if (target <= provisioned) continue;
+
+    pending_orders_[link] = target;
+    ++provision_order_count_;
+    const char* reason = pc.forecast_driven ? "forecast" : "reactive";
+    if (bus_ != nullptr)
+      bus_->publish(sim::ProvisionEvent{now, self_, link, provisioned,
+                                        target, pc.lead_time, "ordered",
+                                        reason});
+    sched_.schedule_at(now + pc.lead_time, [this, link, target, reason] {
+      const BitsPerSecond from = network_.link_capacity(link);
+      if (target > from) network_.set_link_capacity(link, target);
+      auto it = pending_orders_.find(link);
+      if (it != pending_orders_.end() && it->second <= target)
+        pending_orders_.erase(it);
+      if (bus_ != nullptr)
+        bus_->publish(sim::ProvisionEvent{sched_.now(), self_, link, from,
+                                          target, 0.0, "delivered", reason});
+    });
+  }
 }
 
 void InfPController::refresh_a2i() {

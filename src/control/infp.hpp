@@ -23,6 +23,7 @@
 
 #include "app/cdn.hpp"
 #include "control/dampening.hpp"
+#include "control/forecaster.hpp"
 #include "control/link_monitor.hpp"
 #include "control/oscillation.hpp"
 #include "eona/endpoint.hpp"
@@ -34,9 +35,30 @@
 #include "sim/event_bus.hpp"
 #include "sim/events.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/column_store.hpp"
 #include "telemetry/delivery_health.hpp"
 
 namespace eona::control {
+
+/// Elastic access-capacity provisioning (E16). Disabled by default so every
+/// pre-existing configuration is bit-identical. When enabled, the InfP
+/// watches each access link's demand and orders capacity in `step`
+/// increments up to `max_capacity`; an order takes `lead_time` to land
+/// (turning up ports / wavelengths is not instant -- that lead time is
+/// exactly what forecasting buys back).
+struct ProvisionConfig {
+  bool enabled = false;
+  /// true: trend per-link demand (Holt linear smoothing over the telemetry
+  /// store's link_rate rows) and order ahead of the projected need.
+  /// false: reactive -- order only once windowed utilization is already hot.
+  bool forecast_driven = false;
+  BitsPerSecond step = 0.0;          ///< capacity increment per order
+  BitsPerSecond max_capacity = 0.0;  ///< provisioning ceiling
+  Duration lead_time = 15.0;         ///< order-to-delivery delay
+  double order_utilization = 0.85;   ///< reactive trigger (windowed mean)
+  double headroom = 1.15;            ///< provisioned / demand target ratio
+  Duration horizon = 30.0;           ///< forecast projection horizon
+};
 
 struct InfPConfig {
   Duration control_period = 30.0;
@@ -67,6 +89,9 @@ struct InfPConfig {
   /// Dwell multiplier on every egress knob while all A2I data is stale.
   /// Only active when a2i_retry.freshness_deadline is finite.
   double stale_widening = 2.0;
+  // --- elastic capacity provisioning (E16; off by default) ---
+  ProvisionConfig provision{};
+  ForecastConfig forecast{};  ///< smoothing for the provisioning forecaster
 };
 
 /// ISP control plane; see file header.
@@ -132,11 +157,25 @@ class InfPController {
   /// The windowed link statistics the ISP sees (tests introspect it).
   [[nodiscard]] const LinkMonitor& monitor() const { return *monitor_; }
 
+  /// Attach a read-only telemetry store: forecast-driven provisioning then
+  /// trends the store's link_rate rows instead of raw instantaneous
+  /// utilization. Optional -- provisioning works (coarser) without it.
+  void attach_store(const telemetry::ColumnStore* store) { store_ = store; }
+
+  /// The per-link demand forecaster (tests / benches introspect it).
+  [[nodiscard]] const Forecaster& forecaster() const { return forecaster_; }
+  /// Capacity orders placed by elastic provisioning so far.
+  [[nodiscard]] std::uint64_t provision_orders() const {
+    return provision_order_count_;
+  }
+
  private:
   void refresh_a2i();
   /// Rebuild latest_a2i_ from the robust fetchers' last-known-good reports.
   void remerge_a2i();
   void run_traffic_engineering();
+  /// Elastic access-capacity control; see ProvisionConfig.
+  void run_provisioning();
   void engineer_cdn(CdnId cdn, const std::vector<PeeringId>& candidates);
   /// Moves live flows from `from`'s ingress link onto paths via `to`;
   /// returns how many flows moved.
@@ -191,6 +230,11 @@ class InfPController {
   std::uint64_t tick_count_ = 0;
   std::uint64_t reroute_count_ = 0;
   std::uint64_t failover_count_ = 0;
+  // --- elastic provisioning state ---
+  const telemetry::ColumnStore* store_ = nullptr;
+  Forecaster forecaster_;
+  std::map<LinkId, BitsPerSecond> pending_orders_;  ///< in-flight targets
+  std::uint64_t provision_order_count_ = 0;
   std::unique_ptr<LinkMonitor> monitor_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };

@@ -12,10 +12,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/ids.hpp"
 #include "net/network.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 
 namespace eona::control {
@@ -26,7 +30,7 @@ class LinkMonitor {
   LinkMonitor(sim::Scheduler& sched, const net::Network& network,
               std::vector<LinkId> links, Duration sample_period = 1.0,
               std::size_t window_samples = 30)
-      : network_(network), window_(window_samples) {
+      : sched_(sched), network_(network), window_(window_samples) {
     EONA_EXPECTS(sample_period > 0.0);
     EONA_EXPECTS(window_samples >= 2);
     for (LinkId lid : links)
@@ -100,6 +104,11 @@ class LinkMonitor {
 
   [[nodiscard]] std::uint64_t sample_count() const { return samples_taken_; }
 
+  /// Attach a bus: every subsequent sample round publishes one
+  /// LinkSampleEvent per tracked link (ascending link id, so traces and the
+  /// telemetry store see a deterministic order). nullptr detaches.
+  void set_event_bus(sim::EventBus* bus) { bus_ = bus; }
+
  private:
   struct Sample {
     double utilization = 0.0;
@@ -133,12 +142,25 @@ class LinkMonitor {
         ring.next = (ring.next + 1) % window_;
       }
     }
+    if (bus_ == nullptr) return;
+    scratch_.clear();
+    for (const auto& [lid, ring] : rings_) scratch_.push_back(lid);
+    std::sort(scratch_.begin(), scratch_.end());
+    const TimePoint now = sched_.now();
+    for (LinkId lid : scratch_) {
+      const double util = network_.link_utilization(lid);
+      const BitsPerSecond cap = network_.link_capacity(lid);
+      bus_->publish(sim::LinkSampleEvent{now, lid, util, util * cap, cap});
+    }
   }
 
+  sim::Scheduler& sched_;
   const net::Network& network_;
   std::size_t window_;
   std::unordered_map<LinkId, Ring> rings_;
   std::uint64_t samples_taken_ = 0;
+  sim::EventBus* bus_ = nullptr;
+  std::vector<LinkId> scratch_;  ///< sorted link ids for publish order
   std::unique_ptr<sim::PeriodicTask> task_;
 };
 

@@ -36,6 +36,7 @@ double mean_of(const std::vector<double>& v) {
 CellularWebResult run_cellular_web(const CellularWebConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- topology: web server -> cellular core -> sectors ----------------------
   net::Topology& topo = b.topology();

@@ -14,6 +14,7 @@
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -33,6 +34,9 @@ struct CellularWebConfig {
   double feature_noise = 0.25;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct CellularWebResult {

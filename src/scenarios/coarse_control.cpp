@@ -10,6 +10,7 @@ namespace eona::scenarios {
 CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- topology ---------------------------------------------------------------
   b.add_isp_bottleneck(gbps(1));

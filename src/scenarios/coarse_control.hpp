@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -29,6 +30,9 @@ struct CoarseControlConfig {
   std::size_t catalog_size = 40;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct CoarseControlResult {

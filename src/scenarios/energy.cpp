@@ -10,6 +10,7 @@ namespace eona::scenarios {
 EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- topology: one CDN, `servers` clusters --------------------------------
   b.add_isp_bottleneck(gbps(2));

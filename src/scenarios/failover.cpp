@@ -16,6 +16,7 @@ namespace eona::scenarios {
 FailoverResult run_failover(const FailoverConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- topology: oscillation's two-interconnect shape, sized healthy ------
   b.add_isp_bottleneck(gbps(1));

@@ -33,6 +33,7 @@
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -59,6 +60,9 @@ struct FailoverConfig {
   std::string faults;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct FailoverResult {

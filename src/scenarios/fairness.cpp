@@ -10,6 +10,7 @@ namespace eona::scenarios {
 FairnessResult run_fairness(const FairnessConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- Fig 5 topology shared by both tenants ---------------------------------
   b.add_isp_bottleneck(gbps(1));

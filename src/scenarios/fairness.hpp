@@ -15,6 +15,7 @@
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -32,6 +33,9 @@ struct FairnessConfig {
   TimePoint measure_from = 300.0;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct FairnessResult {

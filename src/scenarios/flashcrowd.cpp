@@ -8,8 +8,18 @@
 namespace eona::scenarios {
 
 FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
+  // Forecast-driven provisioning trends the store's link_rate rows; when
+  // the caller did not pass a store, feed the InfP an internal one.
+  // Declared before the builder so it outlives the world's recorder.
+  telemetry::ColumnStore internal_store;
+  telemetry::ColumnStore* store = config.store;
+  if (store == nullptr && config.provision.enabled &&
+      config.provision.forecast_driven)
+    store = &internal_store;
+
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(store);
 
   // --- topology: two CDNs behind one access-ISP bottleneck -----------------
   b.add_isp_bottleneck(config.access_capacity);
@@ -66,8 +76,11 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   infp_cfg.robust_fetch = config.robust_fetch;
   infp_cfg.a2i_retry = config.retry;
   infp_cfg.stale_widening = config.stale_widening;
+  infp_cfg.provision = config.provision;
+  infp_cfg.forecast = config.forecast;
   control::InfPController& infp =
       b.add_infp("access-isp", isp, {access}, infp_cfg);
+  if (store != nullptr) infp.attach_store(store);
 
   // A fault profile with seed 0 gets a deterministic per-direction seed
   // derived from the run seed (salted, so it never consumes workload RNG).
@@ -185,6 +198,18 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   const auto& stalled_series = result.metrics.series("stalled_fraction");
   result.peak_stalled_fraction =
       stalled_series.empty() ? 0.0 : stalled_series.max();
+  // Time over the QoE bar: each sample holds until the next one (the final
+  // sample for one sampler period).
+  {
+    const auto& samples = stalled_series.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].value <= config.qoe_stall_threshold) continue;
+      result.time_over_qoe_threshold +=
+          i + 1 < samples.size() ? samples[i + 1].t - samples[i].t : 2.0;
+    }
+  }
+  result.provision_orders = infp.provision_orders();
+  result.final_access_capacity = network.link_capacity(access);
   const auto& util_series = result.metrics.series("access_util");
   if (!util_series.empty() && config.crowd_end > config.crowd_start)
     result.mean_access_utilization = util_series.time_weighted_mean(

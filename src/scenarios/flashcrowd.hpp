@@ -11,10 +11,13 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "control/forecaster.hpp"
+#include "control/infp.hpp"
 #include "eona/fault.hpp"
 #include "eona/robust.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/column_store.hpp"
 #include "telemetry/delivery_health.hpp"
 
 namespace eona::scenarios {
@@ -53,6 +56,17 @@ struct FlashCrowdConfig {
   /// When set, subscribed to the world's event bus before anything else is
   /// wired: the run appends its full JSONL event trace to this writer.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (same stream the trace sees; eona_lab --store=FILE dumps it).
+  telemetry::ColumnStore* store = nullptr;
+  // --- elastic capacity provisioning (E16; off by default) ---
+  /// InfP access-capacity provisioning. Forecast-driven mode additionally
+  /// attaches a telemetry store to the InfP (config.store, or an internal
+  /// one when none is passed) so the forecaster trends link_rate rows.
+  control::ProvisionConfig provision{};
+  control::ForecastConfig forecast{};
+  /// stalled_fraction above this counts toward time_over_qoe_threshold.
+  double qoe_stall_threshold = 0.05;
 };
 
 struct FlashCrowdResult {
@@ -67,6 +81,12 @@ struct FlashCrowdResult {
   /// InfP reading A2I).
   telemetry::DeliveryHealthSnapshot i2a_health;
   telemetry::DeliveryHealthSnapshot a2i_health;
+  // --- E16 provisioning outcomes ---
+  /// Seconds of the run with stalled_fraction above qoe_stall_threshold
+  /// (time-weighted over the 2 s sampling cadence).
+  double time_over_qoe_threshold = 0.0;
+  std::uint64_t provision_orders = 0;
+  BitsPerSecond final_access_capacity = 0.0;
 };
 
 /// Build the world, run it, and summarise.

@@ -90,9 +90,11 @@ core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
 }
 
 core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
-                               sim::TraceWriter* trace) {
+                               sim::TraceWriter* trace,
+                               telemetry::ColumnStore* store) {
   FlashCrowdConfig config;
   config.trace = trace;
+  config.store = store;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   double access_mbps = config.access_capacity / 1e6;
@@ -126,6 +128,31 @@ core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
   ov.number("base_backoff", config.retry.base_backoff);
   ov.number("freshness_deadline", config.retry.freshness_deadline);
   ov.number("stale_widening", config.stale_widening);
+  // Elastic capacity provisioning (E16): off | reactive | forecast.
+  std::string provision = "off";
+  ov.text("provision", provision);
+  if (provision == "reactive" || provision == "forecast") {
+    config.provision.enabled = true;
+    config.provision.forecast_driven = provision == "forecast";
+    config.provision.step = mbps(20);
+    config.provision.max_capacity = mbps(160);
+  } else if (provision != "off") {
+    throw ConfigError("provision must be off|reactive|forecast");
+  }
+  double step_mbps = config.provision.step / 1e6;
+  ov.number("provision_step_mbps", step_mbps);
+  config.provision.step = mbps(step_mbps);
+  double max_mbps = config.provision.max_capacity / 1e6;
+  ov.number("provision_max_mbps", max_mbps);
+  config.provision.max_capacity = mbps(max_mbps);
+  ov.number("provision_lead", config.provision.lead_time);
+  ov.number("provision_util", config.provision.order_utilization);
+  ov.number("provision_headroom", config.provision.headroom);
+  ov.number("provision_horizon", config.provision.horizon);
+  ov.number("forecast_alpha", config.forecast.alpha);
+  ov.number("forecast_beta", config.forecast.beta);
+  ov.number("forecast_period", config.forecast.period);
+  ov.number("qoe_stall_threshold", config.qoe_stall_threshold);
   ov.finish();
 
   FlashCrowdResult r = run_flash_crowd(config);
@@ -140,14 +167,23 @@ core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
           core::JsonValue::number(r.mean_access_utilization));
   out.set("i2a_health", health_json(r.i2a_health));
   out.set("a2i_health", health_json(r.a2i_health));
+  out.set("provision", core::JsonValue::string(provision));
+  out.set("time_over_qoe_threshold",
+          core::JsonValue::number(r.time_over_qoe_threshold));
+  out.set("provision_orders",
+          core::JsonValue::number(static_cast<double>(r.provision_orders)));
+  out.set("final_access_capacity_mbps",
+          core::JsonValue::number(r.final_access_capacity / 1e6));
   if (series_out != nullptr) *series_out = std::move(r.metrics);
   return out;
 }
 
 core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
-                                    sim::TraceWriter* trace) {
+                                    sim::TraceWriter* trace,
+                                    telemetry::ColumnStore* store) {
   OscillationConfig config;
   config.trace = trace;
+  config.store = store;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("run_duration", config.run_duration);
@@ -177,9 +213,11 @@ core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
 }
 
 core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
-                           sim::TraceWriter* trace) {
+                           sim::TraceWriter* trace,
+                           telemetry::ColumnStore* store) {
   CoarseControlConfig config;
   config.trace = trace;
+  config.store = store;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("incident_at", config.incident_at);
@@ -201,9 +239,11 @@ core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
 }
 
 core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
-                               sim::TraceWriter* trace) {
+                               sim::TraceWriter* trace,
+                               telemetry::ColumnStore* store) {
   EnergyScenarioConfig config;
   config.trace = trace;
+  config.store = store;
   ov.integer("seed", config.seed);
   ov.boolean("eona", config.eona);
   ov.number("scale_down_load", config.scale_down_load);
@@ -225,9 +265,11 @@ core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
   return out;
 }
 
-core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace) {
+core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace,
+                     telemetry::ColumnStore* store) {
   CellularWebConfig config;
   config.trace = trace;
+  config.store = store;
   ov.integer("seed", config.seed);
   ov.size("sessions", config.sessions);
   ov.size("sectors", config.sectors);
@@ -249,9 +291,11 @@ core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace) {
   return out;
 }
 
-core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace) {
+core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace,
+                     telemetry::ColumnStore* store) {
   FairnessConfig config;
   config.trace = trace;
+  config.store = store;
   ov.integer("seed", config.seed);
   ov.boolean("appp1_eona", config.appp1_eona);
   ov.boolean("appp2_eona", config.appp2_eona);
@@ -271,9 +315,11 @@ core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace) {
 }
 
 core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
-                                 sim::TraceWriter* trace) {
+                                 sim::TraceWriter* trace,
+                                 telemetry::ColumnStore* store) {
   FailoverConfig config;
   config.trace = trace;
+  config.store = store;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("run_duration", config.run_duration);
@@ -316,9 +362,11 @@ core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
   return out;
 }
 
-core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace) {
+core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
+                     telemetry::ColumnStore* store) {
   QuickstartConfig config;
   config.trace = trace;
+  config.store = store;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("arrival_rate", config.arrival_rate);
@@ -348,17 +396,20 @@ const std::vector<std::string>& scenario_names() {
 core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
-    sim::MetricSet* series_out, sim::TraceWriter* trace) {
+    sim::MetricSet* series_out, sim::TraceWriter* trace,
+    telemetry::ColumnStore* store) {
   Overrides ov(overrides);
-  if (scenario == "flashcrowd") return run_flashcrowd(ov, series_out, trace);
+  if (scenario == "flashcrowd")
+    return run_flashcrowd(ov, series_out, trace, store);
   if (scenario == "oscillation")
-    return run_oscillation_lab(ov, series_out, trace);
-  if (scenario == "coarse") return run_coarse(ov, series_out, trace);
-  if (scenario == "energy") return run_energy_lab(ov, series_out, trace);
-  if (scenario == "cellular") return run_cellular(ov, trace);
-  if (scenario == "fairness") return run_fairness_lab(ov, trace);
-  if (scenario == "quickstart") return run_quickstart_lab(ov, trace);
-  if (scenario == "failover") return run_failover_lab(ov, series_out, trace);
+    return run_oscillation_lab(ov, series_out, trace, store);
+  if (scenario == "coarse") return run_coarse(ov, series_out, trace, store);
+  if (scenario == "energy") return run_energy_lab(ov, series_out, trace, store);
+  if (scenario == "cellular") return run_cellular(ov, trace, store);
+  if (scenario == "fairness") return run_fairness_lab(ov, trace, store);
+  if (scenario == "quickstart") return run_quickstart_lab(ov, trace, store);
+  if (scenario == "failover")
+    return run_failover_lab(ov, series_out, trace, store);
   throw ConfigError("unknown scenario '" + scenario + "'");
 }
 

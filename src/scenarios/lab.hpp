@@ -17,6 +17,7 @@
 #include "eona/json.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -47,11 +48,14 @@ class Overrides {
 /// ConfigError. When `series_out` is non-null, scenarios that record time
 /// series copy them there (for CSV dumps); others leave it empty. When
 /// `trace` is non-null it is attached to the run's event bus and accumulates
-/// the JSONL event trace (eona_lab --trace=FILE).
+/// the JSONL event trace (eona_lab --trace=FILE). When `store` is non-null
+/// the run's event stream is additionally ingested into it as queryable
+/// rows (eona_lab --store=FILE).
 [[nodiscard]] core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
     sim::MetricSet* series_out = nullptr,
-    sim::TraceWriter* trace = nullptr);
+    sim::TraceWriter* trace = nullptr,
+    telemetry::ColumnStore* store = nullptr);
 
 }  // namespace eona::scenarios

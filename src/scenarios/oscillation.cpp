@@ -11,6 +11,7 @@ namespace eona::scenarios {
 OscillationResult run_oscillation(const OscillationConfig& config) {
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
 
   // --- topology: Fig 5 -------------------------------------------------------
   b.add_isp_bottleneck(gbps(1));

@@ -22,6 +22,7 @@
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
 #include "sim/timeseries.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -49,6 +50,9 @@ struct OscillationConfig {
   TimePoint measure_from = 300.0;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct OscillationResult {

@@ -12,6 +12,7 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   // flashcrowd.cpp for the raw-topology version of the same wiring.
   sim::World::Builder b(config.seed);
   b.attach_trace(config.trace);
+  b.attach_store(config.store);
   b.add_isp_bottleneck(config.access_capacity);
   b.with_catalog(16, config.video_duration);
   sim::World::Builder::CdnSpec cdn_spec;

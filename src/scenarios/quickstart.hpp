@@ -11,6 +11,7 @@
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
+#include "telemetry/column_store.hpp"
 
 namespace eona::scenarios {
 
@@ -23,6 +24,9 @@ struct QuickstartConfig {
   TimePoint run_duration = 600.0;
   /// When set, receives the run's JSONL event trace.
   sim::TraceWriter* trace = nullptr;
+  /// When set, a StoreRecorder feeds this columnar store the run's event
+  /// stream (eona_lab --store=FILE dumps it as queryable rows).
+  telemetry::ColumnStore* store = nullptr;
 };
 
 struct QuickstartResult {

@@ -58,6 +58,8 @@
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/column_store.hpp"
+#include "telemetry/store_recorder.hpp"
 
 namespace eona::sim {
 
@@ -108,6 +110,10 @@ class World {
     return *pools_.at(i);
   }
 
+  /// The telemetry store attached via Builder::attach_store (nullptr when
+  /// none): every mapped bus event lands in it as queryable rows.
+  [[nodiscard]] telemetry::ColumnStore* store() { return store_; }
+
  private:
   friend class Builder;
   explicit World(std::uint64_t seed) : rng_(seed) {
@@ -135,6 +141,8 @@ class World {
   std::unique_ptr<control::EnergyManager> energy_;
   std::unique_ptr<control::OracleBrain> oracle_;
   std::vector<std::unique_ptr<app::SessionPool>> pools_;
+  telemetry::ColumnStore* store_ = nullptr;
+  std::unique_ptr<telemetry::StoreRecorder> store_recorder_;
 };
 
 /// Fluent, immediate-mode builder; see the file header for the determinism
@@ -156,6 +164,20 @@ class World::Builder {
   /// the topology is frozen so the trace sees every event.
   Builder& attach_trace(TraceWriter* trace) {
     if (trace != nullptr) trace->subscribe_all(world_->bus_);
+    return *this;
+  }
+
+  /// Subscribe a telemetry store (may be null: no-op) to the world's bus
+  /// via a StoreRecorder the World owns. Call right after attach_trace so
+  /// the store ingests the same event stream the trace records -- that is
+  /// what makes live stores and --trace replays byte-identical.
+  Builder& attach_store(telemetry::ColumnStore* store) {
+    if (store != nullptr) {
+      world_->store_ = store;
+      world_->store_recorder_ =
+          std::make_unique<telemetry::StoreRecorder>(*store);
+      world_->store_recorder_->subscribe_all(world_->bus_);
+    }
     return *this;
   }
 

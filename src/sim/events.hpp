@@ -12,9 +12,10 @@
 //   chaos    FaultEvent
 //   eona     ReportPublishedEvent, ReportDroppedEvent, ReportDeliveredEvent,
 //            ReportServedEvent
-//   control  SteeringEvent, MigrationEvent
+//   control  SteeringEvent, MigrationEvent, ProvisionEvent
 //   app      SessionStartedEvent, SessionStalledEvent, SessionFinishedEvent,
 //            SessionStrandedEvent, SessionResumedEvent
+//   telemetry A2IQoeSampleEvent, A2IForecastSampleEvent, LinkSampleEvent
 //   logging  LogEvent
 #pragma once
 
@@ -133,6 +134,21 @@ struct MigrationEvent {
   const char* reason = "";
 };
 
+/// InfP elastic capacity provisioning: an access/egress capacity change was
+/// ordered (capacity lands after the lead time) or delivered (applied to the
+/// network). `from_capacity` is the capacity in force when the order was
+/// placed; `to_capacity` the ordered target.
+struct ProvisionEvent {
+  TimePoint t = 0.0;
+  ProviderId infp;
+  LinkId link;
+  BitsPerSecond from_capacity = 0.0;
+  BitsPerSecond to_capacity = 0.0;
+  Duration lead = 0.0;
+  const char* phase = "";  ///< "ordered" | "delivered"
+  const char* reason = "";  ///< "reactive" | "forecast"
+};
+
 // --- application sessions (emitted by app::SessionPool / VideoPlayer) ------
 
 struct SessionStartedEvent {
@@ -168,6 +184,44 @@ struct SessionResumedEvent {
   TimePoint t = 0.0;
   SessionId session;
   Duration outage = 0.0;  ///< stranded-to-resumed wall time
+};
+
+// --- telemetry samples (emitted by AppP publish / control::LinkMonitor) ----
+
+/// One v2 A2I QoE tuple as published on the wire: per-(isp, cdn, server)
+/// group summary at publish time. Emitted once per tuple per A2I publish so
+/// the columnar store (and traces) carry the full exported stream.
+struct A2IQoeSampleEvent {
+  TimePoint t = 0.0;
+  ProviderId from;  ///< publishing AppP
+  IspId isp;
+  CdnId cdn;
+  ServerId server;
+  double mean_buffering_ratio = 0.0;
+  double p90_buffering_ratio = 0.0;
+  BitsPerSecond mean_bitrate = 0.0;
+  double mean_engagement = 0.0;
+  std::uint64_t sessions = 0;
+};
+
+/// One v2 A2I traffic-volume forecast tuple as published on the wire.
+struct A2IForecastSampleEvent {
+  TimePoint t = 0.0;
+  ProviderId from;
+  IspId isp;
+  CdnId cdn;
+  BitsPerSecond expected_rate = 0.0;
+};
+
+/// One periodic link utilization sample from control::LinkMonitor. `rate`
+/// is utilization x effective capacity -- the carried-demand estimate the
+/// provisioning forecaster trends on.
+struct LinkSampleEvent {
+  TimePoint t = 0.0;
+  LinkId link;
+  double utilization = 0.0;
+  BitsPerSecond rate = 0.0;
+  BitsPerSecond capacity = 0.0;
 };
 
 // --- logging ---------------------------------------------------------------

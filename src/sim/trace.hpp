@@ -135,6 +135,47 @@ class TraceWriter {
       field_num("outage", e.outage);
       end();
     });
+    bus.subscribe<ProvisionEvent>([this](const ProvisionEvent& e) {
+      begin("provision", e.t);
+      field_id("infp", e.infp.value());
+      field_id("link", e.link.value());
+      field_num("from_capacity", e.from_capacity);
+      field_num("to_capacity", e.to_capacity);
+      field_num("lead", e.lead);
+      field_str("phase", e.phase);
+      field_str("reason", e.reason);
+      end();
+    });
+    bus.subscribe<A2IQoeSampleEvent>([this](const A2IQoeSampleEvent& e) {
+      begin("a2i_qoe_sample", e.t);
+      field_id("from", e.from.value());
+      field_id("isp", e.isp.value());
+      field_id("cdn", e.cdn.value());
+      field_id("server", e.server.value());
+      field_num("mean_buffering_ratio", e.mean_buffering_ratio);
+      field_num("p90_buffering_ratio", e.p90_buffering_ratio);
+      field_num("mean_bitrate", e.mean_bitrate);
+      field_num("mean_engagement", e.mean_engagement);
+      field_u64("sessions", e.sessions);
+      end();
+    });
+    bus.subscribe<A2IForecastSampleEvent>(
+        [this](const A2IForecastSampleEvent& e) {
+          begin("a2i_forecast_sample", e.t);
+          field_id("from", e.from.value());
+          field_id("isp", e.isp.value());
+          field_id("cdn", e.cdn.value());
+          field_num("expected_rate", e.expected_rate);
+          end();
+        });
+    bus.subscribe<LinkSampleEvent>([this](const LinkSampleEvent& e) {
+      begin("link_sample", e.t);
+      field_id("link", e.link.value());
+      field_num("utilization", e.utilization);
+      field_num("rate", e.rate);
+      field_num("capacity", e.capacity);
+      end();
+    });
     bus.subscribe<LogEvent>([this](const LogEvent& e) {
       begin("log", e.t);
       field_u64("level", static_cast<std::uint64_t>(e.level));

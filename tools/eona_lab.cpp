@@ -13,6 +13,7 @@
 //   $ eona_lab list
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "scenarios/lab.hpp"
 #include "scenarios/sweep.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/column_store.hpp"
+#include "telemetry/store_replay.hpp"
 
 using namespace eona;
 
@@ -31,6 +34,7 @@ struct Args {
   std::map<std::string, std::string> overrides;
   bool csv_series = false;
   std::string trace_path;  ///< --trace=FILE; empty = no trace
+  std::string store_path;  ///< --store=FILE; empty = no store dump
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -46,6 +50,12 @@ Args parse_args(int argc, char** argv, int first) {
       args.trace_path = token.substr(8);
       if (args.trace_path.empty())
         throw ConfigError("--trace needs a file path");
+      continue;
+    }
+    if (token.rfind("--store=", 0) == 0) {
+      args.store_path = token.substr(8);
+      if (args.store_path.empty())
+        throw ConfigError("--store needs a file path");
       continue;
     }
     if (token.rfind("--faults=", 0) == 0) {
@@ -114,13 +124,142 @@ void write_trace_file(const std::string& path, const std::string& buffer) {
 int run_single(const Args& args) {
   sim::MetricSet series;
   sim::TraceWriter trace;
+  telemetry::ColumnStore store;
   core::JsonValue out = scenarios::run_scenario_json(
       args.scenario, args.overrides, args.csv_series ? &series : nullptr,
-      args.trace_path.empty() ? nullptr : &trace);
+      args.trace_path.empty() ? nullptr : &trace,
+      args.store_path.empty() ? nullptr : &store);
   std::printf("%s\n", out.dump(2).c_str());
   if (args.csv_series) dump_series_csv(series);
   if (!args.trace_path.empty())
     write_trace_file(args.trace_path, trace.buffer());
+  if (!args.store_path.empty())
+    write_trace_file(args.store_path, store.dump_rows());
+  return 0;
+}
+
+// --- the query subcommand -------------------------------------------------
+
+telemetry::Agg parse_agg(const std::string& text) {
+  if (text == "count") return telemetry::Agg::kCount;
+  if (text == "sum") return telemetry::Agg::kSum;
+  if (text == "mean") return telemetry::Agg::kMean;
+  if (text == "p50") return telemetry::Agg::kP50;
+  if (text == "p90") return telemetry::Agg::kP90;
+  throw ConfigError("agg must be count|sum|mean|p50|p90");
+}
+
+/// "isp,cdn" -> Dim mask.
+telemetry::Dim parse_group_by(const std::string& text) {
+  telemetry::Dim mask = telemetry::Dim::kNone;
+  for (const std::string& item : parse_list(text)) {
+    if (item == "isp") mask = mask | telemetry::Dim::kIsp;
+    else if (item == "cdn") mask = mask | telemetry::Dim::kCdn;
+    else if (item == "server") mask = mask | telemetry::Dim::kServer;
+    else if (item == "region") mask = mask | telemetry::Dim::kRegion;
+    else throw ConfigError("group_by dims are isp|cdn|server|region");
+  }
+  return mask;
+}
+
+/// eona_lab query FILE [metric=M] [key=value ...]: load a store dump (or a
+/// --trace JSONL, which replays through the same event->row mapping) and run
+/// one query plan against it. Without metric= it lists what is queryable.
+int run_query_cmd(int argc, char** argv) {
+  if (argc < 3) throw ConfigError("query: store/trace JSONL file required");
+  std::string path = argv[2];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open store file '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  telemetry::ColumnStore store;
+  telemetry::replay_jsonl(store, text);
+
+  Args args = parse_args(argc, argv, 2);  // re-parse: argv[2] is the "name"
+  auto& ov = args.overrides;
+  telemetry::StoreQuery q;
+  if (auto it = ov.find("metric"); it != ov.end()) {
+    q.metric = it->second;
+    ov.erase(it);
+  }
+  if (auto it = ov.find("agg"); it != ov.end()) {
+    q.agg = parse_agg(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("group_by"); it != ov.end()) {
+    q.group_by = parse_group_by(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("t0"); it != ov.end()) {
+    q.t0 = std::stod(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("t1"); it != ov.end()) {
+    q.t1 = std::stod(it->second);
+    ov.erase(it);
+  }
+  if (auto it = ov.find("isp"); it != ov.end()) {
+    q.isp = IspId(static_cast<std::uint32_t>(std::stoul(it->second)));
+    ov.erase(it);
+  }
+  if (auto it = ov.find("cdn"); it != ov.end()) {
+    q.cdn = CdnId(static_cast<std::uint32_t>(std::stoul(it->second)));
+    ov.erase(it);
+  }
+  if (auto it = ov.find("server"); it != ov.end()) {
+    q.server = ServerId(static_cast<std::uint32_t>(std::stoul(it->second)));
+    ov.erase(it);
+  }
+  if (auto it = ov.find("region"); it != ov.end()) {
+    q.region = static_cast<std::uint32_t>(std::stoul(it->second));
+    ov.erase(it);
+  }
+  if (auto it = ov.find("entity"); it != ov.end()) {
+    q.entity = std::stoull(it->second);
+    ov.erase(it);
+  }
+  if (!ov.empty()) {
+    std::string unknown;
+    for (const auto& [k, v] : ov) unknown += " " + k;
+    throw ConfigError("query: unknown keys:" + unknown);
+  }
+
+  core::JsonValue out = core::JsonValue::object();
+  out.set("file", core::JsonValue::string(path));
+  out.set("rows", core::JsonValue::number(static_cast<double>(
+                      store.row_count())));
+  if (q.metric.empty()) {
+    // No plan: describe the store so the user can compose one.
+    core::JsonValue metrics = core::JsonValue::array();
+    for (const std::string& name : store.metric_names())
+      metrics.push_back(core::JsonValue::string(name));
+    out.set("metrics", std::move(metrics));
+    out.set("groups", core::JsonValue::number(
+                          static_cast<double>(store.group_count())));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+
+  out.set("metric", core::JsonValue::string(q.metric));
+  out.set("agg", core::JsonValue::string(telemetry::agg_name(q.agg)));
+  core::JsonValue results = core::JsonValue::array();
+  for (const telemetry::StoreResultRow& r : store.run(q)) {
+    core::JsonValue row = core::JsonValue::object();
+    if (has_dim(q.group_by, telemetry::Dim::kIsp))
+      row.set("isp", core::JsonValue::number(r.key.isp.value()));
+    if (has_dim(q.group_by, telemetry::Dim::kCdn))
+      row.set("cdn", core::JsonValue::number(r.key.cdn.value()));
+    if (has_dim(q.group_by, telemetry::Dim::kServer))
+      row.set("server", core::JsonValue::number(r.key.server.value()));
+    if (has_dim(q.group_by, telemetry::Dim::kRegion))
+      row.set("region", core::JsonValue::number(r.key.region));
+    row.set("rows", core::JsonValue::number(static_cast<double>(r.rows)));
+    row.set("value", core::JsonValue::number(r.value));
+    results.push_back(std::move(row));
+  }
+  out.set("results", std::move(results));
+  std::printf("%s\n", out.dump(2).c_str());
   return 0;
 }
 
@@ -160,16 +299,25 @@ int run_sweep_cmd(int argc, char** argv) {
 void usage() {
   std::printf(
       "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
-      "                [--trace=FILE]\n"
+      "                [--trace=FILE] [--store=FILE]\n"
       "       eona_lab sweep <scenario> [seeds=a..b|a,b,c] [modes=m1,m2]\n"
       "                [mode_key=k] [threads=N] [--trace=FILE] [key=value ...]\n"
+      "       eona_lab query <FILE> [metric=M] [agg=count|sum|mean|p50|p90]\n"
+      "                [group_by=isp,cdn,server,region] [t0=A] [t1=B]\n"
+      "                [isp=N] [cdn=N] [server=N] [region=N] [entity=N]\n"
       "scenarios:\n"
       "  flashcrowd    Fig 3  (mode, seed, access_capacity_mbps, arrival_rate,\n"
       "                        crowd_background_fraction, crowd_start, crowd_end,\n"
       "                        run_duration, a2i_delay, i2a_delay,\n"
       "                        i2a_drop, i2a_duplicate, i2a_jitter, a2i_drop,\n"
       "                        outage_start, outage_end, robust, max_retries,\n"
-      "                        base_backoff, freshness_deadline, stale_widening)\n"
+      "                        base_backoff, freshness_deadline, stale_widening,\n"
+      "                        provision=off|reactive|forecast,\n"
+      "                        provision_step_mbps, provision_max_mbps,\n"
+      "                        provision_lead, provision_util,\n"
+      "                        provision_headroom, provision_horizon,\n"
+      "                        forecast_alpha, forecast_beta, forecast_period,\n"
+      "                        qoe_stall_threshold)\n"
       "  oscillation   Fig 5  (mode, seed, run_duration, arrival_rate,\n"
       "                        appp_period, infp_period, appp_dwell, infp_dwell,\n"
       "                        a2i_delay, i2a_delay)\n"
@@ -196,6 +344,10 @@ void usage() {
       "cdn/serverindex, and factor is the brownout's remaining fraction.\n"
       "--trace=FILE writes the run's JSONL event trace (bit-identical for a\n"
       "fixed seed, for any sweep thread count).\n"
+      "--store=FILE ingests the run's events into the columnar telemetry\n"
+      "store and dumps its rows as JSONL; `eona_lab query` loads such a dump\n"
+      "(or a --trace file) and runs one aggregate plan against it. With no\n"
+      "metric= the query subcommand lists the queryable metrics.\n"
       "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
       "cores) and prints one collated JSON document; the output is identical\n"
       "for any thread count.\n");
@@ -207,6 +359,8 @@ int main(int argc, char** argv) {
   try {
     if (argc >= 2 && std::string(argv[1]) == "sweep")
       return run_sweep_cmd(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "query")
+      return run_query_cmd(argc, argv);
     Args args = parse_args(argc, argv, 1);
     if (args.scenario.empty() || args.scenario == "list") {
       usage();
