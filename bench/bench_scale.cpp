@@ -1,0 +1,244 @@
+// E17 (§5 scalability): million-session worlds under sector-parallel
+// execution.
+//
+// Three parts:
+//
+//  1. Equivalence. The scale scenario must produce byte-identical JSON when
+//     the sector rounds run serially (threads=1) and on a worker pool
+//     (threads=2, 4), for seeds 1..5. This is the correctness contract that
+//     makes the parallelism free: sectors share no mutable state between
+//     barriers and the coordinator is serial in sector order.
+//
+//  2. Speedup. One mid-size config timed at threads=1 vs threads=N
+//     (hardware count). On a single-core container the ratio hovers around
+//     1.0 -- the number is reported, not thresholded, because the identity
+//     in part 1 is what CI can actually pin.
+//
+//  3. The headline run. sessions=EONA_SCALE_SESSIONS (default one million)
+//     across EONA_SCALE_SECTORS cells: wall-clock, events/sec, exact
+//     admission, and peak-RSS-derived bytes/session.
+//
+// Verdicts (acceptance thresholds):
+//  * sector-parallel output is byte-identical to serial for every seed;
+//  * a repeated run reproduces bit-identical output;
+//  * the headline run admits exactly the configured session count and
+//    completes (events > 0, every sector audited).
+//
+// Always writes a machine-readable JSON summary; path defaults to
+// BENCH_scale.json, overridden by argv[1] or EONA_BENCH_OUT.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "eona/json.hpp"
+#include "scenarios/lab.hpp"
+#include "scenarios/scale.hpp"
+
+using namespace eona;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+long long peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<std::size_t>(std::stoull(value))
+                          : fallback;
+}
+
+/// Small identity config: enough sectors and barrier rounds to exercise the
+/// coordinator, small enough to run 15 times in seconds.
+std::map<std::string, std::string> identity_overrides(std::uint64_t seed,
+                                                      std::size_t threads) {
+  return {{"seed", std::to_string(seed)},
+          {"threads", std::to_string(threads)},
+          {"sessions", "2000"},
+          {"sectors", "32"},
+          {"run_duration", "300"},
+          {"video_duration", "60"},
+          {"barrier_period", "20"}};
+}
+
+scenarios::ScaleConfig headline_config(std::size_t sessions,
+                                       std::size_t sectors,
+                                       std::size_t threads) {
+  scenarios::ScaleConfig config;
+  config.seed = 42;
+  config.sessions = sessions;
+  config.sectors = sectors;
+  config.threads = threads;
+  return config;  // defaults: 600 s run, 120 s videos, 30 s barriers
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scale.json";
+  if (const char* env = std::getenv("EONA_BENCH_OUT")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::size_t threads = env_size("EONA_SCALE_THREADS", hw == 0 ? 1 : hw);
+  std::size_t sessions = env_size("EONA_SCALE_SESSIONS", 1'000'000);
+  // Sector sizing: ~250 sessions per cell keeps the per-event dirty
+  // component (concurrent flows on the cell's access link) around 60.
+  std::size_t sectors =
+      env_size("EONA_SCALE_SECTORS", std::max<std::size_t>(1, sessions / 250));
+
+  std::printf("=== E17 / Sec 5: million-session sector-parallel worlds ===\n");
+  std::printf("sessions=%zu sectors=%zu threads=%zu\n\n", sessions, sectors,
+              threads);
+
+  // --- part 1: serial vs parallel byte-identity, seeds 1..5 ---------------
+  std::printf("--- equivalence: serial vs sector-parallel, seeds 1..5 ---\n");
+  core::JsonValue identity_rows = core::JsonValue::array();
+  bool all_identical = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string serial =
+        scenarios::run_scenario_json("scale", identity_overrides(seed, 1))
+            .dump(2);
+    bool ok = true;
+    for (std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+      std::string parallel =
+          scenarios::run_scenario_json("scale",
+                                       identity_overrides(seed, workers))
+              .dump(2);
+      ok = ok && parallel == serial;
+    }
+    all_identical = all_identical && ok;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                ok ? "byte-identical" : "DIVERGED");
+    core::JsonValue row = core::JsonValue::object();
+    row.set("seed", core::JsonValue::number(static_cast<double>(seed)));
+    row.set("byte_identical", core::JsonValue::boolean(ok));
+    identity_rows.push_back(std::move(row));
+  }
+
+  std::printf("\n--- reproducibility: seed 3, threads=2, twice ---\n");
+  std::string once =
+      scenarios::run_scenario_json("scale", identity_overrides(3, 2)).dump(2);
+  std::string twice =
+      scenarios::run_scenario_json("scale", identity_overrides(3, 2)).dump(2);
+  bool reproducible = once == twice;
+  std::printf("%s\n", reproducible ? "bit-identical" : "DIVERGED");
+
+  // --- part 2: speedup on a mid-size config -------------------------------
+  std::printf("\n--- speedup: %zu sessions, threads 1 vs %zu ---\n",
+              std::min<std::size_t>(sessions, 20'000), threads);
+  scenarios::ScaleConfig mid = headline_config(
+      std::min<std::size_t>(sessions, 20'000),
+      std::max<std::size_t>(1, std::min<std::size_t>(sessions, 20'000) / 250),
+      1);
+  auto t0 = std::chrono::steady_clock::now();
+  scenarios::ScaleResult serial_mid = scenarios::run_scale(mid);
+  double serial_wall = seconds_since(t0);
+  mid.threads = threads;
+  t0 = std::chrono::steady_clock::now();
+  scenarios::ScaleResult parallel_mid = scenarios::run_scale(mid);
+  double parallel_wall = seconds_since(t0);
+  double speedup = parallel_wall > 0.0 ? serial_wall / parallel_wall : 0.0;
+  bool mid_equivalent =
+      serial_mid.events == parallel_mid.events &&
+      serial_mid.qoe.mean_engagement == parallel_mid.qoe.mean_engagement &&
+      serial_mid.reallocations == parallel_mid.reallocations;
+  std::printf("serial   %7.2f s\nparallel %7.2f s   speedup %.2fx (%s)\n",
+              serial_wall, parallel_wall, speedup,
+              mid_equivalent ? "outputs match" : "OUTPUTS DIVERGED");
+
+  // --- part 3: the headline run -------------------------------------------
+  std::printf("\n--- headline: %zu sessions over %zu sectors ---\n", sessions,
+              sectors);
+  long long rss_before = peak_rss_bytes();
+  scenarios::ScaleConfig big = headline_config(sessions, sectors, threads);
+  t0 = std::chrono::steady_clock::now();
+  scenarios::ScaleResult r = scenarios::run_scale(big);
+  double big_wall = seconds_since(t0);
+  long long rss_after = peak_rss_bytes();
+  double events_per_sec =
+      big_wall > 0.0 ? static_cast<double>(r.events) / big_wall : 0.0;
+  double bytes_per_session =
+      static_cast<double>(rss_after - rss_before) /
+      static_cast<double>(sessions);
+  bool exact = r.arrivals == sessions && r.qoe.sessions == sessions;
+  bool completed = r.events > 0 && r.barrier_rounds > 0;
+  std::printf("wall          %9.1f s\n", big_wall);
+  std::printf("events        %9llu   (%.0f events/s)\n",
+              static_cast<unsigned long long>(r.events), events_per_sec);
+  std::printf("admitted      %9llu   (exact: %s)\n",
+              static_cast<unsigned long long>(r.arrivals),
+              exact ? "yes" : "NO");
+  std::printf("peak conc.    %9zu sessions\n", r.peak_concurrent);
+  std::printf("reallocations %9llu headroom grants\n",
+              static_cast<unsigned long long>(r.reallocations));
+  std::printf("memory        %9.0f bytes/session (peak RSS delta %lld MB)\n",
+              bytes_per_session, (rss_after - rss_before) / (1024 * 1024));
+
+  bool pass = all_identical && reproducible && mid_equivalent && exact &&
+              completed;
+  std::printf("\n%s\n", pass ? "PASS" : "FAIL");
+
+  core::JsonValue doc = core::JsonValue::object();
+  doc.set("bench", core::JsonValue::string("scale"));
+  core::JsonValue cfg = core::JsonValue::object();
+  cfg.set("sessions", core::JsonValue::number(static_cast<double>(sessions)));
+  cfg.set("sectors", core::JsonValue::number(static_cast<double>(sectors)));
+  cfg.set("threads", core::JsonValue::number(static_cast<double>(threads)));
+  doc.set("config", std::move(cfg));
+  doc.set("identity", std::move(identity_rows));
+  core::JsonValue sp = core::JsonValue::object();
+  sp.set("serial_wall_seconds", core::JsonValue::number(serial_wall));
+  sp.set("parallel_wall_seconds", core::JsonValue::number(parallel_wall));
+  sp.set("speedup", core::JsonValue::number(speedup));
+  doc.set("speedup", std::move(sp));
+  core::JsonValue head = core::JsonValue::object();
+  head.set("wall_seconds", core::JsonValue::number(big_wall));
+  head.set("events", core::JsonValue::number(static_cast<double>(r.events)));
+  head.set("events_per_sec", core::JsonValue::number(events_per_sec));
+  head.set("arrivals",
+           core::JsonValue::number(static_cast<double>(r.arrivals)));
+  head.set("peak_concurrent",
+           core::JsonValue::number(static_cast<double>(r.peak_concurrent)));
+  head.set("reallocations",
+           core::JsonValue::number(static_cast<double>(r.reallocations)));
+  head.set("barrier_rounds",
+           core::JsonValue::number(static_cast<double>(r.barrier_rounds)));
+  head.set("bytes_per_session", core::JsonValue::number(bytes_per_session));
+  head.set("peak_rss_bytes",
+           core::JsonValue::number(static_cast<double>(rss_after)));
+  head.set("mean_engagement",
+           core::JsonValue::number(r.qoe.mean_engagement));
+  head.set("mean_buffering", core::JsonValue::number(r.qoe.mean_buffering));
+  doc.set("headline", std::move(head));
+  core::JsonValue verdicts = core::JsonValue::object();
+  verdicts.set("parallel_byte_identical",
+               core::JsonValue::boolean(all_identical));
+  verdicts.set("reproducible", core::JsonValue::boolean(reproducible));
+  verdicts.set("speedup_outputs_match",
+               core::JsonValue::boolean(mid_equivalent));
+  verdicts.set("exact_admission", core::JsonValue::boolean(exact));
+  verdicts.set("completed", core::JsonValue::boolean(completed));
+  doc.set("verdicts", std::move(verdicts));
+
+  std::string text = doc.dump(2);
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 // Figure 3 flash crowd (a sudden rate step).
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -20,6 +22,38 @@ struct ArrivalPhase {
   TimePoint start = 0.0;
   double rate = 0.0;
 };
+
+/// Piecewise-constant approximation of a diurnal (raised-cosine) rate
+/// curve: `steps` equal slices per `period`, each carrying the curve's
+/// value at the slice midpoint, tiled until `horizon`. The curve starts at
+/// `night_rate` (midnight), peaks at `day_rate` half a period in, and its
+/// mean over a whole period is (night_rate + day_rate) / 2.
+inline std::vector<ArrivalPhase> diurnal_phases(double night_rate,
+                                                double day_rate,
+                                                Duration period,
+                                                std::size_t steps,
+                                                Duration horizon) {
+  EONA_EXPECTS(night_rate >= 0.0 && day_rate >= 0.0);
+  EONA_EXPECTS(period > 0.0 && horizon > 0.0);
+  EONA_EXPECTS(steps >= 1);
+  constexpr double kTau = 6.283185307179586476925286766559;
+  std::vector<ArrivalPhase> phases;
+  double slice = period / static_cast<double>(steps);
+  for (TimePoint start = 0.0; start < horizon; start += slice) {
+    double mid = start + 0.5 * slice;
+    double wave = 0.5 * (1.0 - std::cos(kTau * mid / period));
+    phases.push_back({start, night_rate + (day_rate - night_rate) * wave});
+  }
+  return phases;
+}
+
+/// Flash-crowd profile: `base` rate with a step to `surge` over [t0, t1).
+inline std::vector<ArrivalPhase> flash_phases(double base, double surge,
+                                              TimePoint t0, TimePoint t1) {
+  EONA_EXPECTS(base >= 0.0 && surge >= 0.0);
+  EONA_EXPECTS(t0 > 0.0 && t1 > t0);
+  return {{0.0, base}, {t0, surge}, {t1, base}};
+}
 
 /// Non-homogeneous Poisson arrival process over a piecewise-constant rate
 /// profile. Exact (no thinning needed): by memorylessness, the exponential

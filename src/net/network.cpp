@@ -63,6 +63,7 @@ void Network::recompute() {
   // Every affected link's allocation is rebuilt below; links that lost all
   // their flows (removals) must drop to zero even with nothing to solve.
   for (LinkId lid : affected_links_) link_allocated_[lid.value()] = 0.0;
+  rate_changes_.clear();
   if (affected_slots_.empty()) {
     emit_recompute_events();
     return;
@@ -87,7 +88,14 @@ void Network::recompute() {
 
   for (std::size_t i = 0; i < affected_slots_.size(); ++i) {
     FlowState& flow = slots_[affected_slots_[i]];
-    flow.rate = solve_rates_[i];
+    BitsPerSecond new_rate = solve_rates_[i];
+    // Report flows whose rate actually moved. Exact comparison is correct:
+    // an untouched component re-solves bit-identically. Zero-rate flows on a
+    // down path are reported unconditionally so a 0 -> 0 reroute onto a dead
+    // link still surfaces as strandable (see transfer.hpp).
+    if (new_rate != flow.rate || (new_rate == 0.0 && !path_up(flow.path)))
+      rate_changes_.push_back(RateChange{flow.id, new_rate});
+    flow.rate = new_rate;
     for (LinkId lid : flow.path) link_allocated_[lid.value()] += flow.rate;
   }
 

@@ -2,16 +2,18 @@
 // rate allocation kept current across changes.
 //
 // Mutations (add/remove/reroute/set_demand/set_link_capacity) trigger:
-// before_change hook -> apply mutation -> recompute rates -> after_change
-// hook. The hooks let the TransferManager integrate delivered bits under the
-// old rate vector before rates move (see transfer.hpp).
+// apply mutation -> recompute rates -> rates-changed hook. The hook reports
+// exactly the flows whose allocated rate actually moved (plus zero-rate
+// flows whose path is down, so stranding is always observable), which lets
+// the TransferManager bank delivered bits lazily per transfer and re-predict
+// only the completions that shifted -- O(changed) per mutation instead of
+// O(all transfers) (see transfer.hpp).
 //
 // Batching: any number of mutations can be coalesced into one recompute and
-// one before/after hook pair with begin_batch()/commit() or the RAII
-// Network::Batch. Inside a batch the before hook fires at the first mutation
-// (while the old rate vector is still live), structural state (flow table,
-// per-link indices) updates immediately, and rates stay stale until commit.
-// An empty batch fires no hooks and solves nothing.
+// one rates-changed callback with begin_batch()/commit() or the RAII
+// Network::Batch. Inside a batch structural state (flow table, per-link
+// indices) updates immediately, and rates stay stale until commit. An empty
+// batch fires no hook and solves nothing.
 //
 // Recompute is incremental: the network maintains a per-link flow index, and
 // a commit re-solves only the dirty component -- the changed flows plus
@@ -50,10 +52,20 @@ namespace eona::net {
 inline constexpr BitsPerSecond kElasticDemand =
     std::numeric_limits<BitsPerSecond>::infinity();
 
+/// One entry of a rates-changed report: flow + its freshly allocated rate.
+struct RateChange {
+  FlowId flow;
+  BitsPerSecond rate = 0.0;
+};
+
 /// Live flow-level network state.
 class Network : public LinkStateView {
  public:
-  using Hook = std::function<void()>;
+  /// Called after each recompute with the flows whose rate moved, in
+  /// ascending flow-id order (deterministic). Flows whose recomputed rate is
+  /// 0 with a down link on their path are always included even if the rate
+  /// did not change, so a reroute onto a dead path is observable.
+  using RatesChangedHook = std::function<void(const std::vector<RateChange>&)>;
 
   /// How commits re-solve rates. kIncremental (default) solves only the
   /// dirty component; kFullSolve re-solves every flow on every commit (the
@@ -78,10 +90,9 @@ class Network : public LinkStateView {
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
 
-  /// Install hooks around state changes. Pass nullptr to clear.
-  void set_change_hooks(Hook before, Hook after) {
-    before_change_ = std::move(before);
-    after_change_ = std::move(after);
+  /// Install the rates-changed hook. Pass nullptr to clear.
+  void set_rates_changed_hook(RatesChangedHook hook) {
+    rates_changed_ = std::move(hook);
   }
 
   /// Emit RateRecomputeEvent and LinkSaturationEvent transitions on `bus`,
@@ -101,20 +112,20 @@ class Network : public LinkStateView {
   // --- batching ------------------------------------------------------------
 
   /// Open a batch: mutations apply immediately (structurally) but the rate
-  /// solve and the after hook are deferred to the matching commit(). Batches
-  /// nest; only the outermost commit recomputes.
+  /// solve and the rates-changed hook are deferred to the matching
+  /// commit(). Batches nest; only the outermost commit recomputes.
   void begin_batch() { ++batch_depth_; }
 
   /// Close the innermost batch. Closing the outermost batch runs one rate
-  /// recompute and fires the after hook -- iff the batch mutated anything.
+  /// recompute and fires the rates-changed hook -- iff the batch mutated
+  /// anything.
   void commit() {
     EONA_EXPECTS(batch_depth_ > 0);
     if (--batch_depth_ > 0) return;
-    batch_before_fired_ = false;
     if (!batch_mutated_) return;
     batch_mutated_ = false;
     recompute();
-    fire_after();
+    fire_rates_changed();
   }
 
   /// RAII batch guard: opens a batch on construction, commits on
@@ -155,7 +166,6 @@ class Network : public LinkStateView {
     validate_path(path);
     EONA_EXPECTS(demand >= 0.0);
     EONA_EXPECTS(!path.empty() || std::isfinite(demand));
-    begin_mutation();
     FlowId id(next_flow_id_++);
     std::uint32_t slot = alloc_slot();
     FlowState& flow = slots_[slot];
@@ -173,7 +183,6 @@ class Network : public LinkStateView {
 
   void remove_flow(FlowId id) {
     std::uint32_t slot = require_slot(id);
-    begin_mutation();
     FlowState& flow = slots_[slot];
     for (LinkId lid : flow.path) dirty_links_.push_back(lid);
     index_remove(slot);
@@ -191,7 +200,6 @@ class Network : public LinkStateView {
     FlowState& flow = slots_[slot];
     if (flow.demand == demand) return;
     EONA_EXPECTS(!flow.path.empty() || std::isfinite(demand));
-    begin_mutation();
     flow.demand = demand;
     dirty_slots_.push_back(slot);
     end_mutation();
@@ -203,7 +211,6 @@ class Network : public LinkStateView {
     std::uint32_t slot = require_slot(id);
     FlowState& flow = slots_[slot];
     EONA_EXPECTS(!path.empty() || std::isfinite(flow.demand));
-    begin_mutation();
     for (LinkId lid : flow.path) dirty_links_.push_back(lid);
     index_remove(slot);
     flow.path = std::move(path);
@@ -220,7 +227,6 @@ class Network : public LinkStateView {
     EONA_EXPECTS(topo_->contains(id));
     EONA_EXPECTS(capacity >= 0.0);
     if (link_capacity_[id.value()] == capacity) return;
-    begin_mutation();
     link_capacity_[id.value()] = capacity;
     if (link_up_[id.value()]) effective_capacity_[id.value()] = capacity;
     dirty_links_.push_back(id);
@@ -233,7 +239,6 @@ class Network : public LinkStateView {
   void set_link_up(LinkId id, bool up) {
     EONA_EXPECTS(topo_->contains(id));
     if (static_cast<bool>(link_up_[id.value()]) == up) return;
-    begin_mutation();
     link_up_[id.value()] = up ? 1 : 0;
     effective_capacity_[id.value()] = up ? link_capacity_[id.value()] : 0.0;
     ++topology_epoch_;
@@ -428,42 +433,21 @@ class Network : public LinkStateView {
     }
   }
 
-  /// First half of every mutation: fire the before hook while the old rate
-  /// vector is still live -- on every mutation when unbatched, on the first
-  /// mutation of the outermost batch otherwise.
-  void begin_mutation() {
-    if (batch_depth_ == 0) {
-      fire_before();
-      return;
-    }
-    if (!batch_before_fired_) {
-      fire_before();
-      batch_before_fired_ = true;
-    }
-  }
-
-  /// Second half: recompute + after hook immediately when unbatched,
-  /// deferred to commit() inside a batch.
+  /// Tail of every mutation: recompute + rates-changed hook immediately
+  /// when unbatched, deferred to commit() inside a batch.
   void end_mutation() {
     if (batch_depth_ > 0) {
       batch_mutated_ = true;
       return;
     }
     recompute();
-    fire_after();
+    fire_rates_changed();
   }
 
-  void fire_before() {
-    if (before_change_ && !in_hook_) {
+  void fire_rates_changed() {
+    if (rates_changed_ && !in_hook_) {
       in_hook_ = true;
-      before_change_();
-      in_hook_ = false;
-    }
-  }
-  void fire_after() {
-    if (after_change_ && !in_hook_) {
-      in_hook_ = true;
-      after_change_();
+      rates_changed_(rate_changes_);
       in_hook_ = false;
     }
   }
@@ -509,11 +493,13 @@ class Network : public LinkStateView {
   std::vector<BitsPerSecond> solve_rates_;
   MaxMinSolver solver_;
 
-  Hook before_change_;
-  Hook after_change_;
+  // Flows whose rate moved in the last recompute (ascending flow id),
+  // handed to the rates-changed hook. Member to reuse capacity.
+  std::vector<RateChange> rate_changes_;
+
+  RatesChangedHook rates_changed_;
   bool in_hook_ = false;
   int batch_depth_ = 0;
-  bool batch_before_fired_ = false;
   bool batch_mutated_ = false;
   FlowId::rep_type next_flow_id_ = 0;
   std::uint64_t recompute_count_ = 0;

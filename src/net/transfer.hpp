@@ -2,33 +2,43 @@
 //
 // A Transfer is "deliver V bits over this path, then call me back". Because
 // rates change whenever any flow in the network changes, delivered volume
-// must be integrated piecewise: the manager hooks the network's
-// before-change/after-change events, banks progress under the outgoing rate
-// vector, then re-predicts every transfer's completion time under the new
-// one. Applications (video chunk fetches, page loads) are built on this.
+// must be integrated piecewise. The manager subscribes to the network's
+// rates-changed hook: each transfer stores the rate it has been running at,
+// and when the network reports that rate moved the manager banks the bits
+// delivered under the old rate (rate x elapsed -- exact, since the rate was
+// constant over the interval) and re-predicts that transfer's completion
+// under the new one. Only the transfers whose rate actually changed pay
+// anything, so one network mutation costs O(dirty component), not O(all
+// active transfers). Applications (video chunk fetches, page loads) build
+// on this.
 //
-// Batching (Network::Batch): the before hook fires once at the first
-// mutation of a batch -- while every flow is still present and the old rate
-// vector is live -- so progress banks exactly once; the after hook fires
-// once at commit, re-predicting completions under the post-batch rates. A
-// transfer started inside a batch sees rate 0 until commit (it is
-// rescheduled by the commit's after hook), so coalescing a burst of starts,
-// cancels, or demand changes costs one bank + one reschedule total.
+// Storage is flat: transfer state lives in a slot vector with a free list
+// (no per-transfer allocation at steady state); hash indices map transfer
+// and flow ids to slots.
+//
+// Batching (Network::Batch): structural changes land immediately but rates
+// stay stale until commit; the rates-changed hook fires once at commit, so
+// coalescing a burst of starts, cancels, or demand changes costs one
+// reschedule per flow whose rate moved, total. A transfer started inside a
+// batch sees rate 0 until commit (its first real prediction happens in the
+// commit's hook).
 //
 // Stranding: a transfer whose path crosses a down link cannot make progress
 // (its share is exactly 0) and, unlike a merely congested flow, no rate
 // change will revive it while the link stays dead. Such transfers ABORT
 // with a distinct failure reason instead of silently starving: the manager
 // collects them during rescheduling and tears them down in one zero-delay
-// sweep (re-entrancy: rescheduling runs inside network change hooks, where
-// the flow table must not be mutated). A stranded transfer whose flow was
-// rerouted onto a live path before the sweep runs (e.g. by an InfP egress
-// migration) survives untouched.
+// sweep (re-entrancy: rescheduling runs inside the network change hook,
+// where the flow table must not be mutated). A stranded transfer whose flow
+// was rerouted onto a live path before the sweep runs (e.g. by an InfP
+// egress migration) survives untouched. The rates-changed report includes
+// zero-rate flows on down paths even when the value 0 is unchanged, so a
+// dead-path reroute is always observed.
 #pragma once
 
 #include <algorithm>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -57,8 +67,9 @@ struct TransferStatus {
 /// Owns all volume transfers riding on one Network + Scheduler pair.
 ///
 /// All network mutations made by applications and controllers can go through
-/// the network directly; the manager keeps itself consistent via the change
-/// hooks. Exactly one TransferManager may be attached to a Network.
+/// the network directly; the manager keeps itself consistent via the
+/// rates-changed hook. Exactly one TransferManager may be attached to a
+/// Network.
 class TransferManager {
  public:
   using CompletionCallback = std::function<void(TransferId)>;
@@ -71,21 +82,31 @@ class TransferManager {
 
   TransferManager(sim::Scheduler& sched, Network& network)
       : sched_(&sched), network_(&network) {
-    network_->set_change_hooks([this] { advance_all(); },
-                               [this] { reschedule_all(); });
+    network_->set_rates_changed_hook(
+        [this](const std::vector<RateChange>& changes) {
+          on_rates_changed(changes);
+        });
   }
 
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
 
   ~TransferManager() {
-    network_->set_change_hooks(nullptr, nullptr);
+    network_->set_rates_changed_hook(nullptr);
     sched_->close_gate(sweep_gate_);
   }
 
   /// Emit TransferAbortedEvent on `bus` when transfers strand and abort.
   /// Pass nullptr to detach. Purely observational.
   void set_event_bus(sim::EventBus* bus) { bus_ = bus; }
+
+  /// Pre-size the slot storage and indices for `n` concurrent transfers.
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_slots_.reserve(n);
+    slot_of_.reserve(n);
+    flow_slot_.reserve(n);
+  }
 
   /// Start delivering `volume` bits along `path`, at most `demand` bps.
   /// `on_complete` fires (once) when the last bit lands; `on_fail` fires
@@ -97,10 +118,23 @@ class TransferManager {
     EONA_EXPECTS(volume > 0.0);
     FlowId flow = network_->add_flow(std::move(path), demand);
     TransferId id(next_id_++);
-    transfers_.emplace(
-        id, State{flow, volume, volume, sched_->now(), sched_->now(),
-                  std::move(on_complete), std::move(on_fail), sim::Gate{}});
-    reschedule(id);
+    std::uint32_t slot = alloc_slot();
+    State& state = slots_[slot];
+    state.id = id;
+    state.flow = flow;
+    state.total = volume;
+    state.remaining = volume;
+    state.rate = 0.0;
+    state.started_at = sched_->now();
+    state.last_update = sched_->now();
+    state.on_complete = std::move(on_complete);
+    state.on_fail = std::move(on_fail);
+    state.completion_gate = sim::Gate{};
+    slot_of_.emplace(id, slot);
+    flow_slot_.emplace(flow, slot);
+    // Inside a batch the rate is still stale 0; the commit's rates-changed
+    // report re-predicts. Unbatched, this reads the fresh post-solve rate.
+    reschedule(slot, network_->rate(flow));
     return id;
   }
 
@@ -108,35 +142,30 @@ class TransferManager {
   /// that already completed (NotFoundError for never-existed ids is
   /// deliberately NOT thrown to keep cancellation races harmless).
   void cancel(TransferId id) {
-    auto it = transfers_.find(id);
-    if (it == transfers_.end()) return;
-    sched_->close_gate(it->second.completion_gate);
-    FlowId flow = it->second.flow;
-    transfers_.erase(it);
-    network_->remove_flow(flow);  // triggers hooks; transfer already gone
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) return;
+    FlowId flow = slots_[it->second].flow;
+    release_slot(it->second);
+    network_->remove_flow(flow);  // triggers hook; transfer already gone
   }
 
   [[nodiscard]] bool active(TransferId id) const {
-    return transfers_.count(id) > 0;
+    return slot_of_.count(id) > 0;
   }
 
   [[nodiscard]] TransferStatus status(TransferId id) const {
-    auto it = transfers_.find(id);
-    if (it == transfers_.end())
-      throw NotFoundError("transfer " + std::to_string(id.value()));
-    const State& state = it->second;
-    Bits banked = state.remaining -
-                  network_->rate(state.flow) * (sched_->now() - state.last_update);
-    return TransferStatus{state.total, std::max(banked, 0.0),
-                          network_->rate(state.flow), state.started_at};
+    const State& state = slots_[require_slot(id)];
+    // The stored rate has been in effect since last_update (banking happens
+    // exactly when the rate moves), so the un-banked progress is one product.
+    Bits banked =
+        state.remaining - state.rate * (sched_->now() - state.last_update);
+    return TransferStatus{state.total, std::max(banked, 0.0), state.rate,
+                          state.started_at};
   }
 
   /// The network flow carrying a transfer (lets controllers reroute it).
   [[nodiscard]] FlowId flow(TransferId id) const {
-    auto it = transfers_.find(id);
-    if (it == transfers_.end())
-      throw NotFoundError("transfer " + std::to_string(id.value()));
-    return it->second.flow;
+    return slots_[require_slot(id)].flow;
   }
 
   /// Adjust the demand ceiling of a transfer (e.g. pacing a chunk fetch).
@@ -144,56 +173,91 @@ class TransferManager {
     network_->set_demand(flow(id), demand);
   }
 
-  [[nodiscard]] std::size_t active_count() const { return transfers_.size(); }
+  [[nodiscard]] std::size_t active_count() const { return slot_of_.size(); }
 
  private:
   struct State {
+    TransferId id;
     FlowId flow;
-    Bits total;
-    Bits remaining;
-    TimePoint started_at;
-    TimePoint last_update;
+    Bits total = 0.0;
+    Bits remaining = 0.0;
+    BitsPerSecond rate = 0.0;  ///< allocation in effect since last_update
+    TimePoint started_at = 0.0;
+    TimePoint last_update = 0.0;
     CompletionCallback on_complete;
     FailureCallback on_fail;
     sim::Gate completion_gate;  ///< revokes the pending completion post
+    bool alive = false;
   };
 
-  /// Bank progress for every transfer at the current rates (called just
-  /// before the rate vector changes).
-  void advance_all() {
-    TimePoint now = sched_->now();
-    for (auto& [id, state] : transfers_) {
-      Duration elapsed = now - state.last_update;
-      if (elapsed > 0.0) {
-        state.remaining -= network_->rate(state.flow) * elapsed;
-        state.remaining = std::max(state.remaining, 0.0);
-        state.last_update = now;
-      }
+  [[nodiscard]] std::uint32_t require_slot(TransferId id) const {
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end())
+      throw NotFoundError("transfer " + std::to_string(id.value()));
+    return it->second;
+  }
+
+  std::uint32_t alloc_slot() {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[slot].alive = true;
+    return slot;
+  }
+
+  /// Detach a slot from both indices and recycle it. Does NOT touch the
+  /// network flow (callers differ) but does revoke the pending completion.
+  void release_slot(std::uint32_t slot) {
+    State& state = slots_[slot];
+    sched_->close_gate(state.completion_gate);
+    slot_of_.erase(state.id);
+    flow_slot_.erase(state.flow);
+    state.on_complete = nullptr;
+    state.on_fail = nullptr;
+    state.alive = false;
+    free_slots_.push_back(slot);
+  }
+
+  /// React to the network's report of moved rates: bank progress under the
+  /// outgoing rate and re-predict completion under the new one, for exactly
+  /// the transfers affected.
+  void on_rates_changed(const std::vector<RateChange>& changes) {
+    for (const RateChange& change : changes) {
+      auto it = flow_slot_.find(change.flow);
+      if (it == flow_slot_.end()) continue;  // flow without a transfer
+      reschedule(it->second, change.rate);
     }
   }
 
-  /// Re-predict completion times under the (new) rate vector.
-  void reschedule_all() {
-    for (auto& [id, state] : transfers_) reschedule(id);
-  }
-
-  void reschedule(TransferId id) {
-    State& state = transfers_.at(id);
-    // Revoke the stale completion (predicted under the old rate vector) and
-    // post a fresh one; the gate swap allocates nothing (hot path: every
-    // transfer re-predicts on every rate change).
+  void reschedule(std::uint32_t slot, BitsPerSecond new_rate) {
+    State& state = slots_[slot];
+    // Bank bits delivered under the outgoing rate; it was constant since
+    // last_update, so one multiply integrates the whole interval exactly.
+    Duration elapsed = sched_->now() - state.last_update;
+    if (elapsed > 0.0 && state.rate > 0.0)
+      state.remaining = std::max(state.remaining - state.rate * elapsed, 0.0);
+    state.last_update = sched_->now();
+    state.rate = new_rate;
+    // Revoke the stale completion (predicted under the old rate) and post a
+    // fresh one; the gate swap and the post allocate nothing.
     sched_->close_gate(state.completion_gate);
-    BitsPerSecond current = network_->rate(state.flow);
-    if (current <= 0.0) {
+    if (new_rate <= 0.0) {
       // Congestion-starved transfers revive on the next rate change, but a
       // dead link on the path strands the flow for good: queue it for the
-      // abort sweep. No teardown here -- rescheduling runs inside network
-      // change hooks where the flow table must stay intact.
-      if (!network_->path_up(network_->path(state.flow))) mark_stranded(id);
+      // abort sweep. No teardown here -- rescheduling runs inside the
+      // network change hook where the flow table must stay intact.
+      if (!network_->path_up(network_->path(state.flow)))
+        mark_stranded(state.id);
       return;
     }
-    Duration eta = state.remaining / current;
+    Duration eta = state.remaining / new_rate;
     state.completion_gate = sched_->open_gate();
+    TransferId id = state.id;
     sched_->post_after(eta, state.completion_gate,
                        [this, id] { complete(id); });
   }
@@ -222,15 +286,14 @@ class TransferManager {
     {
       Network::Batch batch(*network_);
       for (TransferId id : pending) {
-        auto it = transfers_.find(id);
-        if (it == transfers_.end()) continue;  // completed or cancelled
-        State& state = it->second;
+        auto it = slot_of_.find(id);
+        if (it == slot_of_.end()) continue;  // completed or cancelled
+        State& state = slots_[it->second];
         // Healed or rerouted onto a live path since queueing: lives on.
         if (network_->path_up(network_->path(state.flow))) continue;
-        sched_->close_gate(state.completion_gate);
         FailureCallback on_fail = std::move(state.on_fail);
         FlowId flow = state.flow;
-        transfers_.erase(it);
+        release_slot(it->second);
         network_->remove_flow(flow);
         if (bus_ != nullptr)
           bus_->publish(sim::TransferAbortedEvent{
@@ -243,14 +306,14 @@ class TransferManager {
   }
 
   void complete(TransferId id) {
-    auto it = transfers_.find(id);
-    if (it == transfers_.end()) return;  // raced with cancel
-    sched_->close_gate(it->second.completion_gate);
-    // Bank final progress, detach, then notify (callback may start new
-    // transfers or mutate the network freely).
-    CompletionCallback callback = std::move(it->second.on_complete);
-    FlowId flow = it->second.flow;
-    transfers_.erase(it);
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) return;  // raced with cancel
+    State& state = slots_[it->second];
+    // Detach, then notify (callback may start new transfers or mutate the
+    // network freely).
+    CompletionCallback callback = std::move(state.on_complete);
+    FlowId flow = state.flow;
+    release_slot(it->second);
     network_->remove_flow(flow);
     if (callback) callback(id);
   }
@@ -258,7 +321,13 @@ class TransferManager {
   sim::Scheduler* sched_;
   Network* network_;
   sim::EventBus* bus_ = nullptr;
-  std::map<TransferId, State> transfers_;  // ordered: deterministic iteration
+  // Flat slot storage with a free list; indices map ids to slots. Bulk
+  // operations iterate id lists sorted numerically, never the hash tables,
+  // so iteration order stays deterministic.
+  std::vector<State> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<TransferId, std::uint32_t> slot_of_;
+  std::unordered_map<FlowId, std::uint32_t> flow_slot_;
   std::vector<TransferId> stranded_pending_;
   sim::Gate sweep_gate_;
   bool sweep_scheduled_ = false;

@@ -117,6 +117,7 @@ CellularWebResult run_cellular_web(const CellularWebConfig& config) {
   sched.run_all();  // drain remaining transfers
 
   // --- evaluation -----------------------------------------------------------------
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   CellularWebResult result;
   if (outcomes.size() < 20) return result;
 

@@ -108,19 +108,16 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, world->transfers(), network, world->routing(),
-          world->directory(), brain, &appp.collector(), app::PlayerConfig{},
-          session, dims, client, catalog.item(content), qoe::EngagementModel{},
-          std::move(done));
-    });
+    pool.spawn_player(sched, world->transfers(), network, world->routing(),
+                      world->directory(), brain, &appp.collector(),
+                      app::PlayerConfig{}, session, dims, client,
+                      catalog.item(content), qoe::EngagementModel{});
   };
   app::PoissonArrivals arrivals(
       sched, world->rng().fork(), {{0.0, config.arrival_rate}},
       config.run_duration - config.video_duration, spawn);
 
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   CoarseControlResult result;
   sim::PeriodicTask sampler(sched, 2.0, [&] {
     std::size_t active = 0, stalled = 0;

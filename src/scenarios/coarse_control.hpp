@@ -33,6 +33,8 @@ struct CoarseControlConfig {
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (eona_lab --store=FILE dumps it as queryable rows).
   telemetry::ColumnStore* store = nullptr;
+  /// When non-null, accumulates run-cost counters (scheduler events).
+  RunPerf* perf = nullptr;
 };
 
 struct CoarseControlResult {

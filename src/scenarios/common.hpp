@@ -37,6 +37,15 @@ enum class ControlMode {
   return "?";
 }
 
+/// Run-cost counters a scenario fills in when the caller passes a non-null
+/// `perf` pointer in its config (the eona_lab --perf flag). Counters are
+/// accumulated (+=) so one RunPerf can span several runs; wall-clock and
+/// memory are measured by the caller, keeping scenario output independent
+/// of the host machine.
+struct RunPerf {
+  std::uint64_t events = 0;  ///< scheduler events fired during the run
+};
+
 /// Aggregate experience over a set of finished sessions.
 struct QoeSummary {
   std::size_t sessions = 0;

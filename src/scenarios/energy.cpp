@@ -83,18 +83,15 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, world->transfers(), world->network(), world->routing(),
-          world->directory(), appp.brain(), &appp.collector(),
-          app::PlayerConfig{}, session, dims, client, catalog.item(content),
-          qoe::EngagementModel{}, std::move(done));
-    });
+    pool.spawn_player(sched, world->transfers(), world->network(),
+                      world->routing(), world->directory(), appp.brain(),
+                      &appp.collector(), app::PlayerConfig{}, session, dims,
+                      client, catalog.item(content), qoe::EngagementModel{});
   };
   app::PoissonArrivals arrivals(sched, world->rng().fork(), phases,
                                 run_duration - config.video_duration, spawn);
 
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   EnergyScenarioResult result;
   sim::PeriodicTask sampler(sched, 5.0, [&] {
     result.metrics.series("online_servers")

@@ -98,14 +98,10 @@ FailoverResult run_failover(const FailoverConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, world->transfers(), world->network(), world->routing(),
-          world->directory(), brain, &appp.collector(), player_cfg, session,
-          dims, client, catalog.item(content), qoe::EngagementModel{},
-          std::move(done));
-    });
+    pool.spawn_player(sched, world->transfers(), world->network(),
+                      world->routing(), world->directory(), brain,
+                      &appp.collector(), player_cfg, session, dims, client,
+                      catalog.item(content), qoe::EngagementModel{});
   };
   app::PoissonArrivals arrivals(
       sched, world->rng().fork(), {{0.0, config.arrival_rate}},
@@ -136,6 +132,7 @@ FailoverResult run_failover(const FailoverConfig& config) {
   // 1 Hz: rebuffer-seconds is the integral of the stalled-player count after
   // the outage; recovery is the moment the last stalled sample was seen.
   const Duration sample_dt = 1.0;
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   FailoverResult result;
   TimePoint last_stalled_at = config.outage_start;
   bool any_stalled = false;

@@ -97,14 +97,10 @@ FairnessResult run_fairness(const FairnessConfig& config) {
       telemetry::Dimensions dims;
       dims.isp = isp;
       ContentId content = catalog.sample(content_rng);
-      pool.spawn([&, session, dims,
-                  content](app::VideoPlayer::DoneCallback done) {
-        return std::make_unique<app::VideoPlayer>(
-            sched, world->transfers(), world->network(), world->routing(),
-            world->directory(), appp.brain(), &appp.collector(), player_cfg,
-            session, dims, client, catalog.item(content),
-            qoe::EngagementModel{}, std::move(done));
-      });
+      pool.spawn_player(sched, world->transfers(), world->network(),
+                        world->routing(), world->directory(), appp.brain(),
+                        &appp.collector(), player_cfg, session, dims, client,
+                        catalog.item(content), qoe::EngagementModel{});
     };
   };
   TimePoint arrivals_end = config.run_duration - config.video_duration;
@@ -125,6 +121,7 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   world->auditor().finalize();
 
   // --- summarise -----------------------------------------------------------------------
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   FairnessResult result;
   result.appp1 = QoeSummary::from(pool1.summaries());
   result.appp2 = QoeSummary::from(pool2.summaries());

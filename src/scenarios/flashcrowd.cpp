@@ -121,13 +121,9 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, transfers, network, routing, directory, brain,
-          &appp.collector(), player_cfg, session, dims, client,
-          catalog.item(content), qoe::EngagementModel{}, std::move(done));
-    });
+    pool.spawn_player(sched, transfers, network, routing, directory, brain,
+                      &appp.collector(), player_cfg, session, dims, client,
+                      catalog.item(content), qoe::EngagementModel{});
   };
 
   app::PoissonArrivals arrivals(sched, world->rng().fork(),
@@ -159,6 +155,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   });
 
   // --- sampling ------------------------------------------------------------------
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   FlashCrowdResult result;
   sim::PeriodicTask sampler(sched, 2.0, [&] {
     TimePoint now = sched.now();

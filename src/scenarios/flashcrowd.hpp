@@ -59,6 +59,8 @@ struct FlashCrowdConfig {
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (same stream the trace sees; eona_lab --store=FILE dumps it).
   telemetry::ColumnStore* store = nullptr;
+  /// When non-null, accumulates run-cost counters (scheduler events).
+  RunPerf* perf = nullptr;
   // --- elastic capacity provisioning (E16; off by default) ---
   /// InfP access-capacity provisioning. Forecast-driven mode additionally
   /// attaches a telemetry store to the InfP (config.store, or an internal

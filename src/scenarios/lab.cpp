@@ -11,6 +11,7 @@
 #include "scenarios/flashcrowd.hpp"
 #include "scenarios/oscillation.hpp"
 #include "scenarios/quickstart.hpp"
+#include "scenarios/scale.hpp"
 #include "sim/trace.hpp"
 
 namespace eona::scenarios {
@@ -91,10 +92,12 @@ core::JsonValue health_json(const telemetry::DeliveryHealthSnapshot& h) {
 
 core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
                                sim::TraceWriter* trace,
-                               telemetry::ColumnStore* store) {
+                               telemetry::ColumnStore* store,
+                               RunPerf* perf) {
   FlashCrowdConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   double access_mbps = config.access_capacity / 1e6;
@@ -179,11 +182,13 @@ core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
 }
 
 core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
-                                    sim::TraceWriter* trace,
-                                    telemetry::ColumnStore* store) {
+                               sim::TraceWriter* trace,
+                               telemetry::ColumnStore* store,
+                               RunPerf* perf) {
   OscillationConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("run_duration", config.run_duration);
@@ -213,11 +218,13 @@ core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
 }
 
 core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
-                           sim::TraceWriter* trace,
-                           telemetry::ColumnStore* store) {
+                               sim::TraceWriter* trace,
+                               telemetry::ColumnStore* store,
+                               RunPerf* perf) {
   CoarseControlConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("incident_at", config.incident_at);
@@ -240,10 +247,12 @@ core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
 
 core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
                                sim::TraceWriter* trace,
-                               telemetry::ColumnStore* store) {
+                               telemetry::ColumnStore* store,
+                               RunPerf* perf) {
   EnergyScenarioConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.integer("seed", config.seed);
   ov.boolean("eona", config.eona);
   ov.number("scale_down_load", config.scale_down_load);
@@ -266,10 +275,11 @@ core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
 }
 
 core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace,
-                     telemetry::ColumnStore* store) {
+                     telemetry::ColumnStore* store, RunPerf* perf) {
   CellularWebConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.integer("seed", config.seed);
   ov.size("sessions", config.sessions);
   ov.size("sectors", config.sectors);
@@ -292,10 +302,11 @@ core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace,
 }
 
 core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace,
-                     telemetry::ColumnStore* store) {
+                     telemetry::ColumnStore* store, RunPerf* perf) {
   FairnessConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.integer("seed", config.seed);
   ov.boolean("appp1_eona", config.appp1_eona);
   ov.boolean("appp2_eona", config.appp2_eona);
@@ -315,11 +326,13 @@ core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace,
 }
 
 core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
-                                 sim::TraceWriter* trace,
-                                 telemetry::ColumnStore* store) {
+                               sim::TraceWriter* trace,
+                               telemetry::ColumnStore* store,
+                               RunPerf* perf) {
   FailoverConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("run_duration", config.run_duration);
@@ -362,11 +375,63 @@ core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
   return out;
 }
 
+core::JsonValue run_scale_lab(Overrides& ov, sim::TraceWriter* trace,
+                              telemetry::ColumnStore* store, RunPerf* perf) {
+  // A million-session run emits hundreds of millions of bus events; JSONL
+  // traces and store ingestion at that volume are not meaningful artifacts.
+  if (trace != nullptr || store != nullptr)
+    throw ConfigError("scale does not support --trace/--store");
+  ScaleConfig config;
+  config.perf = perf;
+  ov.mode("mode", config.mode);
+  ov.integer("seed", config.seed);
+  ov.size("sessions", config.sessions);
+  ov.size("sectors", config.sectors);
+  // Threads change only the wall clock, never the output: the result JSON
+  // is byte-identical at any worker count (so threads is not echoed below).
+  ov.size("threads", config.threads);
+  ov.number("run_duration", config.run_duration);
+  ov.number("video_duration", config.video_duration);
+  ov.number("barrier_period", config.barrier_period);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  ov.number("headroom_fraction", config.headroom_fraction);
+  ov.boolean("diurnal", config.diurnal);
+  ov.finish();
+
+  ScaleResult r = run_scale(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("scale"));
+  out.set("mode", core::JsonValue::string(to_string(config.mode)));
+  out.set("sessions",
+          core::JsonValue::number(static_cast<double>(r.arrivals)));
+  out.set("sectors",
+          core::JsonValue::number(static_cast<double>(config.sectors)));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("events", core::JsonValue::number(static_cast<double>(r.events)));
+  out.set("peak_concurrent",
+          core::JsonValue::number(static_cast<double>(r.peak_concurrent)));
+  out.set("reallocations",
+          core::JsonValue::number(static_cast<double>(r.reallocations)));
+  out.set("barrier_rounds",
+          core::JsonValue::number(static_cast<double>(r.barrier_rounds)));
+  // Per-sector detail only at debuggable scale; thousands of sectors would
+  // swamp the output.
+  if (config.sectors <= 16) {
+    core::JsonValue per = core::JsonValue::array();
+    for (const QoeSummary& qoe : r.per_sector) per.push_back(qoe_json(qoe));
+    out.set("per_sector", std::move(per));
+  }
+  return out;
+}
+
 core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
-                     telemetry::ColumnStore* store) {
+                     telemetry::ColumnStore* store, RunPerf* perf) {
   QuickstartConfig config;
   config.trace = trace;
   config.store = store;
+  config.perf = perf;
   ov.mode("mode", config.mode);
   ov.integer("seed", config.seed);
   ov.number("arrival_rate", config.arrival_rate);
@@ -388,8 +453,8 @@ core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "flashcrowd", "oscillation", "coarse",     "energy",
-      "cellular",   "fairness",    "quickstart", "failover"};
+      "flashcrowd", "oscillation", "coarse",     "energy",  "cellular",
+      "fairness",   "quickstart",  "failover",   "scale"};
   return names;
 }
 
@@ -397,19 +462,23 @@ core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
     sim::MetricSet* series_out, sim::TraceWriter* trace,
-    telemetry::ColumnStore* store) {
+    telemetry::ColumnStore* store, RunPerf* perf) {
   Overrides ov(overrides);
   if (scenario == "flashcrowd")
-    return run_flashcrowd(ov, series_out, trace, store);
+    return run_flashcrowd(ov, series_out, trace, store, perf);
   if (scenario == "oscillation")
-    return run_oscillation_lab(ov, series_out, trace, store);
-  if (scenario == "coarse") return run_coarse(ov, series_out, trace, store);
-  if (scenario == "energy") return run_energy_lab(ov, series_out, trace, store);
-  if (scenario == "cellular") return run_cellular(ov, trace, store);
-  if (scenario == "fairness") return run_fairness_lab(ov, trace, store);
-  if (scenario == "quickstart") return run_quickstart_lab(ov, trace, store);
+    return run_oscillation_lab(ov, series_out, trace, store, perf);
+  if (scenario == "coarse")
+    return run_coarse(ov, series_out, trace, store, perf);
+  if (scenario == "energy")
+    return run_energy_lab(ov, series_out, trace, store, perf);
+  if (scenario == "cellular") return run_cellular(ov, trace, store, perf);
+  if (scenario == "fairness") return run_fairness_lab(ov, trace, store, perf);
+  if (scenario == "quickstart")
+    return run_quickstart_lab(ov, trace, store, perf);
   if (scenario == "failover")
-    return run_failover_lab(ov, series_out, trace, store);
+    return run_failover_lab(ov, series_out, trace, store, perf);
+  if (scenario == "scale") return run_scale_lab(ov, trace, store, perf);
   throw ConfigError("unknown scenario '" + scenario + "'");
 }
 

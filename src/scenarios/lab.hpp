@@ -50,12 +50,14 @@ class Overrides {
 /// `trace` is non-null it is attached to the run's event bus and accumulates
 /// the JSONL event trace (eona_lab --trace=FILE). When `store` is non-null
 /// the run's event stream is additionally ingested into it as queryable
-/// rows (eona_lab --store=FILE).
+/// rows (eona_lab --store=FILE). When `perf` is non-null the scenario
+/// accumulates its run-cost counters there (eona_lab --perf).
 [[nodiscard]] core::JsonValue run_scenario_json(
     const std::string& scenario,
     const std::map<std::string, std::string>& overrides,
     sim::MetricSet* series_out = nullptr,
     sim::TraceWriter* trace = nullptr,
-    telemetry::ColumnStore* store = nullptr);
+    telemetry::ColumnStore* store = nullptr,
+    RunPerf* perf = nullptr);
 
 }  // namespace eona::scenarios

@@ -103,14 +103,10 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, world->transfers(), world->network(), world->routing(),
-          world->directory(), brain, &appp.collector(), player_cfg, session,
-          dims, client, catalog.item(content), qoe::EngagementModel{},
-          std::move(done));
-    });
+    pool.spawn_player(sched, world->transfers(), world->network(),
+                      world->routing(), world->directory(), brain,
+                      &appp.collector(), player_cfg, session, dims, client,
+                      catalog.item(content), qoe::EngagementModel{});
   };
   app::PoissonArrivals arrivals(
       sched, world->rng().fork(), {{0.0, config.arrival_rate}},
@@ -121,6 +117,7 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   // the end-of-run traffic drain (where returning to the cheap point is
   // correct, not flapping) are excluded.
   const TimePoint measure_to = config.run_duration - config.video_duration;
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   OscillationResult result;
   control::CycleDetector detector;
   sim::PeriodicTask sampler(sched, config.infp_period, [&] {

@@ -49,14 +49,10 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
     telemetry::Dimensions dims;
     dims.isp = isp;
     ContentId content = catalog.sample(content_rng);
-    pool.spawn([&, session, dims,
-                content](app::VideoPlayer::DoneCallback done) {
-      return std::make_unique<app::VideoPlayer>(
-          sched, world->transfers(), world->network(), world->routing(),
-          world->directory(), brain, &appp.collector(), app::PlayerConfig{},
-          session, dims, client, catalog.item(content),
-          qoe::EngagementModel{}, std::move(done));
-    });
+    pool.spawn_player(sched, world->transfers(), world->network(),
+                      world->routing(), world->directory(), brain,
+                      &appp.collector(), app::PlayerConfig{}, session, dims,
+                      client, catalog.item(content), qoe::EngagementModel{});
   };
   app::PoissonArrivals arrivals(
       sched, world->rng().fork(), {{0.0, config.arrival_rate}},
@@ -68,6 +64,7 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   sched.run_until(config.run_duration + 1.0);
   world->auditor().finalize();
 
+  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   QuickstartResult result;
   result.qoe = QoeSummary::from(pool.summaries());
   return result;

@@ -1,0 +1,215 @@
+#include "scenarios/scale.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "app/content_catalog.hpp"
+#include "app/video_player.hpp"
+#include "app/workload.hpp"
+#include "scenarios/world.hpp"
+#include "sim/sector.hpp"
+
+namespace eona::scenarios {
+namespace {
+
+/// One ISP x CDN-region cell: a full mini world plus its workload state.
+/// Everything here is private to the sector between barriers, so worker
+/// threads can advance different sectors concurrently.
+struct Sector {
+  std::unique_ptr<sim::World> world;
+  app::SessionPool* pool = nullptr;
+  control::AppPController* appp = nullptr;
+  app::PlayerBrain* brain = nullptr;
+  NodeId client;
+  IspId isp{0};
+  LinkId access;
+  std::optional<sim::Rng> content_rng;
+  std::optional<app::PoissonArrivals> arrivals;
+  std::size_t quota = 0;    ///< sessions this sector must admit, exact
+  std::size_t spawned = 0;  ///< sessions admitted so far
+  SessionId::rep_type next_session = 0;
+  bool window_closed = false;
+  double grant = 0.0;  ///< current backbone headroom grant (bps)
+};
+
+void spawn_session(Sector& sec) {
+  SessionId session(sec.next_session++);
+  telemetry::Dimensions dims;
+  dims.isp = sec.isp;
+  app::ContentCatalog& catalog = sec.world->catalog();
+  ContentId content = catalog.sample(*sec.content_rng);
+  sec.pool->spawn_player(sec.world->sched(), sec.world->transfers(),
+                         sec.world->network(), sec.world->routing(),
+                         sec.world->directory(), *sec.brain,
+                         &sec.appp->collector(), app::PlayerConfig{}, session,
+                         dims, sec.client, catalog.item(content),
+                         qoe::EngagementModel{});
+  ++sec.spawned;
+}
+
+/// Assemble one sector world -- the quickstart wiring, seeded from a salted
+/// fork of the experiment seed so sectors draw independent streams.
+std::unique_ptr<Sector> make_sector(const ScaleConfig& config,
+                                    std::uint64_t sector_seed,
+                                    std::size_t quota) {
+  auto sec = std::make_unique<Sector>();
+  sim::World::Builder b(sector_seed);
+  b.add_isp_bottleneck(config.access_capacity);
+  b.with_catalog(16, config.video_duration);
+  sim::World::Builder::CdnSpec cdn_spec;
+  cdn_spec.warm = true;
+  b.add_cdn("cdn", cdn_spec);
+  b.build_network(sec->isp);
+
+  control::AppPController& appp = b.add_appp("video-appp");
+  control::InfPController& infp =
+      b.add_infp("access-isp", sec->isp, {b.access_link()});
+  b.wire_eona();
+  const bool eona = config.mode != ControlMode::kBaseline;
+  appp.set_eona_enabled(eona);
+  infp.set_eona_enabled(eona);
+  appp.start();
+  infp.start();
+  control::OracleBrain& oracle = b.add_oracle();
+
+  sec->pool = &b.add_session_pool();
+  sec->appp = &appp;
+  sec->brain = (config.mode == ControlMode::kOracle)
+                   ? static_cast<app::PlayerBrain*>(&oracle)
+                   : &appp.brain();
+  sec->client = b.client();
+  sec->access = b.access_link();
+  sec->world = b.build();
+  sec->content_rng.emplace(sec->world->rng().fork());
+  sec->quota = quota;
+
+  // Pre-size the pool for the expected concurrency (admission rate x video
+  // duration, doubled for burst slack) -- steady churn then never allocates.
+  Duration window = config.run_duration - config.video_duration;
+  auto concurrent = static_cast<std::size_t>(
+      static_cast<double>(quota) * config.video_duration / window);
+  sec->pool->reserve(std::min(quota, 2 * concurrent + 8));
+  return sec;
+}
+
+}  // namespace
+
+ScaleResult run_scale(const ScaleConfig& config) {
+  EONA_EXPECTS(config.sectors >= 1);
+  EONA_EXPECTS(config.threads >= 1);
+  EONA_EXPECTS(config.barrier_period > 0.0);
+  EONA_EXPECTS(config.video_duration > 0.0);
+  EONA_EXPECTS(config.run_duration > config.video_duration);
+
+  const Duration window = config.run_duration - config.video_duration;
+  const std::size_t n = config.sectors;
+  sim::Rng root(config.seed);
+
+  std::vector<std::unique_ptr<Sector>> sectors;
+  sectors.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::size_t quota =
+        config.sessions / n + (s < config.sessions % n ? 1 : 0);
+    sectors.push_back(
+        make_sector(config, root.fork_salted(s).seed(), quota));
+  }
+
+  // Arrival processes: per-sector Poisson at quota/window (flat) or a
+  // raised-cosine diurnal profile with the same mean, capped at the quota.
+  for (auto& sec_ptr : sectors) {
+    Sector& sec = *sec_ptr;
+    double rate = static_cast<double>(sec.quota) / window;
+    std::vector<app::ArrivalPhase> phases =
+        config.diurnal
+            ? app::diurnal_phases(0.5 * rate, 1.5 * rate, window, 8, window)
+            : std::vector<app::ArrivalPhase>{{0.0, rate}};
+    sec.arrivals.emplace(sec.world->sched(), sec.world->rng().fork(),
+                         std::move(phases), window, [&sec] {
+                           if (sec.spawned < sec.quota) spawn_session(sec);
+                         });
+  }
+
+  // Barrier loop: advance every sector to the next coupling point (workers
+  // touch disjoint sectors), then serially rebalance backbone headroom.
+  sim::SectorRunner runner(config.threads);
+  ScaleResult result;
+  result.per_sector.resize(n);
+  const double headroom_pool = config.headroom_fraction *
+                               config.access_capacity *
+                               static_cast<double>(n);
+  constexpr double kPressureThreshold = 0.9;
+
+  auto advance = [&](std::size_t s, TimePoint target) {
+    Sector& sec = *sectors[s];
+    sec.world->sched().run_until(target);
+    if (!sec.window_closed && target >= window) {
+      // The arrival window is over: stop the process and top up any Poisson
+      // shortfall so the sector admits exactly its quota.
+      sec.window_closed = true;
+      sec.arrivals.reset();
+      while (sec.spawned < sec.quota) spawn_session(sec);
+    }
+  };
+
+  std::vector<double> pressure(n, 0.0);
+  for (TimePoint target = config.barrier_period;;
+       target += config.barrier_period) {
+    target = std::min(target, config.run_duration);
+    runner.run_round(n, [&](std::size_t s) { advance(s, target); });
+    ++result.barrier_rounds;
+
+    // Serial coordinator, fixed sector order: grant the headroom pool to
+    // sectors in proportion to their access-link pressure.
+    double total_pressure = 0.0;
+    std::size_t concurrent = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      Sector& sec = *sectors[s];
+      concurrent += sec.pool->active_count();
+      pressure[s] = std::max(
+          0.0, sec.world->network().link_utilization(sec.access) -
+                   kPressureThreshold);
+      total_pressure += pressure[s];
+    }
+    result.peak_concurrent = std::max(result.peak_concurrent, concurrent);
+    for (std::size_t s = 0; s < n; ++s) {
+      Sector& sec = *sectors[s];
+      double grant = total_pressure > 0.0
+                         ? headroom_pool * pressure[s] / total_pressure
+                         : 0.0;
+      if (grant == sec.grant) continue;
+      sec.grant = grant;
+      ++result.reallocations;
+      sec.world->network().set_link_capacity(sec.access,
+                                             config.access_capacity + grant);
+    }
+    if (target >= config.run_duration) break;
+  }
+
+  // Drain: abort the survivors (final beacons fire), let the deferred
+  // teardown sweep run, and close the books. Sectors stay independent, so
+  // the drain parallelises like any other round.
+  runner.run_round(n, [&](std::size_t s) {
+    Sector& sec = *sectors[s];
+    sec.arrivals.reset();
+    sec.pool->abort_all();
+    sec.world->sched().run_until(config.run_duration + 1.0);
+    sec.world->auditor().finalize();
+  });
+
+  std::vector<app::SessionSummary> all;
+  all.reserve(config.sessions);
+  for (std::size_t s = 0; s < n; ++s) {
+    Sector& sec = *sectors[s];
+    result.per_sector[s] = QoeSummary::from(sec.pool->summaries());
+    all.insert(all.end(), sec.pool->summaries().begin(),
+               sec.pool->summaries().end());
+    result.events += sec.world->sched().events_fired();
+    result.arrivals += sec.spawned;
+  }
+  result.qoe = QoeSummary::from(all);
+  if (config.perf != nullptr) config.perf->events += result.events;
+  return result;
+}
+
+}  // namespace eona::scenarios

@@ -1,0 +1,59 @@
+// Scale scenario (E17): a million-session world partitioned into sectors.
+//
+// The world is split into `sectors` independent ISP x CDN-region cells,
+// each a complete mini sim::World (own scheduler, rng, network, CDN, AppP /
+// InfP pair, session pool, auditor) assembled exactly like quickstart.
+// Sectors couple only at barrier ticks: every `barrier_period` seconds all
+// sectors advance to the barrier (serially, or on a SectorRunner pool when
+// threads > 1), then a serial coordinator walks them in index order and
+// reallocates a shared backbone headroom pool to the most-pressured access
+// links. Because sectors share no mutable state between barriers and the
+// coordinator is serial and order-fixed, the run's output is byte-identical
+// at any thread count.
+//
+// Total admitted sessions is exact: each sector has a fixed quota
+// (sessions / sectors, remainder spread over the low sectors), Poisson
+// arrivals stop spawning at quota, and any Poisson shortfall is topped up
+// at the first barrier past the arrival window.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "scenarios/common.hpp"
+
+namespace eona::scenarios {
+
+struct ScaleConfig {
+  std::uint64_t seed = 42;
+  ControlMode mode = ControlMode::kEona;
+  std::size_t sessions = 100'000;  ///< total admitted sessions, exact
+  std::size_t sectors = 64;        ///< ISP x CDN-region cells
+  std::size_t threads = 1;         ///< worker threads for barrier rounds
+  Duration run_duration = 600.0;
+  Duration video_duration = 120.0;
+  Duration barrier_period = 30.0;  ///< coupling-point spacing
+  BitsPerSecond access_capacity = mbps(60);  ///< per-sector base access
+  /// Backbone headroom pool as a fraction of the summed base access
+  /// capacity; redistributed at each barrier to sectors over 90% utilisation.
+  double headroom_fraction = 0.1;
+  /// Diurnal (night/day/night) arrival profile instead of a flat rate.
+  bool diurnal = false;
+  RunPerf* perf = nullptr;  ///< optional run-cost counters (see common.hpp)
+};
+
+struct ScaleResult {
+  QoeSummary qoe;                      ///< merged across all sectors
+  std::vector<QoeSummary> per_sector;  ///< indexed by sector
+  std::uint64_t events = 0;            ///< scheduler events, summed
+  std::uint64_t arrivals = 0;          ///< sessions admitted (== sessions)
+  std::size_t peak_concurrent = 0;     ///< max active sessions at a barrier
+  std::uint64_t reallocations = 0;     ///< headroom grants that moved
+  std::uint64_t barrier_rounds = 0;
+};
+
+ScaleResult run_scale(const ScaleConfig& config);
+
+}  // namespace eona::scenarios

@@ -3,35 +3,47 @@
 // Events are (time, sequence) ordered; the sequence number makes ties
 // deterministic (events scheduled earlier fire earlier), which in turn makes
 // every experiment bit-for-bit reproducible from its seed and config.
+//
+// Hot-path storage is allocation-free at steady state: actions live in
+// small-buffer InlineAction storage inside the queue entries, the queue is a
+// plain vector heap (reservable via reserve_events), and both Gates and
+// EventHandles are {slot, generation} tokens into one scheduler-owned arena
+// whose slots recycle through a free list.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "sim/action.hpp"
 
 namespace eona::sim {
 
-/// Opaque handle to a scheduled event; allows cancellation.
+class Scheduler;
+
+/// Opaque handle to a scheduled event; allows cancellation. A {slot,
+/// generation} token into the owning scheduler's arena -- the same storage
+/// discipline as Gate, so per-event scheduling allocates nothing. Value
+/// type; copies refer to the same event. Must not outlive the scheduler.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if this handle refers to an event that has neither fired nor been
   /// cancelled.
-  [[nodiscard]] bool pending() const { return state_ && !*state_; }
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> state)
-      : state_(std::move(state)) {}
-  // Shared "cancelled/fired" flag; the queue entry holds the other reference.
-  std::shared_ptr<bool> state_;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  EventHandle(const Scheduler* sched, std::uint32_t slot, std::uint32_t gen)
+      : sched_(sched), slot_(slot), gen_(gen) {}
+  const Scheduler* sched_ = nullptr;
+  std::uint32_t slot_ = kNone;
+  std::uint32_t gen_ = 0;
 };
 
 /// Allocation-free revocation token for handle-free posts (see
@@ -39,7 +51,7 @@ class EventHandle {
 /// scheduler-owned arena: closing the gate bumps the slot's generation, so
 /// every event posted through the old generation is skipped without firing
 /// -- the exact semantics of cancelling an EventHandle, minus the per-event
-/// shared_ptr. Value type; copying copies the token, not the gate.
+/// handle bookkeeping. Value type; copying copies the token, not the gate.
 class Gate {
  public:
   Gate() = default;
@@ -58,10 +70,11 @@ class Gate {
 ///
 /// Not thread-safe by design: the whole emulation is single-threaded and
 /// deterministic (Core Guidelines CP.1 -- assume your code will run as part
-/// of a multi-threaded program only where you have made that true).
+/// of a multi-threaded program only where you have made that true). Sector-
+/// parallel execution runs one Scheduler per sector, never sharing one.
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Current simulated time. Starts at 0.
   [[nodiscard]] TimePoint now() const { return now_; }
@@ -72,13 +85,24 @@ class Scheduler {
   /// Number of events still queued (including cancelled-but-unpopped ones).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Pre-size the event queue so steady-state posting never reallocates.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+  /// Pre-size the gate/handle slot arena.
+  void reserve_slots(std::size_t n) {
+    slot_gen_.reserve(n);
+    slot_free_.reserve(n);
+  }
+
   /// Schedule `action` to run at absolute time `when` (>= now).
   EventHandle schedule_at(TimePoint when, Action action) {
     EONA_EXPECTS(when >= now_);
-    EONA_EXPECTS(action != nullptr);
-    auto state = std::make_shared<bool>(false);
-    queue_.push(Entry{when, next_seq_++, std::move(action), state});
-    return EventHandle(std::move(state));
+    EONA_EXPECTS(action);
+    std::uint32_t slot = acquire_slot();
+    std::uint32_t gen = slot_gen_[slot];
+    push_entry(Entry{when, next_seq_++, std::move(action), slot, gen,
+                     /*owns_slot=*/true});
+    return EventHandle(this, slot, gen);
   }
 
   /// Schedule `action` to run `delay` seconds from now (delay >= 0).
@@ -88,16 +112,16 @@ class Scheduler {
 
   // --- handle-free posts ---------------------------------------------------
   // Fire-and-forget events (transfer completions, periodic ticks) dominate
-  // the event stream; posting them skips the per-event shared_ptr<bool> the
-  // schedule_* path allocates. Ordering and tie-breaking are identical to
-  // schedule_at (same sequence counter), pinned by
-  // tests/sim_scheduler_post_test.cpp.
+  // the event stream; posting them skips even the arena slot the schedule_*
+  // path claims. Ordering and tie-breaking are identical to schedule_at
+  // (same sequence counter), pinned by tests/sim_scheduler_post_test.cpp.
 
   /// Post `action` at absolute time `when` with no cancellation handle.
   void post_at(TimePoint when, Action action) {
     EONA_EXPECTS(when >= now_);
-    EONA_EXPECTS(action != nullptr);
-    queue_.push(Entry{when, next_seq_++, std::move(action), nullptr, Gate{}});
+    EONA_EXPECTS(action);
+    push_entry(Entry{when, next_seq_++, std::move(action), kNoSlot, 0,
+                     /*owns_slot=*/false});
   }
 
   /// Post `action` after `delay` seconds with no cancellation handle.
@@ -109,9 +133,10 @@ class Scheduler {
   /// is closed before the event's turn, the event is skipped without firing.
   void post_at(TimePoint when, const Gate& gate, Action action) {
     EONA_EXPECTS(when >= now_);
-    EONA_EXPECTS(action != nullptr);
+    EONA_EXPECTS(action);
     EONA_EXPECTS(gate_open(gate));
-    queue_.push(Entry{when, next_seq_++, std::move(action), nullptr, gate});
+    push_entry(Entry{when, next_seq_++, std::move(action), gate.slot_,
+                     gate.gen_, /*owns_slot=*/false});
   }
 
   void post_after(Duration delay, const Gate& gate, Action action) {
@@ -122,14 +147,8 @@ class Scheduler {
   /// opening reuses closed slots, so steady-state churn allocates nothing.
   [[nodiscard]] Gate open_gate() {
     Gate gate;
-    if (!gate_free_.empty()) {
-      gate.slot_ = gate_free_.back();
-      gate_free_.pop_back();
-    } else {
-      gate.slot_ = static_cast<std::uint32_t>(gate_gen_.size());
-      gate_gen_.push_back(0);
-    }
-    gate.gen_ = gate_gen_[gate.slot_];
+    gate.slot_ = acquire_slot();
+    gate.gen_ = slot_gen_[gate.slot_];
     return gate;
   }
 
@@ -137,34 +156,33 @@ class Scheduler {
   /// closing an already-closed or default token is a no-op). Resets `gate`
   /// to the default (invalid) token.
   void close_gate(Gate& gate) {
-    if (gate.slot_ != Gate::kNone && gate_gen_[gate.slot_] == gate.gen_) {
-      ++gate_gen_[gate.slot_];
-      gate_free_.push_back(gate.slot_);
-    }
+    if (gate.slot_ != Gate::kNone && slot_gen_[gate.slot_] == gate.gen_)
+      release_slot(gate.slot_);
     gate = Gate{};
   }
 
   /// True while `gate` is open (events posted through it will fire).
   [[nodiscard]] bool gate_open(const Gate& gate) const {
-    return gate.slot_ != Gate::kNone && gate_gen_[gate.slot_] == gate.gen_;
+    return gate.slot_ != Gate::kNone && slot_gen_[gate.slot_] == gate.gen_;
   }
 
   /// Cancel a pending event. Cancelling an already-fired or already-cancelled
   /// event is a harmless no-op (idempotent).
   void cancel(const EventHandle& handle) {
-    if (handle.state_) *handle.state_ = true;
+    if (handle.sched_ == this && handle.slot_ != EventHandle::kNone &&
+        slot_gen_[handle.slot_] == handle.gen_)
+      release_slot(handle.slot_);
   }
 
   /// Fire the single next pending event, advancing the clock to its time.
   /// Returns false when the queue is empty.
   bool step() {
     while (!queue_.empty()) {
-      // The queue is ordered; copy out the top then pop so the action may
-      // itself schedule or cancel events.
-      Entry entry = queue_.top();
-      queue_.pop();
+      Entry entry = pop_entry();
       if (!live(entry)) continue;  // cancelled handle or closed gate
-      if (entry.done) *entry.done = true;
+      // Release the handle slot before invoking so pending() reads false
+      // from inside the action (matches the pre-arena flag semantics).
+      if (entry.owns_slot) release_slot(entry.slot);
       EONA_ASSERT(entry.when >= now_);
       now_ = entry.when;
       ++fired_;
@@ -199,7 +217,7 @@ class Scheduler {
   [[nodiscard]] TimePoint next_event_time() {
     drop_cancelled();
     EONA_EXPECTS(!queue_.empty());
-    return queue_.top().when;
+    return queue_.front().when;
   }
 
   [[nodiscard]] bool empty() {
@@ -208,12 +226,16 @@ class Scheduler {
   }
 
  private:
+  friend class EventHandle;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
     Action action;
-    std::shared_ptr<bool> done;  ///< null for handle-free posts
-    Gate gate;                   ///< invalid for ungated events
+    std::uint32_t slot;  ///< kNoSlot for plain posts
+    std::uint32_t gen;
+    bool owns_slot;  ///< true for schedule_* entries: slot freed on fire
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -222,25 +244,60 @@ class Scheduler {
     }
   };
 
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    std::uint32_t slot;
+    if (!slot_free_.empty()) {
+      slot = slot_free_.back();
+      slot_free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slot_gen_.size());
+      slot_gen_.push_back(0);
+    }
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    ++slot_gen_[slot];
+    slot_free_.push_back(slot);
+  }
+
+  [[nodiscard]] bool slot_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot != kNoSlot && slot_gen_[slot] == gen;
+  }
+
   [[nodiscard]] bool live(const Entry& entry) const {
-    if (entry.done && *entry.done) return false;
-    if (entry.gate.slot_ != Gate::kNone &&
-        gate_gen_[entry.gate.slot_] != entry.gate.gen_)
-      return false;
-    return true;
+    return entry.slot == kNoSlot || slot_gen_[entry.slot] == entry.gen;
+  }
+
+  void push_entry(Entry entry) {
+    queue_.push_back(std::move(entry));
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+  }
+
+  [[nodiscard]] Entry pop_entry() {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Entry entry = std::move(queue_.back());
+    queue_.pop_back();
+    return entry;
   }
 
   void drop_cancelled() {
-    while (!queue_.empty() && !live(queue_.top())) queue_.pop();
+    while (!queue_.empty() && !live(queue_.front())) pop_entry();
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::vector<std::uint32_t> gate_gen_;   ///< generation per gate slot
-  std::vector<std::uint32_t> gate_free_;  ///< recyclable (closed) slots
+  // Binary heap over a plain vector (std::push_heap/pop_heap with Later):
+  // same ordering as std::priority_queue but reservable and movable-from.
+  std::vector<Entry> queue_;
+  std::vector<std::uint32_t> slot_gen_;   ///< generation per arena slot
+  std::vector<std::uint32_t> slot_free_;  ///< recyclable (released) slots
   TimePoint now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return sched_ != nullptr && sched_->slot_live(slot_, gen_);
+}
 
 /// Repeatedly runs an action at a fixed period until stopped. Used for
 /// control loops (AppP/InfP controllers act on their own cadence).

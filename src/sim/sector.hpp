@@ -1,0 +1,164 @@
+// Barrier-round execution of sector-partitioned simulations.
+//
+// A million-session world is split into sectors (ISP x CDN-region cells in
+// the scale scenario), each a complete, self-contained mini sim::World with
+// its own Scheduler, Rng and Network. Between coupling points the sectors
+// share no mutable state, so their event streams can run on worker threads
+// concurrently; at each barrier tick a serial coordinator reads every
+// sector in index order and applies cross-sector mutations (backbone
+// headroom reallocation) before the next round starts.
+//
+// SectorRunner is the pool that executes one such round: run_round(jobs,
+// fn) invokes fn(i) for every i in [0, jobs) and returns when all are done.
+// Unlike SweepRunner (one-shot fan-out, pool per call), the workers here
+// persist across rounds -- a barrier loop calls run_round thousands of
+// times and must not pay thread creation per tick. With threads <= 1 the
+// round runs inline on the caller's thread; because sectors are independent
+// between barriers, the simulation output is byte-identical at ANY thread
+// count (pinned by tests/scenario_scale_test.cpp).
+//
+// Exceptions thrown by jobs are captured per-index; after the round drains,
+// the error with the lowest job index is rethrown on the caller's thread
+// (deterministic regardless of worker interleaving).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace eona::sim {
+
+class SectorRunner {
+ public:
+  /// `threads` worker count; 0 means one per hardware thread. Workers are
+  /// spawned lazily on the first parallel round.
+  explicit SectorRunner(std::size_t threads = 0)
+      : threads_(threads != 0 ? threads : default_threads()) {}
+
+  SectorRunner(const SectorRunner&) = delete;
+  SectorRunner& operator=(const SectorRunner&) = delete;
+
+  ~SectorRunner() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : pool_) worker.join();
+  }
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Total rounds executed (observability for tests and benchmarks).
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Run `fn(i)` for every i in [0, jobs) and block until all complete.
+  /// Inline (no pool) when one worker suffices. Must be called from the
+  /// owning thread only; rounds never overlap.
+  void run_round(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+    ++rounds_;
+    if (threads_ <= 1 || jobs <= 1) {
+      for (std::size_t i = 0; i < jobs; ++i) fn(i);
+      return;
+    }
+    if (pool_.empty()) start_workers();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      jobs_ = jobs;
+      next_ = 0;
+      busy_ = pool_.size();
+      ++round_;
+    }
+    work_ready_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      round_done_.wait(lock, [this] { return busy_ == 0; });
+      fn_ = nullptr;
+    }
+    rethrow_first_error();
+  }
+
+ private:
+  static std::size_t default_threads() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  void start_workers() {
+    pool_.reserve(threads_);
+    for (std::size_t t = 0; t < threads_; ++t)
+      pool_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t jobs = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+        fn = fn_;
+        jobs = jobs_;
+      }
+      for (;;) {
+        std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          errors_.emplace_back(i, std::current_exception());
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--busy_ == 0) round_done_.notify_all();
+      }
+    }
+  }
+
+  /// Rethrow the failure with the lowest job index -- the same error a
+  /// serial round would have hit first.
+  void rethrow_first_error() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (errors_.empty()) return;
+    auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::exception_ptr error = first->second;
+    errors_.clear();
+    std::rethrow_exception(error);
+  }
+
+  std::size_t threads_;
+  std::vector<std::thread> pool_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable round_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t busy_ = 0;
+  std::uint64_t round_ = 0;
+  bool stop_ = false;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace eona::sim

@@ -1,7 +1,14 @@
-// Tests for the non-homogeneous Poisson arrival process.
+// Tests for the workload generators: the non-homogeneous Poisson arrival
+// process, the diurnal / flash-crowd phase helpers, and the Zipf content
+// popularity the catalogs sample from -- shape sanity plus cross-seed
+// determinism.
 #include "app/workload.hpp"
 
 #include <gtest/gtest.h>
+
+#include <map>
+
+#include "app/content_catalog.hpp"
 
 namespace eona::app {
 namespace {
@@ -103,6 +110,96 @@ TEST(PoissonArrivals, DeterministicForFixedSeed) {
     return times;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(DiurnalPhases, RaisedCosineShape) {
+  // 24 one-hour slices over one day, tiled twice.
+  auto phases = diurnal_phases(1.0, 9.0, 86400.0, 24, 2 * 86400.0);
+  ASSERT_EQ(phases.size(), 48u);
+  EXPECT_DOUBLE_EQ(phases[0].start, 0.0);
+  // Trough at midnight, peak at noon (slices 0 and 12), symmetric flanks.
+  EXPECT_LT(phases[0].rate, phases[6].rate);
+  EXPECT_LT(phases[6].rate, phases[12].rate);
+  EXPECT_GT(phases[12].rate, 8.9);
+  EXPECT_LT(phases[0].rate, 1.1);
+  // Midpoint symmetry about noon: slice 6 (6.5 h) mirrors slice 17 (17.5 h).
+  EXPECT_NEAR(phases[6].rate, phases[17].rate, 1e-9);
+  // Second day repeats the first.
+  for (std::size_t i = 0; i < 24; ++i)
+    EXPECT_NEAR(phases[i].rate, phases[i + 24].rate, 1e-9) << i;
+  // Mean over a whole period is (night + day) / 2.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 24; ++i) mean += phases[i].rate;
+  EXPECT_NEAR(mean / 24.0, 5.0, 0.05);
+  // All rates within [night, day].
+  for (const auto& p : phases) {
+    EXPECT_GE(p.rate, 1.0 - 1e-9);
+    EXPECT_LE(p.rate, 9.0 + 1e-9);
+  }
+}
+
+TEST(DiurnalPhases, FeedsPoissonArrivalsDeterministically) {
+  auto run = [] {
+    sim::Scheduler sched;
+    std::vector<TimePoint> times;
+    PoissonArrivals arrivals(sched, sim::Rng(7),
+                             diurnal_phases(0.5, 4.0, 400.0, 8, 400.0), 400.0,
+                             [&] { times.push_back(sched.now()); });
+    sched.run_all();
+    return times;
+  };
+  auto times = run();
+  EXPECT_EQ(run(), times);
+  // Day half (around t = 200) must be visibly busier than the night edges.
+  int night = 0, day = 0;
+  for (TimePoint t : times) (t > 100.0 && t < 300.0 ? day : night) += 1;
+  EXPECT_GT(day, 2 * night);
+}
+
+TEST(DiurnalPhases, InvalidArgumentsAreContractViolations) {
+  EXPECT_THROW(diurnal_phases(-1.0, 2.0, 10.0, 4, 10.0), ContractViolation);
+  EXPECT_THROW(diurnal_phases(1.0, 2.0, 0.0, 4, 10.0), ContractViolation);
+  EXPECT_THROW(diurnal_phases(1.0, 2.0, 10.0, 0, 10.0), ContractViolation);
+}
+
+TEST(FlashPhases, StepUpThenBackDown) {
+  auto phases = flash_phases(1.5, 30.0, 120.0, 240.0);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_DOUBLE_EQ(phases[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(phases[0].rate, 1.5);
+  EXPECT_DOUBLE_EQ(phases[1].start, 120.0);
+  EXPECT_DOUBLE_EQ(phases[1].rate, 30.0);
+  EXPECT_DOUBLE_EQ(phases[2].start, 240.0);
+  EXPECT_DOUBLE_EQ(phases[2].rate, 1.5);
+  EXPECT_THROW(flash_phases(1.0, 2.0, 240.0, 120.0), ContractViolation);
+}
+
+TEST(ZipfCatalog, PopularityIsSkewedAndMatchesAnalyticMass) {
+  sim::ZipfSampler zipf(16, 0.8);
+  // Analytic shape: strictly decreasing mass by rank.
+  for (std::size_t r = 1; r < 16; ++r)
+    EXPECT_LT(zipf.probability(r), zipf.probability(r - 1)) << r;
+  // Empirical draw frequencies track the analytic mass for the head ranks.
+  sim::Rng rng(11);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    double expected = zipf.probability(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 4.0 * std::sqrt(expected)) << r;
+  }
+}
+
+TEST(ZipfCatalog, SamplingIsDeterministicPerSeedAndDiffersAcrossSeeds) {
+  auto draw = [](std::uint64_t seed) {
+    app::ContentCatalog catalog = app::ContentCatalog::videos(32, 120.0, 0.8);
+    sim::Rng rng(seed);
+    std::vector<ContentId> ids;
+    for (int i = 0; i < 64; ++i) ids.push_back(catalog.sample(rng));
+    return ids;
+  };
+  EXPECT_EQ(draw(5), draw(5));
+  EXPECT_NE(draw(5), draw(6));
 }
 
 }  // namespace

@@ -25,42 +25,31 @@ class NetworkBatchTest : public ::testing::Test {
   LinkId ab, bc;
 };
 
-TEST_F(NetworkBatchTest, BatchFiresHooksExactlyOnce) {
+TEST_F(NetworkBatchTest, BatchFiresHookExactlyOnceAtCommit) {
   Network net(topo);
-  std::vector<std::string> log;
-  net.set_change_hooks([&] { log.push_back("before"); },
-                       [&] { log.push_back("after"); });
+  int hook_calls = 0;
+  std::vector<RateChange> last;
+  net.set_rates_changed_hook([&](const std::vector<RateChange>& changes) {
+    ++hook_calls;
+    last = changes;
+  });
+  FlowId f1, f2, f3;
   {
     Network::Batch batch(net);
-    net.add_flow({ab});
-    net.add_flow({ab, bc});
-    net.add_flow({bc});
-    // Before fires at the first mutation, after not until commit.
-    EXPECT_EQ(log, std::vector<std::string>{"before"});
+    f1 = net.add_flow({ab});
+    f2 = net.add_flow({ab, bc});
+    f3 = net.add_flow({bc});
+    // Nothing fires until commit; rates are stale inside the batch.
+    EXPECT_EQ(hook_calls, 0);
   }
-  EXPECT_EQ(log, (std::vector<std::string>{"before", "after"}));
-}
-
-TEST_F(NetworkBatchTest, BeforeHookSeesPreBatchState) {
-  Network net(topo);
-  FlowId f0 = net.add_flow({ab});
-  double rate_seen = -1.0;
-  std::size_t count_seen = 0;
-  net.set_change_hooks(
-      [&] {
-        rate_seen = net.rate(f0);
-        count_seen = net.flow_count();
-      },
-      nullptr);
-  {
-    Network::Batch batch(net);
-    net.add_flow({ab});
-    net.add_flow({ab});
-  }
-  // The hook banked state while f0 still had the link to itself.
-  EXPECT_NEAR(rate_seen, mbps(10), 1.0);
-  EXPECT_EQ(count_seen, 1u);
-  EXPECT_NEAR(net.rate(f0), mbps(10) / 3, 1.0);
+  EXPECT_EQ(hook_calls, 1);
+  // All three flows moved from 0 to their share, in ascending flow-id order.
+  ASSERT_EQ(last.size(), 3u);
+  EXPECT_EQ(last[0].flow, f1);
+  EXPECT_EQ(last[1].flow, f2);
+  EXPECT_EQ(last[2].flow, f3);
+  for (const RateChange& change : last)
+    EXPECT_EQ(change.rate, net.rate(change.flow));
 }
 
 TEST_F(NetworkBatchTest, BatchRunsOneRecompute) {
@@ -81,8 +70,9 @@ TEST_F(NetworkBatchTest, BatchRunsOneRecompute) {
 
 TEST_F(NetworkBatchTest, NestedBatchesCommitAtOutermost) {
   Network net(topo);
-  int before_calls = 0, after_calls = 0;
-  net.set_change_hooks([&] { ++before_calls; }, [&] { ++after_calls; });
+  int after_calls = 0;
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>&) { ++after_calls; });
   std::uint64_t base = net.recompute_count();
   {
     Network::Batch outer(net);
@@ -92,12 +82,11 @@ TEST_F(NetworkBatchTest, NestedBatchesCommitAtOutermost) {
       net.add_flow({ab});
       net.add_flow({bc});
     }
-    // Inner commit must not recompute or fire the after hook.
+    // Inner commit must not recompute or fire the hook.
     EXPECT_EQ(net.recompute_count(), base);
     EXPECT_EQ(after_calls, 0);
   }
   EXPECT_EQ(net.recompute_count(), base + 1);
-  EXPECT_EQ(before_calls, 1);
   EXPECT_EQ(after_calls, 1);
 }
 
@@ -105,7 +94,8 @@ TEST_F(NetworkBatchTest, EmptyBatchFiresNothing) {
   Network net(topo);
   net.add_flow({ab});
   int hook_calls = 0;
-  net.set_change_hooks([&] { ++hook_calls; }, [&] { ++hook_calls; });
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>&) { ++hook_calls; });
   std::uint64_t base = net.recompute_count();
   {
     Network::Batch batch(net);
@@ -122,7 +112,8 @@ TEST_F(NetworkBatchTest, NoopMutationsInsideBatchStayNoops) {
   Network net(topo);
   FlowId f = net.add_flow({ab}, mbps(3));
   int hook_calls = 0;
-  net.set_change_hooks([&] { ++hook_calls; }, [&] { ++hook_calls; });
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>&) { ++hook_calls; });
   std::uint64_t base = net.recompute_count();
   {
     Network::Batch batch(net);
@@ -181,7 +172,8 @@ TEST_F(NetworkBatchTest, ThrowingMutationLeavesNetworkConsistent) {
 TEST_F(NetworkBatchTest, EarlyCommitThenDestructorIsSingleCommit) {
   Network net(topo);
   int after_calls = 0;
-  net.set_change_hooks(nullptr, [&] { ++after_calls; });
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>&) { ++after_calls; });
   std::uint64_t base = net.recompute_count();
   {
     Network::Batch batch(net);

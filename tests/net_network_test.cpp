@@ -65,28 +65,51 @@ TEST_F(NetworkTest, RerouteMovesLoad) {
   EXPECT_NEAR(net.rate(f), mbps(20), 1.0);
 }
 
-TEST_F(NetworkTest, HooksFireAroundEveryChange) {
+TEST_F(NetworkTest, RatesChangedHookFiresOncePerChange) {
   Network net(topo);
-  std::vector<std::string> log;
-  net.set_change_hooks([&] { log.push_back("before"); },
-                       [&] { log.push_back("after"); });
+  int hook_calls = 0;
+  std::vector<std::vector<RateChange>> reports;
+  net.set_rates_changed_hook([&](const std::vector<RateChange>& changes) {
+    ++hook_calls;
+    reports.push_back(changes);
+  });
   FlowId f = net.add_flow({ab});
   net.set_demand(f, mbps(1));
   net.reroute(f, {bc});
   net.set_link_capacity(ab, mbps(5));
   net.remove_flow(f);
-  ASSERT_EQ(log.size(), 10u);
-  for (std::size_t i = 0; i < log.size(); i += 2) {
-    EXPECT_EQ(log[i], "before");
-    EXPECT_EQ(log[i + 1], "after");
-  }
+  EXPECT_EQ(hook_calls, 5);
+  // First mutation: the new flow's rate moved 0 -> capacity.
+  ASSERT_EQ(reports[0].size(), 1u);
+  EXPECT_EQ(reports[0][0].flow, f);
+  EXPECT_NEAR(reports[0][0].rate, mbps(10), 1.0);
+  // Capacity change on the now-empty link ab moves no flow rate.
+  EXPECT_TRUE(reports[3].empty());
+  EXPECT_TRUE(reports[4].empty());
+}
+
+TEST_F(NetworkTest, ReportsOnlyFlowsWhoseRateMoved) {
+  Network net(topo);
+  FlowId f1 = net.add_flow({ab});
+  FlowId f2 = net.add_flow({bc});
+  std::vector<RateChange> last;
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>& changes) { last = changes; });
+  // Shrinking ab only moves f1; f2's component is untouched even under a
+  // full re-solve (bit-identical recompute).
+  net.set_link_capacity(ab, mbps(4));
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].flow, f1);
+  EXPECT_NEAR(last[0].rate, mbps(4), 1.0);
+  (void)f2;
 }
 
 TEST_F(NetworkTest, NoopDemandChangeSkipsHooks) {
   Network net(topo);
   FlowId f = net.add_flow({ab}, mbps(3));
   int hook_calls = 0;
-  net.set_change_hooks([&] { ++hook_calls; }, [&] { ++hook_calls; });
+  net.set_rates_changed_hook(
+      [&](const std::vector<RateChange>&) { ++hook_calls; });
   net.set_demand(f, mbps(3));
   EXPECT_EQ(hook_calls, 0);
   net.set_link_capacity(ab, net.link_capacity(ab));

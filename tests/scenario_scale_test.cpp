@@ -1,0 +1,107 @@
+// Acceptance pins for the sector-partitioned scale scenario (E17): the
+// serial and sector-parallel executions must produce byte-identical JSON
+// for every seed, admission is exact, and unsupported artifact modes are
+// rejected up front.
+#include "scenarios/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "scenarios/lab.hpp"
+#include "sim/trace.hpp"
+
+namespace eona::scenarios {
+namespace {
+
+using Overmap = std::map<std::string, std::string>;
+
+/// Small but structurally honest config: several sectors, several barrier
+/// rounds, a little headroom churn.
+Overmap small_config(std::uint64_t seed, std::size_t threads) {
+  return {{"seed", std::to_string(seed)},
+          {"threads", std::to_string(threads)},
+          {"sessions", "160"},
+          {"sectors", "8"},
+          {"run_duration", "150"},
+          {"video_duration", "30"},
+          {"barrier_period", "20"},
+          {"access_capacity_mbps", "20"}};
+}
+
+std::string run_json(std::uint64_t seed, std::size_t threads) {
+  return run_scenario_json("scale", small_config(seed, threads)).dump(2);
+}
+
+TEST(ScaleScenario, SectorParallelIsByteIdenticalToSerialForSeeds1To5) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string serial = run_json(seed, 1);
+    EXPECT_EQ(run_json(seed, 2), serial) << "seed " << seed << " threads 2";
+    EXPECT_EQ(run_json(seed, 4), serial) << "seed " << seed << " threads 4";
+  }
+}
+
+TEST(ScaleScenario, RepeatedRunsAreDeterministic) {
+  EXPECT_EQ(run_json(42, 2), run_json(42, 2));
+}
+
+TEST(ScaleScenario, AdmitsExactlyTheConfiguredSessions) {
+  ScaleConfig config;
+  config.sessions = 161;  // deliberately not divisible by sectors
+  config.sectors = 8;
+  config.threads = 2;
+  config.run_duration = 150.0;
+  config.video_duration = 30.0;
+  config.barrier_period = 20.0;
+  config.access_capacity = mbps(20);
+  ScaleResult r = run_scale(config);
+  EXPECT_EQ(r.arrivals, 161u);
+  EXPECT_EQ(r.qoe.sessions, 161u);
+  ASSERT_EQ(r.per_sector.size(), 8u);
+  std::size_t total = 0;
+  for (const QoeSummary& qoe : r.per_sector) total += qoe.sessions;
+  EXPECT_EQ(total, 161u);
+  // The first sector carries the remainder session.
+  EXPECT_EQ(r.per_sector[0].sessions, 21u);
+  EXPECT_EQ(r.per_sector[7].sessions, 20u);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.peak_concurrent, 0u);
+  EXPECT_GE(r.barrier_rounds, 7u);
+}
+
+TEST(ScaleScenario, DiurnalProfileStillAdmitsExactQuota) {
+  Overmap ov = small_config(3, 2);
+  ov["diurnal"] = "true";
+  core::JsonValue out = run_scenario_json("scale", ov);
+  EXPECT_EQ(out.dump(2), run_scenario_json("scale", ov).dump(2));
+}
+
+TEST(ScaleScenario, PerfCountersAccumulateWhenRequested) {
+  RunPerf perf;
+  core::JsonValue out = run_scenario_json("scale", small_config(1, 1), nullptr,
+                                          nullptr, nullptr, &perf);
+  EXPECT_GT(perf.events, 0u);
+  (void)out;
+}
+
+TEST(ScaleScenario, TraceAndStoreAreRejected) {
+  sim::TraceWriter trace;
+  telemetry::ColumnStore store;
+  EXPECT_THROW(run_scenario_json("scale", small_config(1, 1), nullptr, &trace),
+               ConfigError);
+  EXPECT_THROW(run_scenario_json("scale", small_config(1, 1), nullptr, nullptr,
+                                 &store),
+               ConfigError);
+}
+
+TEST(ScaleScenario, ModeChangesOutcomesButNotDeterminism) {
+  Overmap baseline = small_config(2, 2);
+  baseline["mode"] = "baseline";
+  std::string a = run_scenario_json("scale", baseline).dump(2);
+  EXPECT_EQ(run_scenario_json("scale", baseline).dump(2), a);
+  EXPECT_NE(a, run_json(2, 2));  // eona mode differs from baseline
+}
+
+}  // namespace
+}  // namespace eona::scenarios

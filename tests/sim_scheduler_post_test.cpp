@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -94,6 +96,42 @@ TEST(SchedulerPost, GateClosedMidRunSkipsRemainingEvents) {
   sched.post_at(3.0, gate, [&] { fired.push_back(3); });
   sched.run_all();
   EXPECT_EQ(fired, (std::vector<int>{1}));
+}
+
+TEST(SchedulerPost, PostActionsStayInlineNoHeapFallback) {
+  // The whole point of InlineAction: hot-path posts (small lambdas, a few
+  // captured pointers/doubles) must not heap-allocate per event. The
+  // fallback counter is process-global, so measure a delta.
+  Scheduler sched;
+  sched.reserve_events(64);
+  sched.reserve_slots(64);
+  Gate gate = sched.open_gate();
+  std::uint64_t before = InlineAction::heap_fallbacks_count();
+  long counter = 0;
+  double acc = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    sched.post_at(static_cast<double>(i), [&counter] { ++counter; });
+    sched.post_after(0.5, gate, [&acc, i] { acc += i; });
+    sched.schedule_at(static_cast<double>(i) + 0.25,
+                      [&counter, &acc] { acc += static_cast<double>(++counter); });
+  }
+  sched.run_all();
+  EXPECT_EQ(InlineAction::heap_fallbacks_count(), before);
+  EXPECT_EQ(counter, 32);
+  sched.close_gate(gate);
+}
+
+TEST(SchedulerPost, OversizeActionFallsBackToHeapAndStillRuns) {
+  Scheduler sched;
+  std::uint64_t before = InlineAction::heap_fallbacks_count();
+  // 64 bytes of captured state cannot fit the 48-byte inline buffer.
+  std::array<std::uint64_t, 8> big{};
+  big[7] = 7;
+  std::uint64_t seen = 0;
+  sched.post_at(1.0, [big, &seen] { seen = big[7]; });
+  EXPECT_EQ(InlineAction::heap_fallbacks_count(), before + 1);
+  sched.run_all();
+  EXPECT_EQ(seen, 7u);
 }
 
 TEST(SchedulerPost, PeriodicTaskTicksOnGatedPostsAndStopsCleanly) {

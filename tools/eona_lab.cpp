@@ -11,6 +11,9 @@
 //   $ eona_lab quickstart mode=eona --trace=events.jsonl
 //   $ eona_lab sweep flashcrowd seeds=1..8 modes=baseline,eona threads=4
 //   $ eona_lab list
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -33,6 +36,7 @@ struct Args {
   std::string scenario;
   std::map<std::string, std::string> overrides;
   bool csv_series = false;
+  bool perf = false;       ///< --perf; wall-clock + events/sec to stderr
   std::string trace_path;  ///< --trace=FILE; empty = no trace
   std::string store_path;  ///< --store=FILE; empty = no store dump
 };
@@ -44,6 +48,10 @@ Args parse_args(int argc, char** argv, int first) {
     std::string token = argv[i];
     if (token == "--series=csv") {
       args.csv_series = true;
+      continue;
+    }
+    if (token == "--perf") {
+      args.perf = true;
       continue;
     }
     if (token.rfind("--trace=", 0) == 0) {
@@ -67,7 +75,10 @@ Args parse_args(int argc, char** argv, int first) {
     auto eq = token.find('=');
     if (eq == std::string::npos)
       throw ConfigError("expected key=value, got '" + token + "'");
-    args.overrides[token.substr(0, eq)] = token.substr(eq + 1);
+    // Sugar: --key=value is the same override as key=value (reserved flags
+    // were consumed above).
+    std::size_t start = token.rfind("--", 0) == 0 ? 2 : 0;
+    args.overrides[token.substr(start, eq - start)] = token.substr(eq + 1);
   }
   return args;
 }
@@ -121,15 +132,39 @@ void write_trace_file(const std::string& path, const std::string& buffer) {
             static_cast<std::streamsize>(buffer.size()));
 }
 
+/// Peak resident set size in bytes (Linux ru_maxrss is KiB).
+long long peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+}
+
 int run_single(const Args& args) {
   sim::MetricSet series;
   sim::TraceWriter trace;
   telemetry::ColumnStore store;
+  scenarios::RunPerf perf;
+  auto t0 = std::chrono::steady_clock::now();
   core::JsonValue out = scenarios::run_scenario_json(
       args.scenario, args.overrides, args.csv_series ? &series : nullptr,
       args.trace_path.empty() ? nullptr : &trace,
-      args.store_path.empty() ? nullptr : &store);
+      args.store_path.empty() ? nullptr : &store,
+      args.perf ? &perf : nullptr);
+  auto t1 = std::chrono::steady_clock::now();
   std::printf("%s\n", out.dump(2).c_str());
+  if (args.perf) {
+    // Perf goes to stderr so stdout stays the byte-stable scenario JSON.
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+    core::JsonValue p = core::JsonValue::object();
+    p.set("wall_seconds", core::JsonValue::number(wall));
+    p.set("events", core::JsonValue::number(static_cast<double>(perf.events)));
+    p.set("events_per_sec",
+          core::JsonValue::number(
+              wall > 0.0 ? static_cast<double>(perf.events) / wall : 0.0));
+    p.set("peak_rss_bytes",
+          core::JsonValue::number(static_cast<double>(peak_rss_bytes())));
+    std::fprintf(stderr, "%s\n", p.dump(2).c_str());
+  }
   if (args.csv_series) dump_series_csv(series);
   if (!args.trace_path.empty())
     write_trace_file(args.trace_path, trace.buffer());
@@ -299,7 +334,7 @@ int run_sweep_cmd(int argc, char** argv) {
 void usage() {
   std::printf(
       "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
-      "                [--trace=FILE] [--store=FILE]\n"
+      "                [--trace=FILE] [--store=FILE] [--perf]\n"
       "       eona_lab sweep <scenario> [seeds=a..b|a,b,c] [modes=m1,m2]\n"
       "                [mode_key=k] [threads=N] [--trace=FILE] [key=value ...]\n"
       "       eona_lab query <FILE> [metric=M] [agg=count|sum|mean|p50|p90]\n"
@@ -336,6 +371,13 @@ void usage() {
       "                        outage_start, outage_duration, appp_period,\n"
       "                        infp_period, capacity_b_mbps, capacity_cx_mbps,\n"
       "                        capacity_cy_mbps, faults)\n"
+      "  scale         E17    million-session sector-partitioned world\n"
+      "                        (mode, seed, sessions, sectors, threads,\n"
+      "                        run_duration, video_duration, barrier_period,\n"
+      "                        access_capacity_mbps, headroom_fraction,\n"
+      "                        diurnal); e.g.\n"
+      "                        eona_lab scale --sessions=1000000 --sectors=4096\n"
+      "                        threads changes wall-clock only, never output\n"
       "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
       "--faults=PLAN injects a chaos plan (failover scenario), e.g.\n"
       "  eona_lab failover mode=eona --faults='down:X@B@120;up:X@B@180'\n"
@@ -350,7 +392,10 @@ void usage() {
       "metric= the query subcommand lists the queryable metrics.\n"
       "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
       "cores) and prints one collated JSON document; the output is identical\n"
-      "for any thread count.\n");
+      "for any thread count.\n"
+      "--perf prints wall-clock seconds, events/sec and peak RSS as JSON on\n"
+      "stderr (stdout stays the byte-stable scenario result).\n"
+      "overrides may also be spelled --key=value.\n");
 }
 
 }  // namespace
