@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,12 @@ class PoissonArrivals {
 
   [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
 
+  /// Absolute time of the process's next scheduled wake-up -- the pending
+  /// arrival, or the phase boundary where the draw restarts; +infinity once
+  /// the process has run off its horizon. Barrier loops use this to prove a
+  /// drained sector cannot produce an arrival before the round's target.
+  [[nodiscard]] TimePoint next_fire_at() const { return next_fire_; }
+
   /// Rate in effect at time t (0 before the first phase).
   [[nodiscard]] double rate_at(TimePoint t) const {
     double rate = 0.0;
@@ -103,12 +110,14 @@ class PoissonArrivals {
 
  private:
   void schedule_next(TimePoint from) {
+    next_fire_ = std::numeric_limits<TimePoint>::infinity();
     if (from >= end_) return;
     double rate = rate_at(from);
     TimePoint boundary = next_boundary(from);
     if (rate <= 0.0) {
       // Idle phase: jump to the next boundary and retry.
       if (boundary >= end_) return;
+      next_fire_ = boundary;
       pending_ = sched_.schedule_at(boundary,
                                     [this, boundary] { schedule_next(boundary); });
       return;
@@ -117,11 +126,13 @@ class PoissonArrivals {
     if (candidate > boundary) {
       // Crossed into a new phase: restart the draw there (memorylessness).
       if (boundary >= end_) return;
+      next_fire_ = boundary;
       pending_ = sched_.schedule_at(boundary,
                                     [this, boundary] { schedule_next(boundary); });
       return;
     }
     if (candidate >= end_) return;
+    next_fire_ = candidate;
     pending_ = sched_.schedule_at(candidate, [this, candidate] {
       ++arrivals_;
       on_arrival_();
@@ -136,6 +147,7 @@ class PoissonArrivals {
   std::function<void()> on_arrival_;
   sim::EventHandle pending_;
   std::uint64_t arrivals_ = 0;
+  TimePoint next_fire_ = 0.0;  ///< see next_fire_at(); set by schedule_next
 };
 
 }  // namespace eona::app

@@ -44,6 +44,23 @@ enum class ControlMode {
 /// of the host machine.
 struct RunPerf {
   std::uint64_t events = 0;  ///< scheduler events fired during the run
+
+  // Phase breakdown for barrier-scheduled scenarios (scale). Non-barrier
+  // scenarios leave these at zero. Wall-clock phase times are measured
+  // inside the run loop (host-dependent), but land only here -- never in
+  // the scenario's byte-stable result JSON.
+  std::uint64_t barrier_rounds = 0;       ///< coupling rounds executed
+  std::uint64_t sectors_dispatched = 0;   ///< sector advances run by the pool
+  std::uint64_t sectors_elided = 0;       ///< quiescent sectors skipped
+  std::uint64_t parallel_advance_ns = 0;  ///< wall time in sector advances
+  std::uint64_t serial_barrier_ns = 0;    ///< wall time in the coordinator
+
+  /// Fraction of phase-accounted wall time spent in the serial coordinator.
+  [[nodiscard]] double serial_fraction() const {
+    auto total =
+        static_cast<double>(parallel_advance_ns + serial_barrier_ns);
+    return total > 0.0 ? static_cast<double>(serial_barrier_ns) / total : 0.0;
+  }
 };
 
 /// Aggregate experience over a set of finished sessions.

@@ -398,6 +398,13 @@ core::JsonValue run_scale_lab(Overrides& ov, sim::TraceWriter* trace,
   config.access_capacity = mbps(access_mbps);
   ov.number("headroom_fraction", config.headroom_fraction);
   ov.boolean("diurnal", config.diurnal);
+  ov.number("diurnal_night_frac", config.diurnal_night_frac);
+  ov.number("arrival_window", config.arrival_window);
+  // Elision, like threads, changes only the wall clock: quiescent sectors
+  // skipped at barriers replay the identical event stream when their clock
+  // catches up, so the JSON below is byte-identical either way (pinned by
+  // scenario_scale_test) and `elide` is not echoed.
+  ov.boolean("elide", config.elide_quiescent);
   ov.finish();
 
   ScaleResult r = run_scale(config);

@@ -15,6 +15,13 @@
 // (sessions / sectors, remainder spread over the low sectors), Poisson
 // arrivals stop spawning at quota, and any Poisson shortfall is topped up
 // at the first barrier past the arrival window.
+//
+// Barrier rounds are quiescence-aware (elide_quiescent): a sector with no
+// session activity, a settled headroom grant, and its arrival window
+// already handled is skipped for the round -- its clock catches up lazily
+// the next time it is dispatched (or at the drain), firing exactly the
+// same events in the same order, so the result JSON is byte-identical with
+// elision on or off. See DESIGN.md "Quiescence and sparse barriers".
 #pragma once
 
 #include <cstddef>
@@ -41,6 +48,20 @@ struct ScaleConfig {
   double headroom_fraction = 0.1;
   /// Diurnal (night/day/night) arrival profile instead of a flat rate.
   bool diurnal = false;
+  /// Night arrival rate as a fraction of the mean (diurnal only); the day
+  /// peak is (2 - frac) x mean so the cycle mean stays the configured rate.
+  /// 0.5 reproduces the original 0.5x..1.5x profile; 0 models a dead-of-
+  /// night trough where whole sectors drain and can be elided.
+  double diurnal_night_frac = 0.5;
+  /// Length of the arrival window; 0 means run_duration - video_duration
+  /// (the historical default, sized so the last arrival can finish). A
+  /// shorter window models an evening peak followed by a quiet tail.
+  Duration arrival_window = 0.0;
+  /// Skip dispatching provably-quiescent sectors at barrier rounds (no
+  /// session activity, settled grant, arrival window closed). Output is
+  /// byte-identical either way -- pinned by tests -- so this is purely a
+  /// wall-clock knob, kept toggleable for benchmarks and CI to prove it.
+  bool elide_quiescent = true;
   RunPerf* perf = nullptr;  ///< optional run-cost counters (see common.hpp)
 };
 
@@ -52,6 +73,11 @@ struct ScaleResult {
   std::size_t peak_concurrent = 0;     ///< max active sessions at a barrier
   std::uint64_t reallocations = 0;     ///< headroom grants that moved
   std::uint64_t barrier_rounds = 0;
+  /// Dispatch accounting (not serialized into the scenario JSON, which must
+  /// stay byte-identical with elision on or off): sector advances actually
+  /// run, and quiescent sectors skipped with a deferred clock catch-up.
+  std::uint64_t sectors_dispatched = 0;
+  std::uint64_t sectors_elided = 0;
 };
 
 ScaleResult run_scale(const ScaleConfig& config);

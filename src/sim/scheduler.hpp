@@ -220,6 +220,14 @@ class Scheduler {
     return queue_.front().when;
   }
 
+  /// Time of the earliest pending event, or `fallback` when the queue is
+  /// empty. The O(1) peek barrier loops use to classify a sector as
+  /// quiescent for a round (no event to run before the round's target).
+  [[nodiscard]] TimePoint next_event_time_or(TimePoint fallback) {
+    drop_cancelled();
+    return queue_.empty() ? fallback : queue_.front().when;
+  }
+
   [[nodiscard]] bool empty() {
     drop_cancelled();
     return queue_.empty();

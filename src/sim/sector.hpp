@@ -10,12 +10,21 @@
 //
 // SectorRunner is the pool that executes one such round: run_round(jobs,
 // fn) invokes fn(i) for every i in [0, jobs) and returns when all are done.
-// Unlike SweepRunner (one-shot fan-out, pool per call), the workers here
+// The sparse overload run_round(indices, fn) dispatches only the listed
+// sector indices -- the quiescence-aware barrier loop in scenarios/scale
+// hands it the active subset and skips idle sectors entirely. Unlike
+// SweepRunner (one-shot fan-out, pool per call), the workers here
 // persist across rounds -- a barrier loop calls run_round thousands of
 // times and must not pay thread creation per tick. With threads <= 1 the
 // round runs inline on the caller's thread; because sectors are independent
 // between barriers, the simulation output is byte-identical at ANY thread
 // count (pinned by tests/scenario_scale_test.cpp).
+//
+// Rounds smaller than the pool wake only min(jobs, threads) workers
+// (notify_one per needed worker, not notify_all), so a mostly-quiescent
+// round does not pay a thundering herd of wakeups that immediately find
+// next_ exhausted. participations() counts workers that actually joined a
+// pooled round, which is what tests pin.
 //
 // Exceptions thrown by jobs are captured per-index; after the round drains,
 // the error with the lowest job index is rethrown on the caller's thread
@@ -30,6 +39,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -62,29 +72,64 @@ class SectorRunner {
   /// Total rounds executed (observability for tests and benchmarks).
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
 
+  /// Total (worker, round) participations on the pooled path: how many
+  /// workers actually woke and claimed jobs, summed over all rounds. A
+  /// round of j jobs on t workers adds exactly min(j, t) -- the thundering
+  /// herd fix's observable contract. Inline rounds add nothing.
+  [[nodiscard]] std::uint64_t participations() const { return participations_; }
+
   /// Run `fn(i)` for every i in [0, jobs) and block until all complete.
   /// Inline (no pool) when one worker suffices. Must be called from the
   /// owning thread only; rounds never overlap.
   void run_round(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+    dispatch(nullptr, jobs, fn);
+  }
+
+  /// Sparse round: run `fn(indices[k])` for every k in [0, indices.size())
+  /// and block until all complete. The caller keeps `indices` alive and
+  /// unchanged for the duration of the round. Error selection is by claim
+  /// position, so the failure rethrown is the one a serial walk of
+  /// `indices` would have hit first.
+  void run_round(std::span<const std::size_t> indices,
+                 const std::function<void(std::size_t)>& fn) {
+    dispatch(indices.data(), indices.size(), fn);
+  }
+
+ private:
+  void dispatch(const std::size_t* indices, std::size_t jobs,
+                const std::function<void(std::size_t)>& fn) {
     ++rounds_;
     if (threads_ <= 1 || jobs <= 1) {
-      for (std::size_t i = 0; i < jobs; ++i) fn(i);
+      for (std::size_t i = 0; i < jobs; ++i)
+        fn(indices != nullptr ? indices[i] : i);
       return;
     }
     if (pool_.empty()) start_workers();
+    std::size_t participants = std::min(jobs, pool_.size());
     {
       std::lock_guard<std::mutex> lock(mutex_);
       fn_ = &fn;
+      indices_ = indices;
       jobs_ = jobs;
       next_ = 0;
-      busy_ = pool_.size();
+      participants_ = participants;
+      entered_ = 0;
+      busy_ = participants;
       ++round_;
     }
-    work_ready_.notify_all();
+    // Wake only as many workers as can possibly claim a job. Workers that
+    // wake anyway (spurious or late from a prior round) bounce off the
+    // entered_ cap without touching busy_.
+    if (participants == pool_.size()) {
+      work_ready_.notify_all();
+    } else {
+      for (std::size_t t = 0; t < participants; ++t) work_ready_.notify_one();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       round_done_.wait(lock, [this] { return busy_ == 0; });
       fn_ = nullptr;
+      indices_ = nullptr;
     }
     rethrow_first_error();
   }
@@ -105,20 +150,29 @@ class SectorRunner {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(std::size_t)>* fn = nullptr;
+      const std::size_t* indices = nullptr;
       std::size_t jobs = 0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         work_ready_.wait(lock, [&] { return stop_ || round_ != seen; });
         if (stop_) return;
         seen = round_;
+        // Participation cap: exactly participants_ workers join a round
+        // (busy_ expects exactly that many decrements). A worker waking
+        // beyond the cap -- spurious wakeup, or late enough that the round
+        // already drained -- goes back to sleep without claiming anything.
+        if (entered_ >= participants_) continue;
+        ++entered_;
+        ++participations_;
         fn = fn_;
+        indices = indices_;
         jobs = jobs_;
       }
       for (;;) {
         std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs) break;
         try {
-          (*fn)(i);
+          (*fn)(indices != nullptr ? indices[i] : i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mutex_);
           errors_.emplace_back(i, std::current_exception());
@@ -131,8 +185,8 @@ class SectorRunner {
     }
   }
 
-  /// Rethrow the failure with the lowest job index -- the same error a
-  /// serial round would have hit first.
+  /// Rethrow the failure with the lowest claim position -- the same error a
+  /// serial round (a serial walk of the sparse index list) would hit first.
   void rethrow_first_error() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (errors_.empty()) return;
@@ -151,14 +205,18 @@ class SectorRunner {
   std::condition_variable work_ready_;
   std::condition_variable round_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::size_t* indices_ = nullptr;  ///< sparse round map; null = dense
   std::size_t jobs_ = 0;
   std::atomic<std::size_t> next_{0};
+  std::size_t participants_ = 0;  ///< workers this round needs, = min(jobs, threads)
+  std::size_t entered_ = 0;       ///< workers that joined so far (capped)
   std::size_t busy_ = 0;
   std::uint64_t round_ = 0;
   bool stop_ = false;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
 
   std::uint64_t rounds_ = 0;
+  std::uint64_t participations_ = 0;  ///< see participations()
 };
 
 }  // namespace eona::sim

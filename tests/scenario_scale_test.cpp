@@ -77,11 +77,91 @@ TEST(ScaleScenario, DiurnalProfileStillAdmitsExactQuota) {
   EXPECT_EQ(out.dump(2), run_scenario_json("scale", ov).dump(2));
 }
 
+/// Config whose arrival window closes well before the run ends, so the tail
+/// rounds have genuinely quiescent sectors for the barrier loop to elide.
+Overmap quiet_tail_config(std::uint64_t seed, std::size_t threads) {
+  Overmap ov = small_config(seed, threads);
+  ov["run_duration"] = "240";
+  ov["arrival_window"] = "90";
+  return ov;
+}
+
+TEST(ScaleScenario, ElisionOnOffIsByteIdenticalForSeeds1To5) {
+  // Skipping a quiescent sector must be observationally equivalent to
+  // dispatching it: deferred periodic ticks fire at the same sim times on
+  // catch-up, so the result JSON is byte-identical for every seed and
+  // thread count, elision on or off.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string reference;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      Overmap on = quiet_tail_config(seed, threads);
+      Overmap off = on;
+      off["elide"] = "false";
+      std::string elided = run_scenario_json("scale", on).dump(2);
+      EXPECT_EQ(run_scenario_json("scale", off).dump(2), elided)
+          << "seed " << seed << " threads " << threads;
+      if (reference.empty()) reference = elided;
+      EXPECT_EQ(elided, reference) << "seed " << seed << " threads "
+                                   << threads;
+    }
+  }
+}
+
+TEST(ScaleScenario, QuietTailActuallyElidesSectors) {
+  ScaleConfig config;
+  config.sessions = 160;
+  config.sectors = 8;
+  config.threads = 2;
+  config.run_duration = 240.0;
+  config.video_duration = 30.0;
+  config.barrier_period = 20.0;
+  config.arrival_window = 90.0;
+  config.access_capacity = mbps(20);
+  ScaleResult on = run_scale(config);
+  EXPECT_GT(on.sectors_elided, 0u);
+  // Every sector is either dispatched or elided each barrier round, plus
+  // one dense drain round at the end.
+  EXPECT_EQ(on.sectors_dispatched + on.sectors_elided,
+            (on.barrier_rounds + 1) * config.sectors);
+
+  config.elide_quiescent = false;
+  ScaleResult off = run_scale(config);
+  EXPECT_EQ(off.sectors_elided, 0u);
+  EXPECT_EQ(off.sectors_dispatched, (off.barrier_rounds + 1) * config.sectors);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.arrivals, on.arrivals);
+  EXPECT_EQ(off.reallocations, on.reallocations);
+}
+
+TEST(ScaleScenario, DiurnalNightTroughElidesAndStaysDeterministic) {
+  // diurnal_night_frac=0 zeroes the overnight arrival rate, so sectors that
+  // drain during the trough are elided mid-run, not just in the tail.
+  Overmap ov = small_config(4, 2);
+  ov["run_duration"] = "600";
+  ov["video_duration"] = "20";
+  ov["sessions"] = "400";
+  ov["diurnal"] = "true";
+  ov["diurnal_night_frac"] = "0";
+  std::string a = run_scenario_json("scale", ov).dump(2);
+  EXPECT_EQ(run_scenario_json("scale", ov).dump(2), a);
+  Overmap off = ov;
+  off["elide"] = "false";
+  off["threads"] = "1";
+  EXPECT_EQ(run_scenario_json("scale", off).dump(2), a);
+}
+
 TEST(ScaleScenario, PerfCountersAccumulateWhenRequested) {
   RunPerf perf;
   core::JsonValue out = run_scenario_json("scale", small_config(1, 1), nullptr,
                                           nullptr, nullptr, &perf);
   EXPECT_GT(perf.events, 0u);
+  EXPECT_GT(perf.barrier_rounds, 0u);
+  EXPECT_GT(perf.sectors_dispatched, 0u);
+  EXPECT_GT(perf.parallel_advance_ns, 0u);
+  double frac = perf.serial_fraction();
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
   (void)out;
 }
 

@@ -137,6 +137,15 @@ TEST(Scheduler, NextEventTimeSkipsCancelled) {
   EXPECT_DOUBLE_EQ(sched.next_event_time(), 2.0);
 }
 
+TEST(Scheduler, NextEventTimeOrFallsBackWhenEmpty) {
+  Scheduler sched;
+  EXPECT_DOUBLE_EQ(sched.next_event_time_or(99.0), 99.0);
+  EventHandle pending = sched.schedule_at(3.0, [] {});
+  EXPECT_DOUBLE_EQ(sched.next_event_time_or(99.0), 3.0);
+  sched.cancel(pending);
+  EXPECT_DOUBLE_EQ(sched.next_event_time_or(99.0), 99.0);
+}
+
 TEST(PeriodicTask, TicksAtFixedPeriod) {
   Scheduler sched;
   std::vector<TimePoint> ticks;

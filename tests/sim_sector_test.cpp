@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -97,6 +98,88 @@ TEST(SectorRunner, ZeroAndSingleJobRoundsAreFine) {
     ++ran;
   });
   EXPECT_EQ(ran, 1);
+}
+
+TEST(SectorRunner, SparseRoundDispatchesOnlyListedIndices) {
+  // The quiescence-aware barrier loop hands run_round the active subset;
+  // fn must see exactly the listed sector indices, nothing else.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SectorRunner runner(threads);
+    std::vector<std::atomic<int>> hits(16);
+
+    std::vector<std::size_t> none;
+    runner.run_round(std::span<const std::size_t>(none),
+                     [](std::size_t) { FAIL() << "empty round ran a job"; });
+
+    std::vector<std::size_t> one{5};
+    runner.run_round(std::span<const std::size_t>(one),
+                     [&](std::size_t i) { ++hits[i]; });
+
+    std::vector<std::size_t> sparse{1, 5, 9, 13};
+    runner.run_round(std::span<const std::size_t>(sparse),
+                     [&](std::size_t i) { ++hits[i]; });
+
+    std::vector<std::size_t> all(hits.size());
+    std::iota(all.begin(), all.end(), 0);
+    runner.run_round(std::span<const std::size_t>(all),
+                     [&](std::size_t i) { ++hits[i]; });
+
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      int expect = 1;                 // the full round
+      if (i % 4 == 1) ++expect;       // the sparse round
+      if (i == 5) ++expect;           // the single-index round
+      EXPECT_EQ(hits[i].load(), expect) << "threads " << threads << " i " << i;
+    }
+    EXPECT_EQ(runner.rounds(), 4u);
+  }
+}
+
+TEST(SectorRunner, SparseLowestPositionErrorWinsDeterministically) {
+  // Among failures in a sparse set, the rethrown one must be the failure a
+  // serial walk of the index list would hit first -- regardless of which
+  // worker hit which index.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SectorRunner runner(threads);
+    std::vector<std::size_t> sparse{3, 7, 11, 15};
+    try {
+      runner.run_round(std::span<const std::size_t>(sparse),
+                       [](std::size_t i) {
+                         if (i == 7 || i == 15)
+                           throw std::runtime_error("sector " +
+                                                    std::to_string(i));
+                       });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "sector 7") << "threads " << threads;
+    }
+    // The pool stays usable after a failed sparse round.
+    std::atomic<int> ok{0};
+    runner.run_round(std::span<const std::size_t>(sparse),
+                     [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 4);
+  }
+}
+
+TEST(SectorRunner, SmallRoundsWakeOnlyAsManyWorkersAsJobs) {
+  // Thundering-herd pin: a round of j jobs on t workers admits exactly
+  // min(j, t) participants -- the rest are never woken (or bounce off the
+  // entered cap without claiming), so a mostly-quiescent round does not
+  // pay t wakeups to run two sectors.
+  SectorRunner runner(8);
+  std::atomic<int> hits{0};
+  runner.run_round(64, [&](std::size_t) { ++hits; });  // full: all 8 join
+  EXPECT_EQ(runner.participations(), 8u);
+  runner.run_round(3, [&](std::size_t) { ++hits; });   // sparse: only 3
+  EXPECT_EQ(runner.participations(), 11u);
+  std::vector<std::size_t> two{4, 9};
+  runner.run_round(std::span<const std::size_t>(two),
+                   [&](std::size_t) { ++hits; });      // sparse list: only 2
+  EXPECT_EQ(runner.participations(), 13u);
+  runner.run_round(1, [&](std::size_t) { ++hits; });   // inline: none
+  EXPECT_EQ(runner.participations(), 13u);
+  EXPECT_EQ(hits.load(), 64 + 3 + 2 + 1);
+  EXPECT_EQ(runner.rounds(), 4u);
+  EXPECT_EQ(runner.threads(), 8u);
 }
 
 }  // namespace

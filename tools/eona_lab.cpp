@@ -163,6 +163,23 @@ int run_single(const Args& args) {
               wall > 0.0 ? static_cast<double>(perf.events) / wall : 0.0));
     p.set("peak_rss_bytes",
           core::JsonValue::number(static_cast<double>(peak_rss_bytes())));
+    // Phase breakdown (barrier-scheduled scenarios fill these; others
+    // report zeros): where the wall clock went and how sparse the rounds
+    // were. serial_fraction is the coordinator's share of accounted time.
+    p.set("barrier_rounds",
+          core::JsonValue::number(static_cast<double>(perf.barrier_rounds)));
+    p.set("sectors_dispatched",
+          core::JsonValue::number(
+              static_cast<double>(perf.sectors_dispatched)));
+    p.set("sectors_elided",
+          core::JsonValue::number(static_cast<double>(perf.sectors_elided)));
+    p.set("parallel_advance_seconds",
+          core::JsonValue::number(
+              static_cast<double>(perf.parallel_advance_ns) / 1e9));
+    p.set("serial_barrier_seconds",
+          core::JsonValue::number(
+              static_cast<double>(perf.serial_barrier_ns) / 1e9));
+    p.set("serial_fraction", core::JsonValue::number(perf.serial_fraction()));
     std::fprintf(stderr, "%s\n", p.dump(2).c_str());
   }
   if (args.csv_series) dump_series_csv(series);
@@ -375,9 +392,11 @@ void usage() {
       "                        (mode, seed, sessions, sectors, threads,\n"
       "                        run_duration, video_duration, barrier_period,\n"
       "                        access_capacity_mbps, headroom_fraction,\n"
-      "                        diurnal); e.g.\n"
+      "                        diurnal, diurnal_night_frac, arrival_window,\n"
+      "                        elide); e.g.\n"
       "                        eona_lab scale --sessions=1000000 --sectors=4096\n"
-      "                        threads changes wall-clock only, never output\n"
+      "                        threads and elide change wall-clock only,\n"
+      "                        never output\n"
       "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
       "--faults=PLAN injects a chaos plan (failover scenario), e.g.\n"
       "  eona_lab failover mode=eona --faults='down:X@B@120;up:X@B@180'\n"
@@ -393,8 +412,11 @@ void usage() {
       "sweep fans {seeds} x {modes} across a thread pool (threads=0 = all\n"
       "cores) and prints one collated JSON document; the output is identical\n"
       "for any thread count.\n"
-      "--perf prints wall-clock seconds, events/sec and peak RSS as JSON on\n"
-      "stderr (stdout stays the byte-stable scenario result).\n"
+      "--perf prints wall-clock seconds, events/sec, peak RSS, and (for\n"
+      "barrier-scheduled scenarios) the phase breakdown -- barrier_rounds,\n"
+      "sectors_dispatched/elided, parallel_advance/serial_barrier seconds,\n"
+      "serial_fraction -- as JSON on stderr (stdout stays the byte-stable\n"
+      "scenario result).\n"
       "overrides may also be spelled --key=value.\n");
 }
 
