@@ -1,0 +1,216 @@
+// E19 (§5 federation): the brokered exchange containing a lying tenant.
+//
+// Three AppP tenants share two access ISPs through one eona::Exchange; each
+// ISP divides a fixed egress pool across the tenants' ingress links in
+// proportion to the A2I traffic forecasts it sees. Tenant 0 multiplies its
+// exported forecasts by 6x to grab pool share; tenants 1 and 2 are honest.
+//
+// Sweep: seeds x {broker off, broker on}. With the broker off the inflated
+// claims pass straight through and the honest tenants' viewers are squeezed
+// to a sliver of each pool; with the broker on, the exchange clamps every
+// tenant's per-ISP claims to its egress-share quota (one equal share each)
+// before any InfP sees them, so the lie stops paying.
+//
+// Verdicts (acceptance thresholds):
+//  * per seed, the honest tenants' mean engagement is strictly higher with
+//    the broker on than off;
+//  * per seed, their mean bitrate is strictly higher with the broker on;
+//  * the quota clamp fires only in the broker arm (every seed);
+//  * the honest side's mean egress share (over seeds) rises under the broker;
+//  * same seed + arm reproduces bit-identical numbers.
+//
+// Always writes a machine-readable JSON summary (per-run rows, per-arm
+// means, verdicts) for the CI bench artifact; path defaults to
+// BENCH_federation.json, overridden by argv[1] or EONA_BENCH_OUT. CI runs a
+// session-reduced sweep via EONA_FEDERATION_RUN_DURATION /
+// EONA_FEDERATION_ARRIVAL_RATE.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eona/json.hpp"
+#include "scenarios/federation.hpp"
+
+using namespace eona;
+
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+double env_or(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+scenarios::FederationResult run(std::uint64_t seed, bool broker) {
+  scenarios::FederationConfig config;
+  config.seed = seed;
+  config.broker = broker;
+  config.run_duration = env_or("EONA_FEDERATION_RUN_DURATION", 600.0);
+  config.arrival_rate = env_or("EONA_FEDERATION_ARRIVAL_RATE", 0.2);
+  return scenarios::run_federation(config);
+}
+
+void print_row(const char* arm, std::uint64_t seed,
+               const scenarios::FederationResult& r) {
+  std::printf("%9s %4llu | %7.3f %7.2f | %7.3f %7.2f | %6.3f %6.3f %6llu\n",
+              arm, static_cast<unsigned long long>(seed),
+              r.liar.mean_engagement, r.liar.mean_bitrate / 1e6,
+              r.victim_mean_engagement, r.victim_mean_bitrate / 1e6,
+              r.liar_share, r.victim_share,
+              static_cast<unsigned long long>(r.clamps));
+}
+
+core::JsonValue row_json(std::uint64_t seed, bool broker,
+                         const scenarios::FederationResult& r) {
+  core::JsonValue row = core::JsonValue::object();
+  row.set("seed", core::JsonValue::number(static_cast<double>(seed)));
+  row.set("broker", core::JsonValue::boolean(broker));
+  row.set("liar_engagement", core::JsonValue::number(r.liar.mean_engagement));
+  row.set("liar_bitrate", core::JsonValue::number(r.liar.mean_bitrate));
+  row.set("victim_engagement",
+          core::JsonValue::number(r.victim_mean_engagement));
+  row.set("victim_bitrate", core::JsonValue::number(r.victim_mean_bitrate));
+  row.set("victim_stalls",
+          core::JsonValue::number(
+              static_cast<double>(r.victim1.stalls + r.victim2.stalls)));
+  row.set("liar_share", core::JsonValue::number(r.liar_share));
+  row.set("victim_share", core::JsonValue::number(r.victim_share));
+  row.set("clamps", core::JsonValue::number(static_cast<double>(r.clamps)));
+  return row;
+}
+
+struct Means {
+  double victim_engagement = 0.0;
+  double victim_bitrate = 0.0;
+  double victim_share = 0.0;
+  double liar_share = 0.0;
+};
+
+Means mean_of(const std::vector<scenarios::FederationResult>& runs) {
+  Means m;
+  for (const auto& r : runs) {
+    m.victim_engagement += r.victim_mean_engagement;
+    m.victim_bitrate += r.victim_mean_bitrate;
+    m.victim_share += r.victim_share;
+    m.liar_share += r.liar_share;
+  }
+  auto n = static_cast<double>(runs.size());
+  m.victim_engagement /= n;
+  m.victim_bitrate /= n;
+  m.victim_share /= n;
+  m.liar_share /= n;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_federation.json";
+  if (const char* env = std::getenv("EONA_BENCH_OUT")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  std::printf("=== E19 / Sec 5: brokered exchange vs a lying tenant ===\n\n");
+  std::printf("%9s %4s | %7s %7s | %7s %7s | %6s %6s %6s\n", "arm", "seed",
+              "liar-en", "liar-Mb", "vict-en", "vict-Mb", "l-shr", "v-shr",
+              "clamps");
+
+  core::JsonValue rows = core::JsonValue::array();
+  std::vector<scenarios::FederationResult> off_runs, on_runs;
+  bool qoe_better = true, bitrate_better = true, clamp_only_on = true;
+  for (std::uint64_t seed : kSeeds) {
+    scenarios::FederationResult off = run(seed, false);
+    scenarios::FederationResult on = run(seed, true);
+    print_row("unbroked", seed, off);
+    print_row("brokered", seed, on);
+    rows.push_back(row_json(seed, false, off));
+    rows.push_back(row_json(seed, true, on));
+    qoe_better &= on.victim_mean_engagement > off.victim_mean_engagement;
+    bitrate_better &= on.victim_mean_bitrate > off.victim_mean_bitrate;
+    clamp_only_on &= on.clamps > 0 && off.clamps == 0;
+    off_runs.push_back(std::move(off));
+    on_runs.push_back(std::move(on));
+  }
+
+  Means off_mean = mean_of(off_runs);
+  Means on_mean = mean_of(on_runs);
+  std::printf("\n%9s mean | %7s %7s | %7.3f %7.2f | %6.3f %6.3f\n",
+              "unbroked", "", "", off_mean.victim_engagement,
+              off_mean.victim_bitrate / 1e6, off_mean.liar_share,
+              off_mean.victim_share);
+  std::printf("%9s mean | %7s %7s | %7.3f %7.2f | %6.3f %6.3f\n", "brokered",
+              "", "", on_mean.victim_engagement, on_mean.victim_bitrate / 1e6,
+              on_mean.liar_share, on_mean.victim_share);
+
+  std::printf("\n--- reproducibility: seed 1, brokered, same config twice "
+              "---\n");
+  scenarios::FederationResult again = run(kSeeds[0], true);
+  const scenarios::FederationResult& first = on_runs.front();
+  bool reproducible =
+      again.victim_mean_engagement == first.victim_mean_engagement &&
+      again.victim_mean_bitrate == first.victim_mean_bitrate &&
+      again.liar.mean_engagement == first.liar.mean_engagement &&
+      again.liar_share == first.liar_share &&
+      again.victim_share == first.victim_share &&
+      again.clamps == first.clamps;
+  std::printf("run1 vict-en=%.6f clamps=%llu | run2 vict-en=%.6f "
+              "clamps=%llu\n",
+              first.victim_mean_engagement,
+              static_cast<unsigned long long>(first.clamps),
+              again.victim_mean_engagement,
+              static_cast<unsigned long long>(again.clamps));
+
+  bool share_recovered = on_mean.victim_share > off_mean.victim_share;
+  std::printf("\n--- verdicts ---\n");
+  std::printf("victim engagement higher with broker on every seed: %s\n",
+              qoe_better ? "PASS" : "FAIL");
+  std::printf("victim bitrate higher with broker on every seed: %s\n",
+              bitrate_better ? "PASS" : "FAIL");
+  std::printf("quota clamp fires only in the broker arm: %s\n",
+              clamp_only_on ? "PASS" : "FAIL");
+  std::printf("victim mean egress share %.3f -> %.3f (need higher): %s\n",
+              off_mean.victim_share, on_mean.victim_share,
+              share_recovered ? "PASS" : "FAIL");
+  std::printf("same seed reproduces identical numbers: %s\n",
+              reproducible ? "PASS" : "FAIL");
+
+  core::JsonValue doc = core::JsonValue::object();
+  doc.set("experiment", core::JsonValue::string("E19_sec5_federation"));
+  doc.set("runs", std::move(rows));
+  core::JsonValue means = core::JsonValue::object();
+  for (const auto& [label, m] :
+       {std::pair<const char*, Means>{"unbrokered", off_mean},
+        std::pair<const char*, Means>{"brokered", on_mean}}) {
+    core::JsonValue entry = core::JsonValue::object();
+    entry.set("victim_engagement", core::JsonValue::number(m.victim_engagement));
+    entry.set("victim_bitrate", core::JsonValue::number(m.victim_bitrate));
+    entry.set("victim_share", core::JsonValue::number(m.victim_share));
+    entry.set("liar_share", core::JsonValue::number(m.liar_share));
+    means.set(label, std::move(entry));
+  }
+  doc.set("means", std::move(means));
+  core::JsonValue verdicts = core::JsonValue::object();
+  verdicts.set("victim_qoe_recovered", core::JsonValue::boolean(qoe_better));
+  verdicts.set("victim_bitrate_recovered",
+               core::JsonValue::boolean(bitrate_better));
+  verdicts.set("clamp_only_in_broker_arm",
+               core::JsonValue::boolean(clamp_only_on));
+  verdicts.set("victim_share_recovered",
+               core::JsonValue::boolean(share_recovered));
+  verdicts.set("reproducible", core::JsonValue::boolean(reproducible));
+  doc.set("verdicts", std::move(verdicts));
+  std::ofstream out(out_path, std::ios::binary);
+  if (out) {
+    std::string text = doc.dump(2);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out << "\n";
+    std::fprintf(stderr, "bench results written to %s\n", out_path.c_str());
+  }
+
+  return (qoe_better && bitrate_better && clamp_only_on && share_recovered &&
+          reproducible)
+             ? 0
+             : 1;
+}

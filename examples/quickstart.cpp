@@ -54,19 +54,27 @@ int main() {
   directory.add(&cdn1);
   directory.add(&cdn2);
 
-  // --- 3. control planes and the EONA interfaces ----------------------------
+  // --- 3. control planes and the brokered EONA exchange ---------------------
   core::ProviderRegistry registry;
   ProviderId appp_id =
       registry.register_provider(core::ProviderKind::kAppP, "video-appp");
   ProviderId infp_id =
       registry.register_provider(core::ProviderKind::kInfP, "access-isp");
 
+  core::Exchange exchange(registry);
+  exchange.register_appp(appp_id);
+  exchange.register_infp(infp_id);
+
   control::AppPController appp(sched, network, directory, appp_id);
   control::InfPController infp(sched, network, routing, peering, isp, infp_id,
                                {access});
   infp.attach_cdn(&cdn1);
   infp.attach_cdn(&cdn2);
-  scenarios::wire_eona(registry, appp, infp);
+  appp.bind_exchange(core::ExchangeEndpoint(&exchange, appp_id));
+  infp.bind_exchange(core::ExchangeEndpoint(&exchange, infp_id));
+  exchange.wire(appp_id, infp_id);  // broker mints both bearer tokens
+  infp.subscribe_a2i(appp_id);
+  appp.subscribe_i2a(infp_id);
   appp.set_eona_enabled(true);
   infp.set_eona_enabled(true);
   appp.start();

@@ -331,7 +331,6 @@ AppPController::AppPController(sim::Scheduler& sched, net::Network& network,
       by_isp_cdn_server_(telemetry::Dim::kIsp | telemetry::Dim::kCdn |
                              telemetry::Dim::kServer,
                          config.qoe_window, config.qoe_window_buckets),
-      a2i_(self),
       primary_dwell_(config.primary_dwell),
       baseline_brain_(std::make_unique<BaselineBrain>(*this)),
       eona_brain_(std::make_unique<EonaBrain>(*this)) {
@@ -346,26 +345,22 @@ AppPController::AppPController(sim::Scheduler& sched, net::Network& network,
 
 AppPController::~AppPController() = default;
 
-void AppPController::subscribe_i2a(core::I2AEndpoint* endpoint,
-                                   std::string token) {
-  EONA_EXPECTS(endpoint != nullptr);
-  I2ASubscription sub{endpoint, std::move(token), nullptr};
+void AppPController::subscribe_i2a(ProviderId infp) {
+  EONA_EXPECTS(port_.bound());
+  I2ASubscription sub{infp, nullptr};
   // Deterministic per-subscription seed: backoff jitter must not depend on
   // subscription order elsewhere or on any workload randomness.
   std::uint64_t seed =
       splitmix64(self_.value() ^ (subscriptions_.size() + 1) * 0xD1B54A32D192ED03ull);
   sub.fetcher = std::make_unique<core::RobustFetcher<core::I2AReport>>(
       sched_,
-      [this, endpoint, token = sub.token](TimePoint now) {
-        return endpoint->query(self_, token, now);
-      },
+      [this, infp](TimePoint now) { return port_.fetch_i2a(infp, now); },
       config_.i2a_retry, seed, [this] { remerge_i2a(); });
   subscriptions_.push_back(std::move(sub));
 }
 
 void AppPController::set_event_bus(sim::EventBus* bus) {
   bus_ = bus;
-  a2i_.set_event_bus(bus, "a2i");
   if (bus_ != nullptr) {
     // The delivery-health accumulator becomes a subscriber: the controller
     // publishes ReportServedEvent each epoch and consumes its own event.
@@ -411,7 +406,7 @@ void AppPController::tick() {
   ++tick_count_;
   // Build the report once per epoch; publish and steering both consume it.
   core::A2IReport report = build_a2i_report();
-  a2i_.publish(report, sched_.now());
+  if (port_.bound()) port_.publish_a2i(report, sched_.now());
   publish_a2i_samples(report);
   refresh_i2a();
   steer_primary_cdn(report);
@@ -446,7 +441,7 @@ void AppPController::refresh_i2a() {
     std::optional<core::I2AReport> merged;
     for (const auto& sub : subscriptions_) {
       ++naive_stats_.attempts;
-      auto report = sub.endpoint->query(self_, sub.token, now);
+      auto report = port_.fetch_i2a(sub.producer, now);
       if (!report) {
         ++naive_stats_.misses;
         continue;
@@ -492,7 +487,7 @@ telemetry::DeliveryHealthSnapshot AppPController::i2a_health() const {
   core::FetchStats fetches = naive_stats_;
   for (const auto& sub : subscriptions_) {
     fetches += sub.fetcher->stats();
-    const core::ChannelStats& ch = sub.endpoint->peer_stats(self_);
+    const core::ChannelStats& ch = port_.i2a_leg_stats(sub.producer);
     s.publishes += ch.published;
     s.deliveries += ch.delivered;
     s.drops += ch.dropped;
@@ -547,6 +542,7 @@ core::A2IReport AppPController::build_a2i_report() const {
       f.expected_rate = std::max(f.expected_rate,
                                  active_estimate * config_.intended_bitrate);
     }
+    f.expected_rate *= config_.forecast_exaggeration;
     report.forecasts.push_back(f);
   }
   for (const auto& [dims, agg] : by_isp_cdn_server_.snapshot(now)) {

@@ -25,7 +25,7 @@
 #include "app/video_player.hpp"
 #include "control/dampening.hpp"
 #include "control/oscillation.hpp"
-#include "eona/endpoint.hpp"
+#include "eona/exchange.hpp"
 #include "eona/messages.hpp"
 #include "eona/robust.hpp"
 #include "net/network.hpp"
@@ -80,6 +80,10 @@ struct AppPConfig {
   /// Beacon cadence assumed when estimating active sessions from window
   /// record counts (must match PlayerConfig::beacon_period).
   Duration assumed_beacon_period = 10.0;
+  /// Multiplier on every exported traffic forecast: a misbehaving tenant
+  /// over-reports its QoE pain to grab egress share on the exchange
+  /// (federation scenario). 1.0 = honest, byte-identical.
+  double forecast_exaggeration = 1.0;
   // --- I2A robustness (§5 graceful degradation) ---
   /// When false, a control tick whose fetches all miss *clears* the I2A view
   /// (the naive consumer trusts only what it just read) -- the fragile mode
@@ -116,14 +120,19 @@ class AppPController {
   [[nodiscard]] telemetry::BeaconCollector& collector() { return collector_; }
 
   // --- EONA wiring ---
-  [[nodiscard]] core::A2IEndpoint& a2i_endpoint() { return a2i_; }
-  /// Subscribe to an InfP's looking glass with the given bearer token.
-  void subscribe_i2a(core::I2AEndpoint* endpoint, std::string token);
+  /// Bind this controller to its exchange identity. All A2I publishes and
+  /// I2A fetches flow through the broker; unbound controllers (bare unit
+  /// fixtures) skip publishing and cannot subscribe.
+  void bind_exchange(core::ExchangeEndpoint port) { port_ = port; }
+  [[nodiscard]] const core::ExchangeEndpoint& port() const { return port_; }
+  /// Subscribe to an InfP tenant's I2A leg on the exchange (the broker
+  /// holds the bearer token; the leg must have been wired).
+  void subscribe_i2a(ProviderId infp);
 
-  /// Attach the world's event bus: the A2I glass emits channel events,
-  /// steering decisions are published with attributed reasons, and the
-  /// i2a delivery-health accumulator is rewired as a ReportServedEvent
-  /// subscriber (identical update sequence to the direct call it replaces).
+  /// Attach the world's event bus: steering decisions are published with
+  /// attributed reasons, and the i2a delivery-health accumulator is rewired
+  /// as a ReportServedEvent subscriber (identical update sequence to the
+  /// direct call it replaces).
   void set_event_bus(sim::EventBus* bus);
   void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
@@ -213,10 +222,9 @@ class AppPController {
   telemetry::WindowedAggregator by_isp_cdn_;
   telemetry::WindowedAggregator by_isp_cdn_server_;
 
-  core::A2IEndpoint a2i_;
+  core::ExchangeEndpoint port_;
   struct I2ASubscription {
-    core::I2AEndpoint* endpoint;
-    std::string token;
+    ProviderId producer;  ///< the InfP tenant whose leg this subscribes
     std::unique_ptr<core::RobustFetcher<core::I2AReport>> fetcher;
   };
   std::vector<I2ASubscription> subscriptions_;

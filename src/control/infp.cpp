@@ -45,8 +45,7 @@ InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
       isp_(isp),
       self_(self),
       access_links_(std::move(access_links)),
-      config_(config),
-      i2a_(self) {
+      config_(config) {
   // Record initial selections; the first-registered point per CDN is the
   // ISP's preferred (cheapest) interconnect.
   std::vector<LinkId> monitored = access_links_;
@@ -70,17 +69,14 @@ InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
 
 InfPController::~InfPController() = default;
 
-void InfPController::subscribe_a2i(core::A2IEndpoint* endpoint,
-                                   std::string token) {
-  EONA_EXPECTS(endpoint != nullptr);
-  A2ISubscription sub{endpoint, std::move(token), nullptr};
+void InfPController::subscribe_a2i(ProviderId appp) {
+  EONA_EXPECTS(port_.bound());
+  A2ISubscription sub{appp, nullptr};
   std::uint64_t seed = splitmix64(
       self_.value() ^ (subscriptions_.size() + 1) * 0x2545F4914F6CDD1Dull);
   sub.fetcher = std::make_unique<core::RobustFetcher<core::A2IReport>>(
       sched_,
-      [this, endpoint, token = sub.token](TimePoint now) {
-        return endpoint->query(self_, token, now);
-      },
+      [this, appp](TimePoint now) { return port_.fetch_a2i(appp, now); },
       config_.a2i_retry, seed, [this] { remerge_a2i(); });
   subscriptions_.push_back(std::move(sub));
 }
@@ -102,7 +98,6 @@ void InfPController::start() {
 
 void InfPController::set_event_bus(sim::EventBus* bus) {
   bus_ = bus;
-  i2a_.set_event_bus(bus, "i2a");
   monitor_->set_event_bus(bus);
   if (bus_ != nullptr) {
     // Delivery health as a subscriber: the controller publishes its own
@@ -144,8 +139,8 @@ void InfPController::on_fault(const sim::FaultEvent& e) {
   // Reflect the outage in the looking glass immediately: zero capacity,
   // congested peering, offline server hints reach subscribed AppPs without
   // waiting out the control period.
-  if ((affected || nominal_capacity_.count(e.link) > 0))
-    i2a_.publish(build_i2a_report(), sched_.now());
+  if ((affected || nominal_capacity_.count(e.link) > 0) && port_.bound())
+    port_.publish_i2a(build_i2a_report(), sched_.now());
 }
 
 PeeringId InfPController::pick_failover_target(CdnId cdn) const {
@@ -176,7 +171,46 @@ void InfPController::tick() {
   refresh_a2i();
   run_traffic_engineering();
   run_provisioning();
-  i2a_.publish(build_i2a_report(), sched_.now());
+  run_egress_sharing();
+  if (port_.bound()) port_.publish_i2a(build_i2a_report(), sched_.now());
+}
+
+void InfPController::run_egress_sharing() {
+  const InfPConfig::EgressShareConfig& es = config_.egress_share;
+  if (!es.enabled || es.pool <= 0.0) return;
+  // One ingress link per CDN: the selected peering point's. The pool is
+  // divided proportional to each CDN's visible A2I forecast claim (equal
+  // split when nothing is visible yet), floored at min_share so no tenant
+  // starves outright, then renormalised.
+  std::map<CdnId, LinkId> ingress;
+  for (PeeringId pid : peering_.points_of_isp(isp_)) {
+    const net::PeeringPoint& p = peering_.point(pid);
+    if (peering_.selected(isp_, p.cdn) == pid) ingress[p.cdn] = p.ingress_link;
+  }
+  if (ingress.empty()) return;
+
+  std::map<CdnId, double> weight;
+  double total = 0.0;
+  for (const auto& [cdn, link] : ingress) {
+    auto claim = forecast_for(cdn);
+    double w = claim ? std::max(*claim, 0.0) : 0.0;
+    weight[cdn] = w;
+    total += w;
+  }
+  std::map<CdnId, double> share;
+  double renorm = 0.0;
+  for (const auto& [cdn, w] : weight) {
+    double s = total > 0.0 ? w / total : 1.0 / ingress.size();
+    s = std::max(s, es.min_share);
+    share[cdn] = s;
+    renorm += s;
+  }
+  net::Network::Batch batch(network_);
+  for (const auto& [cdn, link] : ingress) {
+    double s = share[cdn] / renorm;
+    egress_shares_[cdn] = s;
+    network_.set_link_capacity(link, s * es.pool);
+  }
 }
 
 void InfPController::run_provisioning() {
@@ -253,7 +287,7 @@ void InfPController::refresh_a2i() {
     std::optional<core::A2IReport> merged;
     for (const auto& sub : subscriptions_) {
       ++naive_stats_.attempts;
-      auto report = sub.endpoint->query(self_, sub.token, now);
+      auto report = port_.fetch_a2i(sub.producer, now);
       if (!report) {
         ++naive_stats_.misses;
         continue;
@@ -300,7 +334,7 @@ telemetry::DeliveryHealthSnapshot InfPController::a2i_health() const {
   core::FetchStats fetches = naive_stats_;
   for (const auto& sub : subscriptions_) {
     fetches += sub.fetcher->stats();
-    const core::ChannelStats& ch = sub.endpoint->peer_stats(self_);
+    const core::ChannelStats& ch = port_.a2i_leg_stats(sub.producer);
     s.publishes += ch.published;
     s.deliveries += ch.delivered;
     s.drops += ch.dropped;

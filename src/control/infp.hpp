@@ -26,7 +26,7 @@
 #include "control/forecaster.hpp"
 #include "control/link_monitor.hpp"
 #include "control/oscillation.hpp"
-#include "eona/endpoint.hpp"
+#include "eona/exchange.hpp"
 #include "eona/messages.hpp"
 #include "eona/robust.hpp"
 #include "net/network.hpp"
@@ -92,6 +92,18 @@ struct InfPConfig {
   // --- elastic capacity provisioning (E16; off by default) ---
   ProvisionConfig provision{};
   ForecastConfig forecast{};  ///< smoothing for the provisioning forecaster
+  // --- egress-share division (federation; off by default) ---
+  /// When enabled, each control tick divides `pool` of CDN-ingress capacity
+  /// across this ISP's peering ingress links, proportional to the per-CDN
+  /// A2I traffic forecasts (equal split when no forecasts are visible).
+  /// This is the resource a lying tenant can steal by over-reporting -- and
+  /// the broker's egress quota clamp is what contains the lie.
+  struct EgressShareConfig {
+    bool enabled = false;
+    BitsPerSecond pool = 0.0;  ///< total ingress capacity to divide
+    double min_share = 0.05;   ///< floor fraction per CDN (starvation guard)
+  };
+  EgressShareConfig egress_share{};
 };
 
 /// ISP control plane; see file header.
@@ -107,13 +119,19 @@ class InfPController {
   ~InfPController();
 
   // --- EONA wiring ---
-  [[nodiscard]] core::I2AEndpoint& i2a_endpoint() { return i2a_; }
-  void subscribe_a2i(core::A2IEndpoint* endpoint, std::string token);
+  /// Bind this controller to its exchange identity. All I2A publishes and
+  /// A2I fetches flow through the broker; unbound controllers (bare unit
+  /// fixtures) skip publishing and cannot subscribe.
+  void bind_exchange(core::ExchangeEndpoint port) { port_ = port; }
+  [[nodiscard]] const core::ExchangeEndpoint& port() const { return port_; }
+  /// Subscribe to an AppP tenant's A2I leg on the exchange (the broker
+  /// holds the bearer token; the leg must have been wired).
+  void subscribe_a2i(ProviderId appp);
 
-  /// Attach the world's event bus: the I2A glass emits channel events,
-  /// egress migrations are published with attributed reasons, and the a2i
-  /// delivery-health accumulator is rewired as a ReportServedEvent
-  /// subscriber (identical update sequence to the direct call it replaces).
+  /// Attach the world's event bus: egress migrations are published with
+  /// attributed reasons, and the a2i delivery-health accumulator is rewired
+  /// as a ReportServedEvent subscriber (identical update sequence to the
+  /// direct call it replaces).
   void set_event_bus(sim::EventBus* bus);
   void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }
@@ -169,6 +187,13 @@ class InfPController {
     return provision_order_count_;
   }
 
+  /// Current share fraction of the egress pool assigned to `cdn`'s ingress
+  /// link (0 before the first sharing tick or when sharing is disabled).
+  [[nodiscard]] double egress_share_of(CdnId cdn) const {
+    auto it = egress_shares_.find(cdn);
+    return it == egress_shares_.end() ? 0.0 : it->second;
+  }
+
  private:
   void refresh_a2i();
   /// Rebuild latest_a2i_ from the robust fetchers' last-known-good reports.
@@ -176,6 +201,9 @@ class InfPController {
   void run_traffic_engineering();
   /// Elastic access-capacity control; see ProvisionConfig.
   void run_provisioning();
+  /// Forecast-proportional division of the CDN-ingress pool; see
+  /// EgressShareConfig.
+  void run_egress_sharing();
   void engineer_cdn(CdnId cdn, const std::vector<PeeringId>& candidates);
   /// Moves live flows from `from`'s ingress link onto paths via `to`;
   /// returns how many flows moved.
@@ -206,10 +234,9 @@ class InfPController {
   std::vector<LinkId> access_links_;
   InfPConfig config_;
 
-  core::I2AEndpoint i2a_;
+  core::ExchangeEndpoint port_;
   struct A2ISubscription {
-    core::A2IEndpoint* endpoint;
-    std::string token;
+    ProviderId producer;  ///< the AppP tenant whose leg this subscribes
     std::unique_ptr<core::RobustFetcher<core::A2IReport>> fetcher;
   };
   std::vector<A2ISubscription> subscriptions_;
@@ -235,6 +262,7 @@ class InfPController {
   Forecaster forecaster_;
   std::map<LinkId, BitsPerSecond> pending_orders_;  ///< in-flight targets
   std::uint64_t provision_order_count_ = 0;
+  std::map<CdnId, double> egress_shares_;  ///< last sharing division
   std::unique_ptr<LinkMonitor> monitor_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };

@@ -10,10 +10,13 @@
 // the unfaulted channel.
 #pragma once
 
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <optional>
 
 #include "common/contracts.hpp"
+#include "common/error.hpp"
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "eona/fault.hpp"
@@ -21,6 +24,60 @@
 #include "sim/events.hpp"
 
 namespace eona::core {
+
+/// Publish-rate budget for one broker leg. Default is unlimited, which is
+/// byte-identical to a channel without a bucket (no draws, no suppression).
+struct RateLimit {
+  /// Sustained publishes per second the leg may carry; infinity = unlimited.
+  double rate = std::numeric_limits<double>::infinity();
+  /// Burst allowance (bucket depth, in publishes).
+  double burst = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool unlimited() const {
+    return !std::isfinite(rate) || !std::isfinite(burst);
+  }
+
+  void validate() const {
+    if (rate <= 0.0) throw ConfigError("rate limit: rate must be > 0");
+    if (burst < 1.0) throw ConfigError("rate limit: burst must be >= 1");
+  }
+
+  friend bool operator==(const RateLimit&, const RateLimit&) = default;
+};
+
+/// Deterministic token bucket (no randomness: refill is pure arithmetic on
+/// the simulation clock, so rate-limited runs replay bit-for-bit).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  explicit TokenBucket(RateLimit limit) : limit_(limit) {
+    if (!limit_.unlimited()) {
+      limit_.validate();
+      tokens_ = limit_.burst;
+    }
+  }
+
+  /// Take one token at `now`; false when the bucket is dry.
+  bool try_take(TimePoint now) {
+    if (limit_.unlimited()) return true;
+    if (primed_) {
+      tokens_ = std::min(limit_.burst, tokens_ + (now - last_) * limit_.rate);
+    }
+    last_ = now;
+    primed_ = true;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] const RateLimit& limit() const { return limit_; }
+
+ private:
+  RateLimit limit_;
+  double tokens_ = 0.0;
+  TimePoint last_ = 0.0;
+  bool primed_ = false;
+};
 
 /// Delayed-visibility single-producer channel of reports of type T.
 template <typename T>
@@ -46,6 +103,11 @@ class ReportChannel {
     stream_ = FaultStream(fault_.seed);
   }
 
+  /// Budget publishes through a token bucket (broker-side rate limiting).
+  /// The default unlimited bucket leaves the channel byte-identical.
+  void set_rate_limit(RateLimit limit) { bucket_ = TokenBucket(limit); }
+  [[nodiscard]] const RateLimit& rate_limit() const { return bucket_.limit(); }
+
   /// Emit publish/drop/delivery events on `bus`, labelled with the channel's
   /// producer/consumer pair and report kind ("a2i"/"i2a"). Observational
   /// only; delivery behaviour is identical with or without a bus.
@@ -65,6 +127,12 @@ class ReportChannel {
     if (bus_ != nullptr)
       bus_->publish(sim::ReportPublishedEvent{now, from_, to_, kind_,
                                               stats_.published});
+    // Broker-side budget: a dry bucket suppresses the publish before any
+    // fault processing, so no fault-stream draw is consumed for it.
+    if (!bucket_.try_take(now)) {
+      ++stats_.rate_limited;
+      return;
+    }
     if (fault_.in_outage(now)) {
       ++stats_.dropped;  // the endpoint is down; the report is never queued
       if (bus_ != nullptr)
@@ -156,6 +224,7 @@ class ReportChannel {
   Duration delay_;
   FaultProfile fault_;
   FaultStream stream_;
+  TokenBucket bucket_;
   std::deque<Entry> history_;
   ChannelStats stats_;
 

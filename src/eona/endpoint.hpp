@@ -68,6 +68,11 @@ class LookingGlass {
     require(peer).channel.set_fault(std::move(fault));
   }
 
+  /// Budget a peer's channel through a token bucket (broker rate limiting).
+  void set_peer_rate_limit(ProviderId peer, RateLimit limit) {
+    require(peer).channel.set_rate_limit(limit);
+  }
+
   /// Delivery-health counters of one peer's channel.
   [[nodiscard]] const ChannelStats& peer_stats(ProviderId peer) const {
     return require(peer).channel.stats();

@@ -1,0 +1,174 @@
+#include "eona/exchange.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace eona::core {
+
+void Exchange::set_event_bus(sim::EventBus* bus) {
+  bus_ = bus;
+  for (auto& [id, tenant] : appps_) tenant.glass.set_event_bus(bus_, "a2i");
+  for (auto& [id, tenant] : infps_) tenant.glass.set_event_bus(bus_, "i2a");
+}
+
+void Exchange::register_appp(ProviderId id, TenantQuota quota) {
+  EONA_EXPECTS(id.valid());
+  if (quota.egress_share <= 0.0 || quota.egress_share > 1.0)
+    throw ConfigError("exchange: egress_share must be in (0, 1]");
+  auto [it, inserted] = appps_.try_emplace(id, id, quota);
+  if (!inserted)
+    throw ConfigError("exchange: appp " + std::to_string(id.value()) +
+                      " already registered");
+  if (bus_ != nullptr) it->second.glass.set_event_bus(bus_, "a2i");
+}
+
+void Exchange::register_infp(ProviderId id) {
+  EONA_EXPECTS(id.valid());
+  auto [it, inserted] = infps_.try_emplace(id, id);
+  if (!inserted)
+    throw ConfigError("exchange: infp " + std::to_string(id.value()) +
+                      " already registered");
+  if (bus_ != nullptr) it->second.glass.set_event_bus(bus_, "i2a");
+}
+
+void Exchange::set_quota(ProviderId appp, TenantQuota quota) {
+  if (quota.egress_share <= 0.0 || quota.egress_share > 1.0)
+    throw ConfigError("exchange: egress_share must be in (0, 1]");
+  require_appp(appp).quota = quota;
+}
+
+const TenantQuota& Exchange::quota(ProviderId appp) const {
+  return require_appp(appp).quota;
+}
+
+void Exchange::set_egress_reference(BitsPerSecond reference) {
+  if (reference <= 0.0)
+    throw ConfigError("exchange: egress reference must be > 0");
+  egress_reference_ = reference;
+}
+
+void Exchange::wire(ProviderId appp, ProviderId infp, const TenantLink& link) {
+  AppTenant& app = require_appp(appp);
+  InfTenant& inf = require_infp(infp);
+  // Same sequence as the pre-broker scenarios::wire_eona helper: mint the
+  // A2I token and open that leg, then the I2A token and leg. Trust-level
+  // redaction composes onto the configured base policies here, once.
+  std::string a2i_token = registry_.mint_token(appp, infp);
+  app.glass.authorize(infp, a2i_token, apply_trust(link.trust, link.a2i_policy),
+                      link.a2i_delay, link.a2i_fault);
+  a2i_tokens_[{appp, infp}] = std::move(a2i_token);
+
+  std::string i2a_token = registry_.mint_token(infp, appp);
+  inf.glass.authorize(appp, i2a_token, apply_trust(link.trust, link.i2a_policy),
+                      link.i2a_delay, link.i2a_fault);
+  if (!link.i2a_rate.unlimited())
+    inf.glass.set_peer_rate_limit(appp, link.i2a_rate);
+  i2a_tokens_[{infp, appp}] = std::move(i2a_token);
+}
+
+A2IReport Exchange::clamp_forecasts(const AppTenant& tenant,
+                                    const A2IReport& report) {
+  // Allowance per ISP: this tenant's share of the exchange's egress
+  // reference. Infinite reference (the default) never clamps.
+  const BitsPerSecond allowance =
+      tenant.quota.egress_share * egress_reference_;
+  if (!std::isfinite(allowance)) return report;
+
+  std::map<IspId, BitsPerSecond> claimed;
+  for (const TrafficForecast& f : report.forecasts)
+    claimed[f.isp] += f.expected_rate;
+
+  bool clamped = false;
+  A2IReport out = report;
+  for (TrafficForecast& f : out.forecasts) {
+    BitsPerSecond total = claimed[f.isp];
+    if (total <= allowance) continue;
+    f.expected_rate *= allowance / total;
+    clamped = true;
+  }
+  if (clamped) ++clamp_count_;
+  return out;
+}
+
+void Exchange::publish_a2i(ProviderId appp, const A2IReport& report,
+                           TimePoint now) {
+  AppTenant& tenant = require_appp(appp);
+  tenant.glass.publish(clamp_forecasts(tenant, report), now);
+}
+
+void Exchange::publish_i2a(ProviderId infp, const I2AReport& report,
+                           TimePoint now) {
+  require_infp(infp).glass.publish(report, now);
+}
+
+std::optional<A2IReport> Exchange::fetch_a2i(ProviderId infp, ProviderId appp,
+                                             TimePoint now) const {
+  auto token = a2i_tokens_.find({appp, infp});
+  if (token == a2i_tokens_.end())
+    throw AccessDenied("exchange: no a2i leg " + std::to_string(appp.value()) +
+                       " -> " + std::to_string(infp.value()));
+  return require_appp(appp).glass.query(infp, token->second, now);
+}
+
+std::optional<I2AReport> Exchange::fetch_i2a(ProviderId appp, ProviderId infp,
+                                             TimePoint now) const {
+  auto token = i2a_tokens_.find({infp, appp});
+  if (token == i2a_tokens_.end())
+    throw AccessDenied("exchange: no i2a leg " + std::to_string(infp.value()) +
+                       " -> " + std::to_string(appp.value()));
+  return require_infp(infp).glass.query(appp, token->second, now);
+}
+
+const ChannelStats& Exchange::a2i_leg_stats(ProviderId appp,
+                                            ProviderId infp) const {
+  return require_appp(appp).glass.peer_stats(infp);
+}
+
+const ChannelStats& Exchange::i2a_leg_stats(ProviderId infp,
+                                            ProviderId appp) const {
+  return require_infp(infp).glass.peer_stats(appp);
+}
+
+A2IEndpoint& Exchange::a2i_glass(ProviderId appp) {
+  return require_appp(appp).glass;
+}
+
+I2AEndpoint& Exchange::i2a_glass(ProviderId infp) {
+  return require_infp(infp).glass;
+}
+
+Exchange::AppTenant& Exchange::require_appp(ProviderId id) {
+  auto it = appps_.find(id);
+  if (it == appps_.end())
+    throw NotFoundError("exchange: appp " + std::to_string(id.value()) +
+                        " not registered");
+  return it->second;
+}
+
+const Exchange::AppTenant& Exchange::require_appp(ProviderId id) const {
+  auto it = appps_.find(id);
+  if (it == appps_.end())
+    throw NotFoundError("exchange: appp " + std::to_string(id.value()) +
+                        " not registered");
+  return it->second;
+}
+
+Exchange::InfTenant& Exchange::require_infp(ProviderId id) {
+  auto it = infps_.find(id);
+  if (it == infps_.end())
+    throw NotFoundError("exchange: infp " + std::to_string(id.value()) +
+                        " not registered");
+  return it->second;
+}
+
+const Exchange::InfTenant& Exchange::require_infp(ProviderId id) const {
+  auto it = infps_.find(id);
+  if (it == infps_.end())
+    throw NotFoundError("exchange: infp " + std::to_string(id.value()) +
+                        " not registered");
+  return it->second;
+}
+
+}  // namespace eona::core

@@ -1,0 +1,210 @@
+// The brokered interface plane (ROADMAP item 1; AONA's "global
+// collaboration" step). Instead of each AppP hand-wiring a ReportChannel to
+// each InfP, every tenant registers with one eona::Exchange and all A2I/I2A
+// flow crosses it:
+//
+//  * registration    -- AppPs and InfPs enroll once; the broker mints the
+//                       bearer tokens for every leg it wires, so tenants
+//                       never exchange credentials directly;
+//  * trust levels    -- each tenant pair is wired at a TrustLevel that
+//                       redacts attribute sets (policy.hpp) before delivery;
+//                       kFull reproduces direct wiring byte-for-byte;
+//  * rate limiting   -- each I2A leg carries a deterministic token bucket,
+//                       so one chatty InfP cannot flood a tenant's fetchers;
+//  * egress quotas   -- per-AppP egress-share quotas are enforced on the
+//                       broker's A2I path: a tenant's exported traffic
+//                       forecasts are clamped to its share of the exchange's
+//                       egress reference *before* any InfP sees them. The
+//                       clamp lives here, not in the (untrusted) client.
+//
+// Each producer tenant keeps one LookingGlass inside the broker, so all
+// per-leg semantics -- per-peer policy application, propagation delay,
+// FaultProfile, bus events, ChannelStats -- are exactly those of the
+// pre-broker point-to-point channels.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "eona/channel.hpp"
+#include "eona/endpoint.hpp"
+#include "eona/messages.hpp"
+#include "eona/policy.hpp"
+#include "eona/registry.hpp"
+
+namespace eona::core {
+
+/// Broker-enforced resource quota for one AppP tenant.
+struct TenantQuota {
+  /// Fraction of the exchange's egress reference this tenant's forecasts may
+  /// claim per ISP. 1.0 (with the default infinite reference) never clamps.
+  double egress_share = 1.0;
+
+  friend bool operator==(const TenantQuota&, const TenantQuota&) = default;
+};
+
+/// Everything one (AppP, InfP) pairing needs: per-direction staleness,
+/// policies and fault profiles (the same knobs the point-to-point wiring
+/// exposed), plus the broker's trust level and I2A rate budget.
+struct TenantLink {
+  Duration a2i_delay = 0.0;
+  Duration i2a_delay = 0.0;
+  A2IPolicy a2i_policy{};
+  I2APolicy i2a_policy{};
+  FaultProfile a2i_fault{};
+  FaultProfile i2a_fault{};
+  TrustLevel trust = TrustLevel::kFull;
+  RateLimit i2a_rate{};  ///< token bucket on the broker's I2A leg
+};
+
+/// Brokered N AppP x M InfP interface plane; see file header.
+class Exchange {
+ public:
+  explicit Exchange(const ProviderRegistry& registry) : registry_(registry) {}
+
+  Exchange(const Exchange&) = delete;
+  Exchange& operator=(const Exchange&) = delete;
+
+  /// Emit channel events for every tenant glass (current and future).
+  void set_event_bus(sim::EventBus* bus);
+
+  // --- registration ---
+  void register_appp(ProviderId id, TenantQuota quota = {});
+  void register_infp(ProviderId id);
+  [[nodiscard]] bool has_appp(ProviderId id) const {
+    return appps_.count(id) > 0;
+  }
+  [[nodiscard]] bool has_infp(ProviderId id) const {
+    return infps_.count(id) > 0;
+  }
+  [[nodiscard]] std::size_t appp_count() const { return appps_.size(); }
+  [[nodiscard]] std::size_t infp_count() const { return infps_.size(); }
+
+  /// Replace an AppP's quota (scenario setup).
+  void set_quota(ProviderId appp, TenantQuota quota);
+  [[nodiscard]] const TenantQuota& quota(ProviderId appp) const;
+
+  /// The egress capacity the quota shares refer to (per ISP). Default is
+  /// infinite: no clamp ever fires, reproducing unbrokered behaviour.
+  void set_egress_reference(BitsPerSecond reference);
+  [[nodiscard]] BitsPerSecond egress_reference() const {
+    return egress_reference_;
+  }
+
+  /// Wire both directions between a registered AppP and InfP. Mints both
+  /// bearer tokens, applies the link's trust level to its policies, and
+  /// attaches the I2A leg's token bucket. Order of channel creation matches
+  /// the old point-to-point wire_eona helper exactly.
+  void wire(ProviderId appp, ProviderId infp, const TenantLink& link = {});
+
+  // --- producer side ---
+  /// AppP publishes its A2I report: the egress quota clamp runs first (at
+  /// the broker, not in the tenant), then every wired InfP's channel
+  /// receives the clamped report through its own policy/delay/faults.
+  void publish_a2i(ProviderId appp, const A2IReport& report, TimePoint now);
+  /// InfP publishes its I2A report to every wired AppP's channel.
+  void publish_i2a(ProviderId infp, const I2AReport& report, TimePoint now);
+
+  // --- consumer side (the broker holds the tokens) ---
+  [[nodiscard]] std::optional<A2IReport> fetch_a2i(ProviderId infp,
+                                                   ProviderId appp,
+                                                   TimePoint now) const;
+  [[nodiscard]] std::optional<I2AReport> fetch_i2a(ProviderId appp,
+                                                   ProviderId infp,
+                                                   TimePoint now) const;
+
+  // --- leg introspection ---
+  [[nodiscard]] const ChannelStats& a2i_leg_stats(ProviderId appp,
+                                                  ProviderId infp) const;
+  [[nodiscard]] const ChannelStats& i2a_leg_stats(ProviderId infp,
+                                                  ProviderId appp) const;
+
+  /// Raw access to a tenant's glass: auxiliary consumers (the energy
+  /// manager) subscribe here, and benches adjust per-leg delay/faults.
+  [[nodiscard]] A2IEndpoint& a2i_glass(ProviderId appp);
+  [[nodiscard]] I2AEndpoint& i2a_glass(ProviderId infp);
+
+  /// Publishes whose forecasts the egress quota clamp scaled down.
+  [[nodiscard]] std::uint64_t clamp_count() const { return clamp_count_; }
+
+ private:
+  struct AppTenant {
+    explicit AppTenant(ProviderId id, TenantQuota q) : glass(id), quota(q) {}
+    A2IEndpoint glass;
+    TenantQuota quota;
+  };
+  struct InfTenant {
+    explicit InfTenant(ProviderId id) : glass(id) {}
+    I2AEndpoint glass;
+  };
+
+  [[nodiscard]] AppTenant& require_appp(ProviderId id);
+  [[nodiscard]] const AppTenant& require_appp(ProviderId id) const;
+  [[nodiscard]] InfTenant& require_infp(ProviderId id);
+  [[nodiscard]] const InfTenant& require_infp(ProviderId id) const;
+
+  /// `report` with the tenant's per-ISP forecast totals clamped to
+  /// egress_share * egress_reference; counts a clamp when anything shrank.
+  [[nodiscard]] A2IReport clamp_forecasts(const AppTenant& tenant,
+                                          const A2IReport& report);
+
+  const ProviderRegistry& registry_;
+  std::map<ProviderId, AppTenant> appps_;  // ordered: deterministic
+  std::map<ProviderId, InfTenant> infps_;
+  std::map<std::pair<ProviderId, ProviderId>, std::string> a2i_tokens_;
+  std::map<std::pair<ProviderId, ProviderId>, std::string> i2a_tokens_;
+  BitsPerSecond egress_reference_ = std::numeric_limits<double>::infinity();
+  std::uint64_t clamp_count_ = 0;
+  sim::EventBus* bus_ = nullptr;
+};
+
+/// The handle a controller holds instead of raw channels: its identity on
+/// the exchange plus the operations its side of the plane may perform. A
+/// default-constructed endpoint is unbound; controllers without an exchange
+/// (unit fixtures) simply skip publishing.
+class ExchangeEndpoint {
+ public:
+  ExchangeEndpoint() = default;
+  ExchangeEndpoint(Exchange* exchange, ProviderId self)
+      : exchange_(exchange), self_(self) {}
+
+  [[nodiscard]] bool bound() const { return exchange_ != nullptr; }
+  [[nodiscard]] ProviderId self() const { return self_; }
+  [[nodiscard]] Exchange& exchange() const { return *exchange_; }
+
+  // --- AppP side ---
+  void publish_a2i(const A2IReport& report, TimePoint now) {
+    exchange_->publish_a2i(self_, report, now);
+  }
+  [[nodiscard]] std::optional<I2AReport> fetch_i2a(ProviderId infp,
+                                                   TimePoint now) const {
+    return exchange_->fetch_i2a(self_, infp, now);
+  }
+  [[nodiscard]] const ChannelStats& i2a_leg_stats(ProviderId infp) const {
+    return exchange_->i2a_leg_stats(infp, self_);
+  }
+
+  // --- InfP side ---
+  void publish_i2a(const I2AReport& report, TimePoint now) {
+    exchange_->publish_i2a(self_, report, now);
+  }
+  [[nodiscard]] std::optional<A2IReport> fetch_a2i(ProviderId appp,
+                                                   TimePoint now) const {
+    return exchange_->fetch_a2i(self_, appp, now);
+  }
+  [[nodiscard]] const ChannelStats& a2i_leg_stats(ProviderId appp) const {
+    return exchange_->a2i_leg_stats(appp, self_);
+  }
+
+ private:
+  Exchange* exchange_ = nullptr;
+  ProviderId self_;
+};
+
+}  // namespace eona::core

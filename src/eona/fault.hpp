@@ -80,12 +80,14 @@ struct ChannelStats {
   std::uint64_t delivered = 0;   ///< entries that actually reached the queue
   std::uint64_t dropped = 0;     ///< lost to drop_rate or an outage
   std::uint64_t duplicated = 0;  ///< extra copies enqueued
+  std::uint64_t rate_limited = 0;  ///< suppressed by the broker's token bucket
 
   ChannelStats& operator+=(const ChannelStats& other) {
     published += other.published;
     delivered += other.delivered;
     dropped += other.dropped;
     duplicated += other.duplicated;
+    rate_limited += other.rate_limited;
     return *this;
   }
 

@@ -55,6 +55,18 @@ struct A2IReport {
   friend bool operator==(const A2IReport&, const A2IReport&) = default;
 };
 
+/// Total forecast rate the report claims toward `isp` (forecasts with an
+/// invalid ISP are global and count toward every ISP). The broker's egress
+/// quota clamp and the InfP's egress sharing both consume this.
+[[nodiscard]] inline BitsPerSecond total_forecast_rate(const A2IReport& report,
+                                                       IspId isp) {
+  BitsPerSecond total = 0.0;
+  for (const TrafficForecast& f : report.forecasts)
+    if (!f.isp.valid() || !isp.valid() || f.isp == isp)
+      total += f.expected_rate;
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // I2A: infrastructure provider -> application provider
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 // advisory.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "eona/messages.hpp"
@@ -58,5 +59,58 @@ struct I2APolicy {
     return out;
   }
 };
+
+/// How much a tenant pair trusts each other on the brokered exchange. A
+/// trust level is a *mask* over the pair's base policies: it can only narrow
+/// what crosses the boundary, never widen it, so kFull leaves the configured
+/// policy untouched (byte-identical to direct point-to-point wiring).
+enum class TrustLevel : std::uint8_t {
+  kFull = 0,       ///< base policy as configured
+  kAggregate = 1,  ///< CDN-level aggregates only: no per-server attributes
+  kMinimal = 2,    ///< coarse health bits only: no forecasts, no capacities
+};
+
+[[nodiscard]] inline const char* to_string(TrustLevel level) {
+  switch (level) {
+    case TrustLevel::kFull: return "full";
+    case TrustLevel::kAggregate: return "aggregate";
+    case TrustLevel::kMinimal: return "minimal";
+  }
+  return "?";
+}
+
+/// The A2I attribute set `base` redacted down to `level`.
+[[nodiscard]] inline A2IPolicy apply_trust(TrustLevel level, A2IPolicy base) {
+  switch (level) {
+    case TrustLevel::kFull:
+      break;
+    case TrustLevel::kAggregate:
+      base.share_server_level_qoe = false;
+      base.k_anonymity = std::max<std::uint64_t>(base.k_anonymity, 5);
+      break;
+    case TrustLevel::kMinimal:
+      base.share_server_level_qoe = false;
+      base.share_traffic_forecasts = false;
+      base.k_anonymity = std::max<std::uint64_t>(base.k_anonymity, 10);
+      break;
+  }
+  return base;
+}
+
+/// The I2A attribute set `base` redacted down to `level`.
+[[nodiscard]] inline I2APolicy apply_trust(TrustLevel level, I2APolicy base) {
+  switch (level) {
+    case TrustLevel::kFull:
+      break;
+    case TrustLevel::kAggregate:
+      base.share_server_hints = false;
+      break;
+    case TrustLevel::kMinimal:
+      base.share_server_hints = false;
+      base.share_peering_capacity = false;
+      break;
+  }
+  return base;
+}
 
 }  // namespace eona::core

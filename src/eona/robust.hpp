@@ -201,6 +201,14 @@ class EndpointHealth {
     Entry& e = entries_[endpoint];
     ++e.consecutive_failures;
     ++total_failures_;
+    // Failures landing while the endpoint is already held down (selection
+    // logic MAY still use it when nothing else is live) must not re-arm the
+    // hold: each straggler would push held_until forward forever and an
+    // all-unhealthy fleet would never be probed again. Counting the failure
+    // above keeps the *next* post-expiry hold at full strength; the window
+    // itself only ever extends when a failure lands on an available
+    // endpoint, so a probe opens at least once per max_backoff.
+    if (now < e.held_until) return;
     Duration hold = policy_.base_backoff;
     for (std::uint64_t i = 1;
          i < e.consecutive_failures && hold < policy_.max_backoff; ++i)

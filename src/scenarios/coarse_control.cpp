@@ -59,6 +59,7 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 5.0;
   appp_cfg.qoe_window = 30.0;
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
@@ -68,7 +69,7 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   infp.attach_cdn(&cdn1);  // the CDN operator publishes server hints
   infp.attach_cdn(&cdn2);
 
-  b.wire_eona();
+  b.wire_tenant();
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).

@@ -1,6 +1,6 @@
-// Shared vocabulary for the experiment scenarios: control modes, QoE
-// summaries computed from finished sessions, and the EONA wiring helper
-// that authorises the two looking glasses in both directions.
+// Shared vocabulary for the experiment scenarios: control modes and QoE
+// summaries computed from finished sessions. EONA wiring itself lives on
+// the brokered exchange (eona/exchange.hpp, World::Builder::wire_tenant).
 #pragma once
 
 #include <algorithm>
@@ -117,37 +117,5 @@ struct QoeSummary {
     return from(all, [](const app::SessionSummary&) { return true; });
   }
 };
-
-/// Authorise and subscribe both EONA directions between one AppP and one
-/// InfP, with per-direction staleness, policies, and fault profiles.
-inline void wire_eona(const core::ProviderRegistry& registry,
-                      control::AppPController& appp,
-                      control::InfPController& infp,
-                      Duration a2i_delay = 0.0, Duration i2a_delay = 0.0,
-                      core::A2IPolicy a2i_policy = {},
-                      core::I2APolicy i2a_policy = {},
-                      core::FaultProfile a2i_fault = {},
-                      core::FaultProfile i2a_fault = {}) {
-  std::string a2i_token = registry.mint_token(appp.id(), infp.id());
-  appp.a2i_endpoint().authorize(infp.id(), a2i_token, a2i_policy, a2i_delay,
-                                std::move(a2i_fault));
-  infp.subscribe_a2i(&appp.a2i_endpoint(), a2i_token);
-
-  std::string i2a_token = registry.mint_token(infp.id(), appp.id());
-  infp.i2a_endpoint().authorize(appp.id(), i2a_token, i2a_policy, i2a_delay,
-                                std::move(i2a_fault));
-  appp.subscribe_i2a(&infp.i2a_endpoint(), i2a_token);
-}
-
-/// Authorise an energy manager (an InfP-side consumer) on an AppP's A2I.
-inline void wire_energy_a2i(const core::ProviderRegistry& registry,
-                            control::AppPController& appp,
-                            control::EnergyManager& energy,
-                            Duration a2i_delay = 0.0,
-                            core::A2IPolicy policy = {}) {
-  std::string token = registry.mint_token(appp.id(), energy.id());
-  appp.a2i_endpoint().authorize(energy.id(), token, policy, a2i_delay);
-  energy.subscribe_a2i(&appp.a2i_endpoint(), token);
-}
 
 }  // namespace eona::scenarios

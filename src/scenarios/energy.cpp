@@ -50,6 +50,7 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = 10.0;
   appp_cfg.qoe_window = 60.0;
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
   appp.start();
 

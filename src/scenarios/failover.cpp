@@ -68,6 +68,7 @@ FailoverResult run_failover(const FailoverConfig& config) {
   control::AppPConfig appp_cfg;
   appp_cfg.control_period = config.appp_period;
   appp_cfg.intended_bitrate = ladder.back();
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
@@ -77,7 +78,7 @@ FailoverResult run_failover(const FailoverConfig& config) {
   // status rows carry the outage signal here.
   control::InfPController& infp = b.add_infp("access-isp", isp, {}, infp_cfg);
 
-  b.wire_eona();
+  b.wire_tenant();
   appp.set_eona_enabled(config.mode != ControlMode::kBaseline);
   infp.set_eona_enabled(config.mode != ControlMode::kBaseline);
   appp.start();

@@ -63,6 +63,7 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   appp_cfg.bad_qoe_buffering = 0.03;
   appp_cfg.bad_qoe_bitrate = mbps(1.2);
   appp_cfg.intended_bitrate = ladder.back();
+  b.add_exchange();
   control::AppPController& appp1 = b.add_appp("appp-large", appp_cfg);
   control::AppPController& appp2 = b.add_appp("appp-small", appp_cfg);
 
@@ -71,8 +72,8 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   control::InfPController& infp = b.add_infp("access-isp", isp, {}, infp_cfg);
 
   // Wire each participating AppP; the ISP merges all subscribed A2I feeds.
-  if (config.appp1_eona) b.wire_eona(0.0, 0.0, {}, {}, {}, {}, 0);
-  if (config.appp2_eona) b.wire_eona(0.0, 0.0, {}, {}, {}, {}, 1);
+  if (config.appp1_eona) b.wire_tenant(0);
+  if (config.appp2_eona) b.wire_tenant(1);
   appp1.set_eona_enabled(config.appp1_eona);
   appp2.set_eona_enabled(config.appp2_eona);
   infp.set_eona_enabled(config.appp1_eona || config.appp2_eona);

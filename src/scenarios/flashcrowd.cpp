@@ -69,6 +69,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   appp_cfg.robust_fetch = config.robust_fetch;
   appp_cfg.i2a_retry = config.retry;
   appp_cfg.stale_widening = config.stale_widening;
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
@@ -88,8 +89,14 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   core::FaultProfile i2a_fault = config.i2a_fault;
   if (a2i_fault.seed == 0) a2i_fault.seed = b.rng().fork_salted(0xA21).seed();
   if (i2a_fault.seed == 0) i2a_fault.seed = b.rng().fork_salted(0x12A).seed();
-  b.wire_eona(config.a2i_delay, config.i2a_delay, config.a2i_policy,
-              config.i2a_policy, std::move(a2i_fault), std::move(i2a_fault));
+  core::TenantLink link;
+  link.a2i_delay = config.a2i_delay;
+  link.i2a_delay = config.i2a_delay;
+  link.a2i_policy = config.a2i_policy;
+  link.i2a_policy = config.i2a_policy;
+  link.a2i_fault = std::move(a2i_fault);
+  link.i2a_fault = std::move(i2a_fault);
+  b.wire_tenant(0, 0, link);
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).

@@ -8,6 +8,7 @@
 #include "scenarios/energy.hpp"
 #include "scenarios/failover.hpp"
 #include "scenarios/fairness.hpp"
+#include "scenarios/federation.hpp"
 #include "scenarios/flashcrowd.hpp"
 #include "scenarios/oscillation.hpp"
 #include "scenarios/quickstart.hpp"
@@ -325,6 +326,45 @@ core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace,
   return out;
 }
 
+core::JsonValue run_federation_lab(Overrides& ov, sim::TraceWriter* trace,
+                                   telemetry::ColumnStore* store,
+                                   RunPerf* perf) {
+  FederationConfig config;
+  config.trace = trace;
+  config.store = store;
+  config.perf = perf;
+  ov.integer("seed", config.seed);
+  ov.boolean("broker", config.broker);
+  ov.number("exaggeration", config.exaggeration);
+  ov.number("arrival_rate", config.arrival_rate);
+  double pool_mbps = config.pool / 1e6;
+  ov.number("pool_mbps", pool_mbps);
+  config.pool = mbps(pool_mbps);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  ov.number("video_duration", config.video_duration);
+  ov.number("run_duration", config.run_duration);
+  ov.finish();
+
+  FederationResult r = run_federation(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("federation"));
+  out.set("broker", core::JsonValue::boolean(config.broker));
+  out.set("exaggeration", core::JsonValue::number(config.exaggeration));
+  out.set("liar", qoe_json(r.liar));
+  out.set("victim1", qoe_json(r.victim1));
+  out.set("victim2", qoe_json(r.victim2));
+  out.set("victim_mean_engagement",
+          core::JsonValue::number(r.victim_mean_engagement));
+  out.set("victim_mean_bitrate",
+          core::JsonValue::number(r.victim_mean_bitrate));
+  out.set("liar_share", core::JsonValue::number(r.liar_share));
+  out.set("victim_share", core::JsonValue::number(r.victim_share));
+  out.set("clamps", core::JsonValue::number(static_cast<double>(r.clamps)));
+  return out;
+}
+
 core::JsonValue run_failover_lab(Overrides& ov, sim::MetricSet* series_out,
                                sim::TraceWriter* trace,
                                telemetry::ColumnStore* store,
@@ -460,8 +500,8 @@ core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "flashcrowd", "oscillation", "coarse",     "energy",  "cellular",
-      "fairness",   "quickstart",  "failover",   "scale"};
+      "flashcrowd", "oscillation", "coarse",   "energy", "cellular",
+      "fairness",   "federation",  "quickstart", "failover", "scale"};
   return names;
 }
 
@@ -481,6 +521,8 @@ core::JsonValue run_scenario_json(
     return run_energy_lab(ov, series_out, trace, store, perf);
   if (scenario == "cellular") return run_cellular(ov, trace, store, perf);
   if (scenario == "fairness") return run_fairness_lab(ov, trace, store, perf);
+  if (scenario == "federation")
+    return run_federation_lab(ov, trace, store, perf);
   if (scenario == "quickstart")
     return run_quickstart_lab(ov, trace, store, perf);
   if (scenario == "failover")

@@ -67,6 +67,7 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   appp_cfg.bad_qoe_bitrate = mbps(1.2);  // below this the AppP acts
   appp_cfg.primary_dwell = config.appp_dwell;
   appp_cfg.intended_bitrate = ladder.back();
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp", appp_cfg);
 
   control::InfPConfig infp_cfg;
@@ -74,8 +75,12 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   infp_cfg.egress_dwell = config.infp_dwell;
   control::InfPController& infp = b.add_infp("access-isp", isp, {}, infp_cfg);
 
-  b.wire_eona(config.a2i_delay, config.i2a_delay, config.a2i_policy,
-              config.i2a_policy);
+  core::TenantLink link;
+  link.a2i_delay = config.a2i_delay;
+  link.i2a_delay = config.i2a_delay;
+  link.a2i_policy = config.a2i_policy;
+  link.i2a_policy = config.i2a_policy;
+  b.wire_tenant(0, 0, link);
   // Oracle mode models the hypothetical global controller: the player brain
   // introspects the network directly AND both control planes run fully
   // informed (baseline logic would pollute the upper bound).

@@ -21,10 +21,11 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   IspId isp(0);
   b.build_network(isp);
 
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp");
   control::InfPController& infp =
       b.add_infp("access-isp", isp, {b.access_link()});
-  b.wire_eona();
+  b.wire_tenant();
   const bool eona = config.mode != ControlMode::kBaseline;
   appp.set_eona_enabled(eona);
   infp.set_eona_enabled(eona);

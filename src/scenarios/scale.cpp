@@ -87,10 +87,11 @@ std::unique_ptr<Sector> make_sector(const ScaleConfig& config,
   b.add_cdn("cdn", cdn_spec);
   b.build_network(sec->isp);
 
+  b.add_exchange();
   control::AppPController& appp = b.add_appp("video-appp");
   control::InfPController& infp =
       b.add_infp("access-isp", sec->isp, {b.access_link()});
-  b.wire_eona();
+  b.wire_tenant();
   const bool eona = config.mode != ControlMode::kBaseline;
   appp.set_eona_enabled(eona);
   infp.set_eona_enabled(eona);

@@ -44,6 +44,7 @@
 #include "control/energy.hpp"
 #include "control/infp.hpp"
 #include "control/oracle.hpp"
+#include "eona/exchange.hpp"
 #include "eona/registry.hpp"
 #include "net/network.hpp"
 #include "net/peering.hpp"
@@ -96,12 +97,18 @@ class World {
 
   // --- control planes ---
   [[nodiscard]] core::ProviderRegistry& registry() { return registry_; }
+  /// The brokered interface plane (valid after Builder::add_exchange()).
+  [[nodiscard]] core::Exchange& exchange() { return *exchange_; }
+  [[nodiscard]] bool has_exchange() const { return exchange_ != nullptr; }
   [[nodiscard]] control::AppPController& appp(std::size_t i = 0) {
     return *appps_.at(i);
   }
   [[nodiscard]] std::size_t appp_count() const { return appps_.size(); }
-  [[nodiscard]] bool has_infp() const { return infp_ != nullptr; }
-  [[nodiscard]] control::InfPController& infp() { return *infp_; }
+  [[nodiscard]] bool has_infp() const { return !infps_.empty(); }
+  [[nodiscard]] control::InfPController& infp(std::size_t i = 0) {
+    return *infps_.at(i);
+  }
+  [[nodiscard]] std::size_t infp_count() const { return infps_.size(); }
   [[nodiscard]] control::EnergyManager& energy() { return *energy_; }
   [[nodiscard]] control::OracleBrain& oracle() { return *oracle_; }
 
@@ -136,8 +143,9 @@ class World {
   std::vector<std::unique_ptr<app::Cdn>> cdns_;
   app::CdnDirectory directory_;
   core::ProviderRegistry registry_;
+  std::unique_ptr<core::Exchange> exchange_;
   std::vector<std::unique_ptr<control::AppPController>> appps_;
-  std::unique_ptr<control::InfPController> infp_;
+  std::vector<std::unique_ptr<control::InfPController>> infps_;
   std::unique_ptr<control::EnergyManager> energy_;
   std::unique_ptr<control::OracleBrain> oracle_;
   std::vector<std::unique_ptr<app::SessionPool>> pools_;
@@ -302,13 +310,29 @@ class World::Builder {
   // --- control planes (register + construct + wire to the bus, in call
   // order, so provider ids follow declaration order exactly) ---
 
+  /// The brokered interface plane every controller enrolls with. Must be
+  /// called before the first add_appp/add_infp so their tenancies register
+  /// at construction.
+  Builder& add_exchange() {
+    World& w = *world_;
+    EONA_EXPECTS(w.exchange_ == nullptr);
+    EONA_EXPECTS(w.appps_.empty() && w.infps_.empty());
+    w.exchange_ = std::make_unique<core::Exchange>(w.registry_);
+    w.exchange_->set_event_bus(&w.bus_);
+    return *this;
+  }
+
   control::AppPController& add_appp(const std::string& name,
                                     control::AppPConfig config = {}) {
     World& w = *world_;
+    EONA_EXPECTS(w.exchange_ != nullptr);
     ProviderId id = w.registry_.register_provider(core::ProviderKind::kAppP,
                                                   name);
+    w.exchange_->register_appp(id);
     w.appps_.push_back(std::make_unique<control::AppPController>(
         w.sched_, *w.network_, w.directory_, id, config));
+    w.appps_.back()->bind_exchange(
+        core::ExchangeEndpoint(w.exchange_.get(), id));
     w.appps_.back()->set_event_bus(&w.bus_);
     return *w.appps_.back();
   }
@@ -317,14 +341,17 @@ class World::Builder {
                                     std::vector<LinkId> access_links,
                                     control::InfPConfig config = {}) {
     World& w = *world_;
-    EONA_EXPECTS(w.infp_ == nullptr);
+    EONA_EXPECTS(w.exchange_ != nullptr);
     ProviderId id = w.registry_.register_provider(core::ProviderKind::kInfP,
                                                   name);
-    w.infp_ = std::make_unique<control::InfPController>(
+    w.exchange_->register_infp(id);
+    w.infps_.push_back(std::make_unique<control::InfPController>(
         w.sched_, *w.network_, *w.routing_, *w.peering_, isp, id,
-        std::move(access_links), config);
-    w.infp_->set_event_bus(&w.bus_);
-    return *w.infp_;
+        std::move(access_links), config));
+    w.infps_.back()->bind_exchange(
+        core::ExchangeEndpoint(w.exchange_.get(), id));
+    w.infps_.back()->set_event_bus(&w.bus_);
+    return *w.infps_.back();
   }
 
   control::EnergyManager& add_energy(const std::string& name, app::Cdn& cdn,
@@ -347,28 +374,33 @@ class World::Builder {
     return *w.oracle_;
   }
 
-  /// Authorise + subscribe both EONA directions between one AppP (appp(0)
-  /// unless `which` says otherwise) and the InfP.
-  Builder& wire_eona(Duration a2i_delay = 0.0, Duration i2a_delay = 0.0,
-                     core::A2IPolicy a2i_policy = {},
-                     core::I2APolicy i2a_policy = {},
-                     core::FaultProfile a2i_fault = {},
-                     core::FaultProfile i2a_fault = {},
-                     std::size_t which = 0) {
+  /// Wire both EONA directions between one AppP and one InfP tenant through
+  /// the exchange: the broker mints both bearer tokens and opens both legs
+  /// (applying the link's trust level, faults, and I2A rate budget), then
+  /// each controller subscribes its consuming side. Channel-creation and
+  /// subscription order matches the pre-broker point-to-point wiring.
+  Builder& wire_tenant(std::size_t appp_idx = 0, std::size_t infp_idx = 0,
+                       const core::TenantLink& link = {}) {
     World& w = *world_;
-    scenarios::wire_eona(w.registry_, *w.appps_.at(which), *w.infp_,
-                         a2i_delay, i2a_delay, a2i_policy, i2a_policy,
-                         std::move(a2i_fault), std::move(i2a_fault));
+    control::AppPController& appp = *w.appps_.at(appp_idx);
+    control::InfPController& infp = *w.infps_.at(infp_idx);
+    w.exchange_->wire(appp.id(), infp.id(), link);
+    infp.subscribe_a2i(appp.id());
+    appp.subscribe_i2a(infp.id());
     return *this;
   }
 
-  /// Authorise the energy manager on an AppP's A2I looking glass.
+  /// Authorise the energy manager on an AppP tenant's A2I glass (an
+  /// InfP-side auxiliary consumer of the exchange).
   Builder& wire_energy_a2i(Duration a2i_delay = 0.0,
                            core::A2IPolicy policy = {},
                            std::size_t which = 0) {
     World& w = *world_;
-    scenarios::wire_energy_a2i(w.registry_, *w.appps_.at(which), *w.energy_,
-                               a2i_delay, policy);
+    control::AppPController& appp = *w.appps_.at(which);
+    core::A2IEndpoint& glass = w.exchange_->a2i_glass(appp.id());
+    std::string token = w.registry_.mint_token(appp.id(), w.energy_->id());
+    glass.authorize(w.energy_->id(), token, policy, a2i_delay);
+    w.energy_->subscribe_a2i(&glass, token);
     return *this;
   }
 

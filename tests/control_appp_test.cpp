@@ -78,14 +78,18 @@ class AppPTest : public ::testing::Test {
     return v;
   }
 
-  /// Publish a synthetic I2A report into the AppP's subscription.
+  /// Publish a synthetic I2A report into the AppP's subscription (through a
+  /// single-pair exchange standing in for the broker).
   void push_i2a(const core::I2AReport& report) {
-    if (!i2a_source) {
-      i2a_source.emplace(ProviderId(1));
-      i2a_source->authorize(ProviderId(0), "tok");
-      appp->subscribe_i2a(&*i2a_source, "tok");
+    if (!exchange) {
+      exchange.emplace(registry);
+      exchange->register_appp(ProviderId(0));
+      exchange->register_infp(ProviderId(1));
+      appp->bind_exchange(core::ExchangeEndpoint(&*exchange, ProviderId(0)));
+      exchange->wire(ProviderId(0), ProviderId(1));
+      appp->subscribe_i2a(ProviderId(1));
     }
-    i2a_source->publish(report, sched.now());
+    exchange->publish_i2a(ProviderId(1), report, sched.now());
     appp->tick();
   }
 
@@ -97,8 +101,9 @@ class AppPTest : public ::testing::Test {
   ServerId srv1a, srv1b;
   app::CdnDirectory directory;
   sim::Scheduler sched;
+  core::ProviderRegistry registry;
+  std::optional<core::Exchange> exchange;
   std::optional<AppPController> appp;
-  std::optional<core::I2AEndpoint> i2a_source;
   std::vector<BitsPerSecond> ladder{kbps(300), mbps(1), mbps(3), mbps(6)};
   std::uint64_t next_session_ = 0;
 };

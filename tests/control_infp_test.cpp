@@ -38,12 +38,16 @@ class InfPTest : public ::testing::Test {
   /// Let the monitor accumulate samples.
   void settle(Duration how_long = 10.0) { sched.run_until(sched.now() + how_long); }
 
-  /// Publish a synthetic A2I report into a controller's subscription.
+  /// Publish a synthetic A2I report into a controller's subscription
+  /// (through a single-pair exchange standing in for the broker).
   void push_a2i(InfPController& infp, BitsPerSecond forecast) {
-    if (!a2i_source) {
-      a2i_source.emplace(ProviderId(0));
-      a2i_source->authorize(ProviderId(1), "tok");
-      infp.subscribe_a2i(&*a2i_source, "tok");
+    if (!exchange) {
+      exchange.emplace(registry);
+      exchange->register_appp(ProviderId(0));
+      exchange->register_infp(ProviderId(1));
+      infp.bind_exchange(core::ExchangeEndpoint(&*exchange, ProviderId(1)));
+      exchange->wire(ProviderId(0), ProviderId(1));
+      infp.subscribe_a2i(ProviderId(0));
     }
     core::A2IReport report;
     report.from = ProviderId(0);
@@ -53,7 +57,7 @@ class InfPTest : public ::testing::Test {
     f.cdn = cdn;
     f.expected_rate = forecast;
     report.forecasts.push_back(f);
-    a2i_source->publish(report, sched.now());
+    exchange->publish_a2i(ProviderId(0), report, sched.now());
   }
 
   net::Topology topo;
@@ -66,7 +70,8 @@ class InfPTest : public ::testing::Test {
   std::optional<net::Network> network;
   std::optional<net::Routing> routing;
   std::optional<net::PeeringBook> peering;
-  std::optional<core::A2IEndpoint> a2i_source;
+  core::ProviderRegistry registry;
+  std::optional<core::Exchange> exchange;
 };
 
 TEST_F(InfPTest, ReportsPeeringStatusWithSelection) {

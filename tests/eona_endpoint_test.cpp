@@ -6,6 +6,7 @@
 
 #include "eona/channel.hpp"
 #include "eona/registry.hpp"
+#include "eona/robust.hpp"
 
 namespace eona::core {
 namespace {
@@ -187,6 +188,41 @@ TEST(I2APolicy, SectionsCanBeWithheld) {
   EXPECT_TRUE(filtered.peerings.empty());
   EXPECT_TRUE(filtered.server_hints.empty());
   EXPECT_TRUE(filtered.congestion.empty());
+}
+
+// --- endpoint health ----------------------------------------------------------
+
+TEST(EndpointHealth, HeldDownStragglersDoNotRearmTheHold) {
+  EndpointHealth health;  // base 2 s, factor 2, ceiling 60 s
+  health.record_failure(7, 0.0);  // first failure: held until 2.0
+  EXPECT_FALSE(health.available(7, 1.0));
+  // A straggler failure landing inside the window must not extend it...
+  health.record_failure(7, 1.0);
+  EXPECT_TRUE(health.available(7, 2.0));
+  // ...but it still counts, so the next post-expiry failure opens the
+  // third-failure hold (2 * 2^2 = 8 s), not the second.
+  EXPECT_EQ(health.consecutive_failures(7), 2u);
+  health.record_failure(7, 2.0);
+  EXPECT_FALSE(health.available(7, 9.9));
+  EXPECT_TRUE(health.available(7, 10.0));
+}
+
+TEST(EndpointHealth, AllUnhealthyFleetReprobesAfterBackoffCeiling) {
+  // Regression: when every endpoint is down, selection keeps using a
+  // held-down one, so it keeps failing *during* its hold. Re-arming the hold
+  // on each straggler pushed held_until forward forever and the fleet was
+  // never probed again. A probe window must open at least once per
+  // max_backoff (60 s) once the hold ramps to the ceiling.
+  EndpointHealth health;
+  int probe_windows = 0;
+  for (int step = 0; step <= 1200; ++step) {  // a failure every 0.5 s to 600 s
+    TimePoint now = 0.5 * step;
+    if (health.available(7, now)) ++probe_windows;
+    health.record_failure(7, now);
+  }
+  // Fixed behaviour opens ~12 windows over 600 s; the broken behaviour
+  // opened exactly one (the very first call).
+  EXPECT_GE(probe_windows, 8);
 }
 
 // --- registry ------------------------------------------------------------------------

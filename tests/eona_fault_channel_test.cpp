@@ -18,6 +18,10 @@
 
 #include "eona/channel.hpp"
 #include "eona/endpoint.hpp"
+#include "eona/exchange.hpp"
+#include "eona/registry.hpp"
+#include "eona/robust.hpp"
+#include "sim/scheduler.hpp"
 
 namespace eona::core {
 namespace {
@@ -330,6 +334,205 @@ TEST(FaultGlass, SetPeerFaultTakesEffectMidStream) {
   glass.set_peer_fault(ProviderId(1), down);
   EXPECT_FALSE(glass.query(ProviderId(1), "tok", 30.0).has_value());
   EXPECT_TRUE(glass.query(ProviderId(1), "tok", 60.0).has_value());
+}
+
+// --- broker legs: faults must never leak past trust redaction ----------------
+//
+// Trust redaction happens at publish time inside the broker's per-leg policy,
+// so a faulted leg -- however it drops, duplicates, jitters, or blacks out --
+// can only ever re-deliver the *redacted* bytes. These tests hammer lossy
+// kMinimal legs with dense probe sequences (the access pattern of a retry
+// chain harvesting late and duplicated deliveries) and assert no probe ever
+// surfaces a redacted attribute, while a kFull control leg on the same
+// exchange proves the sensitive attributes were really in flight.
+
+A2IReport sensitive_a2i(TimePoint t) {
+  A2IReport r;
+  r.from = ProviderId(0);
+  r.generated_at = t;
+  QoeGroupReport aggregate;
+  aggregate.isp = IspId(0);
+  aggregate.cdn = CdnId(0);
+  aggregate.sessions = 500;  // survives any k-anonymity floor
+  r.groups.push_back(aggregate);
+  QoeGroupReport tiny = aggregate;
+  tiny.sessions = 2;  // below the kMinimal floor of 10
+  r.groups.push_back(tiny);
+  QoeGroupReport per_server = aggregate;
+  per_server.server = ServerId(7);  // server-level grain
+  r.groups.push_back(per_server);
+  TrafficForecast f;
+  f.isp = IspId(0);
+  f.cdn = CdnId(0);
+  f.expected_rate = 1e6;
+  r.forecasts.push_back(f);
+  return r;
+}
+
+I2AReport sensitive_i2a(TimePoint t) {
+  I2AReport r;
+  r.from = ProviderId(1);
+  r.generated_at = t;
+  PeeringStatus p;
+  p.peering = PeeringId(1);
+  p.isp = IspId(0);
+  p.cdn = CdnId(0);
+  p.capacity = 5e6;  // zeroed under kMinimal
+  r.peerings.push_back(p);
+  ServerHint h;
+  h.cdn = CdnId(0);
+  h.server = ServerId(7);
+  h.load = 0.5;
+  r.server_hints.push_back(h);  // withheld under kMinimal
+  CongestionSignal c;
+  c.isp = IspId(0);
+  c.severity = 0.5;
+  r.congestion.push_back(c);  // still shared under kMinimal
+  return r;
+}
+
+FaultProfile nasty_leg(std::uint64_t seed) {
+  FaultProfile fault;
+  fault.drop_rate = 0.3;
+  fault.duplicate_rate = 0.6;
+  fault.max_extra_delay = 4.0;
+  fault.outages = {{100.0, 140.0}};
+  fault.seed = seed;
+  return fault;
+}
+
+void expect_a2i_redacted(const A2IReport& got, TimePoint probe) {
+  EXPECT_TRUE(got.forecasts.empty()) << "forecast leaked at " << probe;
+  for (const QoeGroupReport& g : got.groups) {
+    EXPECT_FALSE(g.server.valid()) << "server group leaked at " << probe;
+    EXPECT_GE(g.sessions, 10u) << "sub-k group leaked at " << probe;
+  }
+}
+
+TEST(FaultExchange, A2IFaultsNeverLeakRedactedAttributes) {
+  ProviderRegistry registry;
+  ProviderId appp = registry.register_provider(ProviderKind::kAppP, "vod");
+  ProviderId isp_min = registry.register_provider(ProviderKind::kInfP, "min");
+  ProviderId isp_full = registry.register_provider(ProviderKind::kInfP, "full");
+  Exchange exchange(registry);
+  exchange.register_appp(appp);
+  exchange.register_infp(isp_min);
+  exchange.register_infp(isp_full);
+
+  TenantLink untrusted;
+  untrusted.trust = TrustLevel::kMinimal;
+  untrusted.a2i_delay = 2.0;
+  untrusted.a2i_fault = nasty_leg(21);
+  exchange.wire(appp, isp_min, untrusted);
+  TenantLink trusted;  // ideal full-trust control leg, server grain allowed
+  trusted.a2i_policy.share_server_level_qoe = true;
+  exchange.wire(appp, isp_full, trusted);
+
+  bool full_saw_forecast = false, full_saw_server = false;
+  for (int i = 0; i < 30; ++i) {
+    TimePoint t = 10.0 * (i + 1);
+    exchange.publish_a2i(appp, sensitive_a2i(t), t);
+    // Dense probes across the delay + jitter window: exactly what a retry
+    // chain does, harvesting late/duplicated deliveries.
+    for (double off = 0.0; off <= 8.0; off += 0.5) {
+      TimePoint probe = t + off;
+      if (auto got = exchange.fetch_a2i(isp_min, appp, probe))
+        expect_a2i_redacted(*got, probe);
+      if (auto got = exchange.fetch_a2i(isp_full, appp, probe)) {
+        full_saw_forecast |= !got->forecasts.empty();
+        for (const QoeGroupReport& g : got->groups)
+          full_saw_server |= g.server.valid();
+      }
+    }
+  }
+  // The faulted leg really did deliver (with duplicates), and the sensitive
+  // attributes really were in flight on this exchange.
+  const ChannelStats& leg = exchange.a2i_leg_stats(appp, isp_min);
+  EXPECT_GT(leg.delivered, 0u);
+  EXPECT_GT(leg.duplicated, 0u);
+  EXPECT_GT(leg.dropped, 0u);
+  EXPECT_TRUE(full_saw_forecast);
+  EXPECT_TRUE(full_saw_server);
+}
+
+TEST(FaultExchange, I2AFaultsNeverLeakRedactedAttributes) {
+  ProviderRegistry registry;
+  ProviderId appp = registry.register_provider(ProviderKind::kAppP, "vod");
+  ProviderId infp = registry.register_provider(ProviderKind::kInfP, "isp");
+  Exchange exchange(registry);
+  exchange.register_appp(appp);
+  exchange.register_infp(infp);
+  TenantLink untrusted;
+  untrusted.trust = TrustLevel::kMinimal;
+  untrusted.i2a_delay = 1.0;
+  untrusted.i2a_fault = nasty_leg(22);
+  exchange.wire(appp, infp, untrusted);
+
+  bool saw_congestion = false;
+  for (int i = 0; i < 30; ++i) {
+    TimePoint t = 10.0 * (i + 1);
+    exchange.publish_i2a(infp, sensitive_i2a(t), t);
+    for (double off = 0.0; off <= 6.0; off += 0.5) {
+      TimePoint probe = t + off;
+      auto got = exchange.fetch_i2a(appp, infp, probe);
+      if (!got) continue;
+      EXPECT_TRUE(got->server_hints.empty()) << "hint leaked at " << probe;
+      for (const PeeringStatus& p : got->peerings)
+        EXPECT_EQ(p.capacity, 0.0) << "capacity leaked at " << probe;
+      saw_congestion |= !got->congestion.empty();
+    }
+  }
+  const ChannelStats& leg = exchange.i2a_leg_stats(infp, appp);
+  EXPECT_GT(leg.delivered, 0u);
+  EXPECT_GT(leg.duplicated, 0u);
+  EXPECT_TRUE(saw_congestion);  // the allowed section still flows
+}
+
+TEST(FaultExchange, RobustRetryChainHarvestsOnlyRedactedReports) {
+  // The literal consumer stack: a RobustFetcher retrying a faulted broker
+  // leg. Whatever late or duplicated delivery a retry lands, the harvested
+  // last-known-good report must already be redacted.
+  ProviderRegistry registry;
+  ProviderId appp = registry.register_provider(ProviderKind::kAppP, "vod");
+  ProviderId infp = registry.register_provider(ProviderKind::kInfP, "isp");
+  Exchange exchange(registry);
+  exchange.register_appp(appp);
+  exchange.register_infp(infp);
+  TenantLink untrusted;
+  untrusted.trust = TrustLevel::kMinimal;
+  untrusted.a2i_delay = 2.0;
+  untrusted.a2i_fault = nasty_leg(23);
+  exchange.wire(appp, infp, untrusted);
+
+  sim::Scheduler sched;
+  RetryPolicy retry;
+  retry.max_retries = 4;
+  retry.base_backoff = 0.5;
+  retry.freshness_deadline = 5.0;
+  int harvested = 0;
+  RobustFetcher<A2IReport> fetcher(
+      sched,
+      [&](TimePoint now) { return exchange.fetch_a2i(infp, appp, now); },
+      retry, /*seed=*/9,
+      /*on_update=*/[&] {
+        ASSERT_TRUE(fetcher.report().has_value());
+        expect_a2i_redacted(*fetcher.report(), sched.now());
+        ++harvested;
+      });
+
+  for (int i = 0; i < 40; ++i) {
+    TimePoint t = 10.0 * (i + 1);
+    sched.schedule_at(t, [&, t] {
+      exchange.publish_a2i(appp, sensitive_a2i(t), t);
+      fetcher.poll();
+      if (fetcher.report()) expect_a2i_redacted(*fetcher.report(), t);
+    });
+  }
+  sched.run_all();
+  ASSERT_TRUE(fetcher.report().has_value());
+  expect_a2i_redacted(*fetcher.report(), sched.now());
+  EXPECT_GT(fetcher.stats().retries, 0u);  // the chain really ran
+  EXPECT_GT(harvested, 0);                 // retries really landed reports
 }
 
 }  // namespace

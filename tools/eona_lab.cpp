@@ -13,6 +13,7 @@
 //   $ eona_lab list
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -348,8 +349,9 @@ int run_sweep_cmd(int argc, char** argv) {
   return 0;
 }
 
-void usage() {
-  std::printf(
+void usage(std::FILE* out = stdout) {
+  std::fprintf(
+      out,
       "usage: eona_lab <scenario> [key=value ...] [--series=csv]\n"
       "                [--trace=FILE] [--store=FILE] [--perf]\n"
       "       eona_lab sweep <scenario> [seeds=a..b|a,b,c] [modes=m1,m2]\n"
@@ -381,6 +383,12 @@ void usage() {
       "                        labeled_fraction, k_anonymity)\n"
       "  fairness      Sec 5  (seed, appp1_eona, appp2_eona, rate1, rate2,\n"
       "                        run_duration)\n"
+      "  federation    E19    brokered exchange: 3 AppPs x 2 InfPs, tenant 0\n"
+      "                        over-reports forecasts to grab egress share;\n"
+      "                        broker=1 clamps it to its quota\n"
+      "                        (seed, broker, exaggeration, arrival_rate,\n"
+      "                        pool_mbps, access_capacity_mbps,\n"
+      "                        video_duration, run_duration)\n"
       "  quickstart    the ~30-line World::Builder starter world\n"
       "                        (mode, seed, arrival_rate,\n"
       "                        access_capacity_mbps, run_duration)\n"
@@ -432,6 +440,15 @@ int main(int argc, char** argv) {
     if (args.scenario.empty() || args.scenario == "list") {
       usage();
       return 0;
+    }
+    // Unknown subcommand: full usage (every scenario plus sweep/query/list)
+    // on stderr, non-zero exit -- so a typo never reads as an empty success.
+    const auto& names = scenarios::scenario_names();
+    if (std::find(names.begin(), names.end(), args.scenario) == names.end()) {
+      std::fprintf(stderr, "eona_lab: unknown subcommand '%s'\n\n",
+                   args.scenario.c_str());
+      usage(stderr);
+      return 2;
     }
     return run_single(args);
   } catch (const std::exception& e) {
