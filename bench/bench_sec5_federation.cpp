@@ -79,6 +79,10 @@ core::JsonValue row_json(std::uint64_t seed, bool broker,
   row.set("liar_share", core::JsonValue::number(r.liar_share));
   row.set("victim_share", core::JsonValue::number(r.victim_share));
   row.set("clamps", core::JsonValue::number(static_cast<double>(r.clamps)));
+  row.set("rate_limited",
+          core::JsonValue::number(static_cast<double>(r.rate_limited)));
+  row.set("epoch_rejected",
+          core::JsonValue::number(static_cast<double>(r.epoch_rejected)));
   return row;
 }
 

@@ -345,6 +345,22 @@ AppPController::AppPController(sim::Scheduler& sched, net::Network& network,
 
 AppPController::~AppPController() = default;
 
+void AppPController::bind_exchange(core::ExchangeEndpoint port) {
+  port_ = port;
+  // Arm the broker re-registration chain. The seed depends on the tenant
+  // identity alone, so backoff jitter is reproducible regardless of build
+  // order or workload randomness.
+  if (port_.bound()) {
+    port_.arm_reattach(sched_,
+                       splitmix64(self_.value() ^ 0xB5026F5AA96619E9ull),
+                       config_.reattach);
+    // Republish out of band the moment we are re-admitted: subscribed InfPs
+    // recover a fresh view without waiting out our control period.
+    port_.set_on_reattach(
+        [this](TimePoint now) { port_.publish_a2i(build_a2i_report(), now); });
+  }
+}
+
 void AppPController::subscribe_i2a(ProviderId infp) {
   EONA_EXPECTS(port_.bound());
   I2ASubscription sub{infp, nullptr};
@@ -359,6 +375,24 @@ void AppPController::subscribe_i2a(ProviderId infp) {
   subscriptions_.push_back(std::move(sub));
 }
 
+void AppPController::unsubscribe_i2a(ProviderId infp) {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+    if (it->producer != infp) continue;
+    // The departing fetcher's counters fold into the naive accumulator so
+    // i2a_health() keeps counting history across churn.
+    naive_stats_ += it->fetcher->stats();
+    subscriptions_.erase(it);
+    // Rebuild the merged view from scratch: the departed producer's
+    // last-known-good data must not linger.
+    latest_i2a_.reset();
+    remerge_i2a();
+    return;
+  }
+  throw NotFoundError("appp " + std::to_string(self_.value()) +
+                      ": no i2a subscription to infp " +
+                      std::to_string(infp.value()));
+}
+
 void AppPController::set_event_bus(sim::EventBus* bus) {
   bus_ = bus;
   if (bus_ != nullptr) {
@@ -371,6 +405,13 @@ void AppPController::set_event_bus(sim::EventBus* bus) {
           if (e.consumer == self_ && std::strcmp(e.kind, "i2a") == 0)
             i2a_delivery_.observe_serve(e.age, e.stale);
         });
+    // Broker faults go straight to the endpoint: a crash starts its
+    // reattach backoff chain without waiting for a rejected publish.
+    bus_->subscribe<sim::FaultEvent>([this](const sim::FaultEvent& e) {
+      if (std::strcmp(e.kind, "exchange_crash") == 0 ||
+          std::strcmp(e.kind, "exchange_restart") == 0)
+        port_.on_broker_fault(e.kind, e.t);
+    });
   }
 }
 

@@ -98,6 +98,9 @@ struct AppPConfig {
   /// information the controller acts more conservatively. Only active when
   /// i2a_retry.freshness_deadline is finite.
   double stale_widening = 2.0;
+  /// Backoff schedule for broker re-registration after an exchange crash
+  /// (armed automatically when the controller is bound to an exchange).
+  core::ReattachPolicy reattach{};
   // --- endpoint health (data-plane fetch failures) ---
   /// Hold-down policy the EONA brain applies to endpoints whose fetches the
   /// data plane aborted (dead path / crashed server): consecutive failures
@@ -122,17 +125,24 @@ class AppPController {
   // --- EONA wiring ---
   /// Bind this controller to its exchange identity. All A2I publishes and
   /// I2A fetches flow through the broker; unbound controllers (bare unit
-  /// fixtures) skip publishing and cannot subscribe.
-  void bind_exchange(core::ExchangeEndpoint port) { port_ = port; }
+  /// fixtures) skip publishing and cannot subscribe. Binding also arms the
+  /// endpoint's broker re-registration chain (config().reattach) with a
+  /// seed derived from the tenant identity alone.
+  void bind_exchange(core::ExchangeEndpoint port);
   [[nodiscard]] const core::ExchangeEndpoint& port() const { return port_; }
   /// Subscribe to an InfP tenant's I2A leg on the exchange (the broker
   /// holds the bearer token; the leg must have been wired).
   void subscribe_i2a(ProviderId infp);
+  /// Drop the subscription to a departing InfP tenant (mid-run churn): its
+  /// fetcher dies, its contribution leaves the merged I2A view, and its
+  /// fetch counters are folded into the controller's history.
+  void unsubscribe_i2a(ProviderId infp);
 
   /// Attach the world's event bus: steering decisions are published with
-  /// attributed reasons, and the i2a delivery-health accumulator is rewired
+  /// attributed reasons, the i2a delivery-health accumulator is rewired
   /// as a ReportServedEvent subscriber (identical update sequence to the
-  /// direct call it replaces).
+  /// direct call it replaces), and broker FaultEvents are forwarded to the
+  /// exchange endpoint so a crash starts its reattach chain immediately.
   void set_event_bus(sim::EventBus* bus);
   void set_eona_enabled(bool enabled) { eona_enabled_ = enabled; }
   [[nodiscard]] bool eona_enabled() const { return eona_enabled_; }

@@ -69,6 +69,22 @@ InfPController::InfPController(sim::Scheduler& sched, net::Network& network,
 
 InfPController::~InfPController() = default;
 
+void InfPController::bind_exchange(core::ExchangeEndpoint port) {
+  port_ = port;
+  // Arm the broker re-registration chain. The seed depends on the tenant
+  // identity alone, so backoff jitter is reproducible regardless of build
+  // order or workload randomness.
+  if (port_.bound()) {
+    port_.arm_reattach(sched_,
+                       splitmix64(self_.value() ^ 0x8CB92BA72F3D8DD7ull),
+                       config_.reattach);
+    // Republish out of band the moment we are re-admitted: subscribed AppPs
+    // recover a fresh view without waiting out our control period.
+    port_.set_on_reattach(
+        [this](TimePoint now) { port_.publish_i2a(build_i2a_report(), now); });
+  }
+}
+
 void InfPController::subscribe_a2i(ProviderId appp) {
   EONA_EXPECTS(port_.bound());
   A2ISubscription sub{appp, nullptr};
@@ -79,6 +95,24 @@ void InfPController::subscribe_a2i(ProviderId appp) {
       [this, appp](TimePoint now) { return port_.fetch_a2i(appp, now); },
       config_.a2i_retry, seed, [this] { remerge_a2i(); });
   subscriptions_.push_back(std::move(sub));
+}
+
+void InfPController::unsubscribe_a2i(ProviderId appp) {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+    if (it->producer != appp) continue;
+    // The departing fetcher's counters fold into the naive accumulator so
+    // a2i_health() keeps counting history across churn.
+    naive_stats_ += it->fetcher->stats();
+    subscriptions_.erase(it);
+    // Rebuild the merged view from scratch: the departed producer's
+    // last-known-good data must not linger.
+    latest_a2i_.reset();
+    remerge_a2i();
+    return;
+  }
+  throw NotFoundError("infp " + std::to_string(self_.value()) +
+                      ": no a2i subscription to appp " +
+                      std::to_string(appp.value()));
 }
 
 void InfPController::attach_cdn(const app::Cdn* cdn) {
@@ -114,6 +148,13 @@ void InfPController::set_event_bus(sim::EventBus* bus) {
 }
 
 void InfPController::on_fault(const sim::FaultEvent& e) {
+  // Broker faults carry no topology element: hand them to the endpoint (a
+  // crash starts its reattach backoff chain) and leave the link logic alone.
+  if (std::strcmp(e.kind, "exchange_crash") == 0 ||
+      std::strcmp(e.kind, "exchange_restart") == 0) {
+    if (port_.bound()) port_.on_broker_fault(e.kind, e.t);
+    return;
+  }
   // Detection hygiene (both modes): every sample taken before the event
   // describes a link that no longer exists in that form; a window that
   // straddles the fault reports stale utilisation.

@@ -89,6 +89,9 @@ struct InfPConfig {
   /// Dwell multiplier on every egress knob while all A2I data is stale.
   /// Only active when a2i_retry.freshness_deadline is finite.
   double stale_widening = 2.0;
+  /// Backoff schedule for broker re-registration after an exchange crash
+  /// (armed automatically when the controller is bound to an exchange).
+  core::ReattachPolicy reattach{};
   // --- elastic capacity provisioning (E16; off by default) ---
   ProvisionConfig provision{};
   ForecastConfig forecast{};  ///< smoothing for the provisioning forecaster
@@ -121,12 +124,18 @@ class InfPController {
   // --- EONA wiring ---
   /// Bind this controller to its exchange identity. All I2A publishes and
   /// A2I fetches flow through the broker; unbound controllers (bare unit
-  /// fixtures) skip publishing and cannot subscribe.
-  void bind_exchange(core::ExchangeEndpoint port) { port_ = port; }
+  /// fixtures) skip publishing and cannot subscribe. Binding also arms the
+  /// endpoint's broker re-registration chain (config().reattach) with a
+  /// seed derived from the tenant identity alone.
+  void bind_exchange(core::ExchangeEndpoint port);
   [[nodiscard]] const core::ExchangeEndpoint& port() const { return port_; }
   /// Subscribe to an AppP tenant's A2I leg on the exchange (the broker
   /// holds the bearer token; the leg must have been wired).
   void subscribe_a2i(ProviderId appp);
+  /// Drop the subscription to a departing AppP tenant (mid-run churn): its
+  /// fetcher dies, its contribution leaves the merged A2I view, and its
+  /// fetch counters are folded into the controller's history.
+  void unsubscribe_a2i(ProviderId appp);
 
   /// Attach the world's event bus: egress migrations are published with
   /// attributed reasons, and the a2i delivery-health accumulator is rewired
@@ -209,9 +218,11 @@ class InfPController {
   /// returns how many flows moved.
   std::size_t migrate_flows(const net::PeeringPoint& from,
                             const net::PeeringPoint& to);
-  /// Bus-delivered infrastructure fault: clear the affected monitor window
-  /// (both modes), and in EONA mode re-steer sectors off a dead selected
-  /// peering point immediately instead of waiting for the next tick.
+  /// Bus-delivered fault: broker faults are forwarded to the exchange
+  /// endpoint (starting its reattach chain); for link faults, clear the
+  /// affected monitor window (both modes), and in EONA mode re-steer
+  /// sectors off a dead selected peering point immediately instead of
+  /// waiting for the next tick.
   void on_fault(const sim::FaultEvent& e);
   /// Best surviving peering point for `cdn`: the preferred point when its
   /// ingress is up, else the first-registered live candidate; invalid id

@@ -78,6 +78,12 @@ class LookingGlass {
     return require(peer).channel.stats();
   }
 
+  /// The export policy a peer's channel applies (auditor: verifies trust
+  /// redaction survived broker re-registration).
+  [[nodiscard]] const Policy& peer_policy(ProviderId peer) const {
+    return require(peer).policy;
+  }
+
   /// Delivery-health counters summed over every authorised peer.
   [[nodiscard]] ChannelStats delivery_stats() const {
     ChannelStats total;

@@ -1,6 +1,8 @@
 #include "eona/exchange.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -33,6 +35,34 @@ void Exchange::register_infp(ProviderId id) {
   if (bus_ != nullptr) it->second.glass.set_event_bus(bus_, "i2a");
 }
 
+void Exchange::unregister_appp(ProviderId id) {
+  require_appp(id);
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->first.first == id) {
+      close_a2i_leg(it->first.first, it->first.second);
+      close_i2a_leg(it->first.first, it->first.second);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  appps_.erase(id);
+}
+
+void Exchange::unregister_infp(ProviderId id) {
+  require_infp(id);
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->first.second == id) {
+      close_a2i_leg(it->first.first, it->first.second);
+      close_i2a_leg(it->first.first, it->first.second);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  infps_.erase(id);
+}
+
 void Exchange::set_quota(ProviderId appp, TenantQuota quota) {
   if (quota.egress_share <= 0.0 || quota.egress_share > 1.0)
     throw ConfigError("exchange: egress_share must be in (0, 1]");
@@ -43,29 +73,120 @@ const TenantQuota& Exchange::quota(ProviderId appp) const {
   return require_appp(appp).quota;
 }
 
+void Exchange::renormalize_quotas() {
+  double total = total_egress_share();
+  if (appps_.empty() || total <= 0.0) return;
+  for (auto& [id, tenant] : appps_) tenant.quota.egress_share /= total;
+}
+
+double Exchange::total_egress_share() const {
+  double total = 0.0;
+  for (const auto& [id, tenant] : appps_) total += tenant.quota.egress_share;
+  return total;
+}
+
 void Exchange::set_egress_reference(BitsPerSecond reference) {
   if (reference <= 0.0)
     throw ConfigError("exchange: egress reference must be > 0");
   egress_reference_ = reference;
 }
 
-void Exchange::wire(ProviderId appp, ProviderId infp, const TenantLink& link) {
-  AppTenant& app = require_appp(appp);
-  InfTenant& inf = require_infp(infp);
-  // Same sequence as the pre-broker scenarios::wire_eona helper: mint the
-  // A2I token and open that leg, then the I2A token and leg. Trust-level
-  // redaction composes onto the configured base policies here, once.
-  std::string a2i_token = registry_.mint_token(appp, infp);
-  app.glass.authorize(infp, a2i_token, apply_trust(link.trust, link.a2i_policy),
-                      link.a2i_delay, link.a2i_fault);
-  a2i_tokens_[{appp, infp}] = std::move(a2i_token);
+void Exchange::open_a2i_leg(ProviderId appp, ProviderId infp,
+                            const TenantLink& link) {
+  if (a2i_tokens_.count({appp, infp}) > 0) return;  // already live
+  std::string token = registry_.mint_token(appp, infp);
+  require_appp(appp).glass.authorize(
+      infp, token, apply_trust(link.trust, link.a2i_policy), link.a2i_delay,
+      link.a2i_fault);
+  a2i_tokens_[{appp, infp}] = std::move(token);
+}
 
-  std::string i2a_token = registry_.mint_token(infp, appp);
-  inf.glass.authorize(appp, i2a_token, apply_trust(link.trust, link.i2a_policy),
+void Exchange::open_i2a_leg(ProviderId appp, ProviderId infp,
+                            const TenantLink& link) {
+  if (i2a_tokens_.count({infp, appp}) > 0) return;  // already live
+  std::string token = registry_.mint_token(infp, appp);
+  InfTenant& inf = require_infp(infp);
+  inf.glass.authorize(appp, token, apply_trust(link.trust, link.i2a_policy),
                       link.i2a_delay, link.i2a_fault);
   if (!link.i2a_rate.unlimited())
     inf.glass.set_peer_rate_limit(appp, link.i2a_rate);
-  i2a_tokens_[{infp, appp}] = std::move(i2a_token);
+  i2a_tokens_[{infp, appp}] = std::move(token);
+}
+
+void Exchange::close_a2i_leg(ProviderId appp, ProviderId infp) {
+  auto token = a2i_tokens_.find({appp, infp});
+  if (token == a2i_tokens_.end()) return;
+  AppTenant& app = require_appp(appp);
+  retired_ += app.glass.peer_stats(infp);
+  app.glass.revoke(infp);
+  a2i_tokens_.erase(token);
+}
+
+void Exchange::close_i2a_leg(ProviderId appp, ProviderId infp) {
+  auto token = i2a_tokens_.find({infp, appp});
+  if (token == i2a_tokens_.end()) return;
+  InfTenant& inf = require_infp(infp);
+  retired_ += inf.glass.peer_stats(appp);
+  inf.glass.revoke(appp);
+  i2a_tokens_.erase(token);
+}
+
+void Exchange::wire(ProviderId appp, ProviderId infp, const TenantLink& link) {
+  require_appp(appp);
+  require_infp(infp);
+  // Same sequence as the pre-broker scenarios::wire_eona helper: mint the
+  // A2I token and open that leg, then the I2A token and leg. Trust-level
+  // redaction composes onto the configured base policies here, once.
+  open_a2i_leg(appp, infp, link);
+  open_i2a_leg(appp, infp, link);
+  links_[{appp, infp}] = link;
+}
+
+void Exchange::unwire(ProviderId appp, ProviderId infp) {
+  auto it = links_.find({appp, infp});
+  if (it == links_.end())
+    throw ConfigError("exchange: no link " + std::to_string(appp.value()) +
+                      " <-> " + std::to_string(infp.value()) + " to unwire");
+  close_a2i_leg(appp, infp);
+  close_i2a_leg(appp, infp);
+  links_.erase(it);
+}
+
+void Exchange::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Every broker-minted token dies with the broker: one epoch bump fences
+  // all of them, and the legs themselves (undelivered reports included) are
+  // torn down. The durable records -- registration, quotas, links_ -- are
+  // what a restarted broker recovers from its registry.
+  ++epoch_;
+  for (const auto& [key, link] : links_) {
+    close_a2i_leg(key.first, key.second);
+    close_i2a_leg(key.first, key.second);
+  }
+}
+
+void Exchange::restart() {
+  crashed_ = false;
+}
+
+std::uint64_t Exchange::reattach(ProviderId tenant) {
+  if (crashed_) return 0;  // still down: caller backs off and retries
+  bool known = false;
+  if (has_appp(tenant)) {
+    known = true;
+    for (const auto& [key, link] : links_)
+      if (key.first == tenant) open_a2i_leg(key.first, key.second, link);
+  }
+  if (has_infp(tenant)) {
+    known = true;
+    for (const auto& [key, link] : links_)
+      if (key.second == tenant) open_i2a_leg(key.first, key.second, link);
+  }
+  if (!known)
+    throw NotFoundError("exchange: tenant " + std::to_string(tenant.value()) +
+                        " not registered");
+  return epoch_;
 }
 
 A2IReport Exchange::clamp_forecasts(const AppTenant& tenant,
@@ -92,43 +213,77 @@ A2IReport Exchange::clamp_forecasts(const AppTenant& tenant,
   return out;
 }
 
-void Exchange::publish_a2i(ProviderId appp, const A2IReport& report,
-                           TimePoint now) {
-  AppTenant& tenant = require_appp(appp);
-  tenant.glass.publish(clamp_forecasts(tenant, report), now);
+bool Exchange::publish_a2i(ProviderId appp, const A2IReport& report,
+                           TimePoint now, std::uint64_t epoch) {
+  if (crashed_ || epoch != epoch_) {
+    ++epoch_rejected_;
+    return false;
+  }
+  auto it = appps_.find(appp);
+  if (it == appps_.end()) return false;  // churned away mid-run
+  it->second.glass.publish(clamp_forecasts(it->second, report), now);
+  return true;
 }
 
-void Exchange::publish_i2a(ProviderId infp, const I2AReport& report,
-                           TimePoint now) {
-  require_infp(infp).glass.publish(report, now);
+bool Exchange::publish_i2a(ProviderId infp, const I2AReport& report,
+                           TimePoint now, std::uint64_t epoch) {
+  if (crashed_ || epoch != epoch_) {
+    ++epoch_rejected_;
+    return false;
+  }
+  auto it = infps_.find(infp);
+  if (it == infps_.end()) return false;  // churned away mid-run
+  it->second.glass.publish(report, now);
+  return true;
 }
 
 std::optional<A2IReport> Exchange::fetch_a2i(ProviderId infp, ProviderId appp,
                                              TimePoint now) const {
+  if (crashed_) return std::nullopt;  // broker down: consumers fall back
   auto token = a2i_tokens_.find({appp, infp});
-  if (token == a2i_tokens_.end())
+  if (token == a2i_tokens_.end()) {
+    // A configured leg whose producer has not reattached yet answers empty;
+    // a pair that was never wired is a caller bug, as before.
+    if (wired(appp, infp)) return std::nullopt;
     throw AccessDenied("exchange: no a2i leg " + std::to_string(appp.value()) +
                        " -> " + std::to_string(infp.value()));
+  }
   return require_appp(appp).glass.query(infp, token->second, now);
 }
 
 std::optional<I2AReport> Exchange::fetch_i2a(ProviderId appp, ProviderId infp,
                                              TimePoint now) const {
+  if (crashed_) return std::nullopt;
   auto token = i2a_tokens_.find({infp, appp});
-  if (token == i2a_tokens_.end())
+  if (token == i2a_tokens_.end()) {
+    if (wired(appp, infp)) return std::nullopt;
     throw AccessDenied("exchange: no i2a leg " + std::to_string(infp.value()) +
                        " -> " + std::to_string(appp.value()));
+  }
   return require_infp(infp).glass.query(appp, token->second, now);
 }
 
 const ChannelStats& Exchange::a2i_leg_stats(ProviderId appp,
                                             ProviderId infp) const {
+  // A leg torn down by crash/churn has no live counters (its history lives
+  // in retired_); health snapshots taken mid-outage must not throw.
+  static const ChannelStats kNoLeg{};
+  if (a2i_tokens_.count({appp, infp}) == 0) return kNoLeg;
   return require_appp(appp).glass.peer_stats(infp);
 }
 
 const ChannelStats& Exchange::i2a_leg_stats(ProviderId infp,
                                             ProviderId appp) const {
+  static const ChannelStats kNoLeg{};
+  if (i2a_tokens_.count({infp, appp}) == 0) return kNoLeg;
   return require_infp(infp).glass.peer_stats(appp);
+}
+
+ChannelStats Exchange::total_delivery_stats() const {
+  ChannelStats total = retired_;
+  for (const auto& [id, tenant] : appps_) total += tenant.glass.delivery_stats();
+  for (const auto& [id, tenant] : infps_) total += tenant.glass.delivery_stats();
+  return total;
 }
 
 A2IEndpoint& Exchange::a2i_glass(ProviderId appp) {
@@ -137,6 +292,39 @@ A2IEndpoint& Exchange::a2i_glass(ProviderId appp) {
 
 I2AEndpoint& Exchange::i2a_glass(ProviderId infp) {
   return require_infp(infp).glass;
+}
+
+std::string Exchange::invariant_violation() const {
+  if (crashed_ && (!a2i_tokens_.empty() || !i2a_tokens_.empty()))
+    return "exchange: bearer token outstanding while the broker is crashed";
+  for (const auto& [key, token] : a2i_tokens_)
+    if (links_.count(key) == 0)
+      return "exchange: live a2i token without a durable link record";
+  for (const auto& [key, token] : i2a_tokens_)
+    if (links_.count({key.second, key.first}) == 0)
+      return "exchange: live i2a token without a durable link record";
+  for (const auto& [key, link] : links_) {
+    // A restored leg must carry exactly the trust-redacted policy recorded
+    // at wire() time: a reattach that replayed the raw base policy would
+    // leak redacted attributes.
+    if (a2i_tokens_.count(key) > 0) {
+      const AppTenant& app = require_appp(key.first);
+      if (!(app.glass.peer_policy(key.second) ==
+            apply_trust(link.trust, link.a2i_policy)))
+        return "exchange: a2i leg policy drifted from its trust redaction";
+    }
+    if (i2a_tokens_.count({key.second, key.first}) > 0) {
+      const InfTenant& inf = require_infp(key.second);
+      if (!(inf.glass.peer_policy(key.first) ==
+            apply_trust(link.trust, link.i2a_policy)))
+        return "exchange: i2a leg policy drifted from its trust redaction";
+    }
+  }
+  if (std::isfinite(egress_reference_) &&
+      total_egress_share() > 1.0 + 1e-9)
+    return "exchange: tenant egress shares sum to " +
+           std::to_string(total_egress_share()) + " > 1";
+  return {};
 }
 
 Exchange::AppTenant& Exchange::require_appp(ProviderId id) {
@@ -169,6 +357,72 @@ const Exchange::InfTenant& Exchange::require_infp(ProviderId id) const {
     throw NotFoundError("exchange: infp " + std::to_string(id.value()) +
                         " not registered");
   return it->second;
+}
+
+// --- ExchangeEndpoint -------------------------------------------------------
+
+ExchangeEndpoint& ExchangeEndpoint::operator=(const ExchangeEndpoint& other) {
+  if (this == &other) return *this;
+  disarm();
+  exchange_ = other.exchange_;
+  self_ = other.self_;
+  epoch_ = other.epoch_;
+  sched_ = nullptr;
+  on_reattach_ = nullptr;
+  attempt_ = 0;
+  chain_armed_ = false;
+  return *this;
+}
+
+void ExchangeEndpoint::arm_reattach(sim::Scheduler& sched, std::uint64_t seed,
+                                    ReattachPolicy policy) {
+  policy.validate();
+  sched_ = &sched;
+  policy_ = policy;
+  rng_ = FaultStream(seed);
+}
+
+void ExchangeEndpoint::on_broker_fault(const char* kind, TimePoint now) {
+  if (std::strcmp(kind, "exchange_crash") == 0) begin_reattach(now);
+  // A restart needs no push: the running chain's next attempt lands it. An
+  // endpoint that somehow missed the crash event re-arms off its first
+  // rejected publish instead.
+}
+
+void ExchangeEndpoint::begin_reattach(TimePoint now) {
+  if (sched_ == nullptr || chain_armed_ || attached()) return;
+  chain_armed_ = true;
+  detach_started_ = now;
+  attempt_ = 0;
+  schedule_next_attempt();
+}
+
+void ExchangeEndpoint::attempt_reattach() {
+  ++attempts_total_;
+  std::uint64_t epoch = exchange_->reattach(self_);
+  if (epoch == 0) {  // broker still down
+    schedule_next_attempt();
+    return;
+  }
+  TimePoint now = sched_->now();
+  epoch_ = epoch;
+  chain_armed_ = false;
+  ++reattaches_;
+  last_reattach_at_ = now;
+  detached_seconds_ += now - detach_started_;
+  if (on_reattach_) on_reattach_(now);
+}
+
+void ExchangeEndpoint::schedule_next_attempt() {
+  Duration backoff = policy_.base_backoff;
+  for (std::size_t i = 0; i < attempt_ && backoff < policy_.max_backoff; ++i)
+    backoff *= policy_.backoff_factor;
+  backoff = std::min(backoff, policy_.max_backoff);
+  if (policy_.jitter_fraction > 0.0)
+    backoff *= 1.0 + policy_.jitter_fraction * (2.0 * rng_.uniform(1.0) - 1.0);
+  ++attempt_;
+  pending_ =
+      sched_->schedule_after(backoff, [this] { attempt_reattach(); });
 }
 
 }  // namespace eona::core

@@ -21,6 +21,8 @@ struct A2IPolicy {
   bool share_traffic_forecasts = true;
   std::uint64_t k_anonymity = 1;  ///< suppress groups with fewer sessions
 
+  friend bool operator==(const A2IPolicy&, const A2IPolicy&) = default;
+
   /// Returns the report as this policy allows the peer to see it.
   [[nodiscard]] A2IReport apply(const A2IReport& report) const {
     A2IReport out;
@@ -44,6 +46,8 @@ struct I2APolicy {
   bool share_peering_capacity = true;  ///< else capacity is zeroed out
   bool share_server_hints = true;
   bool share_congestion = true;
+
+  friend bool operator==(const I2APolicy&, const I2APolicy&) = default;
 
   [[nodiscard]] I2AReport apply(const I2AReport& report) const {
     I2AReport out;

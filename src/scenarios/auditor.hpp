@@ -10,6 +10,15 @@
 //  * no dead-link throughput -- a flow whose path crosses a down link holds
 //    rate exactly 0 until it is rerouted or aborted.
 //
+// When a brokered exchange is attached (watch_exchange), broker-survival
+// invariants join the set: no report is ever accepted into a channel while
+// the broker is crashed (i.e. under a stale epoch), every live bearer token
+// maps to a durable link record whose trust-redacted policy the leg still
+// carries (no redacted-attribute leaks across re-registration replay), and
+// tenant egress shares sum to <= 1 whenever the egress reference is finite.
+// These are re-checked on every fault event, every churn hook, and at
+// finalize().
+//
 // Session-lifecycle conservation is checked at finalize(): every session
 // the data plane stranded must have been resolved -- resumed on a live path
 // or finished (aborted counts; silently lingering does not) -- and no live
@@ -27,6 +36,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "eona/exchange.hpp"
 #include "net/network.hpp"
 #include "sim/event_bus.hpp"
 #include "sim/events.hpp"
@@ -37,7 +47,7 @@ namespace eona::sim {
 class InvariantAuditor {
  public:
   InvariantAuditor(EventBus& bus, const net::Network& network)
-      : network_(network) {
+      : bus_(bus), network_(network) {
     bus.subscribe<RateRecomputeEvent>(
         [this](const RateRecomputeEvent& e) { on_recompute(e); });
     bus.subscribe<SessionStrandedEvent>([this](const SessionStrandedEvent& e) {
@@ -55,6 +65,38 @@ class InvariantAuditor {
   InvariantAuditor(const InvariantAuditor&) = delete;
   InvariantAuditor& operator=(const InvariantAuditor&) = delete;
 
+  /// Audit a brokered exchange alongside the data plane: structural checks
+  /// (token/link/policy consistency, quota sums) run on every fault event
+  /// and at finalize(), and any report accepted into a channel while the
+  /// broker is crashed fails immediately -- the fence proof that nothing is
+  /// delivered under a stale epoch.
+  void watch_exchange(const core::Exchange* exchange) {
+    if (exchange == nullptr || exchange_ != nullptr) {
+      exchange_ = exchange;
+      return;
+    }
+    exchange_ = exchange;
+    bus_.subscribe<FaultEvent>([this](const FaultEvent&) { check_exchange(); });
+    bus_.subscribe<ReportPublishedEvent>([this](const ReportPublishedEvent& e) {
+      if (exchange_ != nullptr && exchange_->crashed())
+        fail(std::string("report '") + e.kind +
+             "' accepted into a channel while the broker is crashed");
+    });
+  }
+
+  /// Structural exchange invariants; safe to call any time (no-op when no
+  /// exchange is watched). Churn hooks call this after every mutation.
+  void check_exchange() const {
+    if (exchange_ == nullptr) return;
+    ++exchange_checks_;
+    std::string violation = exchange_->invariant_violation();
+    if (!violation.empty()) fail(violation);
+  }
+
+  [[nodiscard]] std::uint64_t exchange_checks() const {
+    return exchange_checks_;
+  }
+
   /// End-of-run conservation: no flow still routed over a down link, and no
   /// stranded session left unresolved. Throws eona::Error on violation.
   void finalize() const {
@@ -70,6 +112,7 @@ class InvariantAuditor {
       fail("finalize: " + std::to_string(stranded_.size()) +
            " stranded session(s) never resumed nor finished (first: session " +
            std::to_string(stranded_.begin()->value()) + ")");
+    check_exchange();
   }
 
   /// Recompute-time checks performed so far.
@@ -117,9 +160,12 @@ class InvariantAuditor {
 
   static constexpr double kEps = 1e-6;
 
+  EventBus& bus_;
   const net::Network& network_;
+  const core::Exchange* exchange_ = nullptr;
   std::set<SessionId> stranded_;  // ordered: deterministic first-violation id
   std::uint64_t check_count_ = 0;
+  mutable std::uint64_t exchange_checks_ = 0;
   std::uint64_t stranded_events_ = 0;
   std::uint64_t resumed_events_ = 0;
 };

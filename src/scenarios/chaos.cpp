@@ -6,20 +6,30 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "eona/exchange.hpp"
+#include "scenarios/world.hpp"
 
 namespace eona::sim {
 
 namespace {
 
+/// Every parse error names the offending token, the clause it sits in, and
+/// the clause's byte position (1-based) in the plan string, so a bad clause
+/// in a long plan is findable -- and never silently skipped.
+[[noreturn]] void parse_fail(const std::string& what, const std::string& clause,
+                             std::size_t pos) {
+  throw ConfigError("fault plan: " + what + " in '" + clause +
+                    "' at position " + std::to_string(pos + 1));
+}
+
 FaultAction::Kind parse_kind(const std::string& word,
-                             const std::string& clause) {
+                             const std::string& clause, std::size_t pos) {
   if (word == "down") return FaultAction::Kind::kLinkDown;
   if (word == "up") return FaultAction::Kind::kLinkUp;
   if (word == "brownout") return FaultAction::Kind::kBrownout;
   if (word == "crash") return FaultAction::Kind::kServerCrash;
   if (word == "restart") return FaultAction::Kind::kServerRestart;
-  throw ConfigError("fault plan: unknown kind '" + word + "' in '" + clause +
-                    "'");
+  parse_fail("unknown kind '" + word + "'", clause, pos);
 }
 
 const char* kind_name(FaultAction::Kind kind) {
@@ -29,10 +39,26 @@ const char* kind_name(FaultAction::Kind kind) {
     case FaultAction::Kind::kBrownout: return "brownout";
     case FaultAction::Kind::kServerCrash: return "server_crash";
     case FaultAction::Kind::kServerRestart: return "server_restart";
+    case FaultAction::Kind::kExchangeCrash: return "exchange_crash";
+    case FaultAction::Kind::kExchangeRestart: return "exchange_restart";
   }
   return "unknown";
 }
 
+double parse_number(const std::string& text, const std::string& clause,
+                    std::size_t pos) {
+  try {
+    std::size_t used = 0;
+    double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    parse_fail("bad number '" + text + "'", clause, pos);
+  }
+}
+
+/// resolve()-time numbers (server indices) have no plan position; reuse the
+/// old positionless message.
 double parse_number(const std::string& text, const std::string& clause) {
   try {
     std::size_t used = 0;
@@ -53,41 +79,52 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   while (start <= spec.size()) {
     std::size_t end = spec.find(';', start);
     if (end == std::string::npos) end = spec.size();
+    const std::size_t pos = start;  // clause's byte offset in the plan
     std::string clause = spec.substr(start, end - start);
     start = end + 1;
+    // Empty clauses (";;", trailing ';') are CLI artifacts, not plans --
+    // skipped so "" and ";;" both yield the empty plan.
     if (clause.empty()) continue;
 
     FaultAction action;
     std::size_t colon = clause.find(':');
     if (colon == std::string::npos)
-      throw ConfigError("fault plan: missing ':' in '" + clause + "'");
-    action.kind = parse_kind(clause.substr(0, colon), clause);
+      parse_fail("missing ':'", clause, pos);
+    action.kind = parse_kind(clause.substr(0, colon), clause, pos);
 
     // Targets (link names) legitimately contain '@' ("X@B"), so the time
     // separator is the LAST '@' of the clause.
     std::string rest = clause.substr(colon + 1);
     std::size_t at = rest.rfind('@');
     if (at == std::string::npos || at == 0)
-      throw ConfigError("fault plan: missing '@time' in '" + clause + "'");
+      parse_fail("missing '@time'", clause, pos);
     action.target = rest.substr(0, at);
 
     std::string tail = rest.substr(at + 1);
     std::size_t factor_sep = tail.find(':');
     if (factor_sep != std::string::npos) {
       if (action.kind != FaultAction::Kind::kBrownout)
-        throw ConfigError("fault plan: factor only valid for brownout in '" +
-                          clause + "'");
-      action.factor = parse_number(tail.substr(factor_sep + 1), clause);
+        parse_fail("factor only valid for brownout", clause, pos);
+      action.factor = parse_number(tail.substr(factor_sep + 1), clause, pos);
       tail = tail.substr(0, factor_sep);
     }
-    action.at = parse_number(tail, clause);
+    action.at = parse_number(tail, clause, pos);
 
     if (action.at < 0.0)
-      throw ConfigError("fault plan: negative time in '" + clause + "'");
+      parse_fail("negative time", clause, pos);
     if (action.kind == FaultAction::Kind::kBrownout &&
         (action.factor <= 0.0 || action.factor > 1.0))
-      throw ConfigError("fault plan: brownout factor must be in (0, 1] in '" +
-                        clause + "'");
+      parse_fail("brownout factor must be in (0, 1]", clause, pos);
+    // The broker is addressed by the literal target "exchange"; the kind
+    // words stay crash/restart, shared with the server faults.
+    if (action.target == "exchange") {
+      if (action.kind == FaultAction::Kind::kServerCrash)
+        action.kind = FaultAction::Kind::kExchangeCrash;
+      else if (action.kind == FaultAction::Kind::kServerRestart)
+        action.kind = FaultAction::Kind::kExchangeRestart;
+      else
+        parse_fail("only crash/restart apply to the exchange", clause, pos);
+    }
     plan.actions.push_back(std::move(action));
   }
   return plan;
@@ -108,6 +145,12 @@ ChaosEngine::Resolved ChaosEngine::resolve(const FaultAction& action) const {
   Resolved r;
   r.kind = action.kind;
   r.factor = action.factor;
+  if (action.kind == FaultAction::Kind::kExchangeCrash ||
+      action.kind == FaultAction::Kind::kExchangeRestart) {
+    if (exchange_ == nullptr)
+      throw ConfigError("fault plan: exchange fault but no exchange attached");
+    return r;  // no link: the broker is not a topology element
+  }
   if (action.kind == FaultAction::Kind::kServerCrash ||
       action.kind == FaultAction::Kind::kServerRestart) {
     std::size_t slash = action.target.find('/');
@@ -179,17 +222,35 @@ void ChaosEngine::execute(const std::vector<Resolved>& group) {
           r.cdn->set_online(r.server, true);
           network_.set_link_up(r.link, true);
           break;
+        case FaultAction::Kind::kExchangeCrash:
+          exchange_->crash();
+          break;
+        case FaultAction::Kind::kExchangeRestart:
+          exchange_->restart();
+          break;
       }
     }
   }
   // Publish after the batch committed: subscribers (EONA InfP failover,
   // monitors, the trace) observe the post-fault data plane, and any reroutes
-  // they issue run before the stranded-transfer sweep fires.
+  // they issue run before the stranded-transfer sweep fires. Broker faults
+  // carry an invalid LinkId; link-keyed subscribers ignore them.
   for (const Resolved& r : group) {
     ++fault_count_;
     bus_.publish(FaultEvent{sched_.now(), kind_name(r.kind), r.link,
                             r.factor});
   }
+}
+
+std::unique_ptr<ChaosEngine> schedule_faults(World& world,
+                                             const std::string& spec) {
+  if (spec.empty()) return nullptr;
+  auto chaos = std::make_unique<ChaosEngine>(world.sched(), world.bus(),
+                                             world.network(),
+                                             &world.directory());
+  if (world.has_exchange()) chaos->set_exchange(&world.exchange());
+  chaos->schedule(FaultPlan::parse(spec));
+  return chaos;
 }
 
 }  // namespace eona::sim

@@ -12,6 +12,13 @@
 //     crash:cdn-X/0@90        crash server #0 of CDN "cdn-X" (offline +
 //                             egress link down)
 //     restart:cdn-X/0@150     undo the crash
+//     crash:exchange@90       the broker itself dies: epoch bump, every
+//                             bearer token fenced, all legs torn down
+//     restart:exchange@150    broker back up; tenants reattach via their
+//                             ExchangeEndpoint backoff handshake
+//
+// Malformed clauses are rejected with the offending token AND its byte
+// position in the plan string -- nothing is silently skipped.
 //
 // Link targets are topology link *names* (which may themselves contain '@';
 // the parser splits on the last '@' of each clause). Several actions with
@@ -33,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +52,10 @@
 #include "sim/events.hpp"
 #include "sim/scheduler.hpp"
 
+namespace eona::core {
+class Exchange;
+}  // namespace eona::core
+
 namespace eona::sim {
 
 /// One declarative infrastructure fault; see file header for the text form.
@@ -54,11 +66,14 @@ struct FaultAction {
     kBrownout,
     kServerCrash,
     kServerRestart,
+    kExchangeCrash,    ///< the broker dies (parsed from crash:exchange@t)
+    kExchangeRestart,  ///< the broker returns (restart:exchange@t)
   };
 
   Kind kind = Kind::kLinkDown;
   TimePoint at = 0.0;
-  /// Topology link name, or "cdnname/serverindex" for the server kinds.
+  /// Topology link name, "cdnname/serverindex" for the server kinds, or the
+  /// literal "exchange" for broker faults.
   std::string target;
   /// Brownout only: remaining fraction of configured capacity, in (0, 1].
   double factor = 1.0;
@@ -86,6 +101,10 @@ class ChaosEngine {
   ChaosEngine& operator=(const ChaosEngine&) = delete;
   ~ChaosEngine();
 
+  /// Attach the brokered exchange so `crash:exchange` / `restart:exchange`
+  /// actions have a target. Plans without broker faults never need this.
+  void set_exchange(core::Exchange* exchange) { exchange_ = exchange; }
+
   /// Resolve every target against the current topology/directory (throws
   /// ConfigError on unknown names) and post the plan's actions. Same-time
   /// actions are grouped into one scheduler event.
@@ -110,8 +129,20 @@ class ChaosEngine {
   EventBus& bus_;
   net::Network& network_;
   const app::CdnDirectory* cdns_;
+  core::Exchange* exchange_ = nullptr;  ///< broker faults only
   Gate gate_;  ///< revokes pending fault posts if the engine dies first
   std::uint64_t fault_count_ = 0;
 };
+
+class World;  // scenarios/world.hpp
+
+/// Wire a ChaosEngine against a built world from a scenario config's
+/// `faults` knob (the lab's --faults=PLAN flag on every scenario). The
+/// exchange is attached automatically when the world has one. Returns
+/// nullptr for the empty spec, so fault-free runs execute exactly the code
+/// they always did -- their output stays byte-identical (pinned by
+/// tests/scenario_faults_test.cpp).
+[[nodiscard]] std::unique_ptr<ChaosEngine> schedule_faults(
+    World& world, const std::string& spec);
 
 }  // namespace eona::sim

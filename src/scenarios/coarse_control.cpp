@@ -3,6 +3,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -100,6 +101,7 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
   // --- workload ------------------------------------------------------------------
   app::SessionPool& pool = b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   SessionId::rep_type next_session = 0;
@@ -118,7 +120,10 @@ CoarseControlResult run_coarse_control(const CoarseControlConfig& config) {
       sched, world->rng().fork(), {{0.0, config.arrival_rate}},
       config.run_duration - config.video_duration, spawn);
 
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   CoarseControlResult result;
   sim::PeriodicTask sampler(sched, 2.0, [&] {
     std::size_t active = 0, stalled = 0;

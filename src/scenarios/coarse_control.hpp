@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
@@ -29,6 +30,9 @@ struct CoarseControlConfig {
   double degraded_factor = 0.05;  ///< bad server keeps this capacity share
   std::size_t catalog_size = 40;
   /// When set, receives the run's JSONL event trace.
+  /// Optional chaos plan (FaultPlan grammar; see scenarios/chaos.hpp).
+  /// Empty = no fault injection, byte-identical to the plan-free build.
+  std::string faults;
   sim::TraceWriter* trace = nullptr;
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (eona_lab --store=FILE dumps it as queryable rows).

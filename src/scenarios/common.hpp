@@ -61,6 +61,18 @@ struct RunPerf {
         static_cast<double>(parallel_advance_ns + serial_barrier_ns);
     return total > 0.0 ? static_cast<double>(serial_barrier_ns) / total : 0.0;
   }
+
+  // Broker counters (scenarios with an exchange; zero otherwise).
+  std::uint64_t clamp_count = 0;     ///< egress-quota clamps at publish
+  std::uint64_t rate_limited = 0;    ///< reports dropped by per-leg rate caps
+  std::uint64_t epoch_rejected = 0;  ///< publishes fenced by crash/stale epoch
+
+  /// Fold a run's broker counters in (call once per run, post-drain).
+  void add_exchange(const core::Exchange& exchange) {
+    clamp_count += exchange.clamp_count();
+    rate_limited += exchange.total_delivery_stats().rate_limited;
+    epoch_rejected += exchange.epoch_rejected();
+  }
 };
 
 /// Aggregate experience over a set of finished sessions.

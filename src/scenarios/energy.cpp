@@ -3,6 +3,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -75,6 +76,7 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
 
   app::SessionPool& pool = b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   SessionId::rep_type next_session = 0;
@@ -92,7 +94,10 @@ EnergyScenarioResult run_energy(const EnergyScenarioConfig& config) {
   app::PoissonArrivals arrivals(sched, world->rng().fork(), phases,
                                 run_duration - config.video_duration, spawn);
 
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   EnergyScenarioResult result;
   sim::PeriodicTask sampler(sched, 5.0, [&] {
     result.metrics.series("online_servers")

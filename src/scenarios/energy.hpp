@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
@@ -32,6 +33,9 @@ struct EnergyScenarioConfig {
   Duration video_duration = 120.0;
   Duration energy_period = 30.0;
   /// When set, receives the run's JSONL event trace.
+  /// Optional chaos plan (FaultPlan grammar; see scenarios/chaos.hpp).
+  /// Empty = no fault injection, byte-identical to the plan-free build.
+  std::string faults;
   sim::TraceWriter* trace = nullptr;
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (eona_lab --store=FILE dumps it as queryable rows).

@@ -133,7 +133,6 @@ FailoverResult run_failover(const FailoverConfig& config) {
   // 1 Hz: rebuffer-seconds is the integral of the stalled-player count after
   // the outage; recovery is the moment the last stalled sample was seen.
   const Duration sample_dt = 1.0;
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
   FailoverResult result;
   TimePoint last_stalled_at = config.outage_start;
   bool any_stalled = false;
@@ -161,6 +160,11 @@ FailoverResult run_failover(const FailoverConfig& config) {
   sched.run_until(config.run_duration + 1.0);
 
   world->auditor().finalize();
+
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
 
   // --- summarise ----------------------------------------------------------
   result.qoe = QoeSummary::from(pool.summaries());

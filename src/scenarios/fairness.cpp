@@ -3,6 +3,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -85,6 +86,7 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   app::SessionPool& pool1 = b.add_session_pool();
   app::SessionPool& pool2 = b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   app::PlayerConfig player_cfg;
@@ -122,7 +124,10 @@ FairnessResult run_fairness(const FairnessConfig& config) {
   world->auditor().finalize();
 
   // --- summarise -----------------------------------------------------------------------
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   FairnessResult result;
   result.appp1 = QoeSummary::from(pool1.summaries());
   result.appp2 = QoeSummary::from(pool2.summaries());

@@ -8,6 +8,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -136,6 +137,7 @@ FederationResult run_federation(const FederationConfig& config) {
   std::array<app::SessionPool*, kTenants> pools{};
   for (std::size_t i = 0; i < kTenants; ++i) pools[i] = &b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   app::PlayerConfig player_cfg;
@@ -175,7 +177,10 @@ FederationResult run_federation(const FederationConfig& config) {
   world->auditor().finalize();
 
   // --- summarise -------------------------------------------------------------
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   FederationResult result;
   result.liar = QoeSummary::from(pools[0]->summaries());
   result.victim1 = QoeSummary::from(pools[1]->summaries());
@@ -193,6 +198,8 @@ FederationResult run_federation(const FederationConfig& config) {
                            static_cast<double>(2 * kIsps);
   }
   result.clamps = world->exchange().clamp_count();
+  result.rate_limited = world->exchange().total_delivery_stats().rate_limited;
+  result.epoch_rejected = world->exchange().epoch_rejected();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
@@ -32,6 +33,9 @@ struct FederationConfig {
   Duration video_duration = 120.0;
   TimePoint run_duration = 600.0;
   /// When set, receives the run's JSONL event trace.
+  /// Optional chaos plan (FaultPlan grammar; see scenarios/chaos.hpp).
+  /// Empty = no fault injection, byte-identical to the plan-free build.
+  std::string faults;
   sim::TraceWriter* trace = nullptr;
   /// When set, a StoreRecorder feeds this columnar store the run's events.
   telemetry::ColumnStore* store = nullptr;
@@ -49,6 +53,8 @@ struct FederationResult {
   double liar_share = 0.0;
   double victim_share = 0.0;  ///< mean over the two honest CDNs
   std::uint64_t clamps = 0;   ///< broker quota-clamp activations
+  std::uint64_t rate_limited = 0;    ///< reports dropped by per-leg rate caps
+  std::uint64_t epoch_rejected = 0;  ///< publishes fenced by a stale epoch
 };
 
 [[nodiscard]] FederationResult run_federation(const FederationConfig& config);

@@ -3,6 +3,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -113,6 +114,7 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   // --- workload ----------------------------------------------------------------
   app::SessionPool& pool = b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
   net::TransferManager& transfers = world->transfers();
   const net::Routing& routing = world->routing();
@@ -162,7 +164,10 @@ FlashCrowdResult run_flash_crowd(const FlashCrowdConfig& config) {
   });
 
   // --- sampling ------------------------------------------------------------------
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   FlashCrowdResult result;
   sim::PeriodicTask sampler(sched, 2.0, [&] {
     TimePoint now = sched.now();

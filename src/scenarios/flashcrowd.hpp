@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "control/forecaster.hpp"
@@ -55,6 +56,9 @@ struct FlashCrowdConfig {
   double stale_widening = 2.0;
   /// When set, subscribed to the world's event bus before anything else is
   /// wired: the run appends its full JSONL event trace to this writer.
+  /// Optional chaos plan (FaultPlan grammar; see scenarios/chaos.hpp).
+  /// Empty = no fault injection, byte-identical to the plan-free build.
+  std::string faults;
   sim::TraceWriter* trace = nullptr;
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (same stream the trace sees; eona_lab --store=FILE dumps it).

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "scenarios/broker_outage.hpp"
 #include "scenarios/cellular_web.hpp"
 #include "scenarios/coarse_control.hpp"
 #include "scenarios/energy.hpp"
@@ -157,6 +158,7 @@ core::JsonValue run_flashcrowd(Overrides& ov, sim::MetricSet* series_out,
   ov.number("forecast_beta", config.forecast.beta);
   ov.number("forecast_period", config.forecast.period);
   ov.number("qoe_stall_threshold", config.qoe_stall_threshold);
+  ov.text("faults", config.faults);
   ov.finish();
 
   FlashCrowdResult r = run_flash_crowd(config);
@@ -200,6 +202,7 @@ core::JsonValue run_oscillation_lab(Overrides& ov, sim::MetricSet* series_out,
   ov.number("infp_dwell", config.infp_dwell);
   ov.number("a2i_delay", config.a2i_delay);
   ov.number("i2a_delay", config.i2a_delay);
+  ov.text("faults", config.faults);
   ov.finish();
 
   OscillationResult r = run_oscillation(config);
@@ -232,6 +235,7 @@ core::JsonValue run_coarse(Overrides& ov, sim::MetricSet* series_out,
   ov.number("run_duration", config.run_duration);
   ov.number("degraded_factor", config.degraded_factor);
   ov.number("arrival_rate", config.arrival_rate);
+  ov.text("faults", config.faults);
   ov.finish();
 
   CoarseControlResult r = run_coarse_control(config);
@@ -261,6 +265,7 @@ core::JsonValue run_energy_lab(Overrides& ov, sim::MetricSet* series_out,
   ov.number("day_rate", config.day_rate);
   ov.number("night_rate", config.night_rate);
   ov.size("cycles", config.cycles);
+  ov.text("faults", config.faults);
   ov.finish();
 
   EnergyScenarioResult r = run_energy(config);
@@ -287,6 +292,12 @@ core::JsonValue run_cellular(Overrides& ov, sim::TraceWriter* trace,
   ov.number("feature_noise", config.feature_noise);
   ov.number("labeled_fraction", config.labeled_fraction);
   ov.integer("k_anonymity", config.k_anonymity);
+  // No data-plane topology to fault here; accept the uniform key but only
+  // the empty plan.
+  std::string faults;
+  ov.text("faults", faults);
+  if (!faults.empty())
+    throw ConfigError("cellular does not support --faults");
   ov.finish();
 
   CellularWebResult r = run_cellular_web(config);
@@ -314,6 +325,7 @@ core::JsonValue run_fairness_lab(Overrides& ov, sim::TraceWriter* trace,
   ov.number("rate1", config.rate1);
   ov.number("rate2", config.rate2);
   ov.number("run_duration", config.run_duration);
+  ov.text("faults", config.faults);
   ov.finish();
 
   FairnessResult r = run_fairness(config);
@@ -345,6 +357,7 @@ core::JsonValue run_federation_lab(Overrides& ov, sim::TraceWriter* trace,
   config.access_capacity = mbps(access_mbps);
   ov.number("video_duration", config.video_duration);
   ov.number("run_duration", config.run_duration);
+  ov.text("faults", config.faults);
   ov.finish();
 
   FederationResult r = run_federation(config);
@@ -362,6 +375,62 @@ core::JsonValue run_federation_lab(Overrides& ov, sim::TraceWriter* trace,
   out.set("liar_share", core::JsonValue::number(r.liar_share));
   out.set("victim_share", core::JsonValue::number(r.victim_share));
   out.set("clamps", core::JsonValue::number(static_cast<double>(r.clamps)));
+  return out;
+}
+
+core::JsonValue run_broker_outage_lab(Overrides& ov, sim::TraceWriter* trace,
+                                      telemetry::ColumnStore* store,
+                                      RunPerf* perf) {
+  BrokerOutageConfig config;
+  config.trace = trace;
+  config.store = store;
+  config.perf = perf;
+  ov.integer("seed", config.seed);
+  ov.boolean("degraded", config.degraded);
+  ov.number("exaggeration", config.exaggeration);
+  ov.number("arrival_rate", config.arrival_rate);
+  ov.number("heavy_arrival_rate", config.heavy_arrival_rate);
+  double pool_mbps = config.pool / 1e6;
+  ov.number("pool_mbps", pool_mbps);
+  config.pool = mbps(pool_mbps);
+  double access_mbps = config.access_capacity / 1e6;
+  ov.number("access_capacity_mbps", access_mbps);
+  config.access_capacity = mbps(access_mbps);
+  ov.number("video_duration", config.video_duration);
+  ov.number("run_duration", config.run_duration);
+  ov.number("crash_at", config.crash_at);
+  ov.number("restart_at", config.restart_at);
+  ov.number("churn_join_at", config.churn_join_at);
+  ov.number("churn_leave_at", config.churn_leave_at);
+  ov.text("faults", config.faults);
+  ov.finish();
+
+  BrokerOutageResult r = run_broker_outage(config);
+  core::JsonValue out = core::JsonValue::object();
+  out.set("scenario", core::JsonValue::string("broker_outage"));
+  out.set("degraded", core::JsonValue::boolean(config.degraded));
+  out.set("qoe", qoe_json(r.qoe));
+  out.set("heavy", qoe_json(r.heavy));
+  out.set("joiner", qoe_json(r.joiner));
+  out.set("rebuffer_seconds", core::JsonValue::number(r.rebuffer_seconds));
+  out.set("time_to_reattach", core::JsonValue::number(r.time_to_reattach));
+  out.set("reattach_horizon", core::JsonValue::number(r.reattach_horizon));
+  out.set("reattaches",
+          core::JsonValue::number(static_cast<double>(r.reattaches)));
+  out.set("reattach_attempts",
+          core::JsonValue::number(static_cast<double>(r.reattach_attempts)));
+  out.set("detached_seconds", core::JsonValue::number(r.detached_seconds));
+  out.set("epoch_rejected",
+          core::JsonValue::number(static_cast<double>(r.epoch_rejected)));
+  out.set("clamps", core::JsonValue::number(static_cast<double>(r.clamps)));
+  out.set("rate_limited",
+          core::JsonValue::number(static_cast<double>(r.rate_limited)));
+  out.set("liar_share", core::JsonValue::number(r.liar_share));
+  out.set("faults", core::JsonValue::number(static_cast<double>(r.faults)));
+  out.set("exchange_checks",
+          core::JsonValue::number(static_cast<double>(r.exchange_checks)));
+  out.set("auditor_checks",
+          core::JsonValue::number(static_cast<double>(r.auditor_checks)));
   return out;
 }
 
@@ -445,6 +514,12 @@ core::JsonValue run_scale_lab(Overrides& ov, sim::TraceWriter* trace,
   // catches up, so the JSON below is byte-identical either way (pinned by
   // scenario_scale_test) and `elide` is not echoed.
   ov.boolean("elide", config.elide_quiescent);
+  // Sector-sharded worlds have no single chaos clock; accept the uniform
+  // key but only the empty plan.
+  std::string faults;
+  ov.text("faults", faults);
+  if (!faults.empty())
+    throw ConfigError("scale does not support --faults");
   ov.finish();
 
   ScaleResult r = run_scale(config);
@@ -486,6 +561,7 @@ core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
   ov.number("access_capacity_mbps", access_mbps);
   config.access_capacity = mbps(access_mbps);
   ov.number("run_duration", config.run_duration);
+  ov.text("faults", config.faults);
   ov.finish();
 
   QuickstartResult r = run_quickstart(config);
@@ -500,8 +576,9 @@ core::JsonValue run_quickstart_lab(Overrides& ov, sim::TraceWriter* trace,
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "flashcrowd", "oscillation", "coarse",   "energy", "cellular",
-      "fairness",   "federation",  "quickstart", "failover", "scale"};
+      "flashcrowd", "oscillation", "coarse",   "energy",   "cellular",
+      "fairness",   "federation",  "quickstart", "failover", "scale",
+      "broker_outage"};
   return names;
 }
 
@@ -528,6 +605,8 @@ core::JsonValue run_scenario_json(
   if (scenario == "failover")
     return run_failover_lab(ov, series_out, trace, store, perf);
   if (scenario == "scale") return run_scale_lab(ov, trace, store, perf);
+  if (scenario == "broker_outage")
+    return run_broker_outage_lab(ov, trace, store, perf);
   throw ConfigError("unknown scenario '" + scenario + "'");
 }
 

@@ -4,6 +4,7 @@
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
 #include "control/oscillation.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -97,6 +98,7 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   // --- workload ---------------------------------------------------------------
   app::SessionPool& pool = b.add_session_pool();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   SessionId::rep_type next_session = 0;
@@ -122,7 +124,10 @@ OscillationResult run_oscillation(const OscillationConfig& config) {
   // the end-of-run traffic drain (where returning to the cheap point is
   // correct, not flapping) are excluded.
   const TimePoint measure_to = config.run_duration - config.video_duration;
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   OscillationResult result;
   control::CycleDetector detector;
   sim::PeriodicTask sampler(sched, config.infp_period, [&] {

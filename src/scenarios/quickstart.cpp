@@ -3,6 +3,7 @@
 #include "app/content_catalog.hpp"
 #include "app/video_player.hpp"
 #include "app/workload.hpp"
+#include "scenarios/chaos.hpp"
 #include "scenarios/world.hpp"
 
 namespace eona::scenarios {
@@ -39,6 +40,7 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   app::SessionPool& pool = b.add_session_pool();
   NodeId client = b.client();
   std::unique_ptr<sim::World> world = b.build();
+  auto chaos = sim::schedule_faults(*world, config.faults);
   sim::Scheduler& sched = world->sched();
 
   // Workload: Poisson video sessions until the tail can still finish.
@@ -65,7 +67,10 @@ QuickstartResult run_quickstart(const QuickstartConfig& config) {
   sched.run_until(config.run_duration + 1.0);
   world->auditor().finalize();
 
-  if (config.perf != nullptr) config.perf->events += sched.events_fired();
+  if (config.perf != nullptr) {
+    config.perf->events += sched.events_fired();
+    config.perf->add_exchange(world->exchange());
+  }
   QuickstartResult result;
   result.qoe = QoeSummary::from(pool.summaries());
   return result;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "scenarios/common.hpp"
@@ -23,6 +24,9 @@ struct QuickstartConfig {
   Duration video_duration = 120.0;
   TimePoint run_duration = 600.0;
   /// When set, receives the run's JSONL event trace.
+  /// Optional chaos plan (FaultPlan grammar; see scenarios/chaos.hpp).
+  /// Empty = no fault injection, byte-identical to the plan-free build.
+  std::string faults;
   sim::TraceWriter* trace = nullptr;
   /// When set, a StoreRecorder feeds this columnar store the run's event
   /// stream (eona_lab --store=FILE dumps it as queryable rows).

@@ -121,6 +121,76 @@ class World {
   /// none): every mapped bus event lands in it as queryable rows.
   [[nodiscard]] telemetry::ColumnStore* store() { return store_; }
 
+  // --- mid-run tenant churn (valid on the built world) ---
+  //
+  // The broker's opt-in registration model makes tenancy dynamic: tenants
+  // join, wire, and unwire while the scheduler runs. Every hook re-checks
+  // the exchange invariants through the auditor, and joins renormalize the
+  // egress-quota shares so they keep summing to 1 across churn. Departing
+  // tenants are unwired (their legs retire) but never unregistered while
+  // their controller object lives -- a departed tenant simply goes idle.
+
+  /// Register + construct + bind a new AppP tenant mid-run. `quota` is the
+  /// joiner's egress share *before* renormalization.
+  control::AppPController& churn_add_appp(const std::string& name,
+                                          control::AppPConfig config = {},
+                                          core::TenantQuota quota = {}) {
+    EONA_EXPECTS(exchange_ != nullptr && network_ != nullptr);
+    ProviderId id =
+        registry_.register_provider(core::ProviderKind::kAppP, name);
+    exchange_->register_appp(id, quota);
+    exchange_->renormalize_quotas();
+    appps_.push_back(std::make_unique<control::AppPController>(
+        sched_, *network_, directory_, id, config));
+    appps_.back()->bind_exchange(
+        core::ExchangeEndpoint(exchange_.get(), id));
+    appps_.back()->set_event_bus(&bus_);
+    if (auditor_ != nullptr) auditor_->check_exchange();
+    return *appps_.back();
+  }
+
+  /// Register + construct + bind a new InfP tenant mid-run.
+  control::InfPController& churn_add_infp(const std::string& name, IspId isp,
+                                          std::vector<LinkId> access_links,
+                                          control::InfPConfig config = {}) {
+    EONA_EXPECTS(exchange_ != nullptr && network_ != nullptr);
+    ProviderId id =
+        registry_.register_provider(core::ProviderKind::kInfP, name);
+    exchange_->register_infp(id);
+    infps_.push_back(std::make_unique<control::InfPController>(
+        sched_, *network_, *routing_, *peering_, isp, id,
+        std::move(access_links), config));
+    infps_.back()->bind_exchange(
+        core::ExchangeEndpoint(exchange_.get(), id));
+    infps_.back()->set_event_bus(&bus_);
+    if (auditor_ != nullptr) auditor_->check_exchange();
+    return *infps_.back();
+  }
+
+  /// Wire a tenant pair mid-run (same leg/subscription order as the
+  /// builder's wire_tenant).
+  void churn_wire(std::size_t appp_idx, std::size_t infp_idx,
+                  const core::TenantLink& link = {}) {
+    control::AppPController& appp = *appps_.at(appp_idx);
+    control::InfPController& infp = *infps_.at(infp_idx);
+    exchange_->wire(appp.id(), infp.id(), link);
+    infp.subscribe_a2i(appp.id());
+    appp.subscribe_i2a(infp.id());
+    if (auditor_ != nullptr) auditor_->check_exchange();
+  }
+
+  /// Sever a tenant pair mid-run: both controllers drop their
+  /// subscriptions, then the broker retires both legs and the durable link
+  /// record (a later broker restart will NOT resurrect this pairing).
+  void churn_unwire(std::size_t appp_idx, std::size_t infp_idx) {
+    control::AppPController& appp = *appps_.at(appp_idx);
+    control::InfPController& infp = *infps_.at(infp_idx);
+    appp.unsubscribe_i2a(infp.id());
+    infp.unsubscribe_a2i(appp.id());
+    exchange_->unwire(appp.id(), infp.id());
+    if (auditor_ != nullptr) auditor_->check_exchange();
+  }
+
  private:
   friend class Builder;
   explicit World(std::uint64_t seed) : rng_(seed) {
@@ -277,6 +347,7 @@ class World::Builder {
     w.routing_->attach_link_state(w.network_.get());
     w.transfers_->set_event_bus(&w.bus_);
     w.auditor_ = std::make_unique<InvariantAuditor>(w.bus_, *w.network_);
+    if (w.exchange_ != nullptr) w.auditor_->watch_exchange(w.exchange_.get());
     for (PendingCdn& pending : pending_cdns_) {
       app::Cdn& cdn = add_cdn_at(pending.name, pending.origin);
       ServerId server = cdn.add_server(pending.server, pending.peer_link,
@@ -319,6 +390,9 @@ class World::Builder {
     EONA_EXPECTS(w.appps_.empty() && w.infps_.empty());
     w.exchange_ = std::make_unique<core::Exchange>(w.registry_);
     w.exchange_->set_event_bus(&w.bus_);
+    // Either call order works: build_network() hooks the auditor up when
+    // the exchange already exists, and vice versa.
+    if (w.auditor_ != nullptr) w.auditor_->watch_exchange(w.exchange_.get());
     return *this;
   }
 

@@ -60,12 +60,14 @@ struct TransferAbortedEvent {
 // --- chaos plane (emitted by sim::ChaosEngine) -----------------------------
 
 /// One fault-plan action was applied to the infrastructure. `link` is the
-/// affected link (the egress link for server faults); `factor` is the
-/// capacity scale for brown-outs (1 = restored, 0 otherwise unused).
+/// affected link (the egress link for server faults; invalid for broker
+/// faults, which have no topology element); `factor` is the capacity scale
+/// for brown-outs (1 = restored, 0 otherwise unused).
 struct FaultEvent {
   TimePoint t = 0.0;
   const char* kind = "";  ///< "link_down" | "link_up" | "brownout" |
-                          ///< "server_crash" | "server_restart"
+                          ///< "server_crash" | "server_restart" |
+                          ///< "exchange_crash" | "exchange_restart"
   LinkId link;
   double factor = 0.0;
 };

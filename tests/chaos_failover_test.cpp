@@ -62,6 +62,46 @@ TEST(FaultPlanParse, RejectsMalformedClauses) {
   EXPECT_THROW((void)FaultPlan::parse("brownout:X@B@120:1.5"), ConfigError);
 }
 
+TEST(FaultPlanParse, ExchangeTargetMapsToBrokerKinds) {
+  FaultPlan plan = FaultPlan::parse("crash:exchange@180;restart:exchange@300");
+  ASSERT_EQ(plan.actions.size(), 2u);
+  EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kExchangeCrash);
+  EXPECT_EQ(plan.actions[0].target, "exchange");
+  EXPECT_DOUBLE_EQ(plan.actions[0].at, 180.0);
+  EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::kExchangeRestart);
+  EXPECT_DOUBLE_EQ(plan.actions[1].at, 300.0);
+  // Only crash/restart address the broker; it has no capacity to brown out.
+  EXPECT_THROW((void)FaultPlan::parse("down:exchange@10"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("brownout:exchange@10:0.5"),
+               ConfigError);
+}
+
+TEST(FaultPlanParse, ErrorsNameOffendingTokenAndBytePosition) {
+  auto message_of = [](const std::string& spec) {
+    try {
+      (void)FaultPlan::parse(spec);
+    } catch (const ConfigError& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no error>");
+  };
+  // The bad clause sits at byte 11 of the plan (1-based): the message must
+  // point there, name the clause, and name the offending token.
+  std::string msg = message_of("down:ab@5;melt:X@9");
+  EXPECT_NE(msg.find("unknown kind 'melt'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'melt:X@9'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at position 11"), std::string::npos) << msg;
+
+  msg = message_of("down:ab@xyz");
+  EXPECT_NE(msg.find("bad number 'xyz'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at position 1"), std::string::npos) << msg;
+
+  msg = message_of("up:ab@5;up:ab@6;down:ab@120:0.5");
+  EXPECT_NE(msg.find("factor only valid for brownout"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("at position 17"), std::string::npos) << msg;
+}
+
 // --- chaos engine ----------------------------------------------------------
 
 class ChaosEngineTest : public ::testing::Test {
@@ -124,6 +164,9 @@ TEST_F(ChaosEngineTest, UnknownTargetsThrowAtScheduleTime) {
                ConfigError);
   // Server faults need a CDN directory; this engine has none.
   EXPECT_THROW(chaos.schedule(sim::FaultPlan::parse("crash:cdn-X/0@1")),
+               ConfigError);
+  // Broker faults need an attached exchange; this engine has none either.
+  EXPECT_THROW(chaos.schedule(sim::FaultPlan::parse("crash:exchange@1")),
                ConfigError);
 }
 

@@ -269,5 +269,147 @@ TEST(Exchange, ClampIsEnforcedAtTheBrokerNotTheClient) {
   EXPECT_EQ(plane.exchange.clamp_count(), 1u);
 }
 
+// --- broker lifecycle: crash, epoch fencing, reattach, churn -----------------
+
+TEST(ExchangeLifecycle, CrashBumpsEpochAndFencesPublishes) {
+  Plane plane;
+  plane.exchange.wire(plane.appp, plane.infp[0], {});
+  const std::uint64_t epoch0 = plane.exchange.epoch();
+  EXPECT_TRUE(plane.exchange.publish_a2i(plane.appp, a2i_at(1.0), 1.0));
+
+  plane.exchange.crash();
+  EXPECT_TRUE(plane.exchange.crashed());
+  EXPECT_EQ(plane.exchange.epoch(), epoch0 + 1);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+  // Down broker: every publish is fenced and counted; fetches answer
+  // nothing (the legs died with the broker) rather than throwing.
+  EXPECT_FALSE(
+      plane.exchange.publish_a2i(plane.appp, a2i_at(2.0), 2.0, epoch0));
+  EXPECT_FALSE(plane.exchange.publish_i2a(plane.infp[0], i2a_at(2.0), 2.0));
+  EXPECT_EQ(plane.exchange.epoch_rejected(), 2u);
+  EXPECT_EQ(plane.exchange.fetch_a2i(plane.infp[0], plane.appp, 2.0),
+            std::nullopt);
+
+  plane.exchange.restart();
+  EXPECT_FALSE(plane.exchange.crashed());
+  // A restart alone restores nothing: a pre-crash epoch stays fenced and
+  // the legs wait for their producer's reattach handshake.
+  EXPECT_FALSE(
+      plane.exchange.publish_a2i(plane.appp, a2i_at(3.0), 3.0, epoch0));
+  EXPECT_EQ(plane.exchange.epoch_rejected(), 3u);
+  EXPECT_EQ(plane.exchange.fetch_a2i(plane.infp[0], plane.appp, 3.0),
+            std::nullopt);
+
+  EXPECT_EQ(plane.exchange.reattach(plane.appp), plane.exchange.epoch());
+  EXPECT_TRUE(plane.exchange.publish_a2i(plane.appp, a2i_at(4.0), 4.0));
+  auto got = plane.exchange.fetch_a2i(plane.infp[0], plane.appp, 4.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->generated_at, 4.0);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+}
+
+TEST(ExchangeLifecycle, ReattachWhileDownIsRefused) {
+  Plane plane;
+  plane.exchange.wire(plane.appp, plane.infp[0], {});
+  plane.exchange.crash();
+  EXPECT_EQ(plane.exchange.reattach(plane.appp), 0u);  // caller backs off
+}
+
+TEST(ExchangeLifecycle, ReattachIsIdempotentAndKeepsTrustRedaction) {
+  Plane plane(2);
+  TenantLink minimal;
+  minimal.trust = TrustLevel::kMinimal;
+  plane.exchange.wire(plane.appp, plane.infp[0], minimal);
+  TenantLink full;
+  full.a2i_policy.share_server_level_qoe = true;
+  plane.exchange.wire(plane.appp, plane.infp[1], full);
+
+  plane.exchange.crash();
+  plane.exchange.restart();
+  EXPECT_EQ(plane.exchange.reattach(plane.appp), plane.exchange.epoch());
+  // A duplicated handshake (retry chain racing a fault-delayed ack) must
+  // not double-register or reset the restored legs.
+  EXPECT_EQ(plane.exchange.reattach(plane.appp), plane.exchange.epoch());
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+
+  A2IReport r = a2i_at(10.0, 500);
+  QoeGroupReport server_grain = r.groups.front();
+  server_grain.server = ServerId(3);
+  r.groups.push_back(server_grain);
+  TrafficForecast f;
+  f.isp = IspId(0);
+  f.cdn = CdnId(0);
+  f.expected_rate = 1e6;
+  r.forecasts.push_back(f);
+  EXPECT_TRUE(plane.exchange.publish_a2i(plane.appp, r, 10.0));
+  // Reconstructed legs carry the link record's trust-redacted policies:
+  // exactly one delivery per leg, the minimal view still stripped.
+  EXPECT_EQ(plane.exchange.a2i_leg_stats(plane.appp, plane.infp[0]).delivered,
+            1u);
+  auto min_view = plane.exchange.fetch_a2i(plane.infp[0], plane.appp, 10.0);
+  ASSERT_TRUE(min_view.has_value());
+  EXPECT_TRUE(min_view->forecasts.empty());
+  for (const QoeGroupReport& g : min_view->groups)
+    EXPECT_FALSE(g.server.valid());
+  auto full_view = plane.exchange.fetch_a2i(plane.infp[1], plane.appp, 10.0);
+  ASSERT_TRUE(full_view.has_value());
+  EXPECT_FALSE(full_view->forecasts.empty());
+}
+
+TEST(ExchangeLifecycle, ArmedEndpointReattachesWithinHorizon) {
+  Plane plane;
+  plane.exchange.wire(plane.appp, plane.infp[0], {});
+  sim::Scheduler sched;
+  ExchangeEndpoint port(&plane.exchange, plane.appp);
+  port.arm_reattach(sched, /*seed=*/42);
+  TimePoint reattached_at = -1.0;
+  port.set_on_reattach([&](TimePoint t) { reattached_at = t; });
+
+  constexpr TimePoint kCrash = 10.0, kRestart = 25.0;
+  sched.schedule_at(kCrash, [&] {
+    plane.exchange.crash();
+    port.on_broker_fault("exchange_crash", kCrash);
+  });
+  sched.schedule_at(kRestart, [&] { plane.exchange.restart(); });
+  sched.run_all();
+
+  EXPECT_TRUE(port.attached());
+  EXPECT_EQ(port.reattach_count(), 1u);      // re-admitted exactly once
+  EXPECT_GT(port.reattach_attempts(), 1u);   // it really backed off while down
+  EXPECT_GE(reattached_at, kRestart);
+  EXPECT_LE(reattached_at, kRestart + ReattachPolicy{}.horizon());
+  EXPECT_DOUBLE_EQ(port.last_reattach_at(), reattached_at);
+  EXPECT_GE(port.detached_seconds(), kRestart - kCrash);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+}
+
+TEST(ExchangeLifecycle, RenormalizeQuotasRestoresUnitSum) {
+  Plane plane;
+  plane.exchange.set_egress_reference(100e6);
+  plane.exchange.set_quota(plane.appp, TenantQuota{0.5});
+  ProviderId second =
+      plane.registry.register_provider(ProviderKind::kAppP, "b");
+  plane.exchange.register_appp(second, TenantQuota{0.5});
+  EXPECT_NEAR(plane.exchange.total_egress_share(), 1.0, 1e-12);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+
+  // A third tenant joins mid-run: shares overflow until the churn hook
+  // renormalizes them back to a unit sum.
+  ProviderId third = plane.registry.register_provider(ProviderKind::kAppP, "c");
+  plane.exchange.register_appp(third, TenantQuota{0.5});
+  EXPECT_FALSE(plane.exchange.invariant_violation().empty());  // 1.5 > 1
+  plane.exchange.renormalize_quotas();
+  EXPECT_NEAR(plane.exchange.total_egress_share(), 1.0, 1e-12);
+  EXPECT_NEAR(plane.exchange.quota(plane.appp).egress_share, 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+
+  // And again after a leave.
+  plane.exchange.unregister_appp(third);
+  plane.exchange.renormalize_quotas();
+  EXPECT_NEAR(plane.exchange.total_egress_share(), 1.0, 1e-12);
+  EXPECT_NEAR(plane.exchange.quota(second).egress_share, 0.5, 1e-12);
+  EXPECT_TRUE(plane.exchange.invariant_violation().empty());
+}
+
 }  // namespace
 }  // namespace eona::core

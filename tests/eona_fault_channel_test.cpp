@@ -535,5 +535,69 @@ TEST(FaultExchange, RobustRetryChainHarvestsOnlyRedactedReports) {
   EXPECT_GT(harvested, 0);                 // retries really landed reports
 }
 
+// --- broker outage on top of channel faults ----------------------------------
+
+TEST(FaultExchange, UnboundEndpointAnswersNothing) {
+  ExchangeEndpoint port;
+  EXPECT_FALSE(port.bound());
+  EXPECT_FALSE(port.attached());
+  EXPECT_FALSE(port.fetch_a2i(ProviderId(0), 1.0).has_value());
+  EXPECT_FALSE(port.fetch_i2a(ProviderId(1), 1.0).has_value());
+  EXPECT_EQ(port.reattach_count(), 0u);
+  EXPECT_EQ(port.reattach_attempts(), 0u);
+}
+
+TEST(FaultExchange, DetachedEndpointUnderChannelFaultsReattachesOnce) {
+  // A broker crash in the middle of a leg that is already dropping,
+  // duplicating, and delaying: the disconnected endpoints answer nullopt
+  // while detached (never throw, never leak), and the armed backoff chains
+  // re-admit each tenant exactly once even though the leg's faults keep
+  // firing around the handshake.
+  ProviderRegistry registry;
+  ProviderId appp = registry.register_provider(ProviderKind::kAppP, "vod");
+  ProviderId infp = registry.register_provider(ProviderKind::kInfP, "isp");
+  Exchange exchange(registry);
+  exchange.register_appp(appp);
+  exchange.register_infp(infp);
+  TenantLink untrusted;
+  untrusted.trust = TrustLevel::kMinimal;
+  untrusted.a2i_fault = nasty_leg(31);
+  exchange.wire(appp, infp, untrusted);
+
+  sim::Scheduler sched;
+  ExchangeEndpoint producer(&exchange, appp);
+  producer.arm_reattach(sched, /*seed=*/7);
+  ExchangeEndpoint consumer(&exchange, infp);
+  consumer.arm_reattach(sched, /*seed=*/8);
+
+  constexpr TimePoint kCrash = 55.0, kRestart = 85.0;
+  sched.schedule_at(kCrash, [&] {
+    exchange.crash();
+    producer.on_broker_fault("exchange_crash", kCrash);
+    consumer.on_broker_fault("exchange_crash", kCrash);
+  });
+  sched.schedule_at(kRestart, [&] { exchange.restart(); });
+  for (int i = 1; i <= 16; ++i) {
+    TimePoint t = 10.0 * i;
+    sched.schedule_at(t, [&, t] {
+      bool accepted = producer.publish_a2i(sensitive_a2i(t), t);
+      EXPECT_EQ(accepted, producer.attached());
+      // Whatever a faulted leg (re)delivers, it is already redacted; while
+      // detached the fetch guard answers nothing at all.
+      if (auto got = consumer.fetch_a2i(appp, t)) expect_a2i_redacted(*got, t);
+      if (t > kCrash && t < kRestart)
+        EXPECT_FALSE(consumer.fetch_a2i(appp, t).has_value());
+    });
+  }
+  sched.run_all();
+
+  EXPECT_TRUE(producer.attached());
+  EXPECT_TRUE(consumer.attached());
+  EXPECT_EQ(producer.reattach_count(), 1u);  // no double-register
+  EXPECT_EQ(consumer.reattach_count(), 1u);
+  EXPECT_GT(exchange.epoch_rejected(), 0u);  // the fence really fired
+  EXPECT_TRUE(exchange.invariant_violation().empty());
+}
+
 }  // namespace
 }  // namespace eona::core

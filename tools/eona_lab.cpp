@@ -181,6 +181,15 @@ int run_single(const Args& args) {
           core::JsonValue::number(
               static_cast<double>(perf.serial_barrier_ns) / 1e9));
     p.set("serial_fraction", core::JsonValue::number(perf.serial_fraction()));
+    // Broker counters (scenarios with an exchange; zeros otherwise): quota
+    // clamps at publish, per-leg rate-cap drops summed over legs, and
+    // publishes fenced by a crashed/stale-epoch broker.
+    p.set("clamp_count",
+          core::JsonValue::number(static_cast<double>(perf.clamp_count)));
+    p.set("rate_limited",
+          core::JsonValue::number(static_cast<double>(perf.rate_limited)));
+    p.set("epoch_rejected",
+          core::JsonValue::number(static_cast<double>(perf.epoch_rejected)));
     std::fprintf(stderr, "%s\n", p.dump(2).c_str());
   }
   if (args.csv_series) dump_series_csv(series);
@@ -396,6 +405,15 @@ void usage(std::FILE* out = stdout) {
       "                        outage_start, outage_duration, appp_period,\n"
       "                        infp_period, capacity_b_mbps, capacity_cx_mbps,\n"
       "                        capacity_cy_mbps, faults)\n"
+      "  broker_outage E20    federation plane with a mortal broker: the\n"
+      "                        exchange crashes and restarts mid-run, tenants\n"
+      "                        reattach on jittered backoff, a fourth tenant\n"
+      "                        joins and one unwires mid-run\n"
+      "                        (seed, degraded, exaggeration, arrival_rate,\n"
+      "                        heavy_arrival_rate, pool_mbps,\n"
+      "                        access_capacity_mbps, video_duration,\n"
+      "                        run_duration, crash_at, restart_at,\n"
+      "                        churn_join_at, churn_leave_at, faults)\n"
       "  scale         E17    million-session sector-partitioned world\n"
       "                        (mode, seed, sessions, sectors, threads,\n"
       "                        run_duration, video_duration, barrier_period,\n"
@@ -406,11 +424,15 @@ void usage(std::FILE* out = stdout) {
       "                        threads and elide change wall-clock only,\n"
       "                        never output\n"
       "mode is baseline|eona|oracle; --series=csv dumps recorded time series.\n"
-      "--faults=PLAN injects a chaos plan (failover scenario), e.g.\n"
+      "--faults=PLAN injects a chaos plan (every scenario; scale and cellular\n"
+      "accept only the empty plan), e.g.\n"
       "  eona_lab failover mode=eona --faults='down:X@B@120;up:X@B@180'\n"
       "plan grammar: kind:target@t[:factor] clauses joined by ';', where kind\n"
-      "is down|up|brownout|crash|restart, target is a topology link name or\n"
-      "cdn/serverindex, and factor is the brownout's remaining fraction.\n"
+      "is down|up|brownout|crash|restart, target is a topology link name,\n"
+      "cdn/serverindex, or the literal 'exchange' (crash/restart only -- the\n"
+      "broker itself dies and returns), and factor is the brownout's\n"
+      "remaining fraction. Malformed clauses are rejected with the offending\n"
+      "token and its byte position.\n"
       "--trace=FILE writes the run's JSONL event trace (bit-identical for a\n"
       "fixed seed, for any sweep thread count).\n"
       "--store=FILE ingests the run's events into the columnar telemetry\n"
@@ -423,7 +445,8 @@ void usage(std::FILE* out = stdout) {
       "--perf prints wall-clock seconds, events/sec, peak RSS, and (for\n"
       "barrier-scheduled scenarios) the phase breakdown -- barrier_rounds,\n"
       "sectors_dispatched/elided, parallel_advance/serial_barrier seconds,\n"
-      "serial_fraction -- as JSON on stderr (stdout stays the byte-stable\n"
+      "serial_fraction -- plus the broker counters clamp_count, rate_limited\n"
+      "and epoch_rejected -- as JSON on stderr (stdout stays the byte-stable\n"
       "scenario result).\n"
       "overrides may also be spelled --key=value.\n");
 }
